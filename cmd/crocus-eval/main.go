@@ -1,0 +1,82 @@
+// Command crocus-eval regenerates the paper's evaluation artifacts:
+//
+//	crocus-eval -exp table1     # Table 1 (verification results)
+//	crocus-eval -exp fig4       # Figure 4 (CDF of verification times)
+//	crocus-eval -exp coverage   # §4.2 rule-coverage percentages
+//	crocus-eval -exp knownbugs  # §4.3 reproductions
+//	crocus-eval -exp newbugs    # §4.4 reproductions
+//	crocus-eval -exp all        # everything
+//
+// The -timeout flag scales the per-query solver budget (the paper used up
+// to 6 hours for hard mul/div/popcnt instances; any budget reproduces the
+// same shape).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"crocus/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig4, coverage, knownbugs, newbugs, all")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-query solver deadline")
+	distinct := flag.Bool("distinct", false, "run the distinct-models check during table1")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent rule verification during table1 (1 = sequential)")
+	flag.Parse()
+
+	cfg := eval.Config{Timeout: *timeout, Distinct: *distinct, Parallelism: *parallel}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "crocus-eval:", err)
+		os.Exit(1)
+	}
+
+	run := map[string]bool{}
+	if *exp == "all" {
+		for _, e := range []string{"table1", "fig4", "coverage", "knownbugs", "newbugs"} {
+			run[e] = true
+		}
+	} else {
+		run[*exp] = true
+	}
+
+	if run["table1"] {
+		res, err := eval.Table1(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if run["fig4"] {
+		res, err := eval.Fig4(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	}
+	if run["coverage"] {
+		rs, err := eval.Coverage()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(eval.RenderCoverage(rs))
+	}
+	if run["knownbugs"] || run["newbugs"] {
+		rs, err := eval.Bugs(cfg)
+		if err != nil {
+			fail(err)
+		}
+		var filtered []*eval.BugResult
+		for _, r := range rs {
+			known := r.Bug.Section < "4.4"
+			if known && run["knownbugs"] || !known && run["newbugs"] {
+				filtered = append(filtered, r)
+			}
+		}
+		fmt.Println(eval.RenderBugs(filtered))
+	}
+}

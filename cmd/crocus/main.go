@@ -1,0 +1,141 @@
+// Command crocus verifies ISLE instruction-lowering rules against their
+// annotations, in the manner of the paper's Rust test suite: one line per
+// (rule, type instantiation) with outcome, timing, and counterexamples
+// rendered in ISLE surface syntax.
+//
+// Usage:
+//
+//	crocus [-timeout 5s] [-rule name] [-distinct] [-corpus aarch64|x64|midend|bug:<id>] [file.isle ...]
+//
+// With file arguments, the named ISLE files are parsed (in order) and
+// verified; otherwise the selected embedded corpus is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crocus"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 5*time.Second, "per-query solver deadline")
+	ruleName := flag.String("rule", "", "verify only the named rule")
+	distinct := flag.Bool("distinct", false, "run the distinct-models check (§3.2.1)")
+	corpusName := flag.String("corpus", "aarch64", "embedded corpus: aarch64, x64, midend, or bug:<id>")
+	custom := flag.Bool("custom-vc", false, "apply the corpus's custom verification conditions")
+	overlap := flag.Bool("overlap", false, "run the multi-rule overlap/priority analysis instead of verification")
+	flag.Parse()
+
+	prog, err := loadProgram(*corpusName, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crocus:", err)
+		os.Exit(1)
+	}
+
+	opts := crocus.Options{Timeout: *timeout, DistinctModels: *distinct}
+	if *custom {
+		opts.Custom = crocus.CorpusCustomVCs()
+	}
+	v := crocus.NewVerifier(prog, opts)
+
+	if *overlap {
+		out, err := v.FindAmbiguousOverlaps()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crocus:", err)
+			os.Exit(1)
+		}
+		code := 0
+		for _, o := range out {
+			fmt.Printf("%-12s %s / %s", o.Kind, o.RuleA, o.RuleB)
+			if len(o.Witness) > 0 {
+				fmt.Printf("  witness: %v", o.Witness)
+			}
+			fmt.Println()
+			if o.Kind.String() == "AMBIGUOUS" {
+				code = 3
+			}
+		}
+		fmt.Printf("%d overlapping pairs\n", len(out))
+		os.Exit(code)
+	}
+
+	exit := 0
+	for _, r := range prog.Rules {
+		if *ruleName != "" && r.Name != *ruleName {
+			continue
+		}
+		start := time.Now()
+		rr, err := v.VerifyRule(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crocus: %s: %v\n", r.Name, err)
+			exit = 1
+			continue
+		}
+		var outs []string
+		for _, io := range rr.Insts {
+			s := io.Outcome.String()
+			if io.Sig != nil {
+				s = fmt.Sprintf("%s:%s", io.Sig.Ret, io.Outcome)
+			}
+			if io.DistinctInputs != nil && !*io.DistinctInputs {
+				s += "!single-model"
+			}
+			outs = append(outs, s)
+		}
+		fmt.Printf("%-30s %-12s %8.2fs  [%s]\n",
+			r.Name, rr.Outcome(), time.Since(start).Seconds(), strings.Join(outs, " "))
+		for _, io := range rr.Insts {
+			if io.Counterexample != nil {
+				fmt.Printf("  counterexample (%s):\n%s\n", io.Sig, indent(io.Counterexample.Rendered))
+				exit = 2
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+func loadProgram(corpusName string, files []string) (*crocus.Program, error) {
+	if len(files) > 0 {
+		names := make([]string, len(files))
+		srcs := make([]string, len(files))
+		for i, f := range files {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			names[i] = f
+			srcs[i] = string(b)
+		}
+		return crocus.ParseFiles(names, srcs)
+	}
+	switch {
+	case corpusName == "aarch64":
+		return crocus.LoadAarch64Corpus()
+	case corpusName == "x64":
+		return crocus.LoadX64Corpus()
+	case corpusName == "midend":
+		return crocus.LoadMidendCorpus()
+	case strings.HasPrefix(corpusName, "bug:"):
+		id := strings.TrimPrefix(corpusName, "bug:")
+		for _, b := range crocus.Bugs() {
+			if b.ID == id {
+				return crocus.LoadBugCorpus(b)
+			}
+		}
+		return nil, fmt.Errorf("unknown bug %q", id)
+	default:
+		return nil, fmt.Errorf("unknown corpus %q", corpusName)
+	}
+}
+
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = "    " + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,115 @@
+// Quickstart: verify a correct and a broken lowering rule.
+//
+// This example reproduces §2.3 of the paper through the public API: the
+// naive "lower every rotr to the 64-bit ROR" rule verifies at 64 bits and
+// fails with a counterexample at narrow widths; the corrected rule
+// (guarded by fits_in_16 and routed through small_rotr) verifies.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"crocus"
+)
+
+const rules = `
+;; A miniature backend: the prelude terms this example needs are spelled
+;; out so the whole input is visible in one file.
+(type Inst (primitive Inst))
+(type InstOutput (primitive InstOutput))
+(type Value (primitive Value))
+(type Reg (primitive Reg))
+(type Type (primitive Type))
+
+(model Type Int)
+(model Value (bv))
+(model Inst (bv))
+(model InstOutput (bv))
+(model Reg (bv 64))
+
+(decl lower (Inst) InstOutput)
+(spec (lower arg) (provide (= result arg)))
+(decl put_in_reg (Value) Reg)
+(spec (put_in_reg arg) (provide (= result (convto 64 arg))))
+(convert Value Reg put_in_reg)
+(decl output_reg (Reg) InstOutput)
+(spec (output_reg arg) (provide (= result (convto (widthof result) arg))))
+(convert Reg InstOutput output_reg)
+(decl has_type (Type Inst) Inst)
+(spec (has_type ty arg) (provide (= result arg) (= ty (widthof arg))))
+(decl fits_in_16 (Type) Type)
+(spec (fits_in_16 arg) (provide (= result arg)) (require (<= arg 16)))
+
+;; Cranelift IR rotate-right, over i8..i64.
+(decl rotr (Value Value) Inst)
+(spec (rotr x y) (provide (= result (rotr x y))))
+(instantiate rotr
+	((args (bv 8) (bv 8)) (ret (bv 8)))
+	((args (bv 16) (bv 16)) (ret (bv 16)))
+	((args (bv 32) (bv 32)) (ret (bv 32)))
+	((args (bv 64) (bv 64)) (ret (bv 64))))
+
+;; The aarch64 64-bit ROR.
+(decl a64_rotr_64 (Reg Reg) Reg)
+(spec (a64_rotr_64 x y) (provide (= result (rotr x y))))
+
+;; An 8/16-bit rotate with correct narrow semantics.
+(decl small_rotr (Type Reg Reg) Reg)
+(spec (small_rotr ty x y)
+	(provide (= result (zeroext 64 (rotr (convto ty x) (convto ty y)))))
+	(require (switch ty
+		(8 (= (extract 63 8 x) #x00000000000000))
+		(16 (= (extract 63 16 x) #x000000000000)))))
+(decl zext32 (Value) Reg)
+(spec (zext32 x) (provide (= result (zeroext 64 (zeroext 32 x)))))
+
+;; BROKEN (§2.3): "A simple attempt at lowering rotr ... works properly
+;; for 64-bit values, but not for narrower values."
+(rule rotr_naive
+	(lower (rotr x y))
+	(a64_rotr_64 x y))
+
+;; CORRECT: narrow rotates go through small_rotr on a zero-extended input.
+(rule rotr_narrow
+	(lower (has_type (fits_in_16 ty) (rotr x y)))
+	(small_rotr ty (zext32 x) y))
+`
+
+func main() {
+	prog, err := crocus.ParseFiles([]string{"quickstart.isle"}, []string{rules})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := crocus.NewVerifier(prog, crocus.Options{Timeout: 30 * time.Second})
+
+	for _, r := range prog.Rules {
+		rr, err := v.VerifyRule(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rule %-12s => %s\n", r.Name, rr.Outcome())
+		for _, io := range rr.Insts {
+			fmt.Printf("  %-28s %s\n", io.Sig, io.Outcome)
+			if io.Counterexample != nil && io.Sig.Ret.Width == 8 {
+				fmt.Printf("\n  counterexample at i8 (compare the paper's #b00000001 story):\n")
+				fmt.Println(indent(io.Counterexample.Rendered, "    "))
+				fmt.Println()
+			}
+		}
+	}
+}
+
+func indent(s, pad string) string {
+	out := pad
+	for _, c := range s {
+		out += string(c)
+		if c == '\n' {
+			out += pad
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module crocus
+
+go 1.22

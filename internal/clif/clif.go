@@ -1,0 +1,179 @@
+// Package clif implements a small SSA-style expression IR mirroring the
+// Cranelift IR subset that the corpus rules match on. The instruction
+// selector in internal/lower pattern-matches over these expression trees;
+// the WebAssembly frontend in internal/wasm produces them.
+package clif
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is a Cranelift integer or float type.
+type Type int
+
+// Value types.
+const (
+	I8 Type = iota
+	I16
+	I32
+	I64
+	F32
+	F64
+)
+
+var typeNames = map[Type]string{
+	I8: "i8", I16: "i16", I32: "i32", I64: "i64", F32: "f32", F64: "f64",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// Bits returns the width of the type in bits.
+func (t Type) Bits() int {
+	switch t {
+	case I8:
+		return 8
+	case I16:
+		return 16
+	case I32, F32:
+		return 32
+	default:
+		return 64
+	}
+}
+
+// IsInt reports whether the type is an integer type.
+func (t Type) IsInt() bool { return t <= I64 }
+
+// Op is a Cranelift IR operation name; the names match the ISLE term
+// names of the corpus (iadd, ishl, icmp, uextend, ...). Two special ops
+// exist: "param" (a function parameter / opaque leaf) and "iconst".
+type Op string
+
+// Special operations.
+const (
+	OpParam  Op = "param"
+	OpIconst Op = "iconst"
+	OpFconst Op = "fconst"
+)
+
+// Value is one SSA value: the result of an operation over operand values.
+type Value struct {
+	Op   Op
+	Ty   Type
+	Args []*Value
+
+	// Imm is the constant payload of iconst/fconst (zero-extended into
+	// u64, per the §4.4.3 invariant) and the parameter index of param.
+	Imm uint64
+
+	// CC is the condition-code constructor name for icmp/fcmp (e.g.
+	// "IntCC.Equal").
+	CC string
+
+	// MemFlags/Offset are carried by memory ops (load/store variants).
+	Offset int32
+}
+
+// Param constructs a function-parameter leaf.
+func Param(ty Type, index int) *Value {
+	return &Value{Op: OpParam, Ty: ty, Imm: uint64(index)}
+}
+
+// Iconst constructs an integer constant; v is masked to the type width
+// (zero-extension invariant).
+func Iconst(ty Type, v uint64) *Value {
+	if ty.Bits() < 64 {
+		v &= (1 << uint(ty.Bits())) - 1
+	}
+	return &Value{Op: OpIconst, Ty: ty, Imm: v}
+}
+
+// Unary constructs a one-operand operation.
+func Unary(op Op, ty Type, x *Value) *Value {
+	return &Value{Op: op, Ty: ty, Args: []*Value{x}}
+}
+
+// Binary constructs a two-operand operation.
+func Binary(op Op, ty Type, x, y *Value) *Value {
+	return &Value{Op: op, Ty: ty, Args: []*Value{x, y}}
+}
+
+// Icmp constructs an integer comparison producing an i8 boolean.
+func Icmp(cc string, x, y *Value) *Value {
+	return &Value{Op: "icmp", Ty: I8, CC: cc, Args: []*Value{x, y}}
+}
+
+// Fcmp constructs a float comparison producing an i8 boolean.
+func Fcmp(cc string, x, y *Value) *Value {
+	return &Value{Op: "fcmp", Ty: I8, CC: cc, Args: []*Value{x, y}}
+}
+
+// String renders the expression tree in CLIF-ish S-expression form.
+func (v *Value) String() string {
+	var b strings.Builder
+	v.write(&b)
+	return b.String()
+}
+
+func (v *Value) write(b *strings.Builder) {
+	switch v.Op {
+	case OpParam:
+		fmt.Fprintf(b, "(param.%s %d)", v.Ty, v.Imm)
+	case OpIconst, OpFconst:
+		fmt.Fprintf(b, "(%s.%s %d)", v.Op, v.Ty, v.Imm)
+	default:
+		fmt.Fprintf(b, "(%s.%s", v.Op, v.Ty)
+		if v.CC != "" {
+			fmt.Fprintf(b, " %s", v.CC)
+		}
+		for _, a := range v.Args {
+			b.WriteByte(' ')
+			a.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Walk visits v and all operands in pre-order.
+func Walk(v *Value, f func(*Value)) {
+	f(v)
+	for _, a := range v.Args {
+		Walk(a, f)
+	}
+}
+
+// Count returns the number of nodes in the expression tree.
+func Count(v *Value) int {
+	n := 0
+	Walk(v, func(*Value) { n++ })
+	return n
+}
+
+// Func is a function: a name, parameter types, and a single result
+// expression (the subset sufficient for lowering-rule coverage).
+type Func struct {
+	Name   string
+	Params []Type
+	Ret    Type
+	Body   *Value
+}
+
+// String renders the function header and body.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "function %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	fmt.Fprintf(&b, ") -> %s:\n  return %s", f.Ret, f.Body)
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package clif
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeProperties(t *testing.T) {
+	cases := []struct {
+		ty    Type
+		bits  int
+		isInt bool
+		name  string
+	}{
+		{I8, 8, true, "i8"},
+		{I16, 16, true, "i16"},
+		{I32, 32, true, "i32"},
+		{I64, 64, true, "i64"},
+		{F32, 32, false, "f32"},
+		{F64, 64, false, "f64"},
+	}
+	for _, c := range cases {
+		if c.ty.Bits() != c.bits {
+			t.Errorf("%s bits = %d", c.name, c.ty.Bits())
+		}
+		if c.ty.IsInt() != c.isInt {
+			t.Errorf("%s IsInt = %v", c.name, c.ty.IsInt())
+		}
+		if c.ty.String() != c.name {
+			t.Errorf("%s String = %q", c.name, c.ty.String())
+		}
+	}
+	if !strings.Contains(Type(99).String(), "99") {
+		t.Error("unknown type string")
+	}
+}
+
+func TestIconstTruncates(t *testing.T) {
+	v := Iconst(I8, 0x1ff)
+	if v.Imm != 0xff {
+		t.Fatalf("imm = %#x, want zero-extension invariant truncation", v.Imm)
+	}
+	if Iconst(I64, 0xdeadbeefcafebabe).Imm != 0xdeadbeefcafebabe {
+		t.Fatal("i64 constants must not truncate")
+	}
+}
+
+func TestConstructorsAndString(t *testing.T) {
+	v := Binary("iadd", I32, Param(I32, 0), Iconst(I32, 5))
+	if got := v.String(); got != "(iadd.i32 (param.i32 0) (iconst.i32 5))" {
+		t.Fatalf("String = %q", got)
+	}
+	u := Unary("clz", I64, Param(I64, 1))
+	if u.Op != "clz" || len(u.Args) != 1 {
+		t.Fatal("unary shape")
+	}
+	ic := Icmp("IntCC.Equal", Param(I32, 0), Param(I32, 1))
+	if ic.Ty != I8 || ic.CC != "IntCC.Equal" {
+		t.Fatal("icmp shape")
+	}
+	if !strings.Contains(ic.String(), "IntCC.Equal") {
+		t.Fatalf("icmp string = %q", ic.String())
+	}
+	fc := Fcmp("FloatCC.LessThan", Param(F64, 0), Param(F64, 1))
+	if fc.Ty != I8 || fc.Op != "fcmp" {
+		t.Fatal("fcmp shape")
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	v := Binary("imul", I32,
+		Binary("iadd", I32, Param(I32, 0), Param(I32, 1)),
+		Iconst(I32, 3))
+	if Count(v) != 5 {
+		t.Fatalf("Count = %d", Count(v))
+	}
+	var order []Op
+	Walk(v, func(n *Value) { order = append(order, n.Op) })
+	if order[0] != "imul" || order[1] != "iadd" {
+		t.Fatalf("walk order = %v", order)
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	f := &Func{
+		Name:   "t",
+		Params: []Type{I32, I64},
+		Ret:    I32,
+		Body:   Param(I32, 0),
+	}
+	s := f.String()
+	if !strings.Contains(s, "function t(i32, i64) -> i32") {
+		t.Fatalf("func string = %q", s)
+	}
+}

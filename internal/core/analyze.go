@@ -1,0 +1,596 @@
+package core
+
+import (
+	"fmt"
+
+	"crocus/internal/isle"
+	"crocus/internal/spec"
+)
+
+// specInstance is one use of an annotated term within a rule: the spec
+// with its argument names bound to the typing slots of the actual
+// arguments. Elaboration later turns each instance's provide/require
+// expressions into SMT terms.
+type specInstance struct {
+	term  string
+	spec  *spec.Spec
+	onLHS bool // whether the term occurs on the LHS (incl. if-let guards)
+	node  *isle.TermNode
+
+	env      map[string]tvar     // spec arg / result / existential -> slot
+	exprSlot map[*spec.Expr]tvar // typing slot of every subexpression
+	seq      int                 // occurrence index, for fresh-name scoping
+}
+
+// deferred constraint kinds for pass 2 (§3.1.3 "second pass").
+type deferKind int
+
+const (
+	// dWidthIsValue: the width of slot bv equals the integer value of
+	// expr (from convto / int2bv / zeroext / signext width arguments).
+	dWidthIsValue deferKind = iota
+	// dIntEq: two integer expressions are equal (top-level Int equalities
+	// in provide clauses, e.g. has_type's (= ty (widthof arg))).
+	dIntEq
+	// dWidthSum: the width of slot bv equals the sum of widths of the
+	// operand expressions (concat).
+	dWidthSum
+	// dWidthAtLeast: slot bv is at least `minW` bits wide (extract bounds).
+	dWidthAtLeast
+	// dWidthGE: slot bv is at least as wide as slot bv2 (zeroext/signext
+	// target vs source, per Fig. 2's N ≤ M side conditions).
+	dWidthGE
+)
+
+type deferredCon struct {
+	kind deferKind
+	inst *specInstance
+	bv   tvar         // dWidthIsValue / dWidthSum / dWidthAtLeast
+	expr *spec.Expr   // dWidthIsValue: the Int expression
+	a, b *spec.Expr   // dIntEq
+	args []*spec.Expr // dWidthSum operands
+	minW int          // dWidthAtLeast
+	bv2  tvar         // dWidthGE: the smaller side
+}
+
+// ruleAnalysis is the per-rule typing context shared by both inference
+// passes and by elaboration.
+type ruleAnalysis struct {
+	v    *Verifier
+	rule *isle.Rule
+
+	ts       *typeState
+	nodeSlot map[*isle.TermNode]tvar
+	varSlot  map[string]tvar // ISLE rule variables
+	insts    []*specInstance
+	deferred []deferredCon
+
+	irTerm  *isle.TermNode // the instantiated instruction-selection root
+	lhsRoot tvar
+	rhsRoot tvar
+
+	// lhsVars lists the LHS-bound ISLE variables in binding order; these
+	// are the rule "inputs" for counterexamples and the distinctness check.
+	lhsVars []string
+
+	seq int
+}
+
+// analyzeRule builds the typing skeleton of a rule: slots for every node,
+// spec instances for every term occurrence, and the pass-1 unification
+// constraints (plus the deferred pass-2 constraints).
+func (v *Verifier) analyzeRule(rule *isle.Rule) (*ruleAnalysis, error) {
+	ra := &ruleAnalysis{
+		v:        v,
+		rule:     rule,
+		ts:       newTypeState(),
+		nodeSlot: map[*isle.TermNode]tvar{},
+		varSlot:  map[string]tvar{},
+	}
+	ra.irTerm = v.Prog.FindIRTerm(rule.LHS)
+
+	lhs, err := ra.walkNode(rule.LHS, true)
+	if err != nil {
+		return nil, err
+	}
+	ra.lhsRoot = lhs
+
+	for _, il := range rule.IfLets {
+		ev, err := ra.walkNode(il.Expr, true) // guards are assumed: LHS side
+		if err != nil {
+			return nil, err
+		}
+		pv, err := ra.walkNode(il.Pat, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := ra.ts.union(ev, pv); err != nil {
+			return nil, fmt.Errorf("%s: if-let pattern: %w", il.Pos, err)
+		}
+	}
+
+	rhs, err := ra.walkNode(rule.RHS, false)
+	if err != nil {
+		return nil, err
+	}
+	ra.rhsRoot = rhs
+
+	// The rewrite preserves the rule value: LHS and RHS roots share a type.
+	if err := ra.ts.union(lhs, rhs); err != nil {
+		return nil, fmt.Errorf("%s: rule sides: %w", rule.Pos, err)
+	}
+	return ra, nil
+}
+
+// walkNode assigns a slot to n (and descendants), instantiating specs for
+// applications. onLHS tracks which side's P/R sets the instance feeds.
+func (ra *ruleAnalysis) walkNode(n *isle.TermNode, onLHS bool) (tvar, error) {
+	switch n.Kind {
+	case isle.NWildcard:
+		s := ra.ts.fresh()
+		ra.nodeSlot[n] = s
+		return s, nil
+
+	case isle.NConst:
+		s := ra.ts.fresh()
+		ra.nodeSlot[n] = s
+		if m, ok := ra.v.Prog.Models[n.Type]; ok {
+			if err := ra.ts.applyMType(s, m); err != nil {
+				return 0, fmt.Errorf("%s: constant: %w", n.Pos, err)
+			}
+		}
+		return s, nil
+
+	case isle.NVar:
+		if s, ok := ra.varSlot[n.Name]; ok {
+			ra.nodeSlot[n] = s
+			return s, nil
+		}
+		s := ra.ts.fresh()
+		ra.varSlot[n.Name] = s
+		ra.nodeSlot[n] = s
+		if onLHS {
+			ra.lhsVars = append(ra.lhsVars, n.Name)
+		}
+		if m, ok := ra.v.Prog.Models[n.Type]; ok {
+			if err := ra.ts.applyMType(s, m); err != nil {
+				return 0, fmt.Errorf("%s: variable %s: %w", n.Pos, n.Name, err)
+			}
+		}
+		return s, nil
+
+	case isle.NLet:
+		for i := range n.Lets {
+			b := &n.Lets[i]
+			es, err := ra.walkNode(b.Expr, onLHS)
+			if err != nil {
+				return 0, err
+			}
+			if _, dup := ra.varSlot[b.Name]; dup {
+				return 0, fmt.Errorf("%s: let rebinds %q", n.Pos, b.Name)
+			}
+			ra.varSlot[b.Name] = es
+		}
+		bs, err := ra.walkNode(n.Body, onLHS)
+		if err != nil {
+			return 0, err
+		}
+		ra.nodeSlot[n] = bs
+		return bs, nil
+
+	case isle.NApply:
+		d := ra.v.Prog.Decls[n.Name]
+		if d == nil {
+			return 0, fmt.Errorf("%s: unknown term %q", n.Pos, n.Name)
+		}
+		res := ra.ts.fresh()
+		ra.nodeSlot[n] = res
+		if m, ok := ra.v.Prog.Models[d.Ret]; ok {
+			if err := ra.ts.applyMType(res, m); err != nil {
+				return 0, fmt.Errorf("%s: %s result: %w", n.Pos, n.Name, err)
+			}
+		}
+		argSlots := make([]tvar, len(n.Args))
+		for i, a := range n.Args {
+			as, err := ra.walkNode(a, onLHS)
+			if err != nil {
+				return 0, err
+			}
+			if m, ok := ra.v.Prog.Models[d.Params[i]]; ok {
+				if err := ra.ts.applyMType(as, m); err != nil {
+					return 0, fmt.Errorf("%s: %s argument %d: %w", n.Pos, n.Name, i, err)
+				}
+			}
+			argSlots[i] = as
+		}
+		sp := ra.v.Prog.Specs[n.Name]
+		if sp == nil {
+			return 0, fmt.Errorf("%s: no annotation (spec) for term %q", n.Pos, n.Name)
+		}
+		inst := &specInstance{
+			term:     n.Name,
+			spec:     sp,
+			onLHS:    onLHS,
+			node:     n,
+			env:      map[string]tvar{"result": res},
+			exprSlot: map[*spec.Expr]tvar{},
+			seq:      ra.seq,
+		}
+		ra.seq++
+		for i, name := range sp.Args {
+			inst.env[name] = argSlots[i]
+		}
+		ra.insts = append(ra.insts, inst)
+		for _, e := range sp.Provide {
+			if _, err := ra.typeSpecExpr(inst, e); err != nil {
+				return 0, err
+			}
+			ra.collectIntEq(inst, e)
+		}
+		for _, e := range sp.Require {
+			if _, err := ra.typeSpecExpr(inst, e); err != nil {
+				return 0, err
+			}
+		}
+		return res, nil
+
+	default:
+		return 0, fmt.Errorf("%s: unexpected node kind", n.Pos)
+	}
+}
+
+// collectIntEq records top-level equalities from provide clauses as pass-2
+// candidates; the pass-2 solver only acts on the ones whose operands turn
+// out to be integer-kinded. These pin type variables like `ty` to concrete
+// widths during monomorphization (e.g. has_type's (= ty (widthof arg))).
+func (ra *ruleAnalysis) collectIntEq(inst *specInstance, e *spec.Expr) {
+	if e.Kind == spec.ExprBinop && e.Op == "=" {
+		ra.deferred = append(ra.deferred, deferredCon{
+			kind: dIntEq, inst: inst, a: e.Args[0], b: e.Args[1],
+		})
+	}
+}
+
+// typeSpecExpr types an annotation expression within an instance,
+// implementing the structural constraints of the Fig. 2 judgements.
+func (ra *ruleAnalysis) typeSpecExpr(inst *specInstance, e *spec.Expr) (tvar, error) {
+	if s, ok := inst.exprSlot[e]; ok {
+		return s, nil
+	}
+	s, err := ra.typeSpecExprInner(inst, e)
+	if err != nil {
+		return 0, err
+	}
+	inst.exprSlot[e] = s
+	return s, nil
+}
+
+func (ra *ruleAnalysis) typeSpecExprInner(inst *specInstance, e *spec.Expr) (tvar, error) {
+	ts := ra.ts
+	errAt := func(err error) error {
+		if err == nil {
+			return nil
+		}
+		return fmt.Errorf("%s: in spec for %s: %w", e.Pos, inst.term, err)
+	}
+	sub := func(x *spec.Expr) (tvar, error) { return ra.typeSpecExpr(inst, x) }
+
+	switch e.Kind {
+	case spec.ExprVar:
+		if s, ok := inst.env[e.Name]; ok {
+			return s, nil
+		}
+		// Existential variable local to the annotation (a member of the
+		// paper's A sets); fresh slot and, later, a fresh SMT variable.
+		s := ts.fresh()
+		inst.env[e.Name] = s
+		return s, nil
+
+	case spec.ExprConst:
+		s := ts.fresh()
+		switch {
+		case e.IsBool:
+			return s, errAt(ts.setKind(s, kBool))
+		case e.BitWidth > 0:
+			return s, errAt(ts.setWidth(s, e.BitWidth))
+		default:
+			return s, nil // kind joined by context; defaults to Int
+		}
+
+	case spec.ExprUnop:
+		a, err := sub(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "!":
+			if err := ts.setKind(a, kBool); err != nil {
+				return 0, errAt(err)
+			}
+			s := ts.fresh()
+			return s, errAt(ts.setKind(s, kBool))
+		case "~":
+			if err := ts.setKind(a, kBV); err != nil {
+				return 0, errAt(err)
+			}
+			fallthrough
+		default: // "-" works at either kind
+			s := ts.fresh()
+			return s, errAt(ts.union(s, a))
+		}
+
+	case spec.ExprBinop:
+		a, err := sub(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		b, err := sub(e.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "=", "!=":
+			if err := ts.union(a, b); err != nil {
+				return 0, errAt(err)
+			}
+			s := ts.fresh()
+			return s, errAt(ts.setKind(s, kBool))
+		case "<", "<=", ">", ">=":
+			if err := ts.setKind(a, kInt); err != nil {
+				return 0, errAt(err)
+			}
+			if err := ts.setKind(b, kInt); err != nil {
+				return 0, errAt(err)
+			}
+			s := ts.fresh()
+			return s, errAt(ts.setKind(s, kBool))
+		case "ult", "ulte", "ugt", "ugte", "slt", "slte", "sgt", "sgte":
+			if err := ts.setKind(a, kBV); err != nil {
+				return 0, errAt(err)
+			}
+			if err := ts.union(a, b); err != nil {
+				return 0, errAt(err)
+			}
+			s := ts.fresh()
+			return s, errAt(ts.setKind(s, kBool))
+		case "+", "-", "*":
+			if err := ts.union(a, b); err != nil {
+				return 0, errAt(err)
+			}
+			s := ts.fresh()
+			return s, errAt(ts.union(s, a))
+		case "&", "|", "xor":
+			// Overloaded: bitwise on bitvectors, logical on booleans.
+			if err := ts.union(a, b); err != nil {
+				return 0, errAt(err)
+			}
+			s := ts.fresh()
+			return s, errAt(ts.union(s, a))
+		default: // bitvector-only binary operators
+			if err := ts.setKind(a, kBV); err != nil {
+				return 0, errAt(err)
+			}
+			if err := ts.union(a, b); err != nil {
+				return 0, errAt(err)
+			}
+			s := ts.fresh()
+			return s, errAt(ts.union(s, a))
+		}
+
+	case spec.ExprConv: // zeroext / signext / convto
+		wexp, err := sub(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if err := ts.setKind(wexp, kInt); err != nil {
+			return 0, errAt(err)
+		}
+		a, err := sub(e.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		if err := ts.setKind(a, kBV); err != nil {
+			return 0, errAt(err)
+		}
+		s := ts.fresh()
+		if err := ts.setKind(s, kBV); err != nil {
+			return 0, errAt(err)
+		}
+		// Pin immediately for literal widths; defer otherwise.
+		if e.Args[0].Kind == spec.ExprConst && !e.Args[0].IsBool && e.Args[0].BitWidth == 0 {
+			if err := ts.setWidth(s, int(e.Args[0].IntVal)); err != nil {
+				return 0, errAt(err)
+			}
+		} else {
+			ra.deferred = append(ra.deferred, deferredCon{
+				kind: dWidthIsValue, inst: inst, bv: s, expr: e.Args[0],
+			})
+		}
+		if e.Op != "convto" {
+			// zeroext/signext only widen; convto may also narrow.
+			ra.deferred = append(ra.deferred, deferredCon{
+				kind: dWidthGE, inst: inst, bv: s, bv2: a,
+			})
+		}
+		return s, nil
+
+	case spec.ExprExtract:
+		a, err := sub(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if err := ts.setKind(a, kBV); err != nil {
+			return 0, errAt(err)
+		}
+		ra.deferred = append(ra.deferred, deferredCon{
+			kind: dWidthAtLeast, inst: inst, bv: a, minW: e.Hi + 1,
+		})
+		s := ts.fresh()
+		return s, errAt(ts.setWidth(s, e.Hi-e.Lo+1))
+
+	case spec.ExprInt2BV:
+		wexp, err := sub(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if err := ts.setKind(wexp, kInt); err != nil {
+			return 0, errAt(err)
+		}
+		a, err := sub(e.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		if err := ts.setKind(a, kInt); err != nil {
+			return 0, errAt(err)
+		}
+		s := ts.fresh()
+		if err := ts.setKind(s, kBV); err != nil {
+			return 0, errAt(err)
+		}
+		if e.Args[0].Kind == spec.ExprConst && !e.Args[0].IsBool && e.Args[0].BitWidth == 0 {
+			if err := ts.setWidth(s, int(e.Args[0].IntVal)); err != nil {
+				return 0, errAt(err)
+			}
+		} else {
+			ra.deferred = append(ra.deferred, deferredCon{
+				kind: dWidthIsValue, inst: inst, bv: s, expr: e.Args[0],
+			})
+		}
+		return s, nil
+
+	case spec.ExprBV2Int:
+		a, err := sub(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if err := ts.setKind(a, kBV); err != nil {
+			return 0, errAt(err)
+		}
+		s := ts.fresh()
+		return s, errAt(ts.setKind(s, kInt))
+
+	case spec.ExprWidthOf:
+		a, err := sub(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if err := ts.setKind(a, kBV); err != nil {
+			return 0, errAt(err)
+		}
+		s := ts.fresh()
+		return s, errAt(ts.setKind(s, kInt))
+
+	case spec.ExprConcat:
+		var args []*spec.Expr
+		for _, x := range e.Args {
+			a, err := sub(x)
+			if err != nil {
+				return 0, err
+			}
+			if err := ts.setKind(a, kBV); err != nil {
+				return 0, errAt(err)
+			}
+			args = append(args, x)
+		}
+		s := ts.fresh()
+		if err := ts.setKind(s, kBV); err != nil {
+			return 0, errAt(err)
+		}
+		ra.deferred = append(ra.deferred, deferredCon{
+			kind: dWidthSum, inst: inst, bv: s, args: args,
+		})
+		return s, nil
+
+	case spec.ExprIf:
+		c, err := sub(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if err := ts.setKind(c, kBool); err != nil {
+			return 0, errAt(err)
+		}
+		t, err := sub(e.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		f, err := sub(e.Args[2])
+		if err != nil {
+			return 0, err
+		}
+		if err := ts.union(t, f); err != nil {
+			return 0, errAt(err)
+		}
+		s := ts.fresh()
+		return s, errAt(ts.union(s, t))
+
+	case spec.ExprSwitch:
+		sc, err := sub(e.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		s := ts.fresh()
+		for i, c := range e.Cases {
+			m, err := sub(c[0])
+			if err != nil {
+				return 0, err
+			}
+			if err := ts.union(sc, m); err != nil {
+				return 0, errAt(err)
+			}
+			body, err := sub(c[1])
+			if err != nil {
+				return 0, err
+			}
+			if i == 0 {
+				if err := ts.union(s, body); err != nil {
+					return 0, errAt(err)
+				}
+			} else if err := ts.union(s, body); err != nil {
+				return 0, errAt(err)
+			}
+		}
+		return s, nil
+
+	case spec.ExprEnc:
+		switch e.Op {
+		case "subs":
+			// (subs w a b): NZCV flags of the w-bit subtraction a-b.
+			wexp, err := sub(e.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			if err := ts.setKind(wexp, kInt); err != nil {
+				return 0, errAt(err)
+			}
+			a, err := sub(e.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			if err := ts.setKind(a, kBV); err != nil {
+				return 0, errAt(err)
+			}
+			b, err := sub(e.Args[2])
+			if err != nil {
+				return 0, err
+			}
+			if err := ts.union(a, b); err != nil {
+				return 0, errAt(err)
+			}
+			s := ts.fresh()
+			return s, errAt(ts.setWidth(s, 4))
+		default: // cls / clz / rev / popcnt: width-preserving
+			a, err := sub(e.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			if err := ts.setKind(a, kBV); err != nil {
+				return 0, errAt(err)
+			}
+			s := ts.fresh()
+			return s, errAt(ts.union(s, a))
+		}
+
+	default:
+		return 0, fmt.Errorf("%s: unsupported annotation expression", e.Pos)
+	}
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crocus/internal/isle"
+	"crocus/internal/smt"
+)
+
+// testPrelude is a miniature version of the corpus prelude, built around
+// the paper's running examples (§2.3, §3.1).
+const testPrelude = `
+(type Inst (primitive Inst))
+(type InstOutput (primitive InstOutput))
+(type Value (primitive Value))
+(type Reg (primitive Reg))
+(type Type (primitive Type))
+
+(model Type Int)
+(model Value (bv))
+(model Inst (bv))
+(model InstOutput (bv))
+(model Reg (bv 64))
+
+(decl lower (Inst) InstOutput)
+(spec (lower arg) (provide (= result arg)))
+
+(decl put_in_reg (Value) Reg)
+(spec (put_in_reg arg) (provide (= result (convto 64 arg))))
+(convert Value Reg put_in_reg)
+
+(decl output_reg (Reg) InstOutput)
+(spec (output_reg arg) (provide (= result (convto (widthof result) arg))))
+(convert Reg InstOutput output_reg)
+
+(decl has_type (Type Inst) Inst)
+(spec (has_type ty arg) (provide (= result arg) (= ty (widthof arg))))
+
+(decl fits_in_16 (Type) Type)
+(spec (fits_in_16 arg) (provide (= result arg)) (require (<= arg 16)))
+
+(form bin_8_to_64
+	((args (bv 8) (bv 8)) (ret (bv 8)))
+	((args (bv 16) (bv 16)) (ret (bv 16)))
+	((args (bv 32) (bv 32)) (ret (bv 32)))
+	((args (bv 64) (bv 64)) (ret (bv 64))))
+
+(decl iadd (Value Value) Inst)
+(spec (iadd x y) (provide (= result (+ x y))))
+(instantiate iadd bin_8_to_64)
+
+(decl rotr (Value Value) Inst)
+(spec (rotr x y) (provide (= result (rotr x y))))
+(instantiate rotr bin_8_to_64)
+
+(decl a64_add (Type Reg Reg) Reg)
+(spec (a64_add ty x y) (provide (= result (+ x y))))
+
+;; The 64-bit-only ROR of the paper's broken first attempt (§2.3).
+(decl a64_rotr_64 (Reg Reg) Reg)
+(spec (a64_rotr_64 x y) (provide (= result (rotr x y))))
+
+;; An 8-bit rotate helper with correct narrow semantics.
+(decl small_rotr8 (Reg Reg) Reg)
+(spec (small_rotr8 x y)
+	(provide (= result
+		(zeroext 64 (rotr (extract 7 0 x) (extract 7 0 y))))))
+`
+
+func buildVerifier(t *testing.T, rules string, opts Options) *Verifier {
+	t.Helper()
+	p := isle.NewProgram()
+	if err := p.ParseFile("prelude.isle", testPrelude); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ParseFile("rules.isle", rules); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Typecheck(); err != nil {
+		t.Fatal(err)
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	return New(p, opts)
+}
+
+func verifyOnly(t *testing.T, v *Verifier, name string) *RuleResult {
+	t.Helper()
+	for _, r := range v.Prog.Rules {
+		if r.Name == name {
+			rr, err := v.VerifyRule(r)
+			if err != nil {
+				t.Fatalf("VerifyRule(%s): %v", name, err)
+			}
+			return rr
+		}
+	}
+	t.Fatalf("no rule named %s", name)
+	return nil
+}
+
+func outcomes(rr *RuleResult) []Outcome {
+	out := make([]Outcome, len(rr.Insts))
+	for i, io := range rr.Insts {
+		out[i] = io.Outcome
+	}
+	return out
+}
+
+func TestVerifyIAddSuccessAllWidths(t *testing.T) {
+	v := buildVerifier(t, `
+		(rule iadd_base
+			(lower (has_type ty (iadd x y)))
+			(a64_add ty x y))`, Options{})
+	rr := verifyOnly(t, v, "iadd_base")
+	if len(rr.Insts) != 4 {
+		t.Fatalf("instantiations = %d", len(rr.Insts))
+	}
+	for i, o := range outcomes(rr) {
+		if o != OutcomeSuccess {
+			t.Errorf("inst %d (%s): %v", i, rr.Insts[i].Sig, o)
+		}
+	}
+	if !rr.AllSuccess() || rr.Outcome() != OutcomeSuccess {
+		t.Fatal("aggregate should be success")
+	}
+}
+
+// TestVerifyBrokenRotr reproduces §2.3: lowering every rotr to the 64-bit
+// ROR is correct only at 64 bits and broken for narrow values.
+func TestVerifyBrokenRotr(t *testing.T) {
+	v := buildVerifier(t, `
+		(rule rotr_broken
+			(lower (rotr x y))
+			(a64_rotr_64 x y))`, Options{})
+	rr := verifyOnly(t, v, "rotr_broken")
+	got := outcomes(rr)
+	want := []Outcome{OutcomeFailure, OutcomeFailure, OutcomeFailure, OutcomeSuccess}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("width %d: got %v, want %v", []int{8, 16, 32, 64}[i], got[i], want[i])
+		}
+	}
+	// The narrow failures must come with counterexamples.
+	cex := rr.Insts[0].Counterexample
+	if cex == nil {
+		t.Fatal("missing counterexample")
+	}
+	if _, ok := cex.Inputs["x"]; !ok {
+		t.Fatalf("counterexample inputs = %v", cex.Inputs)
+	}
+	if cex.LHSValue == cex.RHSValue {
+		t.Fatal("counterexample values should differ")
+	}
+	if !strings.Contains(cex.Rendered, "=>") || !strings.Contains(cex.Rendered, "[x|") {
+		t.Fatalf("rendered counterexample:\n%s", cex.Rendered)
+	}
+}
+
+// TestVerifyCounterexampleIsGenuine replays the broken-rotr counterexample
+// through the evaluator: the model must really distinguish the two sides.
+func TestVerifyCounterexampleIsGenuine(t *testing.T) {
+	v := buildVerifier(t, `
+		(rule rotr_broken (lower (rotr x y)) (a64_rotr_64 x y))`, Options{})
+	rr := verifyOnly(t, v, "rotr_broken")
+	cex := rr.Insts[0].Counterexample
+	x := cex.Inputs["x"]
+	y := cex.Inputs["y"]
+	// LHS semantics at 8 bits.
+	b := smt.NewBuilder()
+	lhs := b.BVRotr(b.BVConst(x.Bits, 8), b.BVConst(y.Bits, 8))
+	lv, _ := b.BVVal(lhs)
+	if lv != cex.LHSValue.Bits {
+		t.Fatalf("LHS model value %#x, recomputed %#x", cex.LHSValue.Bits, lv)
+	}
+}
+
+// TestVerifyFitsIn16Inapplicable reproduces the §3.1 partiality story:
+// a fits_in_16-guarded rule is inapplicable at 32 and 64 bits.
+func TestVerifyFitsIn16Inapplicable(t *testing.T) {
+	v := buildVerifier(t, `
+		(rule narrow_add
+			(lower (has_type (fits_in_16 ty) (iadd x y)))
+			(a64_add ty x y))`, Options{})
+	rr := verifyOnly(t, v, "narrow_add")
+	got := outcomes(rr)
+	want := []Outcome{OutcomeSuccess, OutcomeSuccess, OutcomeInapplicable, OutcomeInapplicable}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("width %d: got %v, want %v", []int{8, 16, 32, 64}[i], got[i], want[i])
+		}
+	}
+}
+
+// TestVerifyLiteralTypePattern checks constant Type arguments: a rule
+// matching only I8 via (has_type 8 ...) is inapplicable elsewhere.
+func TestVerifyLiteralTypePattern(t *testing.T) {
+	v := buildVerifier(t, `
+		(rule rotr8_only
+			(lower (has_type 8 (rotr x y)))
+			(small_rotr8 x y))`, Options{})
+	rr := verifyOnly(t, v, "rotr8_only")
+	got := outcomes(rr)
+	want := []Outcome{OutcomeSuccess, OutcomeInapplicable, OutcomeInapplicable, OutcomeInapplicable}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("width %d: got %v, want %v", []int{8, 16, 32, 64}[i], got[i], want[i])
+		}
+	}
+}
+
+// TestVerifyRequireCheckedOnRHS: a require on an RHS term must be proven,
+// not assumed (§3.1.1). small_rotr-style precondition: using a helper that
+// requires zero-extended inputs without zero-extending must fail.
+func TestVerifyRequireCheckedOnRHS(t *testing.T) {
+	extra := `
+		(decl needs_zext8 (Reg) Reg)
+		(spec (needs_zext8 x)
+			(provide (= result x))
+			(require (= (extract 63 8 x) #x00000000000000)))
+		(rule no_zext
+			(lower (has_type 8 (iadd x y)))
+			(needs_zext8 (a64_add 8 x y)))`
+	v := buildVerifier(t, extra, Options{})
+	rr := verifyOnly(t, v, "no_zext")
+	if rr.Insts[0].Outcome != OutcomeFailure {
+		t.Fatalf("outcome = %v, want failure (RHS require unproven)", rr.Insts[0].Outcome)
+	}
+}
+
+// TestVerifyDistinctModels reproduces the §4.4.2 signal: a rule whose
+// guard admits exactly one input model is flagged by the distinct-models
+// check.
+func TestVerifyDistinctModels(t *testing.T) {
+	extra := `
+		(decl only_zero (Value) Value)
+		(spec (only_zero x)
+			(provide (= result x))
+			(require (= x (convto (widthof x) #x0000000000000000))))
+		(rule zero_add
+			(lower (has_type ty (iadd (only_zero x) y)))
+			(a64_add ty y y))`
+	v := buildVerifier(t, extra, Options{DistinctModels: true})
+	rr := verifyOnly(t, v, "zero_add")
+	io := rr.Insts[0]
+	if io.DistinctInputs == nil {
+		t.Fatal("distinctness check did not run")
+	}
+	// x is pinned to zero but y is free: the check must still find a
+	// second model overall... The check requires EVERY input to differ, so
+	// with x pinned it reports non-distinct.
+	if *io.DistinctInputs {
+		t.Fatal("expected the single-model warning (x can only be zero)")
+	}
+
+	// A normal rule has many models.
+	v2 := buildVerifier(t, `
+		(rule iadd_base (lower (has_type ty (iadd x y))) (a64_add ty x y))`,
+		Options{DistinctModels: true})
+	rr2 := verifyOnly(t, v2, "iadd_base")
+	if rr2.Insts[0].DistinctInputs == nil || !*rr2.Insts[0].DistinctInputs {
+		t.Fatal("iadd should have distinct models")
+	}
+}
+
+// TestVerifyIfLetGuard checks if-let value constraints: a rule guarded on
+// a constant comparison outcome.
+func TestVerifyIfLetGuard(t *testing.T) {
+	extra := `
+		(type u64 (primitive u64))
+		(model u64 (bv 64))
+		(decl u64_eq_total (u64 u64) u64)
+		(spec (u64_eq_total x y)
+			(provide (= result (if (= x y) #x0000000000000001 #x0000000000000000))))
+		(rule misguarded
+			(lower (has_type ty (iadd x y)))
+			(if (u64_eq_total 1 2))
+			(a64_add ty x x))
+		(rule guarded
+			(lower (has_type ty (iadd x y)))
+			(if-let #x0000000000000001 (u64_eq_total 1 2))
+			(a64_add ty x x))`
+	v := buildVerifier(t, extra, Options{})
+	// The plain `if` with a total guard is vacuous (the §4.4.4 bug
+	// pattern): the rule is considered matching, and x+x != x+y fails.
+	rr := verifyOnly(t, v, "misguarded")
+	if rr.Insts[0].Outcome != OutcomeFailure {
+		t.Fatalf("misguarded outcome = %v, want failure", rr.Insts[0].Outcome)
+	}
+	// if-let on the result value makes the guard real: 1 != 2 can never
+	// produce 1, so the rule never matches.
+	rr = verifyOnly(t, v, "guarded")
+	if rr.Insts[0].Outcome != OutcomeInapplicable {
+		t.Fatalf("guarded outcome = %v, want inapplicable", rr.Insts[0].Outcome)
+	}
+}
+
+// TestVerifyTimeout forces an Unknown outcome via a tiny propagation
+// budget on a multiplication rule.
+func TestVerifyTimeout(t *testing.T) {
+	extra := `
+		(decl imul (Value Value) Inst)
+		(spec (imul x y) (provide (= result (* x y))))
+		(instantiate imul ((args (bv 64) (bv 64)) (ret (bv 64))))
+		(decl a64_madd_hard (Type Reg Reg) Reg)
+		(spec (a64_madd_hard ty x y) (provide (= result (* (+ x y) (+ y x)))))
+		(rule hard_mul
+			(lower (has_type ty (imul x y)))
+			(a64_madd_hard ty x y))`
+	v := buildVerifier(t, extra, Options{PropagationBudget: 2000})
+	rr := verifyOnly(t, v, "hard_mul")
+	if rr.Insts[0].Outcome != OutcomeTimeout {
+		t.Fatalf("outcome = %v, want timeout", rr.Insts[0].Outcome)
+	}
+}
+
+// TestVerifyCustomVC: a rule that is wrong under strict equality but right
+// under a custom condition (§3.2.2's FlagsAndCC story in miniature).
+func TestVerifyCustomVC(t *testing.T) {
+	extra := `
+		(decl double_it (Type Reg Reg) Reg)
+		(spec (double_it ty x y) (provide (= result (+ (+ x y) (+ x y)))))
+		(rule doubled
+			(lower (has_type 64 (iadd x y)))
+			(double_it 64 x y))`
+	v := buildVerifier(t, extra, Options{})
+	rr := verifyOnly(t, v, "doubled")
+	if rr.Insts[3].Outcome != OutcomeFailure {
+		t.Fatalf("strict equality: %v, want failure", rr.Insts[3].Outcome)
+	}
+	// Custom condition: RHS = 2*LHS.
+	v.Opts.Custom = map[string]*CustomVC{
+		"doubled": {
+			Condition: func(ctx *VCContext) (smt.TermID, error) {
+				two := ctx.B.BVConst(2, 64)
+				return ctx.B.Eq(ctx.RHSResult, ctx.B.BVMul(two, ctx.LHSResult)), nil
+			},
+		},
+	}
+	rr = verifyOnly(t, v, "doubled")
+	if rr.Insts[3].Outcome != OutcomeSuccess {
+		t.Fatalf("custom VC: %v, want success", rr.Insts[3].Outcome)
+	}
+}
+
+// TestVerifySwitchExhaustivenessChecked: a switch on the RHS whose cases
+// do not cover the scrutinee is a verification failure (§3.1, "switch also
+// adds a verification condition that enforces that its branches are
+// exhaustive").
+func TestVerifySwitchExhaustiveness(t *testing.T) {
+	extra := `
+		(decl add_3264 (Type Reg Reg) Reg)
+		(spec (add_3264 ty x y)
+			(provide (= result (switch ty
+				(32 (+ x y))
+				(64 (+ x y))))))
+		(rule switch_add
+			(lower (has_type ty (iadd x y)))
+			(add_3264 ty x y))`
+	v := buildVerifier(t, extra, Options{})
+	rr := verifyOnly(t, v, "switch_add")
+	got := outcomes(rr)
+	want := []Outcome{OutcomeFailure, OutcomeFailure, OutcomeSuccess, OutcomeSuccess}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("width %d: got %v, want %v", []int{8, 16, 32, 64}[i], got[i], want[i])
+		}
+	}
+}
+
+// TestVerifyLetAndNegation verifies the paper's rotl-via-neg pattern at a
+// fixed width: rotl(x,y) = rotr(x, 0-y) (§2.3).
+func TestVerifyLetAndNegation(t *testing.T) {
+	extra := `
+		(decl rotl (Value Value) Inst)
+		(spec (rotl x y) (provide (= result (rotl x y))))
+		(instantiate rotl ((args (bv 64) (bv 64)) (ret (bv 64))))
+		(decl a64_sub (Type Reg Reg) Reg)
+		(spec (a64_sub ty x y) (provide (= result (- x y))))
+		(decl zero () Reg)
+		(spec (zero) (provide (= result #x0000000000000000)))
+		(rule rotl64
+			(lower (has_type 64 (rotl x y)))
+			(let ((neg_y Reg (a64_sub 64 (zero) y)))
+				(a64_rotr_64 x neg_y)))`
+	v := buildVerifier(t, extra, Options{})
+	rr := verifyOnly(t, v, "rotl64")
+	if rr.Insts[0].Outcome != OutcomeSuccess {
+		cex := ""
+		if rr.Insts[0].Counterexample != nil {
+			cex = rr.Insts[0].Counterexample.Rendered
+		}
+		t.Fatalf("rotl64 = %v\n%s", rr.Insts[0].Outcome, cex)
+	}
+}
+
+func TestVerifyAllAndOutcomeStrings(t *testing.T) {
+	v := buildVerifier(t, `
+		(rule iadd_base (lower (has_type ty (iadd x y))) (a64_add ty x y))`, Options{})
+	rrs, err := v.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rrs) != 1 {
+		t.Fatalf("rules = %d", len(rrs))
+	}
+	for _, s := range []string{OutcomeSuccess.String(), OutcomeFailure.String(), OutcomeInapplicable.String(), OutcomeTimeout.String()} {
+		if s == "" {
+			t.Fatal("empty outcome string")
+		}
+	}
+	if len(v.SortedRuleNames()) != 1 {
+		t.Fatal("sorted names")
+	}
+}
+
+// TestVerifyAllParallelMatchesSequential: concurrent verification must
+// produce the same outcomes in the same order as sequential.
+func TestVerifyAllParallelMatchesSequential(t *testing.T) {
+	src := `
+		(rule r1 (lower (has_type ty (iadd x y))) (a64_add ty x y))
+		(rule r2 (lower (rotr x y)) (a64_rotr_64 x y))
+		(rule r3 (lower (has_type (fits_in_16 ty) (iadd x y))) (a64_add ty x y))`
+	seq := buildVerifier(t, src, Options{})
+	par := buildVerifier(t, src, Options{Parallelism: 4})
+	srs, err := seq.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prs, err := par.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srs) != len(prs) {
+		t.Fatalf("lengths differ: %d vs %d", len(srs), len(prs))
+	}
+	for i := range srs {
+		if srs[i].Rule.Name != prs[i].Rule.Name {
+			t.Fatalf("order differs at %d: %s vs %s", i, srs[i].Rule.Name, prs[i].Rule.Name)
+		}
+		if srs[i].Outcome() != prs[i].Outcome() {
+			t.Fatalf("%s: %v vs %v", srs[i].Rule.Name, srs[i].Outcome(), prs[i].Outcome())
+		}
+		for j := range srs[i].Insts {
+			if srs[i].Insts[j].Outcome != prs[i].Insts[j].Outcome {
+				t.Fatalf("%s inst %d: %v vs %v", srs[i].Rule.Name, j,
+					srs[i].Insts[j].Outcome, prs[i].Insts[j].Outcome)
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crocus/internal/isle"
+	"crocus/internal/smt"
+)
+
+// buildProgram parses without the shared prelude, for malformed-input
+// scenarios.
+func buildProgram(t *testing.T, srcs ...string) *isle.Program {
+	t.Helper()
+	p := isle.NewProgram()
+	for i, src := range srcs {
+		if err := p.ParseFile("t.isle", src); err != nil {
+			t.Fatalf("parse %d: %v", i, err)
+		}
+	}
+	if err := p.Typecheck(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestMissingAnnotationIsError: verifying a rule whose term lacks a spec
+// must produce a diagnostic naming the term (the gradual-annotation
+// workflow of §3.1 relies on this).
+func TestMissingAnnotationIsError(t *testing.T) {
+	p := buildProgram(t, `
+		(type Inst (primitive Inst))
+		(type InstOutput (primitive InstOutput))
+		(type Value (primitive Value))
+		(model Value (bv))
+		(model Inst (bv))
+		(model InstOutput (bv))
+		(decl lower (Inst) InstOutput)
+		(spec (lower arg) (provide (= result arg)))
+		(decl mystery (Value Value) Inst)
+		(rule r (lower (mystery x y)) (lower (mystery x x)))`)
+	v := New(p, Options{Timeout: time.Second})
+	_, err := v.VerifyRule(p.Rules[0])
+	if err == nil || !strings.Contains(err.Error(), "mystery") {
+		t.Fatalf("err = %v, want missing-spec diagnostic", err)
+	}
+}
+
+// TestKindConflictInAnnotation: using an integer-typed value as a
+// bitvector operand must fail typing, not crash.
+func TestKindConflictInAnnotation(t *testing.T) {
+	p := buildProgram(t, `
+		(type Inst (primitive Inst))
+		(type InstOutput (primitive InstOutput))
+		(type Type (primitive Type))
+		(model Type Int)
+		(model Inst (bv))
+		(model InstOutput (bv))
+		(decl lower (Inst) InstOutput)
+		(spec (lower arg) (provide (= result arg)))
+		(decl weird (Type) Inst)
+		(spec (weird ty) (provide (= result (rotl ty ty))))
+		(rule r (lower (weird x)) (lower (weird x)))`)
+	v := New(p, Options{Timeout: time.Second})
+	rr, err := v.VerifyRule(p.Rules[0])
+	// Either a typing diagnostic or inapplicability is acceptable; a
+	// success would mean the conflict was silently ignored.
+	if err == nil && rr.Outcome() == OutcomeSuccess {
+		t.Fatalf("kind conflict not detected: %v", rr.Outcome())
+	}
+}
+
+// TestInstantiationArityMismatch is a hard error (malformed corpus).
+func TestInstantiationArityMismatch(t *testing.T) {
+	v := buildVerifier(t, `
+		(rule r (lower (iadd x y)) (a64_add 64 x y))`, Options{})
+	bad := &isle.Sig{
+		Args: []isle.MType{{Kind: isle.MBV, Width: 8}},
+		Ret:  isle.MType{Kind: isle.MBV, Width: 8},
+	}
+	if _, err := v.VerifyInstantiation(v.Prog.Rules[0], bad); err == nil {
+		t.Fatal("expected arity-mismatch error")
+	}
+}
+
+// TestCustomAssumptions: Eq. 3's A_n — extra assumptions can make an
+// otherwise-failing rule verify (the paper uses this to encode priority
+// shadowing).
+func TestCustomAssumptions(t *testing.T) {
+	src := `
+		(rule half_right
+			(lower (has_type 64 (iadd x y)))
+			(a64_add 64 x (a64_add 64 y y)))`
+	v := buildVerifier(t, src, Options{})
+	rr := verifyOnly(t, v, "half_right")
+	if rr.Insts[3].Outcome != OutcomeFailure {
+		t.Fatalf("unassumed: %v", rr.Insts[3].Outcome)
+	}
+	// Assume y = 0: then x + (y+y) = x + y.
+	v.Opts.Custom = map[string]*CustomVC{
+		"half_right": {
+			Assumptions: func(ctx *VCContext) ([]smt.TermID, error) {
+				y, ok := ctx.Var("y")
+				if !ok {
+					t.Fatal("no variable y in context")
+				}
+				return []smt.TermID{ctx.B.Eq(y, ctx.B.BVConst(0, 64))}, nil
+			},
+		},
+	}
+	rr = verifyOnly(t, v, "half_right")
+	if rr.Insts[3].Outcome != OutcomeSuccess {
+		t.Fatalf("assumed y=0: %v", rr.Insts[3].Outcome)
+	}
+}
+
+// TestInterpretUnknownVariable and width-mismatch handling.
+func TestInterpretErrors(t *testing.T) {
+	v := buildVerifier(t, `
+		(rule r (lower (has_type ty (iadd x y))) (a64_add ty x y))`, Options{})
+	rule := v.Prog.Rules[0]
+	sigs := v.Sigs(rule)
+	if _, err := v.Interpret(rule, sigs[0], map[string]smt.Value{
+		"zz": smt.BVValue(1, 8),
+	}); err == nil {
+		t.Fatal("expected unknown-variable error")
+	}
+	// A value at the wrong width for the chosen instantiation does not
+	// match that assignment (and there is no other): no match, no error.
+	res, err := v.Interpret(rule, sigs[0], map[string]smt.Value{
+		"x": smt.BVValue(1, 16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches {
+		t.Fatal("16-bit input cannot match the 8-bit instantiation")
+	}
+}
+
+// TestInterpretIntInputRejected: integer-typed variables are chosen by
+// the instantiation, not by input values.
+func TestInterpretIntInputRejected(t *testing.T) {
+	v := buildVerifier(t, `
+		(rule r (lower (has_type ty (iadd x y))) (a64_add ty x y))`, Options{})
+	rule := v.Prog.Rules[0]
+	if _, err := v.Interpret(rule, v.Sigs(rule)[0], map[string]smt.Value{
+		"ty": smt.IntValue(8),
+	}); err == nil {
+		t.Fatal("expected integer-variable rejection")
+	}
+}
+
+// TestCounterexampleRendersLets: the renderer must handle let bindings
+// and wildcards.
+func TestCounterexampleRendersLets(t *testing.T) {
+	src := `
+		(rule letbad
+			(lower (has_type 64 (iadd x _)))
+			(let ((tmp Reg (a64_add 64 x x)))
+				(a64_add 64 tmp tmp)))`
+	v := buildVerifier(t, src, Options{})
+	rr := verifyOnly(t, v, "letbad")
+	if rr.Insts[3].Outcome != OutcomeFailure {
+		t.Fatalf("outcome = %v", rr.Insts[3].Outcome)
+	}
+	rendered := rr.Insts[3].Counterexample.Rendered
+	if !strings.Contains(rendered, "(let ((tmp Reg") || !strings.Contains(rendered, "_") {
+		t.Fatalf("rendered:\n%s", rendered)
+	}
+}
+
+// TestSigsForUninstantiatedRule: rules without an instantiated root get
+// the single unconstrained instantiation.
+func TestSigsForUninstantiatedRule(t *testing.T) {
+	p := buildProgram(t, `
+		(type Value (primitive Value))
+		(model Value (bv))
+		(decl simplify (Value) Value)
+		(spec (simplify arg) (provide (= result arg)))
+		(decl noop (Value) Value)
+		(spec (noop x) (provide (= result x)))
+		(rule r (simplify (noop x)) x)`)
+	v := New(p, Options{Timeout: 5 * time.Second})
+	sigs := v.Sigs(p.Rules[0])
+	if len(sigs) != 1 || sigs[0] != nil {
+		t.Fatalf("sigs = %v", sigs)
+	}
+	rr, err := v.VerifyRule(p.Rules[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One unconstrained instantiation, width enumerated: identity holds.
+	if rr.Outcome() != OutcomeSuccess {
+		t.Fatalf("outcome = %v", rr.Outcome())
+	}
+	if rr.Insts[0].Assignments < 4 {
+		t.Fatalf("expected width enumeration, got %d assignments", rr.Insts[0].Assignments)
+	}
+}
+
+// TestRuleResultAggregation covers the outcome-ordering logic.
+func TestRuleResultAggregation(t *testing.T) {
+	mk := func(outs ...Outcome) *RuleResult {
+		rr := &RuleResult{Rule: &isle.Rule{Name: "x"}}
+		for _, o := range outs {
+			rr.Insts = append(rr.Insts, InstOutcome{Outcome: o})
+		}
+		return rr
+	}
+	if mk(OutcomeSuccess, OutcomeFailure).Outcome() != OutcomeFailure {
+		t.Fatal("failure dominates")
+	}
+	if mk(OutcomeSuccess, OutcomeTimeout).Outcome() != OutcomeTimeout {
+		t.Fatal("timeout beats success")
+	}
+	if mk(OutcomeInapplicable, OutcomeInapplicable).Outcome() != OutcomeInapplicable {
+		t.Fatal("all-inapplicable")
+	}
+	if mk(OutcomeInapplicable, OutcomeSuccess).Outcome() != OutcomeSuccess {
+		t.Fatal("success with inapplicable")
+	}
+	if mk(OutcomeSuccess, OutcomeTimeout).AllSuccess() {
+		t.Fatal("AllSuccess with a timeout")
+	}
+	if mk(OutcomeInapplicable).AllSuccess() {
+		t.Fatal("AllSuccess needs at least one success")
+	}
+}

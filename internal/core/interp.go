@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"crocus/internal/isle"
+	"crocus/internal/smt"
+)
+
+// InterpResult is the outcome of concretely executing a rule on specific
+// inputs (the paper's interpreter mode, §3.3: "Crocus can also test rules
+// against specific concrete inputs ... allowing developers to test their
+// annotations against their expectations").
+type InterpResult struct {
+	// Matches reports whether the rule's preconditions admit the inputs.
+	Matches bool
+	// LHSValue/RHSValue are the two sides' values when Matches.
+	LHSValue smt.Value
+	RHSValue smt.Value
+	// Equal reports whether the sides agree (on the rule's result width).
+	Equal bool
+}
+
+// Interpret concretely runs a rule at one type instantiation with the
+// given inputs (keyed by the rule's LHS variable names). Variables not
+// supplied are left free: the result then reflects some admissible
+// completion, which is still useful for probing annotations.
+func (v *Verifier) Interpret(rule *isle.Rule, sig *isle.Sig, inputs map[string]smt.Value) (*InterpResult, error) {
+	ra, assigns, err := v.monomorphize(rule, sig)
+	if err != nil {
+		return nil, err
+	}
+	if len(assigns) == 0 {
+		return &InterpResult{Matches: false}, nil
+	}
+	for _, a := range assigns {
+		el, err := v.elaborate(ra, a)
+		if err != nil {
+			return nil, err
+		}
+		b := el.b
+		asserts := make([]smt.TermID, 0, len(el.pLHS)+len(el.rLHS)+len(el.pRHS)+len(inputs))
+		asserts = append(asserts, el.pLHS...)
+		asserts = append(asserts, el.rLHS...)
+		asserts = append(asserts, el.pRHS...)
+		ok := true
+		for name, val := range inputs {
+			t, bound := el.varVal[name]
+			if !bound {
+				return nil, fmt.Errorf("rule %s has no variable %q", rule.Name, name)
+			}
+			sort := b.SortOf(t)
+			if sort.Kind != val.Sort.Kind || sort.Width != val.Sort.Width {
+				ok = false // this assignment types the variable differently
+				break
+			}
+			switch sort.Kind {
+			case smt.KindBV:
+				asserts = append(asserts, b.Eq(t, b.BVConst(val.Bits, sort.Width)))
+			case smt.KindBool:
+				asserts = append(asserts, b.Eq(t, b.BoolConst(val.Bits == 1)))
+			default:
+				return nil, fmt.Errorf("variable %q is integer-typed; pick the instantiation instead", name)
+			}
+		}
+		if !ok {
+			continue
+		}
+		res, err := smt.Check(b, asserts, v.solverConfig())
+		if err != nil {
+			return nil, err
+		}
+		if res.Status != smt.SatRes {
+			continue // preconditions reject these inputs at this assignment
+		}
+		env := res.Model.Env()
+		lv, err := b.Eval(el.LHSResult, env)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := b.Eval(el.RHSResult, env)
+		if err != nil {
+			return nil, err
+		}
+		return &InterpResult{
+			Matches:  true,
+			LHSValue: lv,
+			RHSValue: rv,
+			Equal:    lv == rv,
+		}, nil
+	}
+	return &InterpResult{Matches: false}, nil
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"crocus/internal/isle"
+	"crocus/internal/smt"
+)
+
+// Overlap checking — the rule-priority reasoning the paper lists as
+// future work (§3.3: "Support for verifying properties over multiple
+// rules (e.g., reasoning about rule priorities) is future work", §6).
+//
+// Two rules with the same left-hand-side root overlap when some input
+// matches both. Overlap is fine when the rules carry different priorities
+// (ISLE picks the higher one deterministically); same-priority overlap is
+// an ambiguity: which rule fires depends on internal ordering, so a
+// semantic difference between the two right-hand sides becomes a latent
+// bug. The checker unifies the two patterns structurally, conjoins both
+// sides' preconditions over the shared subject, and asks the solver
+// whether a common match exists.
+//
+// Note that an overlap between two rules that BOTH verified is benign by
+// construction: each right-hand side is proven equal to the same
+// left-hand-side semantics, so they agree on every common input. Overlap
+// ambiguity is therefore most valuable exactly where verification is
+// incomplete (timeouts, unannotated rules).
+
+// OverlapKind classifies a rule-pair relationship.
+type OverlapKind int
+
+// Overlap classifications.
+const (
+	// OverlapNone: no input matches both rules.
+	OverlapNone OverlapKind = iota
+	// OverlapPrioritized: inputs match both, and distinct priorities
+	// disambiguate.
+	OverlapPrioritized
+	// OverlapAmbiguous: inputs match both at the SAME priority.
+	OverlapAmbiguous
+	// OverlapUnknown: the solver exhausted its budget.
+	OverlapUnknown
+)
+
+func (k OverlapKind) String() string {
+	switch k {
+	case OverlapNone:
+		return "none"
+	case OverlapPrioritized:
+		return "prioritized"
+	case OverlapAmbiguous:
+		return "AMBIGUOUS"
+	default:
+		return "unknown"
+	}
+}
+
+// OverlapResult reports the relationship of one rule pair.
+type OverlapResult struct {
+	RuleA, RuleB string
+	Kind         OverlapKind
+	// Witness holds a common matching input (variable values of rule A)
+	// when an overlap was found.
+	Witness map[string]smt.Value
+}
+
+// CheckOverlap decides whether two rules can match a common input. Both
+// rules must share their LHS root term (e.g. both lower rules).
+func (v *Verifier) CheckOverlap(a, b *isle.Rule) (*OverlapResult, error) {
+	res := &OverlapResult{RuleA: a.Name, RuleB: b.Name, Kind: OverlapNone}
+	if a.LHS.Name != b.LHS.Name {
+		return res, nil
+	}
+	// Rename rule B's variables so the shared analysis cannot conflate
+	// bindings across rules.
+	bLHS := renameVars(b.LHS, "|b")
+	var bIfLets []*isle.IfLet
+	for _, il := range b.IfLets {
+		bIfLets = append(bIfLets, &isle.IfLet{
+			Pat:  renameVars(il.Pat, "|b"),
+			Expr: renameVars(il.Expr, "|b"),
+			Pos:  il.Pos,
+		})
+	}
+
+	pairs, disjoint := unifyTrees(v.Prog, a.LHS, bLHS)
+	if disjoint {
+		return res, nil
+	}
+
+	// Build one analysis over both patterns.
+	ra := &ruleAnalysis{
+		v:        v,
+		rule:     a,
+		ts:       newTypeState(),
+		nodeSlot: map[*isle.TermNode]tvar{},
+		varSlot:  map[string]tvar{},
+	}
+	ra.irTerm = v.Prog.FindIRTerm(a.LHS)
+	sa, err := ra.walkNode(a.LHS, true)
+	if err != nil {
+		return nil, err
+	}
+	for _, il := range a.IfLets {
+		ev, err := ra.walkNode(il.Expr, true)
+		if err != nil {
+			return nil, err
+		}
+		pv, err := ra.walkNode(il.Pat, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := ra.ts.union(ev, pv); err != nil {
+			return res, nil
+		}
+	}
+	sb, err := ra.walkNode(bLHS, true)
+	if err != nil {
+		return nil, err
+	}
+	for _, il := range bIfLets {
+		ev, err := ra.walkNode(il.Expr, true)
+		if err != nil {
+			return nil, err
+		}
+		pv, err := ra.walkNode(il.Pat, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := ra.ts.union(ev, pv); err != nil {
+			return res, nil
+		}
+	}
+	if err := ra.ts.union(sa, sb); err != nil {
+		return res, nil // incompatible types: cannot overlap
+	}
+	// Unified positions share a type.
+	typeOK := true
+	for _, p := range pairs {
+		if err := ra.ts.union(ra.nodeSlot[p[0]], ra.nodeSlot[p[1]]); err != nil {
+			typeOK = false
+			break
+		}
+	}
+	if !typeOK {
+		return res, nil
+	}
+
+	assigns, err := v.inferAssignments(ra)
+	if err != nil {
+		return nil, fmt.Errorf("overlap %s/%s: %w", a.Name, b.Name, err)
+	}
+
+	for _, asg := range assigns {
+		// Elaborate exactly the nodes the overlap analysis typed: both
+		// patterns and both guard lists (v.elaborate would also walk rule
+		// A's right-hand side, which this analysis does not cover).
+		el := &elaboration{
+			ra:      ra,
+			a:       asg,
+			b:       smt.NewBuilder(),
+			nodeVal: map[*isle.TermNode]smt.TermID{},
+			varVal:  map[string]smt.TermID{},
+		}
+		va, err := el.elabNode(a.LHS, true)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := el.elabNode(bLHS, true)
+		if err != nil {
+			return nil, err
+		}
+		var extra []smt.TermID
+		for _, il := range append(append([]*isle.IfLet{}, a.IfLets...), bIfLets...) {
+			ev, err := el.elabNode(il.Expr, true)
+			if err != nil {
+				return nil, err
+			}
+			pv, err := el.elabNode(il.Pat, true)
+			if err != nil {
+				return nil, err
+			}
+			if il.Pat.Kind != isle.NWildcard {
+				extra = append(extra, el.b.Eq(pv, ev))
+			}
+		}
+		for _, name := range ra.lhsVars {
+			if t, ok := el.varVal[name]; ok && el.b.SortOf(t).Kind == smt.KindBV {
+				el.inputs = append(el.inputs, t)
+			}
+		}
+		// Matching the same subject: unified positions are equal, and so
+		// are the two pattern roots.
+		extra = append(extra, el.b.Eq(va, vb))
+		for _, p := range pairs {
+			x, err := el.elabNode(p[0], true)
+			if err != nil {
+				return nil, err
+			}
+			y, err := el.elabNode(p[1], true)
+			if err != nil {
+				return nil, err
+			}
+			extra = append(extra, el.b.Eq(x, y))
+		}
+		conj := make([]smt.TermID, 0, len(el.pLHS)+len(el.rLHS)+len(extra))
+		conj = append(conj, el.pLHS...)
+		conj = append(conj, el.rLHS...)
+		conj = append(conj, extra...)
+		out, err := smt.Check(el.b, conj, v.solverConfig())
+		if err != nil {
+			return nil, err
+		}
+		switch out.Status {
+		case smt.SatRes:
+			if a.Prio != b.Prio {
+				res.Kind = OverlapPrioritized
+			} else {
+				res.Kind = OverlapAmbiguous
+			}
+			res.Witness = map[string]smt.Value{}
+			for _, name := range ra.lhsVars {
+				if strings.HasSuffix(name, "|b") {
+					continue
+				}
+				if t, ok := el.varVal[name]; ok {
+					if val, ok := out.Model.Value(el.b.Term(t).Name); ok {
+						res.Witness[name] = val
+					}
+				}
+			}
+			return res, nil
+		case smt.Unknown:
+			res.Kind = OverlapUnknown
+		}
+	}
+	return res, nil
+}
+
+// FindAmbiguousOverlaps scans every same-root rule pair of the program
+// and returns the pairs that overlap (prioritized overlaps are normal in
+// ISLE; ambiguous ones are reported first).
+func (v *Verifier) FindAmbiguousOverlaps() ([]*OverlapResult, error) {
+	byHead := map[string][]*isle.Rule{}
+	for _, r := range v.Prog.Rules {
+		byHead[r.LHS.Name] = append(byHead[r.LHS.Name], r)
+	}
+	heads := make([]string, 0, len(byHead))
+	for h := range byHead {
+		heads = append(heads, h)
+	}
+	sort.Strings(heads)
+	var out []*OverlapResult
+	for _, h := range heads {
+		rules := byHead[h]
+		for i := 0; i < len(rules); i++ {
+			for j := i + 1; j < len(rules); j++ {
+				r, err := v.CheckOverlap(rules[i], rules[j])
+				if err != nil {
+					return nil, err
+				}
+				if r.Kind != OverlapNone {
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Kind == OverlapAmbiguous && out[j].Kind != OverlapAmbiguous
+	})
+	return out, nil
+}
+
+// renameVars clones a pattern tree, appending suffix to every variable
+// name.
+func renameVars(n *isle.TermNode, suffix string) *isle.TermNode {
+	cp := *n
+	if n.Kind == isle.NVar {
+		cp.Name = n.Name + suffix
+	}
+	if len(n.Args) > 0 {
+		cp.Args = make([]*isle.TermNode, len(n.Args))
+		for i, a := range n.Args {
+			cp.Args[i] = renameVars(a, suffix)
+		}
+	}
+	return &cp
+}
+
+// structuralHead reports whether a pattern head is structural: matching
+// requires the subject to be built by exactly this constructor (IR
+// instructions and nullary enum constructors), so two different
+// structural heads can never match the same subject. Extractor-style
+// terms (has_type, fits_in_*, imm12_*, ...) are predicates on the
+// subject and overlap semantically.
+func structuralHead(p *isle.Program, name string) bool {
+	d := p.Decls[name]
+	if d == nil {
+		return false
+	}
+	return d.Ret == "Inst" || len(d.Params) == 0
+}
+
+// constExtractor reports whether a pattern head is a constant extractor:
+// a Value-matching term whose bindings are all fixed-width immediates
+// (imm12_from_value, u64_from_value, ...). At runtime these only match
+// literal iconst values, so against any other structural constructor the
+// patterns are disjoint.
+func constExtractor(p *isle.Program, name string) bool {
+	d := p.Decls[name]
+	if d == nil || d.Ret != "Value" || len(d.Params) == 0 {
+		return false
+	}
+	for _, param := range d.Params {
+		m, ok := p.Models[param]
+		if !ok || m.Kind != isle.MBV || m.Width == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// unwrapConv strips identity conversion terms (inst_result, put_in_reg)
+// that the typechecker inserts, so unification compares the underlying
+// constructors.
+func unwrapConv(p *isle.Program, n *isle.TermNode) *isle.TermNode {
+	for n.Kind == isle.NApply {
+		if _, isConv := converterTerms(p)[n.Name]; !isConv {
+			return n
+		}
+		n = n.Args[0]
+	}
+	return n
+}
+
+func converterTerms(p *isle.Program) map[string]bool {
+	out := map[string]bool{}
+	for _, term := range p.Converters {
+		out[term] = true
+	}
+	return out
+}
+
+// unifyTrees computes the value-equality obligations for two patterns to
+// match one common subject. It returns disjoint=true when the patterns
+// are statically incompatible. The analysis is conservative in one
+// direction only: it may report an overlap that runtime matching would
+// not exhibit (when value semantics cannot express syntactic facts), but
+// never reports disjointness for patterns that share an input.
+func unifyTrees(p *isle.Program, a, b *isle.TermNode) (pairs [][2]*isle.TermNode, disjoint bool) {
+	a = unwrapConv(p, a)
+	b = unwrapConv(p, b)
+	switch {
+	case a.Kind == isle.NWildcard || b.Kind == isle.NWildcard:
+		return nil, false
+	case a.Kind == isle.NVar || b.Kind == isle.NVar:
+		return [][2]*isle.TermNode{{a, b}}, false
+	case a.Kind == isle.NConst && b.Kind == isle.NConst:
+		return nil, a.IntVal != b.IntVal
+	case a.Kind == isle.NApply && b.Kind == isle.NApply:
+		if a.Name == b.Name && len(a.Args) == len(b.Args) {
+			for i := range a.Args {
+				sub, dis := unifyTrees(p, a.Args[i], b.Args[i])
+				if dis {
+					return nil, true
+				}
+				pairs = append(pairs, sub...)
+			}
+			return pairs, false
+		}
+		if structuralHead(p, a.Name) && structuralHead(p, b.Name) {
+			return nil, true
+		}
+		// A constant extractor only matches literal constants, so it is
+		// statically disjoint from any non-iconst constructor.
+		if constExtractor(p, a.Name) && structuralHead(p, b.Name) && b.Name != "iconst" {
+			return nil, true
+		}
+		if constExtractor(p, b.Name) && structuralHead(p, a.Name) && a.Name != "iconst" {
+			return nil, true
+		}
+		// Otherwise both constrain the same subject value; the solver
+		// decides.
+		return [][2]*isle.TermNode{{a, b}}, false
+	default:
+		// Constant against application (e.g. a literal type versus a
+		// fits_in guard): semantic.
+		return [][2]*isle.TermNode{{a, b}}, false
+	}
+}

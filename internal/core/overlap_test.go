@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"crocus/internal/isle"
+)
+
+func ruleByName(t *testing.T, v *Verifier, name string) *isle.Rule {
+	t.Helper()
+	for _, r := range v.Prog.Rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no rule %q", name)
+	return nil
+}
+
+const overlapRules = `
+(decl imm_small (Value) Value)
+(spec (imm_small x)
+	(provide (= result x))
+	(require (ulte (convto 64 x) #x00000000000000ff)))
+
+(rule base
+	(lower (has_type ty (iadd x y)))
+	(a64_add ty x y))
+
+(rule imm_form 2
+	(lower (has_type ty (iadd x (imm_small y))))
+	(a64_add ty x y))
+
+(rule imm_form_same_prio
+	(lower (has_type ty (iadd (imm_small x) y)))
+	(a64_add ty x y))
+
+(rule narrow_only
+	(lower (has_type (fits_in_16 ty) (iadd x y)))
+	(a64_add ty x y))
+
+(rule rotr_any
+	(lower (rotr x y))
+	(a64_rotr_64 x y))
+`
+
+func TestOverlapPrioritized(t *testing.T) {
+	v := buildVerifier(t, overlapRules, Options{})
+	// base and imm_form both match (iadd x <small const>), but the
+	// priorities differ: a normal ISLE arrangement.
+	res, err := v.CheckOverlap(ruleByName(t, v, "base"), ruleByName(t, v, "imm_form"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != OverlapPrioritized {
+		t.Fatalf("kind = %v, want prioritized", res.Kind)
+	}
+	if len(res.Witness) == 0 {
+		t.Fatal("expected a witness input")
+	}
+}
+
+func TestOverlapAmbiguous(t *testing.T) {
+	v := buildVerifier(t, overlapRules, Options{})
+	// base and imm_form_same_prio share priority 0 and both match
+	// (iadd <small> y): a genuine ambiguity.
+	res, err := v.CheckOverlap(ruleByName(t, v, "base"), ruleByName(t, v, "imm_form_same_prio"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != OverlapAmbiguous {
+		t.Fatalf("kind = %v, want ambiguous", res.Kind)
+	}
+}
+
+func TestOverlapDisjointByOpcode(t *testing.T) {
+	v := buildVerifier(t, overlapRules, Options{})
+	// iadd rules never overlap rotr rules: different structural heads.
+	res, err := v.CheckOverlap(ruleByName(t, v, "base"), ruleByName(t, v, "rotr_any"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != OverlapNone {
+		t.Fatalf("kind = %v, want none", res.Kind)
+	}
+}
+
+func TestOverlapSameStructure(t *testing.T) {
+	v := buildVerifier(t, overlapRules, Options{})
+	// narrow_only overlaps base at narrow widths (same priority!): the
+	// guard restricts but does not exclude.
+	res, err := v.CheckOverlap(ruleByName(t, v, "base"), ruleByName(t, v, "narrow_only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != OverlapAmbiguous {
+		t.Fatalf("kind = %v, want ambiguous (same priority, common inputs)", res.Kind)
+	}
+}
+
+func TestFindAmbiguousOverlaps(t *testing.T) {
+	v := buildVerifier(t, overlapRules, Options{})
+	out, err := v.FindAmbiguousOverlaps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ambiguous := 0
+	for _, o := range out {
+		if o.Kind == OverlapAmbiguous {
+			ambiguous++
+		}
+	}
+	if ambiguous < 2 {
+		t.Fatalf("expected the two seeded ambiguities, got %d (%v)", ambiguous, out)
+	}
+	// Ambiguous results sort first.
+	if out[0].Kind != OverlapAmbiguous {
+		t.Fatal("ambiguous overlaps must sort first")
+	}
+}
+
+func TestOverlapKindStrings(t *testing.T) {
+	for _, k := range []OverlapKind{OverlapNone, OverlapPrioritized, OverlapAmbiguous, OverlapUnknown} {
+		if k.String() == "" {
+			t.Fatal("empty overlap kind string")
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package core implements the Crocus verification engine (§3 of the
+// paper): it combines ISLE rules with their annotations, runs the
+// two-pass type inference and monomorphization of §3.1.3, lowers each
+// precisely-typed rule to SMT verification conditions (§3.2), and decides
+// the applicability (Eq. 1) and equivalence (Eq. 2/3) queries, lifting any
+// counterexample model back into ISLE surface syntax.
+package core
+
+import (
+	"fmt"
+
+	"crocus/internal/isle"
+)
+
+// kind is the SMT kind of a typing slot.
+type kind int8
+
+const (
+	kUnknown kind = iota
+	kInt
+	kBool
+	kBV
+)
+
+func (k kind) String() string {
+	switch k {
+	case kInt:
+		return "Int"
+	case kBool:
+		return "Bool"
+	case kBV:
+		return "BV"
+	default:
+		return "?"
+	}
+}
+
+// tvar is a typing slot: a union-find node carrying an SMT kind and, for
+// bitvectors, a width (0 = not yet resolved).
+type tvar int32
+
+// typeState is the union-find store used by type-inference pass 1
+// (unification, §3.1.3 "first pass"). Kinds and concrete widths merge on
+// union; a conflict is reported as an error, which the verifier interprets
+// as "no valid typing for this instantiation".
+type typeState struct {
+	parent []tvar
+	rank   []int8
+	kinds  []kind
+	widths []int
+}
+
+func newTypeState() *typeState { return &typeState{} }
+
+func (ts *typeState) fresh() tvar {
+	v := tvar(len(ts.parent))
+	ts.parent = append(ts.parent, v)
+	ts.rank = append(ts.rank, 0)
+	ts.kinds = append(ts.kinds, kUnknown)
+	ts.widths = append(ts.widths, 0)
+	return v
+}
+
+func (ts *typeState) find(v tvar) tvar {
+	for ts.parent[v] != v {
+		ts.parent[v] = ts.parent[ts.parent[v]]
+		v = ts.parent[v]
+	}
+	return v
+}
+
+// typeError is a unification failure; it marks a type instantiation as
+// having no valid assignment rather than a hard error.
+type typeError struct{ msg string }
+
+func (e *typeError) Error() string { return e.msg }
+
+func typeErrf(format string, args ...any) error {
+	return &typeError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsTypeConflict reports whether err arose from inconsistent typing (as
+// opposed to a malformed rule or annotation).
+func IsTypeConflict(err error) bool {
+	_, ok := err.(*typeError)
+	return ok
+}
+
+func (ts *typeState) setKind(v tvar, k kind) error {
+	r := ts.find(v)
+	if ts.kinds[r] == kUnknown {
+		ts.kinds[r] = k
+		return nil
+	}
+	if ts.kinds[r] != k {
+		return typeErrf("kind conflict: %s vs %s", ts.kinds[r], k)
+	}
+	return nil
+}
+
+func (ts *typeState) setWidth(v tvar, w int) error {
+	r := ts.find(v)
+	if err := ts.setKind(r, kBV); err != nil {
+		return err
+	}
+	if ts.widths[r] == 0 {
+		ts.widths[r] = w
+		return nil
+	}
+	if ts.widths[r] != w {
+		return typeErrf("width conflict: %d vs %d", ts.widths[r], w)
+	}
+	return nil
+}
+
+func (ts *typeState) union(a, b tvar) error {
+	ra, rb := ts.find(a), ts.find(b)
+	if ra == rb {
+		return nil
+	}
+	// Merge metadata.
+	ka, kb := ts.kinds[ra], ts.kinds[rb]
+	switch {
+	case ka == kUnknown:
+		ka = kb
+	case kb != kUnknown && ka != kb:
+		return typeErrf("kind conflict: %s vs %s", ka, kb)
+	}
+	wa, wb := ts.widths[ra], ts.widths[rb]
+	switch {
+	case wa == 0:
+		wa = wb
+	case wb != 0 && wa != wb:
+		return typeErrf("width conflict: %d vs %d", wa, wb)
+	}
+	if ts.rank[ra] < ts.rank[rb] {
+		ra, rb = rb, ra
+	}
+	ts.parent[rb] = ra
+	if ts.rank[ra] == ts.rank[rb] {
+		ts.rank[ra]++
+	}
+	ts.kinds[ra] = ka
+	ts.widths[ra] = wa
+	return nil
+}
+
+func (ts *typeState) kindOf(v tvar) kind { return ts.kinds[ts.find(v)] }
+func (ts *typeState) widthOf(v tvar) int { return ts.widths[ts.find(v)] }
+
+// applyMType constrains slot v to the modeling sort m (polymorphic BV adds
+// only the kind).
+func (ts *typeState) applyMType(v tvar, m isle.MType) error {
+	switch m.Kind {
+	case isle.MInt:
+		return ts.setKind(v, kInt)
+	case isle.MBool:
+		return ts.setKind(v, kBool)
+	default:
+		if err := ts.setKind(v, kBV); err != nil {
+			return err
+		}
+		if m.Width != 0 {
+			return ts.setWidth(v, m.Width)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"crocus/internal/isle"
+	"crocus/internal/smt"
+)
+
+// Outcome classifies a verification attempt, mirroring §3.2's three
+// outcomes plus resource exhaustion (the paper's §4.1 timeouts).
+type Outcome int
+
+// Verification outcomes.
+const (
+	OutcomeSuccess      Outcome = iota // the rule is verified
+	OutcomeInapplicable                // the rule never matches this instantiation
+	OutcomeFailure                     // counterexample found
+	OutcomeTimeout                     // solver resource limit reached
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeInapplicable:
+		return "inapplicable"
+	case OutcomeFailure:
+		return "failure"
+	case OutcomeTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// VCContext gives custom verification conditions access to the elaborated
+// rule: the builder, both results, and the rule's variable values.
+type VCContext struct {
+	B         *smt.Builder
+	LHSResult smt.TermID
+	RHSResult smt.TermID
+	// Var returns the SMT term bound to an ISLE rule variable.
+	Var func(name string) (smt.TermID, bool)
+}
+
+// CustomVC replaces or augments the default bitvector-equality condition
+// for rules whose context intentionally breaks strict equivalence (§3.2.2,
+// e.g. comparison rules producing flags and a condition code).
+type CustomVC struct {
+	// Condition, when non-nil, replaces result_LHS = result_RHS in Eq. 3.
+	Condition func(ctx *VCContext) (smt.TermID, error)
+	// Assumptions, when non-nil, contributes the A_n of Eq. 3 (e.g.
+	// encodings of ISLE priority semantics).
+	Assumptions func(ctx *VCContext) ([]smt.TermID, error)
+}
+
+// Options configures a Verifier.
+type Options struct {
+	// Timeout bounds each SMT query; zero means no limit. Queries that
+	// exceed it yield OutcomeTimeout (the paper's mul/div/popcnt cases).
+	Timeout time.Duration
+	// PropagationBudget optionally bounds SAT work deterministically
+	// (useful in tests); 0 = unlimited.
+	PropagationBudget int64
+	// DistinctModels enables the optional §3.2.1 check that at least two
+	// distinct input assignments match the rule.
+	DistinctModels bool
+	// Widths is the candidate domain for type variables the two inference
+	// passes cannot pin (default 8,16,32,64).
+	Widths []int
+	// Custom maps rule names to custom verification conditions.
+	Custom map[string]*CustomVC
+	// Parallelism is the number of rules VerifyAll verifies concurrently
+	// (0 or 1 = sequential). Each query owns its solver, so this is safe
+	// and near-linear for sweep workloads.
+	Parallelism int
+}
+
+// Verifier verifies the rules of an ISLE program against their
+// annotations.
+type Verifier struct {
+	Prog *isle.Program
+	Opts Options
+}
+
+// New creates a Verifier over a typechecked program.
+func New(prog *isle.Program, opts Options) *Verifier {
+	return &Verifier{Prog: prog, Opts: opts}
+}
+
+// Counterexample is a failing model lifted back to ISLE surface syntax
+// (§3.3: "Crocus lifts counterexamples from the SMT model back into ISLE
+// syntax to make debugging easier").
+type Counterexample struct {
+	Inputs   map[string]smt.Value // ISLE LHS variables
+	LHSValue smt.Value
+	RHSValue smt.Value
+	Rendered string // paper-style annotated rule text
+}
+
+// InstOutcome is the verification result for one (rule, type
+// instantiation) pair — one row contribution to Table 1.
+type InstOutcome struct {
+	Sig            *isle.Sig
+	Outcome        Outcome
+	Counterexample *Counterexample
+	// DistinctInputs is set by the optional distinct-models check: false
+	// means the rule admits exactly one matching input assignment
+	// (the §4.4.2 "rule never fires meaningfully" signal).
+	DistinctInputs *bool
+	Duration       time.Duration
+	// Assignments is how many type assignments monomorphization produced.
+	Assignments int
+}
+
+// RuleResult aggregates the per-instantiation outcomes of one rule.
+type RuleResult struct {
+	Rule  *isle.Rule
+	Insts []InstOutcome
+}
+
+// Outcome summarizes the rule across instantiations: failure dominates,
+// then timeout, then success; a rule with no applicable instantiation is
+// inapplicable.
+func (rr *RuleResult) Outcome() Outcome {
+	agg := OutcomeInapplicable
+	for _, io := range rr.Insts {
+		switch io.Outcome {
+		case OutcomeFailure:
+			return OutcomeFailure
+		case OutcomeTimeout:
+			agg = OutcomeTimeout
+		case OutcomeSuccess:
+			if agg != OutcomeTimeout {
+				agg = OutcomeSuccess
+			}
+		}
+	}
+	return agg
+}
+
+// AllSuccess reports whether every instantiation that applies verified.
+func (rr *RuleResult) AllSuccess() bool {
+	any := false
+	for _, io := range rr.Insts {
+		switch io.Outcome {
+		case OutcomeFailure, OutcomeTimeout:
+			return false
+		case OutcomeSuccess:
+			any = true
+		}
+	}
+	return any
+}
+
+// Sigs returns the type instantiations to verify rule against: the
+// registered instantiations of its instruction root, or a single
+// unconstrained instantiation when the root is not instantiated (mid-end
+// rules).
+func (v *Verifier) Sigs(rule *isle.Rule) []*isle.Sig {
+	ir := v.Prog.FindIRTerm(rule.LHS)
+	if ir == nil {
+		return []*isle.Sig{nil}
+	}
+	sigs := v.Prog.Insts[ir.Name]
+	out := make([]*isle.Sig, len(sigs))
+	for i := range sigs {
+		out[i] = &sigs[i]
+	}
+	return out
+}
+
+// VerifyRule verifies one rule across all of its type instantiations.
+func (v *Verifier) VerifyRule(rule *isle.Rule) (*RuleResult, error) {
+	rr := &RuleResult{Rule: rule}
+	for _, sig := range v.Sigs(rule) {
+		io, err := v.VerifyInstantiation(rule, sig)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", rule, err)
+		}
+		rr.Insts = append(rr.Insts, *io)
+	}
+	return rr, nil
+}
+
+// VerifyAll verifies every rule in the program, in source order. When
+// Options.Parallelism is greater than one, rules are verified
+// concurrently (each query builds its own solver, so rule verification
+// is embarrassingly parallel); results keep source order.
+func (v *Verifier) VerifyAll() ([]*RuleResult, error) {
+	n := v.Opts.Parallelism
+	if n <= 1 {
+		var out []*RuleResult
+		for _, r := range v.Prog.Rules {
+			rr, err := v.VerifyRule(r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rr)
+		}
+		return out, nil
+	}
+
+	type slot struct {
+		rr  *RuleResult
+		err error
+	}
+	out := make([]slot, len(v.Prog.Rules))
+	work := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < n; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range work {
+				rr, err := v.VerifyRule(v.Prog.Rules[i])
+				out[i] = slot{rr, err}
+			}
+		}()
+	}
+	for i := range v.Prog.Rules {
+		work <- i
+	}
+	close(work)
+	for w := 0; w < n; w++ {
+		<-done
+	}
+	results := make([]*RuleResult, len(out))
+	for i, s := range out {
+		if s.err != nil {
+			return nil, s.err
+		}
+		results[i] = s.rr
+	}
+	return results, nil
+}
+
+func (v *Verifier) solverConfig() smt.Config {
+	cfg := smt.Config{PropagationBudget: v.Opts.PropagationBudget}
+	if v.Opts.Timeout > 0 {
+		cfg.Deadline = time.Now().Add(v.Opts.Timeout)
+	}
+	return cfg
+}
+
+// VerifyInstantiation runs the full §3.2 pipeline for one rule and type
+// instantiation: monomorphize, elaborate, applicability query (Eq. 1),
+// optional distinct-models check, and equivalence query (Eq. 2/3).
+func (v *Verifier) VerifyInstantiation(rule *isle.Rule, sig *isle.Sig) (*InstOutcome, error) {
+	start := time.Now()
+	io := &InstOutcome{Sig: sig}
+	defer func() { io.Duration = time.Since(start) }()
+
+	ra, assigns, err := v.monomorphize(rule, sig)
+	if err != nil {
+		return nil, err
+	}
+	io.Assignments = len(assigns)
+	if len(assigns) == 0 {
+		io.Outcome = OutcomeInapplicable
+		return io, nil
+	}
+
+	agg := OutcomeInapplicable
+	for _, a := range assigns {
+		out, cex, distinct, err := v.verifyAssignment(ra, a)
+		if err != nil {
+			return nil, err
+		}
+		if distinct != nil && (io.DistinctInputs == nil || !*distinct) {
+			io.DistinctInputs = distinct
+		}
+		switch out {
+		case OutcomeFailure:
+			io.Outcome = OutcomeFailure
+			io.Counterexample = cex
+			return io, nil
+		case OutcomeTimeout:
+			agg = OutcomeTimeout
+		case OutcomeSuccess:
+			if agg != OutcomeTimeout {
+				agg = OutcomeSuccess
+			}
+		}
+	}
+	io.Outcome = agg
+	return io, nil
+}
+
+func (v *Verifier) verifyAssignment(ra *ruleAnalysis, a *assignment) (Outcome, *Counterexample, *bool, error) {
+	el, err := v.elaborate(ra, a)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	b := el.b
+
+	ctx := &VCContext{
+		B:         b,
+		LHSResult: el.LHSResult,
+		RHSResult: el.RHSResult,
+		Var: func(name string) (smt.TermID, bool) {
+			t, ok := el.varVal[name]
+			return t, ok
+		},
+	}
+	custom := v.Opts.Custom[ra.rule.Name]
+	var extraAssumptions []smt.TermID
+	if custom != nil && custom.Assumptions != nil {
+		extraAssumptions, err = custom.Assumptions(ctx)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+	}
+
+	// Query 1 (Eq. 1): applicability — P_LHS ∧ R_LHS ∧ P_RHS satisfiable?
+	base := make([]smt.TermID, 0, len(el.pLHS)+len(el.rLHS)+len(el.pRHS)+len(extraAssumptions))
+	base = append(base, el.pLHS...)
+	base = append(base, el.rLHS...)
+	base = append(base, el.pRHS...)
+	base = append(base, extraAssumptions...)
+
+	res, err := smt.Check(b, base, v.solverConfig())
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("applicability query: %w", err)
+	}
+	switch res.Status {
+	case smt.UnsatRes:
+		return OutcomeInapplicable, nil, nil, nil
+	case smt.Unknown:
+		return OutcomeTimeout, nil, nil, nil
+	}
+
+	// Optional distinct-models check (§3.2.1): does a second model exist in
+	// which every bitvector input differs from the first model's value? If
+	// not, the rule matches only one set of inputs (§4.4.2's signal).
+	var distinct *bool
+	if v.Opts.DistinctModels && len(el.inputs) > 0 {
+		var diffs []smt.TermID
+		for _, in := range el.inputs {
+			name := b.Term(in).Name
+			if val, ok := res.Model.Value(name); ok {
+				diffs = append(diffs, b.Distinct(in, b.BVConst(val.Bits, b.SortOf(in).Width)))
+			}
+		}
+		if len(diffs) > 0 {
+			q := append(append([]smt.TermID{}, base...), b.And(diffs...))
+			dres, err := smt.Check(b, q, v.solverConfig())
+			if err != nil {
+				return 0, nil, nil, fmt.Errorf("distinctness query: %w", err)
+			}
+			if dres.Status != smt.Unknown {
+				d := dres.Status == smt.SatRes
+				distinct = &d
+			}
+		}
+	}
+
+	// Query 2 (Eq. 2/3): equivalence — search for a counterexample where
+	// the preconditions hold but the condition or an RHS require fails.
+	cond := b.Eq(el.LHSResult, el.RHSResult)
+	if custom != nil && custom.Condition != nil {
+		cond, err = custom.Condition(ctx)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	goal := b.And(append([]smt.TermID{cond}, el.rRHS...)...)
+	q2 := append(append([]smt.TermID{}, base...), b.Not(goal))
+	res2, err := smt.Check(b, q2, v.solverConfig())
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("equivalence query: %w", err)
+	}
+	switch res2.Status {
+	case smt.Unknown:
+		return OutcomeTimeout, nil, distinct, nil
+	case smt.UnsatRes:
+		return OutcomeSuccess, nil, distinct, nil
+	}
+
+	cex, err := v.buildCounterexample(ra, el, res2.Model)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return OutcomeFailure, cex, distinct, nil
+}
+
+// buildCounterexample lifts a failing model back into ISLE surface syntax
+// in the paper's presentation: the rule with `[var|#value]` bindings and a
+// final `lhs => rhs` value line.
+func (v *Verifier) buildCounterexample(ra *ruleAnalysis, el *elaboration, m *smt.Model) (*Counterexample, error) {
+	env := m.Env()
+	cex := &Counterexample{Inputs: map[string]smt.Value{}}
+	for _, name := range ra.lhsVars {
+		t, ok := el.varVal[name]
+		if !ok {
+			continue
+		}
+		if val, ok := m.Value(el.b.Term(t).Name); ok {
+			cex.Inputs[name] = val
+		}
+	}
+	lv, err := el.b.Eval(el.LHSResult, env)
+	if err != nil {
+		return nil, fmt.Errorf("evaluating LHS under model: %w", err)
+	}
+	rv, err := el.b.Eval(el.RHSResult, env)
+	if err != nil {
+		return nil, fmt.Errorf("evaluating RHS under model: %w", err)
+	}
+	cex.LHSValue = lv
+	cex.RHSValue = rv
+
+	var sb strings.Builder
+	renderNode(&sb, ra, el, m, ra.rule.LHS)
+	sb.WriteString(" =>\n")
+	renderNode(&sb, ra, el, m, ra.rule.RHS)
+	fmt.Fprintf(&sb, "\n\n%s => %s", lv, rv)
+	cex.Rendered = sb.String()
+	return cex, nil
+}
+
+// renderNode prints a rule tree with model values attached to variables.
+func renderNode(sb *strings.Builder, ra *ruleAnalysis, el *elaboration, m *smt.Model, n *isle.TermNode) {
+	switch n.Kind {
+	case isle.NVar:
+		slot := ra.nodeSlot[n]
+		if ra.ts.kindOf(slot) == kInt {
+			if iv, ok := el.a.intValOf(slot); ok {
+				fmt.Fprintf(sb, "[%s|%d]", n.Name, iv)
+				return
+			}
+		}
+		if t, ok := el.varVal[n.Name]; ok {
+			if val, ok := m.Value(el.b.Term(t).Name); ok {
+				fmt.Fprintf(sb, "[%s|%s]", n.Name, val)
+				return
+			}
+		}
+		sb.WriteString(n.Name)
+	case isle.NWildcard:
+		sb.WriteString("_")
+	case isle.NConst:
+		sb.WriteString(n.String())
+	case isle.NLet:
+		sb.WriteString("(let (")
+		for i, b := range n.Lets {
+			if i > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(sb, "(%s %s ", b.Name, b.Type)
+			renderNode(sb, ra, el, m, b.Expr)
+			sb.WriteString(")")
+		}
+		sb.WriteString(") ")
+		renderNode(sb, ra, el, m, n.Body)
+		sb.WriteString(")")
+	case isle.NApply:
+		sb.WriteString("(")
+		sb.WriteString(n.Name)
+		for _, a := range n.Args {
+			sb.WriteString(" ")
+			renderNode(sb, ra, el, m, a)
+		}
+		sb.WriteString(")")
+	}
+}
+
+// SortedRuleNames returns the program's rule names in sorted order
+// (convenience for stable reporting).
+func (v *Verifier) SortedRuleNames() []string {
+	names := make([]string, 0, len(v.Prog.Rules))
+	for _, r := range v.Prog.Rules {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,242 @@
+// Package corpus embeds the annotated ISLE rule corpus this repository
+// verifies: the aarch64 integer lowering rules covering WebAssembly 1.0
+// (the subject of the paper's Table 1 and Figure 4), the x86-64
+// addressing-mode rules, the mid-end boolean rewrites, and buggy variants
+// reproducing every defect of §4.3 and §4.4.
+package corpus
+
+import (
+	"embed"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"crocus/internal/core"
+	"crocus/internal/isle"
+	"crocus/internal/smt"
+)
+
+//go:embed prelude.isle aarch64.isle x64.isle midend.isle coverage_extra.isle bugs/*.isle
+var files embed.FS
+
+// Source returns the embedded contents of one corpus file (path relative
+// to the corpus root, e.g. "aarch64.isle" or "bugs/cls_bug.isle").
+func Source(path string) (string, error) {
+	b, err := files.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Paths lists the embedded corpus files.
+func Paths() []string {
+	var out []string
+	_ = fs.WalkDir(files, ".", func(p string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(p, ".isle") {
+			out = append(out, p)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out
+}
+
+// Load parses prelude.isle plus the given corpus files into a typechecked
+// program.
+func Load(paths ...string) (*isle.Program, error) {
+	p := isle.NewProgram()
+	all := append([]string{"prelude.isle"}, paths...)
+	for _, path := range all {
+		src, err := Source(path)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		if err := p.ParseFile(path, src); err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+	}
+	if err := p.Typecheck(); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	return p, nil
+}
+
+// LoadAarch64 loads the Table-1 corpus: the aarch64 integer lowering
+// rules for WebAssembly 1.0.
+func LoadAarch64() (*isle.Program, error) { return Load("aarch64.isle") }
+
+// LoadX64 loads the correct x86-64 addressing-mode rules.
+func LoadX64() (*isle.Program, error) { return Load("x64.isle") }
+
+// LoadMidend loads the fixed mid-end rewrites.
+func LoadMidend() (*isle.Program, error) { return Load("midend.isle") }
+
+// LoadCoverage loads the full backend used by the §4.2 coverage
+// experiment: the verified integer rules plus the unverified float,
+// memory, conversion, and select rules of coverage_extra.isle.
+func LoadCoverage() (*isle.Program, error) {
+	return Load("aarch64.isle", "coverage_extra.isle")
+}
+
+// VerifiedRuleNames returns the names of the rules in Crocus's verified
+// scope (the aarch64 integer corpus — Table 1's 96 rules).
+func VerifiedRuleNames() (map[string]bool, error) {
+	prog, err := LoadAarch64()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]bool, len(prog.Rules))
+	for _, r := range prog.Rules {
+		out[r.Name] = true
+	}
+	return out, nil
+}
+
+// Bug identifies one reproduced defect from the paper's evaluation.
+type Bug struct {
+	// ID is a short slug (also the bugs/<ID>.isle file name).
+	ID string
+	// Section is the paper section reproducing it.
+	Section string
+	// Title is a one-line description.
+	Title string
+	// Extra corpus files (beyond the prelude and the bug file itself)
+	// the reproduction needs.
+	Extra []string
+	// Rules whose verification demonstrates the defect, mapped to the
+	// outcome that demonstrates it.
+	Expect map[string]core.Outcome
+	// DistinctModels indicates the defect is detected by the §3.2.1
+	// distinct-models check rather than by a counterexample.
+	DistinctModels bool
+}
+
+// Bugs lists the reproductions in paper order.
+func Bugs() []Bug {
+	return []Bug{
+		{
+			ID:      "amode_cve",
+			Section: "4.3.1",
+			Title:   "x86-64 addressing-mode CVE (9.9/10): folded shift escapes the 32-bit address space",
+			Extra:   []string{"x64.isle"},
+			Expect: map[string]core.Outcome{
+				"amode_add_uext_shift_cve": core.OutcomeFailure,
+				"amode_add_shift_nouext":   core.OutcomeFailure, // §4.4.1 variant
+				"amode_add_shift_patched":  core.OutcomeSuccess,
+			},
+		},
+		{
+			ID:      "udiv_imm_cve",
+			Section: "4.3.2",
+			Title:   "aarch64 constant-divisor CVE: imm with the wrong extension kind",
+			Expect: map[string]core.Outcome{
+				"udiv_const_buggy": core.OutcomeFailure,
+				"sdiv_const_buggy": core.OutcomeFailure,
+			},
+		},
+		{
+			ID:      "cls_bug",
+			Section: "4.3.3",
+			Title:   "aarch64 count-leading-sign: zero-extend instead of sign-extend",
+			Expect: map[string]core.Outcome{
+				"cls8_buggy":  core.OutcomeFailure,
+				"cls16_buggy": core.OutcomeFailure,
+			},
+		},
+		{
+			ID:      "negconst_bug",
+			Section: "4.4.2",
+			Title:   "negated-constant rules that can only ever match zero",
+			Expect: map[string]core.Outcome{
+				"isub_negimm12_buggy":       core.OutcomeSuccess,
+				"iadd_negimm12_right_buggy": core.OutcomeSuccess,
+				"iadd_negimm12_left_buggy":  core.OutcomeSuccess,
+			},
+			DistinctModels: true,
+		},
+		{
+			ID:      "iconst_semantics",
+			Section: "4.4.3",
+			Title:   "under-specified constant representation: outcome flips with the extension invariant",
+			Expect: map[string]core.Outcome{
+				"isub_negimm12_sext_repr": core.OutcomeSuccess,
+			},
+		},
+		{
+			ID:      "midend_bug",
+			Section: "4.4.4",
+			Title:   "mid-end bor/band rewrite with a vacuous Some(false) guard",
+			Extra:   []string{"midend.isle"},
+			Expect: map[string]core.Outcome{
+				"bor_band_not_buggy": core.OutcomeFailure,
+				"bor_band_not_fixed": core.OutcomeSuccess,
+			},
+		},
+	}
+}
+
+// LoadBug loads the program reproducing one defect.
+func LoadBug(b Bug) (*isle.Program, error) {
+	paths := append(append([]string{}, b.Extra...), "bugs/"+b.ID+".isle")
+	return Load(paths...)
+}
+
+// csetFlatten builds the boolean a conditional-set would produce from a
+// FlagsAndCC value: the NZCV nibble interpreted through the packed
+// condition code. Used by the custom verification conditions of the
+// §3.2.2 even-immediate comparison rules.
+func csetFlatten(b *smt.Builder, fcc smt.TermID) smt.TermID {
+	flags := b.Extract(7, 4, fcc)
+	cc := b.Extract(3, 0, fcc)
+	one := b.BVConst(1, 1)
+	n := b.Extract(3, 3, flags)
+	z := b.Extract(2, 2, flags)
+	c := b.Extract(1, 1, flags)
+	v := b.Extract(0, 0, flags)
+	nIsV := b.Eq(n, v)
+	zSet := b.Eq(z, one)
+	cSet := b.Eq(c, one)
+	conds := []smt.TermID{
+		zSet,                     // 0: Equal
+		b.Not(zSet),              // 1: NotEqual
+		b.Not(nIsV),              // 2: SignedLessThan
+		b.Or(zSet, b.Not(nIsV)),  // 3: SignedLessThanOrEqual
+		b.And(b.Not(zSet), nIsV), // 4: SignedGreaterThan
+		nIsV,                     // 5: SignedGreaterThanOrEqual
+		b.Not(cSet),              // 6: UnsignedLessThan
+		b.Or(b.Not(cSet), zSet),  // 7: UnsignedLessThanOrEqual
+		b.And(cSet, b.Not(zSet)), // 8: UnsignedGreaterThan
+		cSet,                     // 9: UnsignedGreaterThanOrEqual
+	}
+	out := b.BoolConst(false)
+	for i := len(conds) - 1; i >= 0; i-- {
+		out = b.Ite(b.Eq(cc, b.BVConst(uint64(i), 4)), conds[i], out)
+	}
+	return out
+}
+
+// CustomVCs returns the per-rule custom verification conditions of the
+// corpus (§3.2.2): the even-immediate comparison rewrites intentionally
+// change flags and condition code, so they are compared after flattening
+// FlagsAndCC to the boolean comparison result.
+func CustomVCs() map[string]*core.CustomVC {
+	flatten := &core.CustomVC{
+		Condition: func(ctx *core.VCContext) (smt.TermID, error) {
+			return ctx.B.Eq(csetFlatten(ctx.B, ctx.LHSResult), csetFlatten(ctx.B, ctx.RHSResult)), nil
+		},
+	}
+	return map[string]*core.CustomVC{
+		"icmp_uge_plus1":  flatten,
+		"icmp_ule_minus1": flatten,
+	}
+}
+
+// FailingWithoutCustomVC lists the rules that report Failure under strict
+// bitvector equivalence but verify under CustomVCs — Table 1's failure
+// rows ("the failures all succeed with custom ... verification
+// conditions").
+func FailingWithoutCustomVC() []string {
+	return []string{"icmp_uge_plus1", "icmp_ule_minus1"}
+}

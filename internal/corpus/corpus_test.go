@@ -1,0 +1,478 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crocus/internal/core"
+	"crocus/internal/isle"
+)
+
+func TestLoadAarch64(t *testing.T) {
+	prog, err := LoadAarch64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 96 {
+		t.Fatalf("aarch64 corpus has %d rules, want 96 (the paper's Table 1 count)", len(prog.Rules))
+	}
+	// Every rule's terms must be annotated — verified here by analyzing
+	// each rule (analysis fails on unannotated terms).
+	v := core.New(prog, core.Options{})
+	for _, r := range prog.Rules {
+		if len(v.Sigs(r)) == 0 {
+			t.Errorf("rule %s has no type instantiations", r.Name)
+		}
+	}
+}
+
+func TestLoadAllFiles(t *testing.T) {
+	paths := Paths()
+	if len(paths) < 10 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if _, err := LoadX64(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMidend(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Bugs() {
+		if _, err := LoadBug(b); err != nil {
+			t.Fatalf("bug %s: %v", b.ID, err)
+		}
+	}
+	if _, err := Source("nonexistent.isle"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func findRule(t *testing.T, prog *isle.Program, name string) *isle.Rule {
+	t.Helper()
+	for _, r := range prog.Rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no rule %q", name)
+	return nil
+}
+
+// verifyRuleAt verifies one rule at one width and returns the outcome.
+func verifyRuleAt(t *testing.T, v *core.Verifier, prog *isle.Program, name string, width int) core.InstOutcome {
+	t.Helper()
+	r := findRule(t, prog, name)
+	match := func(sig *isle.Sig) bool {
+		if sig.Ret.Kind == isle.MBV && sig.Ret.Width == width {
+			return true
+		}
+		// Comparison-style sigs: the operand width is the relevant one.
+		for _, a := range sig.Args {
+			if a.Kind == isle.MBV && a.Width == width {
+				return true
+			}
+		}
+		return false
+	}
+	for _, sig := range v.Sigs(r) {
+		if sig == nil {
+			io, err := v.VerifyInstantiation(r, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return *io
+		}
+		if match(sig) {
+			io, err := v.VerifyInstantiation(r, sig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return *io
+		}
+	}
+	t.Fatalf("rule %q has no %d-bit instantiation", name, width)
+	return core.InstOutcome{}
+}
+
+// TestFastRulesVerify spot-checks quick success rules at narrow widths
+// (the full Table 1 sweep lives in the benchmark harness).
+func TestFastRulesVerify(t *testing.T) {
+	prog, err := LoadAarch64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 60 * time.Second})
+	for _, tc := range []struct {
+		rule  string
+		width int
+	}{
+		{"iadd_base", 8}, {"iadd_imm12_right", 16}, {"isub_negimm12", 8},
+		{"band_base", 64}, {"bnot_base", 32}, {"band_not_fused", 8},
+		{"ishl_fits32", 8}, {"ushr_fits32", 16}, {"sshr_fits32", 8},
+		{"rotr_small", 8}, {"rotl_small", 16}, {"rotr_32", 32},
+		{"clz_narrow", 8}, {"ctz_narrow", 16}, {"cls_narrow", 8},
+		{"icmp_ult_small", 8}, {"icmp_sge_32_64", 32},
+		{"uextend_lower", 16}, {"iconst_lower", 8},
+	} {
+		io := verifyRuleAt(t, v, prog, tc.rule, tc.width)
+		if io.Outcome != core.OutcomeSuccess {
+			msg := ""
+			if io.Counterexample != nil {
+				msg = io.Counterexample.Rendered
+			}
+			t.Errorf("%s@%d: %v\n%s", tc.rule, tc.width, io.Outcome, msg)
+		}
+	}
+}
+
+// TestSmallRotrExpansion verifies the shift/or expansion of the
+// small_rotr intermediate term (§2.3).
+func TestSmallRotrExpansion(t *testing.T) {
+	prog, err := LoadAarch64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 60 * time.Second})
+	r := findRule(t, prog, "small_rotr_expand")
+	rr, err := v.VerifyRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.AllSuccess() {
+		for _, io := range rr.Insts {
+			if io.Counterexample != nil {
+				t.Logf("cex:\n%s", io.Counterexample.Rendered)
+			}
+		}
+		t.Fatalf("small_rotr_expand: %v", rr.Outcome())
+	}
+}
+
+// TestCustomVCRules reproduces Table 1's failure rows: the two
+// even-immediate comparison rules fail under strict equivalence and
+// verify under the flag-flattening custom conditions (§3.2.2).
+func TestCustomVCRules(t *testing.T) {
+	prog, err := LoadAarch64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := core.New(prog, core.Options{Timeout: 60 * time.Second})
+	custom := core.New(prog, core.Options{Timeout: 60 * time.Second, Custom: CustomVCs()})
+	for _, name := range FailingWithoutCustomVC() {
+		r := findRule(t, prog, name)
+		rr, err := strict.VerifyRule(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.Outcome() != core.OutcomeFailure {
+			t.Errorf("%s strict: %v, want failure", name, rr.Outcome())
+		}
+		rr, err = custom.VerifyRule(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rr.AllSuccess() {
+			t.Errorf("%s custom: %v, want success", name, rr.Outcome())
+		}
+	}
+}
+
+// TestClsBug reproduces §4.3.3 end to end, including the shape of the
+// paper's counterexample (a negative narrow input).
+func TestClsBug(t *testing.T) {
+	var bug Bug
+	for _, b := range Bugs() {
+		if b.ID == "cls_bug" {
+			bug = b
+		}
+	}
+	prog, err := LoadBug(bug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 60 * time.Second})
+	r := findRule(t, prog, "cls8_buggy")
+	rr, err := v.VerifyRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cex *core.Counterexample
+	for _, io := range rr.Insts {
+		if io.Outcome == core.OutcomeFailure {
+			cex = io.Counterexample
+		}
+	}
+	if cex == nil {
+		t.Fatalf("cls8_buggy should fail; outcomes: %+v", rr)
+	}
+	x := cex.Inputs["x"]
+	if x.Bits>>7&1 != 1 {
+		t.Errorf("counterexample input should be negative (zext vs sext only differ there), got %s", x)
+	}
+	if !strings.Contains(cex.Rendered, "a64_cls") {
+		t.Errorf("rendered counterexample missing rule text:\n%s", cex.Rendered)
+	}
+}
+
+// TestNegconstDistinctness reproduces §4.4.2: the buggy rules verify but
+// admit exactly one matching input at narrow widths.
+func TestNegconstDistinctness(t *testing.T) {
+	var bug Bug
+	for _, b := range Bugs() {
+		if b.ID == "negconst_bug" {
+			bug = b
+		}
+	}
+	prog, err := LoadBug(bug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 60 * time.Second, DistinctModels: true})
+	io := verifyRuleAt(t, v, prog, "isub_negimm12_buggy", 8)
+	if io.Outcome != core.OutcomeSuccess {
+		t.Fatalf("buggy rule should still verify, got %v", io.Outcome)
+	}
+	if io.DistinctInputs == nil || *io.DistinctInputs {
+		t.Fatal("distinct-models check should flag the narrow buggy rule")
+	}
+	// The fixed rule in the main corpus has distinct models.
+	mainProg, err := LoadAarch64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := core.New(mainProg, core.Options{Timeout: 60 * time.Second, DistinctModels: true})
+	io = verifyRuleAt(t, v2, mainProg, "isub_negimm12", 8)
+	if io.Outcome != core.OutcomeSuccess || io.DistinctInputs == nil || !*io.DistinctInputs {
+		t.Fatalf("fixed rule: outcome=%v distinct=%v", io.Outcome, io.DistinctInputs)
+	}
+}
+
+// TestMidendBug reproduces §4.4.4: the vacuous Some(false) guard.
+func TestMidendBug(t *testing.T) {
+	var bug Bug
+	for _, b := range Bugs() {
+		if b.ID == "midend_bug" {
+			bug = b
+		}
+	}
+	prog, err := LoadBug(bug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 60 * time.Second})
+	io := verifyRuleAt(t, v, prog, "bor_band_not_buggy", 8)
+	if io.Outcome != core.OutcomeFailure {
+		t.Fatalf("buggy mid-end rule: %v, want failure", io.Outcome)
+	}
+	// At 64 bits the fixed guard is satisfiable and the identity holds.
+	io = verifyRuleAt(t, v, prog, "bor_band_not_fixed", 64)
+	if io.Outcome != core.OutcomeSuccess {
+		msg := ""
+		if io.Counterexample != nil {
+			msg = io.Counterexample.Rendered
+		}
+		t.Fatalf("fixed mid-end rule @64: %v, want success\n%s", io.Outcome, msg)
+	}
+	// At narrow widths z = ~y is unsatisfiable under the zero-extension
+	// constant invariant, so the fixed rule correctly never matches.
+	io = verifyRuleAt(t, v, prog, "bor_band_not_fixed", 8)
+	if io.Outcome != core.OutcomeInapplicable {
+		t.Fatalf("fixed mid-end rule @8: %v, want inapplicable", io.Outcome)
+	}
+}
+
+// TestAmodeCVE reproduces §4.3.1 (the 9.9/10 CVE) and §4.4.1.
+func TestAmodeCVE(t *testing.T) {
+	var bug Bug
+	for _, b := range Bugs() {
+		if b.ID == "amode_cve" {
+			bug = b
+		}
+	}
+	prog, err := LoadBug(bug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 60 * time.Second})
+	r := findRule(t, prog, "amode_add_uext_shift_cve")
+	rr, err := v.VerifyRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Outcome() != core.OutcomeFailure {
+		t.Fatalf("CVE rule: %v, want failure", rr.Outcome())
+	}
+	// §4.4.1: the no-uextend variant also fails (at the 32-bit value sig).
+	r = findRule(t, prog, "amode_add_shift_nouext")
+	rr, err = v.VerifyRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Outcome() != core.OutcomeFailure {
+		t.Fatalf("no-uextend rule: %v, want failure", rr.Outcome())
+	}
+	// The patched rule verifies (64-bit) / is inapplicable (32-bit).
+	r = findRule(t, prog, "amode_add_shift_patched")
+	rr, err = v.VerifyRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.AllSuccess() {
+		t.Fatalf("patched rule: %v, want success", rr.Outcome())
+	}
+}
+
+// TestUdivImmCVE reproduces §4.3.2 at the 8-bit instantiation (wider ones
+// hit the paper's division timeouts).
+func TestUdivImmCVE(t *testing.T) {
+	var bug Bug
+	for _, b := range Bugs() {
+		if b.ID == "udiv_imm_cve" {
+			bug = b
+		}
+	}
+	prog, err := LoadBug(bug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 120 * time.Second})
+	io := verifyRuleAt(t, v, prog, "udiv_const_buggy", 8)
+	if io.Outcome != core.OutcomeFailure {
+		t.Fatalf("udiv_const_buggy@8: %v, want failure", io.Outcome)
+	}
+	// The counterexample divisor must be negative at the narrow width:
+	// that is where sign- and zero-extension disagree.
+	n := io.Counterexample.Inputs["n"]
+	if n.Bits>>7&1 != 1 {
+		t.Errorf("divisor constant should have the sign bit set, got %s", n)
+	}
+	io = verifyRuleAt(t, v, prog, "sdiv_const_buggy", 8)
+	if io.Outcome != core.OutcomeFailure {
+		t.Fatalf("sdiv_const_buggy@8: %v, want failure", io.Outcome)
+	}
+}
+
+func TestIconstSemantics(t *testing.T) {
+	var bug Bug
+	for _, b := range Bugs() {
+		if b.ID == "iconst_semantics" {
+			bug = b
+		}
+	}
+	prog, err := LoadBug(bug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 60 * time.Second, DistinctModels: true})
+	io := verifyRuleAt(t, v, prog, "isub_negimm12_sext_repr", 8)
+	if io.Outcome != core.OutcomeSuccess {
+		t.Fatalf("sign-extension-invariant rule: %v, want success", io.Outcome)
+	}
+	if io.DistinctInputs == nil || !*io.DistinctInputs {
+		t.Fatal("under the sign-extension invariant the rule matches many constants")
+	}
+}
+
+// TestInterpreterAgreesOnVerifiedRules ties the interpreter mode (§3.3)
+// to verification: for every quickly-verifiable rule, concretely executing
+// the rule on an arbitrary admissible input must produce equal sides.
+func TestInterpreterAgreesOnVerifiedRules(t *testing.T) {
+	prog, err := LoadAarch64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small budget: skip the multiplicative tail.
+	v := core.New(prog, core.Options{Timeout: 500 * time.Millisecond})
+	checked := 0
+	for _, r := range prog.Rules {
+		for _, sig := range v.Sigs(r) {
+			io, err := v.VerifyInstantiation(r, sig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if io.Outcome != core.OutcomeSuccess {
+				continue
+			}
+			res, err := v.Interpret(r, sig, nil)
+			if err != nil {
+				t.Fatalf("%s %s: %v", r.Name, sig, err)
+			}
+			if !res.Matches {
+				t.Errorf("%s %s: verified but interpreter found no admissible input", r.Name, sig)
+				continue
+			}
+			if !res.Equal {
+				t.Errorf("%s %s: verified rule disagrees concretely: %s vs %s",
+					r.Name, sig, res.LHSValue, res.RHSValue)
+			}
+			checked++
+			break // one instantiation per rule keeps the test fast
+		}
+	}
+	if checked < 60 {
+		t.Fatalf("only %d rules checked; expected most of the corpus", checked)
+	}
+}
+
+// TestX64IntegerRulesVerify covers the "preliminary x86-64 support" of
+// §4.1: the x64 integer rules — with their partial-register-write and
+// sign-extended-imm32 semantics — all verify (multiplies excepted at the
+// widths where bit-level multiplication exceeds the test budget).
+func TestX64IntegerRulesVerify(t *testing.T) {
+	prog, err := LoadX64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 10 * time.Second})
+	for _, r := range prog.Rules {
+		if !strings.HasPrefix(r.Name, "x64_") {
+			continue
+		}
+		if strings.Contains(r.Name, "imul") {
+			continue // multiplication: the §4.1 timeout family
+		}
+		rr, err := v.VerifyRule(r)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		for _, io := range rr.Insts {
+			if io.Outcome == core.OutcomeFailure {
+				msg := ""
+				if io.Counterexample != nil {
+					msg = io.Counterexample.Rendered
+				}
+				t.Errorf("%s %s: failure\n%s", r.Name, io.Sig, msg)
+			}
+		}
+		if !rr.AllSuccess() && rr.Outcome() != core.OutcomeTimeout {
+			t.Errorf("%s: %v", r.Name, rr.Outcome())
+		}
+	}
+}
+
+// TestX64PartialRegisterSemantics: injecting aarch64-style "zero the
+// upper bits" semantics into an 8-bit x64 rule context must NOT change
+// verification outcomes for the low bits (the comparison only demands the
+// type's bits) — but a rule that reads the preserved upper bits wrongly
+// does fail. This pins the partial-write modeling.
+func TestX64PartialRegisterSemantics(t *testing.T) {
+	prog, err := LoadX64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 10 * time.Second})
+	io := verifyRuleAt(t, v, prog, "x64_iadd_base", 8)
+	if io.Outcome != core.OutcomeSuccess {
+		t.Fatalf("x64_iadd_base@8: %v", io.Outcome)
+	}
+	// The imm32 rule is inapplicable below 32 bits and verified above.
+	io = verifyRuleAt(t, v, prog, "x64_iadd_imm32", 8)
+	if io.Outcome != core.OutcomeInapplicable {
+		t.Fatalf("x64_iadd_imm32@8: %v", io.Outcome)
+	}
+	io = verifyRuleAt(t, v, prog, "x64_iadd_imm32", 64)
+	if io.Outcome != core.OutcomeSuccess {
+		t.Fatalf("x64_iadd_imm32@64: %v", io.Outcome)
+	}
+}

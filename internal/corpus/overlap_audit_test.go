@@ -1,0 +1,62 @@
+package corpus
+
+import (
+	"testing"
+	"time"
+
+	"crocus/internal/core"
+)
+
+// TestCorpusOverlapAudit runs the multi-rule overlap analysis (the
+// paper's §6 priority-reasoning future work) over the aarch64 corpus:
+// same-priority overlaps must all be known-benign pairs whose right-hand
+// sides agree on the overlap region (commutative immediate/madd forms).
+func TestCorpusOverlapAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overlap audit in -short mode")
+	}
+	prog, err := LoadAarch64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(prog, core.Options{Timeout: 2 * time.Second})
+	out, err := v.FindAmbiguousOverlaps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign := map[string]bool{
+		// Operand-order twins and positive/negated immediate twins: on
+		// the overlap region both right-hand sides compute the same value
+		// (x+v = x-(-v); madd of the same product and addend), so the
+		// ambiguity is harmless — as in upstream Cranelift, where such
+		// sibling rules also coexist.
+		"iadd_imm12_right/iadd_imm12_left":       true,
+		"iadd_negimm12_right/iadd_negimm12_left": true,
+		"iadd_madd_right/iadd_madd_left":         true,
+		"iadd_imm12_right/iadd_negimm12_left":    true,
+		"iadd_imm12_right/iadd_negimm12_right":   true,
+		"iadd_imm12_left/iadd_negimm12_right":    true,
+		"iadd_imm12_left/iadd_negimm12_left":     true,
+		"isub_imm12/isub_negimm12":               true,
+		// Operand-role overlaps at equal priority: one operand is a
+		// multiply and the other an extend/shift/constant, so two fusion
+		// rules match. Note that overlapping VERIFIED rules are benign by
+		// construction: each right-hand side is proven equal to the same
+		// left-hand side, so they agree wherever both match.
+		"iadd_uextend_right/iadd_madd_left": true,
+		"iadd_sextend_right/iadd_madd_left": true,
+		"iadd_ishl_right/iadd_madd_left":    true,
+	}
+	amb := 0
+	for _, o := range out {
+		t.Logf("%-12s %s / %s", o.Kind, o.RuleA, o.RuleB)
+		if o.Kind == core.OverlapAmbiguous {
+			amb++
+			if !benign[o.RuleA+"/"+o.RuleB] && !benign[o.RuleB+"/"+o.RuleA] {
+				t.Errorf("unexpected same-priority overlap: %s / %s (witness %v)",
+					o.RuleA, o.RuleB, o.Witness)
+			}
+		}
+	}
+	t.Logf("%d overlapping pairs, %d ambiguous", len(out), amb)
+}

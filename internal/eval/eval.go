@@ -1,0 +1,457 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (§4): Table 1's verification results, Figure 4's CDF of
+// verification times, the §4.2 rule-coverage percentages, and the §4.3 /
+// §4.4 bug reproductions. Each experiment returns structured results plus
+// a text rendering shaped like the paper's presentation.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"crocus/internal/clif"
+	"crocus/internal/core"
+	"crocus/internal/corpus"
+	"crocus/internal/isle"
+	"crocus/internal/lower"
+	"crocus/internal/wasm"
+)
+
+// Config controls experiment resources.
+type Config struct {
+	// Timeout is the per-query solver deadline. The paper ran hard
+	// mul/div/popcnt instances for up to 6 hours; any budget reproduces
+	// the same *shape* (those instantiations time out, everything else is
+	// fast). Default 5s.
+	Timeout time.Duration
+	// Distinct enables the §3.2.1 distinct-models check during Table 1.
+	Distinct bool
+	// Parallelism verifies rules concurrently during the Table 1 sweep
+	// (0/1 = sequential). Figure 4 always runs sequentially because it
+	// measures per-rule isolation times.
+	Parallelism int
+}
+
+func (c Config) timeout() time.Duration {
+	if c.Timeout == 0 {
+		return 5 * time.Second
+	}
+	return c.Timeout
+}
+
+// --------------------------------------------------------------------------
+// Table 1
+
+// RuleOutcome is one rule row of the Table 1 computation.
+type RuleOutcome struct {
+	Name     string
+	Insts    []core.InstOutcome
+	Duration time.Duration
+}
+
+// Table1Result aggregates verification results for rules and type
+// instantiations, in the layout of the paper's Table 1.
+type Table1Result struct {
+	Rules []RuleOutcome
+
+	// Rule-level aggregates.
+	TotalRules         int
+	SuccessAllTypes    int // every applicable instantiation verified
+	SuccessAnyType     int // at least one instantiation verified
+	TimeoutAnyType     int
+	TimeoutAllTypes    int
+	FailureRules       int
+	FailureRulesCustom int // failures remaining WITH custom conditions
+
+	// Instantiation-level aggregates.
+	TotalInsts        int
+	SuccessInsts      int
+	TimeoutInsts      int
+	InapplicableInsts int
+	FailureInsts      int
+}
+
+// Table1 verifies the full aarch64 integer corpus (96 rules) across all
+// type instantiations, first under strict bitvector equivalence and then
+// with the corpus's custom verification conditions for the rules that
+// need them (§3.2.2).
+func Table1(cfg Config) (*Table1Result, error) {
+	prog, err := corpus.LoadAarch64()
+	if err != nil {
+		return nil, err
+	}
+	strict := core.New(prog, core.Options{
+		Timeout:        cfg.timeout(),
+		DistinctModels: cfg.Distinct,
+		Parallelism:    cfg.Parallelism,
+	})
+	custom := core.New(prog, core.Options{Timeout: cfg.timeout(), Custom: corpus.CustomVCs()})
+
+	res := &Table1Result{}
+	needsCustom := map[string]bool{}
+	for _, n := range corpus.FailingWithoutCustomVC() {
+		needsCustom[n] = true
+	}
+
+	all, err := strict.VerifyAll()
+	if err != nil {
+		return nil, fmt.Errorf("verifying: %w", err)
+	}
+	for i, r := range prog.Rules {
+		rr := all[i]
+		var dur time.Duration
+		for _, io := range rr.Insts {
+			dur += io.Duration
+		}
+		row := RuleOutcome{Name: r.Name, Insts: rr.Insts, Duration: dur}
+		res.Rules = append(res.Rules, row)
+
+		res.TotalRules++
+		anySuccess, anyTimeout, anyFailure := false, false, false
+		allOK := true
+		for _, io := range rr.Insts {
+			res.TotalInsts++
+			switch io.Outcome {
+			case core.OutcomeSuccess:
+				res.SuccessInsts++
+				anySuccess = true
+			case core.OutcomeTimeout:
+				res.TimeoutInsts++
+				anyTimeout = true
+				allOK = false
+			case core.OutcomeInapplicable:
+				res.InapplicableInsts++
+			case core.OutcomeFailure:
+				res.FailureInsts++
+				anyFailure = true
+				allOK = false
+			}
+		}
+		if anyFailure {
+			res.FailureRules++
+			// Re-verify with the custom conditions (Table 1's note: "the
+			// failures all succeed with custom verification conditions").
+			if needsCustom[r.Name] {
+				rr2, err := custom.VerifyRule(r)
+				if err != nil {
+					return nil, err
+				}
+				if !rr2.AllSuccess() {
+					res.FailureRulesCustom++
+				}
+			} else {
+				res.FailureRulesCustom++
+			}
+		}
+		if anySuccess {
+			res.SuccessAnyType++
+		}
+		if anySuccess && allOK {
+			res.SuccessAllTypes++
+		}
+		if anyTimeout {
+			res.TimeoutAnyType++
+		}
+		if anyTimeout && !anySuccess {
+			res.TimeoutAllTypes++
+		}
+	}
+	return res, nil
+}
+
+// Render prints the result in the paper's Table 1 layout.
+func (t *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: verification results (Wasm 1.0 integer ops -> aarch64)\n")
+	fmt.Fprintf(&b, "%-22s %-8s %-32s %-28s %-14s %s\n",
+		"", "Total", "Success", "Timeout", "Inapplicable", "Failure")
+	fmt.Fprintf(&b, "%-22s %-8d %-32s %-28s %-14s %s\n",
+		"Rules", t.TotalRules,
+		fmt.Sprintf("%d (all types) / %d (any type)", t.SuccessAllTypes, t.SuccessAnyType),
+		fmt.Sprintf("%d (any type) / %d (all types)", t.TimeoutAnyType, t.TimeoutAllTypes),
+		"N/A",
+		fmt.Sprintf("%d (%d)", t.FailureRules, t.FailureRulesCustom))
+	fmt.Fprintf(&b, "%-22s %-8d %-32d %-28d %-14d %s\n",
+		"Type Instantiations", t.TotalInsts, t.SuccessInsts, t.TimeoutInsts,
+		t.InapplicableInsts,
+		fmt.Sprintf("%d (with custom VCs: %d remain)", t.FailureInsts, t.FailureRulesCustom))
+	return b.String()
+}
+
+// --------------------------------------------------------------------------
+// Figure 4: CDF of verification times
+
+// CDFPoint is one point of the Figure 4 series.
+type CDFPoint struct {
+	Seconds  float64
+	Fraction float64
+}
+
+// Fig4Result holds the per-rule times and the CDF.
+type Fig4Result struct {
+	// Durations are per-rule wall times, sorted ascending. Rules with
+	// timed-out instantiations are split into a terminating and a
+	// timed-out part, as in the paper's Figure 4 caption.
+	Durations []time.Duration
+	TimedOut  int // entries that hit the budget
+	Points    []CDFPoint
+}
+
+// Fig4 measures per-rule verification time in isolation over the Table 1
+// corpus and computes the cumulative distribution.
+func Fig4(cfg Config) (*Fig4Result, error) {
+	prog, err := corpus.LoadAarch64()
+	if err != nil {
+		return nil, err
+	}
+	v := core.New(prog, core.Options{Timeout: cfg.timeout(), Custom: corpus.CustomVCs()})
+	res := &Fig4Result{}
+	for _, r := range prog.Rules {
+		var terminating time.Duration
+		var timedOut time.Duration
+		hasTerm, hasTO := false, false
+		for _, sig := range v.Sigs(r) {
+			io, err := v.VerifyInstantiation(r, sig)
+			if err != nil {
+				return nil, err
+			}
+			if io.Outcome == core.OutcomeTimeout {
+				timedOut += io.Duration
+				hasTO = true
+			} else {
+				terminating += io.Duration
+				hasTerm = true
+			}
+		}
+		if hasTerm {
+			res.Durations = append(res.Durations, terminating)
+		}
+		if hasTO {
+			res.Durations = append(res.Durations, timedOut)
+			res.TimedOut++
+		}
+	}
+	sort.Slice(res.Durations, func(i, j int) bool { return res.Durations[i] < res.Durations[j] })
+	n := len(res.Durations)
+	for i, d := range res.Durations {
+		res.Points = append(res.Points, CDFPoint{
+			Seconds:  d.Seconds(),
+			Fraction: float64(i+1) / float64(n),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the CDF as a text table plus percentile summary.
+func (f *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: CDF of verification times (per rule, in isolation)\n")
+	pct := func(p float64) time.Duration {
+		if len(f.Durations) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(f.Durations))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return f.Durations[i]
+	}
+	fmt.Fprintf(&b, "tests: %d (rules with timeouts split in two, as in the paper)\n", len(f.Durations))
+	fmt.Fprintf(&b, "p50 = %v   p90 = %v   p99 = %v   max = %v   timed out: %d\n",
+		pct(0.50).Round(time.Millisecond), pct(0.90).Round(time.Millisecond),
+		pct(0.99).Round(time.Millisecond), pct(1.0).Round(time.Millisecond), f.TimedOut)
+	b.WriteString("seconds,cdf\n")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%.3f,%.4f\n", p.Seconds, p.Fraction)
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------------------
+// §4.2 coverage
+
+// CoverageResult is the §4.2 measurement for one suite.
+type CoverageResult struct {
+	Suite           string
+	Functions       int
+	InvokedUnique   int
+	VerifiedInvoked int
+	FiredCounts     map[string]int
+}
+
+// Percent returns the verified share of invoked unique rules.
+func (c *CoverageResult) Percent() float64 {
+	if c.InvokedUnique == 0 {
+		return 0
+	}
+	return 100 * float64(c.VerifiedInvoked) / float64(c.InvokedUnique)
+}
+
+// Coverage runs the instrumented instruction selector over both §4.2
+// workloads and reports, per suite, the proportion of invoked unique
+// rules that fall in Crocus's verified set.
+func Coverage() ([]*CoverageResult, error) {
+	prog, err := corpus.LoadCoverage()
+	if err != nil {
+		return nil, err
+	}
+	verified, err := corpus.VerifiedRuleNames()
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(suite string, funcs []*clif.Func) (*CoverageResult, error) {
+		eng := lower.New(prog)
+		for _, f := range funcs {
+			if err := eng.LowerFunc(f); err != nil {
+				return nil, fmt.Errorf("%s: lowering %s: %w", suite, f.Name, err)
+			}
+		}
+		fired := eng.Fired()
+		res := &CoverageResult{Suite: suite, Functions: len(funcs), FiredCounts: fired}
+		for name := range fired {
+			res.InvokedUnique++
+			if verified[name] {
+				res.VerifiedInvoked++
+			}
+		}
+		return res, nil
+	}
+
+	ref, err := wasm.ReferenceSuite()
+	if err != nil {
+		return nil, err
+	}
+	wasmRes, err := run("wasm-reference", ref.Funcs)
+	if err != nil {
+		return nil, err
+	}
+	narrowRes, err := run("narrow-types (rustc_codegen_cranelift stand-in)", wasm.NarrowSuite())
+	if err != nil {
+		return nil, err
+	}
+	return []*CoverageResult{wasmRes, narrowRes}, nil
+}
+
+// RenderCoverage prints the §4.2 numbers.
+func RenderCoverage(rs []*CoverageResult) string {
+	var b strings.Builder
+	b.WriteString("§4.2: proportion of invoked unique ISLE rules in Crocus's verified set\n")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "  %-45s %4d funcs   verified %d / %d invoked = %.1f%%\n",
+			r.Suite, r.Functions, r.VerifiedInvoked, r.InvokedUnique, r.Percent())
+	}
+	return b.String()
+}
+
+// --------------------------------------------------------------------------
+// §4.3 / §4.4 bug reproductions
+
+// BugResult reports one reproduced defect.
+type BugResult struct {
+	Bug      corpus.Bug
+	Detected bool
+	Details  []string
+	Duration time.Duration
+}
+
+// Bugs reproduces every §4.3 and §4.4 defect: each buggy rule must
+// produce its expected outcome (counterexample, single-model warning, or
+// verified-as-intended contrast).
+func Bugs(cfg Config) ([]*BugResult, error) {
+	var out []*BugResult
+	for _, bug := range corpus.Bugs() {
+		start := time.Now()
+		prog, err := corpus.LoadBug(bug)
+		if err != nil {
+			return nil, err
+		}
+		v := core.New(prog, core.Options{
+			Timeout:        cfg.timeout(),
+			DistinctModels: bug.DistinctModels,
+		})
+		res := &BugResult{Bug: bug, Detected: true}
+		names := make([]string, 0, len(bug.Expect))
+		for n := range bug.Expect {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			want := bug.Expect[name]
+			rule := findRule(prog.Rules, name)
+			if rule == nil {
+				return nil, fmt.Errorf("bug %s: rule %s not found", bug.ID, name)
+			}
+			rr, err := v.VerifyRule(rule)
+			if err != nil {
+				return nil, err
+			}
+			got := rr.Outcome()
+			ok := got == want
+			detail := fmt.Sprintf("%-28s want %-12s got %-12s", name, want, got)
+			if bug.DistinctModels && want == core.OutcomeSuccess {
+				// §4.4.2: detection is the single-model warning.
+				single := false
+				for _, io := range rr.Insts {
+					if io.DistinctInputs != nil && !*io.DistinctInputs {
+						single = true
+					}
+				}
+				ok = ok && single
+				detail += fmt.Sprintf("  single-model-warning=%v", single)
+			}
+			if got == core.OutcomeFailure {
+				for _, io := range rr.Insts {
+					if io.Counterexample != nil {
+						detail += "\n" + indent(io.Counterexample.Rendered, "      ")
+						break
+					}
+				}
+			}
+			if !ok {
+				res.Detected = false
+			}
+			res.Details = append(res.Details, detail)
+		}
+		res.Duration = time.Since(start)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func findRule(rules []*isle.Rule, name string) *isle.Rule {
+	for _, r := range rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// RenderBugs prints the reproduction report.
+func RenderBugs(rs []*BugResult) string {
+	var b strings.Builder
+	b.WriteString("§4.3/§4.4 bug reproductions\n")
+	for _, r := range rs {
+		status := "REPRODUCED"
+		if !r.Detected {
+			status = "NOT REPRODUCED"
+		}
+		fmt.Fprintf(&b, "[%s] §%s %s (%v)\n    %s\n", status, r.Bug.Section, r.Bug.Title,
+			r.Duration.Round(time.Millisecond), r.Bug.ID)
+		for _, d := range r.Details {
+			fmt.Fprintf(&b, "    %s\n", d)
+		}
+	}
+	return b.String()
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

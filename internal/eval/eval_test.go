@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"crocus/internal/core"
+)
+
+// TestCoverage runs the §4.2 experiment end to end: both suites compile
+// fully and the verified share sits in the paper's neighborhood (a
+// minority of invoked rules).
+func TestCoverage(t *testing.T) {
+	rs, err := Coverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("suites = %d", len(rs))
+	}
+	for _, r := range rs {
+		t.Logf("%s: %d funcs, %d/%d = %.1f%%", r.Suite, r.Functions, r.VerifiedInvoked, r.InvokedUnique, r.Percent())
+		if r.InvokedUnique < 50 {
+			t.Errorf("%s: only %d unique rules invoked", r.Suite, r.InvokedUnique)
+		}
+		if r.Percent() <= 5 || r.Percent() >= 60 {
+			t.Errorf("%s: verified share %.1f%% out of the expected minority band", r.Suite, r.Percent())
+		}
+	}
+	out := RenderCoverage(rs)
+	if !strings.Contains(out, "%") {
+		t.Fatal("render")
+	}
+}
+
+// TestBugs reproduces all §4.3/§4.4 defects through the harness.
+func TestBugs(t *testing.T) {
+	rs, err := Bugs(Config{Timeout: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 6 {
+		t.Fatalf("bugs = %d", len(rs))
+	}
+	for _, r := range rs {
+		if !r.Detected {
+			t.Errorf("bug §%s (%s) not reproduced:\n%s", r.Bug.Section, r.Bug.ID,
+				strings.Join(r.Details, "\n"))
+		}
+	}
+	out := RenderBugs(rs)
+	if !strings.Contains(out, "REPRODUCED") || !strings.Contains(out, "9.9/10") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestTable1SmokeQuick runs Table 1 with a tiny budget: the aggregate
+// structure must hold (96 rules; successes dominate; failures are exactly
+// the custom-VC rules and vanish with custom conditions).
+func TestTable1SmokeQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 sweep in -short mode")
+	}
+	res, err := Table1(Config{Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRules != 96 {
+		t.Fatalf("rules = %d", res.TotalRules)
+	}
+	if res.TotalInsts < 300 {
+		t.Fatalf("instantiations = %d", res.TotalInsts)
+	}
+	if res.FailureRules != 2 {
+		t.Fatalf("failures = %d, want the 2 custom-VC rules", res.FailureRules)
+	}
+	if res.FailureRulesCustom != 0 {
+		t.Fatalf("failures remaining with custom VCs = %d, want 0", res.FailureRulesCustom)
+	}
+	if res.SuccessInsts < 100 {
+		t.Fatalf("successes = %d, too few even at a tiny budget", res.SuccessInsts)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Type Instantiations") {
+		t.Fatal("render")
+	}
+	t.Logf("\n%s", out)
+}
+
+// TestFig4Quick checks the CDF computation on the quick subset.
+func TestFig4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 sweep in -short mode")
+	}
+	res, err := Fig4(Config{Timeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 90 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.Fraction != 1.0 {
+		t.Fatalf("cdf must end at 1.0, got %f", last.Fraction)
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Seconds < res.Points[i-1].Seconds {
+			t.Fatal("cdf times must be sorted")
+		}
+	}
+	if res.TimedOut == 0 {
+		t.Fatal("expected mul/div/popcnt timeouts at a 300ms budget (the paper's shape)")
+	}
+	if !strings.Contains(res.Render(), "seconds,cdf") {
+		t.Fatal("render")
+	}
+}
+
+func TestOutcomeOrdering(t *testing.T) {
+	// Sanity on the outcome enum used across the harness.
+	if core.OutcomeSuccess.String() != "success" {
+		t.Fatal("enum drift")
+	}
+}

@@ -1,0 +1,103 @@
+// Package interp provides the developer-facing concrete-execution mode of
+// Crocus (§3.3 of the paper): run a lowering rule on specific inputs and
+// compare both sides, so engineers can test annotations against their
+// expectations before (or instead of) full verification.
+package interp
+
+import (
+	"fmt"
+
+	"crocus/internal/core"
+	"crocus/internal/isle"
+	"crocus/internal/smt"
+)
+
+// Case is one concrete test vector for a rule at a given width: input
+// values keyed by the rule's LHS variable names.
+type Case struct {
+	Width  int
+	Inputs map[string]uint64
+}
+
+// Result pairs a case with its execution outcome.
+type Result struct {
+	Case    Case
+	Matches bool
+	LHS     smt.Value
+	RHS     smt.Value
+	Equal   bool
+}
+
+// Runner executes concrete cases against rules of a program.
+type Runner struct {
+	v *core.Verifier
+}
+
+// New builds a Runner over a typechecked program.
+func New(prog *isle.Program) *Runner {
+	return &Runner{v: core.New(prog, core.Options{})}
+}
+
+// findRule locates a rule by name.
+func (r *Runner) findRule(name string) (*isle.Rule, error) {
+	for _, rule := range r.v.Prog.Rules {
+		if rule.Name == name {
+			return rule, nil
+		}
+	}
+	return nil, fmt.Errorf("interp: no rule named %q", name)
+}
+
+// sigForWidth picks the instantiation of the rule's root term whose return
+// width matches.
+func (r *Runner) sigForWidth(rule *isle.Rule, width int) (*isle.Sig, error) {
+	for _, sig := range r.v.Sigs(rule) {
+		if sig == nil {
+			return nil, nil
+		}
+		if sig.Ret.Kind == isle.MBV && sig.Ret.Width == width {
+			return sig, nil
+		}
+	}
+	return nil, fmt.Errorf("interp: rule %q has no %d-bit instantiation", rule.Name, width)
+}
+
+// Run executes one case against the named rule.
+func (r *Runner) Run(ruleName string, c Case) (*Result, error) {
+	rule, err := r.findRule(ruleName)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := r.sigForWidth(rule, c.Width)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make(map[string]smt.Value, len(c.Inputs))
+	for name, bitsVal := range c.Inputs {
+		inputs[name] = smt.BVValue(bitsVal, c.Width)
+	}
+	res, err := r.v.Interpret(rule, sig, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Case:    c,
+		Matches: res.Matches,
+		LHS:     res.LHSValue,
+		RHS:     res.RHSValue,
+		Equal:   res.Equal,
+	}, nil
+}
+
+// RunAll executes a batch of cases, collecting per-case results.
+func (r *Runner) RunAll(ruleName string, cases []Case) ([]*Result, error) {
+	out := make([]*Result, 0, len(cases))
+	for _, c := range cases {
+		res, err := r.Run(ruleName, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package interp
+
+import (
+	"testing"
+
+	"crocus/internal/isle"
+)
+
+const testSrc = `
+(type Inst (primitive Inst))
+(type InstOutput (primitive InstOutput))
+(type Value (primitive Value))
+(type Reg (primitive Reg))
+(type Type (primitive Type))
+
+(model Type Int)
+(model Value (bv))
+(model Inst (bv))
+(model InstOutput (bv))
+(model Reg (bv 64))
+
+(decl lower (Inst) InstOutput)
+(spec (lower arg) (provide (= result arg)))
+(decl put_in_reg (Value) Reg)
+(spec (put_in_reg arg) (provide (= result (convto 64 arg))))
+(convert Value Reg put_in_reg)
+(decl output_reg (Reg) InstOutput)
+(spec (output_reg arg) (provide (= result (convto (widthof result) arg))))
+(convert Reg InstOutput output_reg)
+(decl has_type (Type Inst) Inst)
+(spec (has_type ty arg) (provide (= result arg) (= ty (widthof arg))))
+(decl fits_in_16 (Type) Type)
+(spec (fits_in_16 arg) (provide (= result arg)) (require (<= arg 16)))
+
+(decl rotr (Value Value) Inst)
+(spec (rotr x y) (provide (= result (rotr x y))))
+(instantiate rotr
+	((args (bv 8) (bv 8)) (ret (bv 8)))
+	((args (bv 64) (bv 64)) (ret (bv 64))))
+
+(decl a64_rotr_64 (Reg Reg) Reg)
+(spec (a64_rotr_64 x y) (provide (= result (rotr x y))))
+
+(rule rotr_broken (lower (rotr x y)) (a64_rotr_64 x y))
+
+(decl iadd (Value Value) Inst)
+(spec (iadd x y) (provide (= result (+ x y))))
+(instantiate iadd
+	((args (bv 8) (bv 8)) (ret (bv 8)))
+	((args (bv 64) (bv 64)) (ret (bv 64))))
+(decl a64_add (Type Reg Reg) Reg)
+(spec (a64_add ty x y) (provide (= result (+ x y))))
+(rule narrow_add
+	(lower (has_type (fits_in_16 ty) (iadd x y)))
+	(a64_add ty x y))
+`
+
+func newRunner(t *testing.T) *Runner {
+	t.Helper()
+	p := isle.NewProgram()
+	if err := p.ParseFile("interp_test.isle", testSrc); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Typecheck(); err != nil {
+		t.Fatal(err)
+	}
+	return New(p)
+}
+
+// TestPaperRotrExample replays §2.3: rotating 8-bit #b00000001 right by
+// one must give #b10000000, but the 64-bit lowering gives 0.
+func TestPaperRotrExample(t *testing.T) {
+	r := newRunner(t)
+	res, err := r.Run("rotr_broken", Case{Width: 8, Inputs: map[string]uint64{"x": 1, "y": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matches {
+		t.Fatal("rule should match")
+	}
+	if res.LHS.Bits != 0x80 {
+		t.Fatalf("IR semantics: got %s, want #b10000000", res.LHS)
+	}
+	if res.Equal {
+		t.Fatalf("broken lowering should disagree: lhs=%s rhs=%s", res.LHS, res.RHS)
+	}
+	// At 64 bits the same rule is correct.
+	res, err = r.Run("rotr_broken", Case{Width: 64, Inputs: map[string]uint64{"x": 1, "y": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equal || res.LHS.Bits != 1<<63 {
+		t.Fatalf("64-bit: lhs=%s rhs=%s", res.LHS, res.RHS)
+	}
+}
+
+func TestNonMatchingInputs(t *testing.T) {
+	r := newRunner(t)
+	// narrow_add only matches 8/16-bit types; at width 64 the guard fails.
+	res, err := r.Run("narrow_add", Case{Width: 64, Inputs: map[string]uint64{"x": 3, "y": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches {
+		t.Fatal("narrow_add must not match 64-bit values")
+	}
+	res, err = r.Run("narrow_add", Case{Width: 8, Inputs: map[string]uint64{"x": 250, "y": 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Matches || !res.Equal || res.LHS.Bits != 4 {
+		t.Fatalf("8-bit wrapping add: %+v", res)
+	}
+}
+
+func TestRunAllAndErrors(t *testing.T) {
+	r := newRunner(t)
+	rs, err := r.RunAll("rotr_broken", []Case{
+		{Width: 8, Inputs: map[string]uint64{"x": 0x80, "y": 4}},
+		{Width: 8, Inputs: map[string]uint64{"x": 0, "y": 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	// Rotating zero is width-independent: both sides agree.
+	if !rs[1].Equal {
+		t.Fatal("rotr of zero should agree")
+	}
+	if _, err := r.Run("nonexistent", Case{Width: 8}); err == nil {
+		t.Fatal("expected unknown-rule error")
+	}
+	if _, err := r.Run("rotr_broken", Case{Width: 32}); err == nil {
+		t.Fatal("expected no-instantiation error")
+	}
+	if _, err := r.Run("rotr_broken", Case{Width: 8, Inputs: map[string]uint64{"zz": 1}}); err == nil {
+		t.Fatal("expected unknown-variable error")
+	}
+}

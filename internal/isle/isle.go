@@ -1,0 +1,502 @@
+// Package isle implements the subset of the ISLE (Instruction Selection
+// Lowering Expressions) domain-specific language that Crocus verification
+// operates on: term declarations, term-rewriting rules with if/if-let
+// guards and priorities, automatic type conversions, and the co-located
+// `(spec ...)` annotations of the Crocus annotation language.
+//
+// Beyond stock ISLE, the package accepts the verification-oriented forms
+// the paper describes in §3.1.3:
+//
+//	(model <IsleType> <sort>)      sort ::= Int | Bool | (bv) | (bv N)
+//	(form <name> <sig>...)         sig  ::= ((args <sort>...) (ret <sort>))
+//	(instantiate <term> <form-or-sigs>)
+//
+// model gives each ISLE type its SMT modeling sort (Value is a
+// polymorphic-width bitvector, Reg is a 64-bit bitvector, Type is an
+// integer, ...); instantiate lists the concrete type instantiations a
+// rule's root term ranges over (e.g. iadd over i8/i16/i32/i64).
+package isle
+
+import (
+	"fmt"
+
+	"crocus/internal/sexpr"
+	"crocus/internal/spec"
+)
+
+// MKind is the modeling kind of an ISLE type.
+type MKind int
+
+// Modeling kinds.
+const (
+	MInt  MKind = iota // SMT integer (type widths, immediates-as-integers)
+	MBool              // SMT boolean
+	MBV                // SMT bitvector; Width 0 means polymorphic
+)
+
+// MType is the modeling sort of an ISLE type: the SMT sort its values take
+// in verification conditions.
+type MType struct {
+	Kind  MKind
+	Width int // for MBV; 0 = polymorphic width
+}
+
+// String renders the modeling sort in the surface syntax.
+func (m MType) String() string {
+	switch m.Kind {
+	case MInt:
+		return "Int"
+	case MBool:
+		return "Bool"
+	default:
+		if m.Width == 0 {
+			return "(bv)"
+		}
+		return fmt.Sprintf("(bv %d)", m.Width)
+	}
+}
+
+// Sig is one concrete type instantiation of a term: fully concrete
+// modeling sorts for each argument and the return value.
+type Sig struct {
+	Args []MType
+	Ret  MType
+}
+
+// String renders the signature.
+func (s Sig) String() string {
+	out := "("
+	for i, a := range s.Args {
+		if i > 0 {
+			out += ", "
+		}
+		out += a.String()
+	}
+	return out + ") -> " + s.Ret.String()
+}
+
+// Decl is a term declaration.
+type Decl struct {
+	Name    string
+	Params  []string // ISLE type names
+	Ret     string   // ISLE type name
+	Partial bool     // (decl partial ...): term may fail to match
+	Pure    bool
+	Pos     sexpr.Pos
+}
+
+// NodeKind discriminates pattern/expression tree nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	NVar      NodeKind = iota // variable use or binding
+	NWildcard                 // `_`
+	NConst                    // integer literal
+	NApply                    // (term arg...)
+	NLet                      // (let ((name Type expr)...) body), RHS only
+)
+
+// TermNode is a node in a rule's LHS pattern or RHS expression tree.
+type TermNode struct {
+	Kind NodeKind
+	Pos  sexpr.Pos
+
+	Name     string // NVar: variable name; NApply: term name
+	IntVal   int64  // NConst
+	IntWidth int    // NConst: bit width for sized literals
+
+	Args []*TermNode // NApply
+	Lets []LetBind   // NLet
+	Body *TermNode   // NLet
+
+	// Type is the ISLE type name, filled in by Program.Typecheck.
+	Type string
+}
+
+// LetBind is one binding of a let expression.
+type LetBind struct {
+	Name string
+	Type string
+	Expr *TermNode
+}
+
+// String renders the node back to ISLE surface syntax.
+func (n *TermNode) String() string {
+	switch n.Kind {
+	case NVar:
+		return n.Name
+	case NWildcard:
+		return "_"
+	case NConst:
+		return sexpr.Bits(uint64(n.IntVal), n.IntWidth).String()
+	case NLet:
+		s := "(let ("
+		for i, b := range n.Lets {
+			if i > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("(%s %s %s)", b.Name, b.Type, b.Expr)
+		}
+		return s + ") " + n.Body.String() + ")"
+	default:
+		s := "(" + n.Name
+		for _, a := range n.Args {
+			s += " " + a.String()
+		}
+		return s + ")"
+	}
+}
+
+// IfLet is an `(if-let <pattern> <expr>)` guard; plain `(if <expr>)` is
+// represented with a wildcard pattern.
+type IfLet struct {
+	Pat  *TermNode
+	Expr *TermNode
+	Pos  sexpr.Pos
+}
+
+// Rule is one lowering rule.
+type Rule struct {
+	Name   string // optional rule name; synthesized from position if absent
+	Prio   int
+	LHS    *TermNode
+	IfLets []*IfLet
+	RHS    *TermNode
+	Pos    sexpr.Pos
+}
+
+// String renders the rule header for diagnostics.
+func (r *Rule) String() string {
+	return fmt.Sprintf("rule %s @ %s", r.Name, r.Pos)
+}
+
+// Converter is an automatic type conversion: values of ISLE type From are
+// converted to type To by wrapping them in the Term.
+type Converter struct {
+	From, To string
+	Term     string
+}
+
+// Program is a parsed collection of ISLE source files.
+type Program struct {
+	Decls      map[string]*Decl
+	Specs      map[string]*spec.Spec
+	Rules      []*Rule
+	Types      map[string]bool
+	Models     map[string]MType     // ISLE type -> modeling sort
+	Forms      map[string][]Sig     // named instantiation sets
+	Insts      map[string][]Sig     // term -> instantiations
+	Converters map[[2]string]string // {from,to} -> converter term
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{
+		Decls:      map[string]*Decl{},
+		Specs:      map[string]*spec.Spec{},
+		Types:      map[string]bool{},
+		Models:     map[string]MType{},
+		Forms:      map[string][]Sig{},
+		Insts:      map[string][]Sig{},
+		Converters: map[[2]string]string{},
+	}
+}
+
+func errAt(pos sexpr.Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// ParseFile parses ISLE source text into the program, accumulating decls,
+// rules, specs, models, forms, and instantiations.
+func (p *Program) ParseFile(filename, src string) error {
+	nodes, err := sexpr.ParseAll(filename, src)
+	if err != nil {
+		return err
+	}
+	for _, n := range nodes {
+		if err := p.parseTop(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) parseTop(n *sexpr.Node) error {
+	switch n.Head() {
+	case "type":
+		if len(n.List) < 2 || n.List[1].Kind != sexpr.KindSymbol {
+			return errAt(n.Pos, "malformed type declaration")
+		}
+		p.Types[n.List[1].Sym] = true
+		return nil
+	case "decl":
+		return p.parseDecl(n)
+	case "rule":
+		return p.parseRule(n)
+	case "spec":
+		s, err := spec.ParseSpec(n)
+		if err != nil {
+			return err
+		}
+		if _, dup := p.Specs[s.Term]; dup {
+			return errAt(n.Pos, "duplicate spec for term %s", s.Term)
+		}
+		p.Specs[s.Term] = s
+		return nil
+	case "model":
+		if len(n.List) != 3 || n.List[1].Kind != sexpr.KindSymbol {
+			return errAt(n.Pos, "malformed model declaration")
+		}
+		mt, err := parseMType(n.List[2])
+		if err != nil {
+			return err
+		}
+		p.Models[n.List[1].Sym] = mt
+		return nil
+	case "form":
+		if len(n.List) < 3 || n.List[1].Kind != sexpr.KindSymbol {
+			return errAt(n.Pos, "malformed form declaration")
+		}
+		sigs, err := parseSigs(n.List[2:])
+		if err != nil {
+			return err
+		}
+		p.Forms[n.List[1].Sym] = sigs
+		return nil
+	case "instantiate":
+		if len(n.List) < 3 || n.List[1].Kind != sexpr.KindSymbol {
+			return errAt(n.Pos, "malformed instantiate declaration")
+		}
+		term := n.List[1].Sym
+		if len(n.List) == 3 && n.List[2].Kind == sexpr.KindSymbol {
+			sigs, ok := p.Forms[n.List[2].Sym]
+			if !ok {
+				return errAt(n.Pos, "unknown form %q", n.List[2].Sym)
+			}
+			p.Insts[term] = append(p.Insts[term], sigs...)
+			return nil
+		}
+		sigs, err := parseSigs(n.List[2:])
+		if err != nil {
+			return err
+		}
+		p.Insts[term] = append(p.Insts[term], sigs...)
+		return nil
+	case "convert":
+		if len(n.List) != 4 {
+			return errAt(n.Pos, "convert expects (convert From To term)")
+		}
+		from, to, term := n.List[1].Sym, n.List[2].Sym, n.List[3].Sym
+		p.Converters[[2]string{from, to}] = term
+		return nil
+	case "extern", "extractor", "pragma":
+		// Accepted for source compatibility; not needed by verification.
+		return nil
+	default:
+		return errAt(n.Pos, "unknown top-level form %q", n.Head())
+	}
+}
+
+func parseMType(n *sexpr.Node) (MType, error) {
+	switch {
+	case n.Kind == sexpr.KindSymbol && n.Sym == "Int":
+		return MType{Kind: MInt}, nil
+	case n.Kind == sexpr.KindSymbol && n.Sym == "Bool":
+		return MType{Kind: MBool}, nil
+	case n.IsList("bv"):
+		if len(n.List) == 1 {
+			return MType{Kind: MBV}, nil
+		}
+		if len(n.List) == 2 && n.List[1].Kind == sexpr.KindInt {
+			return MType{Kind: MBV, Width: int(n.List[1].Int)}, nil
+		}
+	}
+	return MType{}, errAt(n.Pos, "malformed modeling sort (want Int, Bool, (bv), or (bv N))")
+}
+
+func parseSigs(nodes []*sexpr.Node) ([]Sig, error) {
+	var sigs []Sig
+	for _, sn := range nodes {
+		if sn.Kind != sexpr.KindList || len(sn.List) != 2 ||
+			!sn.List[0].IsList("args") || !sn.List[1].IsList("ret") ||
+			len(sn.List[1].List) != 2 {
+			return nil, errAt(sn.Pos, "malformed signature (want ((args ...) (ret ...)))")
+		}
+		var sig Sig
+		for _, an := range sn.List[0].List[1:] {
+			mt, err := parseMType(an)
+			if err != nil {
+				return nil, err
+			}
+			sig.Args = append(sig.Args, mt)
+		}
+		ret, err := parseMType(sn.List[1].List[1])
+		if err != nil {
+			return nil, err
+		}
+		sig.Ret = ret
+		sigs = append(sigs, sig)
+	}
+	return sigs, nil
+}
+
+func (p *Program) parseDecl(n *sexpr.Node) error {
+	items := n.List[1:]
+	d := &Decl{Pos: n.Pos}
+	for len(items) > 0 && items[0].Kind == sexpr.KindSymbol &&
+		(items[0].Sym == "pure" || items[0].Sym == "partial" || items[0].Sym == "multi") {
+		switch items[0].Sym {
+		case "pure":
+			d.Pure = true
+		case "partial":
+			d.Partial = true
+		}
+		items = items[1:]
+	}
+	if len(items) != 3 || items[0].Kind != sexpr.KindSymbol ||
+		items[1].Kind != sexpr.KindList || items[2].Kind != sexpr.KindSymbol {
+		return errAt(n.Pos, "malformed decl (want (decl [pure|partial] name (T...) Ret))")
+	}
+	d.Name = items[0].Sym
+	for _, t := range items[1].List {
+		if t.Kind != sexpr.KindSymbol {
+			return errAt(t.Pos, "decl parameter types must be identifiers")
+		}
+		d.Params = append(d.Params, t.Sym)
+	}
+	d.Ret = items[2].Sym
+	if _, dup := p.Decls[d.Name]; dup {
+		return errAt(n.Pos, "duplicate decl %s", d.Name)
+	}
+	p.Decls[d.Name] = d
+	return nil
+}
+
+func (p *Program) parseRule(n *sexpr.Node) error {
+	items := n.List[1:]
+	r := &Rule{Pos: n.Pos}
+	// Optional name, then optional priority.
+	if len(items) > 0 && items[0].Kind == sexpr.KindSymbol {
+		r.Name = items[0].Sym
+		items = items[1:]
+	}
+	if len(items) > 0 && items[0].Kind == sexpr.KindInt {
+		r.Prio = int(items[0].Int)
+		items = items[1:]
+	}
+	if len(items) < 2 {
+		return errAt(n.Pos, "rule needs a pattern and an expression")
+	}
+	lhs, err := parseTermNode(items[0])
+	if err != nil {
+		return err
+	}
+	r.LHS = lhs
+	items = items[1:]
+	// Zero or more if / if-let guards, then the RHS.
+	for len(items) > 1 {
+		g := items[0]
+		switch g.Head() {
+		case "if":
+			if len(g.List) != 2 {
+				return errAt(g.Pos, "if expects one expression")
+			}
+			e, err := parseTermNode(g.List[1])
+			if err != nil {
+				return err
+			}
+			r.IfLets = append(r.IfLets, &IfLet{
+				Pat:  &TermNode{Kind: NWildcard, Pos: g.Pos},
+				Expr: e,
+				Pos:  g.Pos,
+			})
+		case "if-let":
+			if len(g.List) != 3 {
+				return errAt(g.Pos, "if-let expects a pattern and an expression")
+			}
+			pat, err := parseTermNode(g.List[1])
+			if err != nil {
+				return err
+			}
+			e, err := parseTermNode(g.List[2])
+			if err != nil {
+				return err
+			}
+			r.IfLets = append(r.IfLets, &IfLet{Pat: pat, Expr: e, Pos: g.Pos})
+		default:
+			return errAt(g.Pos, "expected (if ...) or (if-let ...) before the rule expression")
+		}
+		items = items[1:]
+	}
+	rhs, err := parseTermNode(items[0])
+	if err != nil {
+		return err
+	}
+	r.RHS = rhs
+	if r.Name == "" {
+		r.Name = fmt.Sprintf("rule_at_%d_%d", n.Pos.Line, n.Pos.Col)
+	}
+	p.Rules = append(p.Rules, r)
+	return nil
+}
+
+func parseTermNode(n *sexpr.Node) (*TermNode, error) {
+	switch n.Kind {
+	case sexpr.KindSymbol:
+		if n.Sym == "_" {
+			return &TermNode{Kind: NWildcard, Pos: n.Pos}, nil
+		}
+		if n.Sym == "true" || n.Sym == "false" {
+			v := int64(0)
+			if n.Sym == "true" {
+				v = 1
+			}
+			return &TermNode{Kind: NConst, Pos: n.Pos, IntVal: v, IntWidth: 1}, nil
+		}
+		return &TermNode{Kind: NVar, Pos: n.Pos, Name: n.Sym}, nil
+	case sexpr.KindInt:
+		return &TermNode{Kind: NConst, Pos: n.Pos, IntVal: n.Int, IntWidth: n.IntWidth}, nil
+	case sexpr.KindList:
+		if len(n.List) == 0 || n.List[0].Kind != sexpr.KindSymbol {
+			return nil, errAt(n.Pos, "expected a term application")
+		}
+		head := n.List[0].Sym
+		if head == "let" {
+			if len(n.List) != 3 || n.List[1].Kind != sexpr.KindList {
+				return nil, errAt(n.Pos, "malformed let")
+			}
+			out := &TermNode{Kind: NLet, Pos: n.Pos}
+			for _, bn := range n.List[1].List {
+				if bn.Kind != sexpr.KindList || len(bn.List) != 3 ||
+					bn.List[0].Kind != sexpr.KindSymbol || bn.List[1].Kind != sexpr.KindSymbol {
+					return nil, errAt(bn.Pos, "let binding must be (name Type expr)")
+				}
+				e, err := parseTermNode(bn.List[2])
+				if err != nil {
+					return nil, err
+				}
+				out.Lets = append(out.Lets, LetBind{
+					Name: bn.List[0].Sym, Type: bn.List[1].Sym, Expr: e,
+				})
+			}
+			body, err := parseTermNode(n.List[2])
+			if err != nil {
+				return nil, err
+			}
+			out.Body = body
+			return out, nil
+		}
+		out := &TermNode{Kind: NApply, Pos: n.Pos, Name: head}
+		for _, an := range n.List[1:] {
+			a, err := parseTermNode(an)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, a)
+		}
+		return out, nil
+	default:
+		return nil, errAt(n.Pos, "unexpected %s in rule", n.Kind)
+	}
+}

@@ -1,0 +1,276 @@
+package isle
+
+import (
+	"strings"
+	"testing"
+)
+
+const testPrelude = `
+(type Inst (primitive Inst))
+(type InstOutput (primitive InstOutput))
+(type Value (primitive Value))
+(type Reg (primitive Reg))
+(type Type (primitive Type))
+
+(model Type Int)
+(model Value (bv))
+(model Reg (bv 64))
+(model Inst (bv))
+(model InstOutput (bv))
+
+(decl lower (Inst) InstOutput)
+(decl put_in_reg (Value) Reg)
+(decl output_reg (Reg) InstOutput)
+(convert Value Reg put_in_reg)
+(convert Reg InstOutput output_reg)
+
+(spec (put_in_reg arg) (provide (= result (convto 64 arg))))
+(spec (output_reg arg) (provide (= result (convto (widthof result) arg))))
+
+(decl has_type (Type Inst) Inst)
+(spec (has_type ty arg) (provide (= result arg) (= ty (widthof arg))))
+
+(decl inst_result (Inst) Value)
+(spec (inst_result arg) (provide (= result arg)))
+(convert Inst Value inst_result)
+
+(decl iadd (Value Value) Inst)
+(spec (iadd x y) (provide (= result (+ x y))))
+(form bin_8_to_64
+	((args (bv 8) (bv 8)) (ret (bv 8)))
+	((args (bv 16) (bv 16)) (ret (bv 16)))
+	((args (bv 32) (bv 32)) (ret (bv 32)))
+	((args (bv 64) (bv 64)) (ret (bv 64))))
+(instantiate iadd bin_8_to_64)
+
+(decl a64_add (Type Reg Reg) Reg)
+(spec (a64_add ty x y) (provide (= result (+ x y))))
+`
+
+func parseProgram(t *testing.T, srcs ...string) *Program {
+	t.Helper()
+	p := NewProgram()
+	for i, src := range srcs {
+		if err := p.ParseFile("test.isle", src); err != nil {
+			t.Fatalf("ParseFile(%d): %v", i, err)
+		}
+	}
+	return p
+}
+
+func TestParsePrelude(t *testing.T) {
+	p := parseProgram(t, testPrelude)
+	if len(p.Decls) != 7 { // lower, put_in_reg, output_reg, has_type, inst_result, iadd, a64_add
+		t.Fatalf("decls = %d", len(p.Decls))
+	}
+	d := p.Decls["a64_add"]
+	if d == nil || len(d.Params) != 3 || d.Ret != "Reg" {
+		t.Fatalf("a64_add = %+v", d)
+	}
+	if p.Models["Reg"] != (MType{Kind: MBV, Width: 64}) {
+		t.Fatalf("Reg model = %v", p.Models["Reg"])
+	}
+	if p.Models["Type"] != (MType{Kind: MInt}) {
+		t.Fatalf("Type model = %v", p.Models["Type"])
+	}
+	if p.Models["Value"] != (MType{Kind: MBV}) {
+		t.Fatalf("Value model = %v", p.Models["Value"])
+	}
+	if got := len(p.Insts["iadd"]); got != 4 {
+		t.Fatalf("iadd instantiations = %d", got)
+	}
+	sig := p.Insts["iadd"][2]
+	if sig.Ret.Width != 32 || len(sig.Args) != 2 || sig.Args[0].Width != 32 {
+		t.Fatalf("sig = %v", sig)
+	}
+	if p.Specs["iadd"] == nil {
+		t.Fatal("iadd spec missing")
+	}
+}
+
+func TestParseAndTypecheckSimpleRule(t *testing.T) {
+	p := parseProgram(t, testPrelude, `
+		(rule iadd_base
+			(lower (has_type ty (iadd x y)))
+			(a64_add ty x y))`)
+	if err := p.Typecheck(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Name != "iadd_base" {
+		t.Fatalf("name = %q", r.Name)
+	}
+	// RHS should be wrapped in output_reg, and x/y in put_in_reg.
+	if r.RHS.Name != "output_reg" {
+		t.Fatalf("rhs root = %s", r.RHS.Name)
+	}
+	add := r.RHS.Args[0]
+	if add.Name != "a64_add" {
+		t.Fatalf("inner = %s", add.Name)
+	}
+	if add.Args[1].Name != "put_in_reg" || add.Args[1].Args[0].Name != "x" {
+		t.Fatalf("x conversion = %s", add.Args[1])
+	}
+	if add.Args[1].Args[0].Type != "Value" || add.Args[1].Type != "Reg" {
+		t.Fatalf("types = %s %s", add.Args[1].Args[0].Type, add.Args[1].Type)
+	}
+}
+
+func TestRulePriorityAndAnonymousName(t *testing.T) {
+	p := parseProgram(t, testPrelude, `
+		(rule 5 (lower (iadd x y)) (a64_add 64 x y))`)
+	if err := p.Typecheck(); err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	if r.Prio != 5 {
+		t.Fatalf("prio = %d", r.Prio)
+	}
+	if !strings.HasPrefix(r.Name, "rule_at_") {
+		t.Fatalf("name = %q", r.Name)
+	}
+}
+
+func TestIfLetParsing(t *testing.T) {
+	p := parseProgram(t, testPrelude+`
+		(type u8 (primitive u8))
+		(model u8 (bv 8))
+		(decl u8_lteq (u8 u8) u8)
+		(spec (u8_lteq a b) (provide (= result a)) (require (ulte a b)))
+	`, `
+		(rule guarded
+			(lower (has_type ty (iadd x (iadd y z))))
+			(if (u8_lteq 3 4))
+			(a64_add ty x y))`)
+	if err := p.Typecheck(); err != nil {
+		t.Fatal(err)
+	}
+	r := p.Rules[0]
+	if len(r.IfLets) != 1 {
+		t.Fatalf("iflets = %d", len(r.IfLets))
+	}
+	if r.IfLets[0].Pat.Kind != NWildcard {
+		t.Fatal("plain if should have a wildcard pattern")
+	}
+	if r.IfLets[0].Expr.Name != "u8_lteq" {
+		t.Fatalf("guard expr = %s", r.IfLets[0].Expr.Name)
+	}
+}
+
+func TestLetRHS(t *testing.T) {
+	p := parseProgram(t, testPrelude, `
+		(rule with_let
+			(lower (has_type ty (iadd x y)))
+			(let ((sum Reg (a64_add ty x y)))
+				(a64_add ty sum sum)))`)
+	if err := p.Typecheck(); err != nil {
+		t.Fatal(err)
+	}
+	// The conversion to InstOutput is inserted inside the let body, so the
+	// let node itself remains the RHS root.
+	let := p.Rules[0].RHS
+	if let.Kind != NLet || let.Body.Name != "output_reg" {
+		t.Fatalf("rhs = %s", let)
+	}
+	if let.Lets[0].Name != "sum" || let.Lets[0].Type != "Reg" {
+		t.Fatalf("let bind = %+v", let.Lets[0])
+	}
+	// `sum` is already a Reg: no conversion inserted around its uses.
+	if let.Body.Args[0].Args[1].Name != "sum" {
+		t.Fatalf("body arg = %s", let.Body.Args[0].Args[1])
+	}
+}
+
+func TestTypecheckErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown term", `(rule r (lower (bogus x)) (a64_add 64 x x))`, "unknown term"},
+		{"arity", `(rule r (lower (iadd x)) (a64_add 64 x x))`, "expects 2 arguments"},
+		{"unbound rhs var", `(rule r (lower (iadd x y)) (a64_add 64 x z))`, "unbound variable"},
+		{"let on lhs", `(rule r (let ((q Reg (a64_add 64 q q))) q) (a64_add 64 q q))`, "must be a term application"},
+	}
+	for _, tc := range cases {
+		p := parseProgram(t, testPrelude, tc.src)
+		err := p.Typecheck()
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestSpecArityMismatch(t *testing.T) {
+	p := parseProgram(t, testPrelude+`
+		(decl widget (Value) Reg)
+		(spec (widget a b) (provide (= result a)))`)
+	err := p.Typecheck()
+	if err == nil || !strings.Contains(err.Error(), "spec for widget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFindIRTerm(t *testing.T) {
+	p := parseProgram(t, testPrelude, `
+		(rule r (lower (has_type ty (iadd x y))) (a64_add ty x y))`)
+	if err := p.Typecheck(); err != nil {
+		t.Fatal(err)
+	}
+	ir := p.FindIRTerm(p.Rules[0].LHS)
+	if ir == nil || ir.Name != "iadd" {
+		t.Fatalf("ir term = %v", ir)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`(frobnicate)`,
+		`(decl)`,
+		`(decl f (X) )`,
+		`(rule)`,
+		`(rule (lower x))`,
+		`(model X (bv eight))`,
+		`(instantiate foo unknown_form)`,
+		`(form f ((args) (bad 8)))`,
+		`(convert A B)`,
+	} {
+		p := NewProgram()
+		if err := p.ParseFile("t", src); err == nil {
+			t.Errorf("ParseFile(%q): expected error", src)
+		}
+	}
+}
+
+func TestDuplicateDeclAndSpec(t *testing.T) {
+	p := NewProgram()
+	err := p.ParseFile("t", `(decl f (Value) Reg)(decl f (Value) Reg)`)
+	if err == nil || !strings.Contains(err.Error(), "duplicate decl") {
+		t.Fatalf("err = %v", err)
+	}
+	p = NewProgram()
+	err = p.ParseFile("t", `
+		(spec (f a) (provide (= result a)))
+		(spec (f a) (provide (= result a)))`)
+	if err == nil || !strings.Contains(err.Error(), "duplicate spec") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	p := parseProgram(t, testPrelude, `
+		(rule r (lower (has_type ty (iadd x _))) (a64_add ty x x))`)
+	s := p.Rules[0].LHS.String()
+	if s != "(lower (has_type ty (iadd x _)))" {
+		t.Fatalf("lhs string = %q", s)
+	}
+}
+
+func TestSigString(t *testing.T) {
+	p := parseProgram(t, testPrelude)
+	got := p.Insts["iadd"][0].String()
+	if got != "((bv 8), (bv 8)) -> (bv 8)" {
+		t.Fatalf("sig string = %q", got)
+	}
+}

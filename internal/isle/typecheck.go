@@ -1,0 +1,198 @@
+package isle
+
+import (
+	"fmt"
+)
+
+// Typecheck validates every rule against the declared terms: arity,
+// ISLE-level types, and variable binding. Where argument and parameter
+// types differ and a `(convert From To term)` declaration exists, the
+// checker inserts the conversion term automatically — this is how ISLE's
+// implicit put_in_reg (Value→Reg) and output_reg (Reg→InstOutput)
+// conversions materialize in the term trees Crocus verifies (§3.1.2).
+// It also checks that every spec's argument list matches its term's arity.
+func (p *Program) Typecheck() error {
+	for term, s := range p.Specs {
+		d, ok := p.Decls[term]
+		if !ok {
+			return fmt.Errorf("%s: spec for undeclared term %s", s.Pos, term)
+		}
+		if len(s.Args) != len(d.Params) {
+			return fmt.Errorf("%s: spec for %s has %d args, decl has %d",
+				s.Pos, term, len(s.Args), len(d.Params))
+		}
+	}
+	for _, r := range p.Rules {
+		if err := p.typecheckRule(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type tcEnv struct {
+	p    *Program
+	vars map[string]string // variable -> ISLE type
+}
+
+func (p *Program) typecheckRule(r *Rule) error {
+	env := &tcEnv{p: p, vars: map[string]string{}}
+	if r.LHS.Kind != NApply {
+		return fmt.Errorf("%s: rule LHS must be a term application", r.Pos)
+	}
+	lhs, err := env.typeNode(r.LHS, "", true)
+	if err != nil {
+		return fmt.Errorf("%s: %w", r, err)
+	}
+	r.LHS = lhs
+	for _, il := range r.IfLets {
+		e, err := env.typeNode(il.Expr, "", false)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r, err)
+		}
+		il.Expr = e
+		pat, err := env.typeNode(il.Pat, il.Expr.Type, true)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r, err)
+		}
+		il.Pat = pat
+	}
+	rhs, err := env.typeNode(r.RHS, r.LHS.Type, false)
+	if err != nil {
+		return fmt.Errorf("%s: %w", r, err)
+	}
+	r.RHS = rhs
+	return nil
+}
+
+// typeNode types n against the expected ISLE type ("" = infer), returning
+// the (possibly conversion-wrapped) replacement node.
+func (e *tcEnv) typeNode(n *TermNode, expected string, lhs bool) (*TermNode, error) {
+	switch n.Kind {
+	case NWildcard:
+		n.Type = expected
+		return n, nil
+
+	case NConst:
+		// Integer literals take whatever ISLE type the context demands
+		// (u8, u64, Type, Imm12, ...); their modeling sort disambiguates.
+		if expected == "" {
+			return nil, fmt.Errorf("%s: cannot infer the type of a bare constant", n.Pos)
+		}
+		n.Type = expected
+		return n, nil
+
+	case NVar:
+		if prev, ok := e.vars[n.Name]; ok {
+			n.Type = prev
+			if expected != "" && expected != prev {
+				return e.convert(n, prev, expected, lhs)
+			}
+			return n, nil
+		}
+		if !lhs {
+			return nil, fmt.Errorf("%s: unbound variable %q on right-hand side", n.Pos, n.Name)
+		}
+		if expected == "" {
+			return nil, fmt.Errorf("%s: cannot infer the type of pattern variable %q", n.Pos, n.Name)
+		}
+		e.vars[n.Name] = expected
+		n.Type = expected
+		return n, nil
+
+	case NLet:
+		if lhs {
+			return nil, fmt.Errorf("%s: let is only allowed on the right-hand side", n.Pos)
+		}
+		for i := range n.Lets {
+			b := &n.Lets[i]
+			expr, err := e.typeNode(b.Expr, b.Type, false)
+			if err != nil {
+				return nil, err
+			}
+			b.Expr = expr
+			if _, dup := e.vars[b.Name]; dup {
+				return nil, fmt.Errorf("%s: let rebinds %q", n.Pos, b.Name)
+			}
+			e.vars[b.Name] = b.Type
+		}
+		body, err := e.typeNode(n.Body, expected, false)
+		if err != nil {
+			return nil, err
+		}
+		n.Body = body
+		n.Type = body.Type
+		return n, nil
+
+	case NApply:
+		d, ok := e.p.Decls[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("%s: unknown term %q", n.Pos, n.Name)
+		}
+		if len(n.Args) != len(d.Params) {
+			return nil, fmt.Errorf("%s: %s expects %d arguments, got %d",
+				n.Pos, n.Name, len(d.Params), len(n.Args))
+		}
+		for i, a := range n.Args {
+			ta, err := e.typeNode(a, d.Params[i], lhs)
+			if err != nil {
+				return nil, err
+			}
+			n.Args[i] = ta
+		}
+		n.Type = d.Ret
+		if expected != "" && expected != d.Ret {
+			return e.convert(n, d.Ret, expected, lhs)
+		}
+		return n, nil
+
+	default:
+		return nil, fmt.Errorf("%s: unexpected node kind %d", n.Pos, n.Kind)
+	}
+}
+
+// convert wraps n in the registered converter term from `from` to `to`.
+func (e *tcEnv) convert(n *TermNode, from, to string, lhs bool) (*TermNode, error) {
+	conv, ok := e.p.Converters[[2]string{from, to}]
+	if !ok {
+		return nil, fmt.Errorf("%s: type mismatch: have %s, want %s (no converter)", n.Pos, from, to)
+	}
+	d, ok := e.p.Decls[conv]
+	if !ok {
+		return nil, fmt.Errorf("%s: converter term %q is not declared", n.Pos, conv)
+	}
+	if len(d.Params) != 1 || d.Params[0] != from || d.Ret != to {
+		return nil, fmt.Errorf("%s: converter %s has signature (%v)->%s, want (%s)->%s",
+			n.Pos, conv, d.Params, d.Ret, from, to)
+	}
+	wrapped := &TermNode{Kind: NApply, Pos: n.Pos, Name: conv, Args: []*TermNode{n}, Type: to}
+	_ = lhs
+	return wrapped, nil
+}
+
+// FindIRTerm locates the instruction-selection root of a lowering rule's
+// LHS: the outermost term that has a registered type instantiation. For
+// `(lower (has_type ty (iadd a (uextend b))))` this is the iadd
+// application — the nested uextend's own widths are then resolved by the
+// inference passes (possibly to several assignments, per §3.1.3). It
+// returns nil when no instantiated term occurs.
+func (p *Program) FindIRTerm(n *TermNode) *TermNode {
+	var found *TermNode
+	var walk func(*TermNode)
+	walk = func(x *TermNode) {
+		if x == nil || found != nil {
+			return
+		}
+		if x.Kind == NApply {
+			if _, ok := p.Insts[x.Name]; ok {
+				found = x
+				return
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(n)
+	return found
+}

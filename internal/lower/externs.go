@@ -1,0 +1,243 @@
+package lower
+
+import (
+	"crocus/internal/clif"
+)
+
+// extractFn implements an extern extractor: given the matched subject it
+// either declines or yields the values for the pattern's sub-patterns.
+type extractFn func(env *matchEnv, subject mval) ([]mval, bool)
+
+// constructFn implements an extern constructor with real semantics
+// (guards and immediate helpers). Returning nil declines (a partial
+// constructor's None).
+type constructFn func(env *matchEnv, args []mval) (*mval, error)
+
+func typeFromBits(bits int) clif.Type {
+	switch bits {
+	case 8:
+		return clif.I8
+	case 16:
+		return clif.I16
+	case 32:
+		return clif.I32
+	default:
+		return clif.I64
+	}
+}
+
+// maskTo truncates v to the width of ty.
+func maskTo(v uint64, ty clif.Type) uint64 {
+	if ty.Bits() >= 64 {
+		return v
+	}
+	return v & ((1 << uint(ty.Bits())) - 1)
+}
+
+// iconstValue reports whether the subject is an integer constant, and its
+// (zero-extended) representation.
+func iconstValue(subject mval) (uint64, clif.Type, bool) {
+	if subject.kind != vValue || subject.v.Op != clif.OpIconst {
+		return 0, 0, false
+	}
+	return subject.v.Imm, subject.v.Ty, true
+}
+
+// extractors registers the Go semantics of the corpus's extern extractor
+// terms — the runtime counterparts of their prelude.isle specs.
+var extractors = map[string]extractFn{
+	// (has_type ty inst): yields the value's type and the value itself.
+	"has_type": func(env *matchEnv, s mval) ([]mval, bool) {
+		if s.kind != vValue {
+			return nil, false
+		}
+		return []mval{{kind: vType, ty: s.v.Ty}, s}, true
+	},
+
+	// (value_ty ty val): same, for integer operands.
+	"value_ty": func(env *matchEnv, s mval) ([]mval, bool) {
+		if s.kind != vValue || !s.v.Ty.IsInt() {
+			return nil, false
+		}
+		return []mval{{kind: vType, ty: s.v.Ty}, s}, true
+	},
+
+	// (float_ty ty val): the float counterpart.
+	"float_ty": func(env *matchEnv, s mval) ([]mval, bool) {
+		if s.kind != vValue || s.v.Ty.IsInt() {
+			return nil, false
+		}
+		return []mval{{kind: vType, ty: s.v.Ty}, s}, true
+	},
+
+	"fits_in_16": func(env *matchEnv, s mval) ([]mval, bool) {
+		if s.kind != vType || !s.ty.IsInt() || s.ty.Bits() > 16 {
+			return nil, false
+		}
+		return []mval{s}, true
+	},
+	"fits_in_32": func(env *matchEnv, s mval) ([]mval, bool) {
+		if s.kind != vType || !s.ty.IsInt() || s.ty.Bits() > 32 {
+			return nil, false
+		}
+		return []mval{s}, true
+	},
+	"fits_in_64": func(env *matchEnv, s mval) ([]mval, bool) {
+		if s.kind != vType || !s.ty.IsInt() || s.ty.Bits() > 64 {
+			return nil, false
+		}
+		return []mval{s}, true
+	},
+	"ty_32_or_64": func(env *matchEnv, s mval) ([]mval, bool) {
+		if s.kind != vType || !s.ty.IsInt() || s.ty.Bits() < 32 {
+			return nil, false
+		}
+		return []mval{s}, true
+	},
+
+	// (imm12_from_value imm): a constant encodable in 12 bits.
+	"imm12_from_value": func(env *matchEnv, s mval) ([]mval, bool) {
+		v, _, ok := iconstValue(s)
+		if !ok || v > 0xfff {
+			return nil, false
+		}
+		return []mval{{kind: vImm, imm: v}}, true
+	},
+
+	// (imm12_from_negated_value imm): the FIXED §4.4.2 semantics — negate
+	// the narrow value, then zero-extend.
+	"imm12_from_negated_value": func(env *matchEnv, s mval) ([]mval, bool) {
+		v, ty, ok := iconstValue(s)
+		if !ok {
+			return nil, false
+		}
+		neg := maskTo(-v, ty)
+		if neg > 0xfff {
+			return nil, false
+		}
+		return []mval{{kind: vImm, imm: neg}}, true
+	},
+
+	// (imm12_from_negated_value_buggy imm): the §4.4.2 bug — negate the
+	// 64-bit representation first (matches only zero for narrow types).
+	"imm12_from_negated_value_buggy": func(env *matchEnv, s mval) ([]mval, bool) {
+		v, _, ok := iconstValue(s)
+		if !ok {
+			return nil, false
+		}
+		neg := -v
+		if neg > 0xfff {
+			return nil, false
+		}
+		return []mval{{kind: vImm, imm: neg}}, true
+	},
+
+	"imml_from_value": func(env *matchEnv, s mval) ([]mval, bool) {
+		v, _, ok := iconstValue(s)
+		if !ok || v == 0 {
+			return nil, false
+		}
+		return []mval{{kind: vImm, imm: v}}, true
+	},
+
+	"immshift_from_value": func(env *matchEnv, s mval) ([]mval, bool) {
+		v, ty, ok := iconstValue(s)
+		if !ok || v >= uint64(ty.Bits()) {
+			return nil, false
+		}
+		return []mval{{kind: vImm, imm: v}}, true
+	},
+
+	"u64_from_value": func(env *matchEnv, s mval) ([]mval, bool) {
+		v, _, ok := iconstValue(s)
+		if !ok {
+			return nil, false
+		}
+		return []mval{{kind: vImm, imm: v}}, true
+	},
+
+	"uimm8_from_value": func(env *matchEnv, s mval) ([]mval, bool) {
+		v, _, ok := iconstValue(s)
+		if !ok || v > 0xff {
+			return nil, false
+		}
+		return []mval{{kind: vImm, imm: v}}, true
+	},
+
+	// (iconst_plus1 n): a constant v with v-1 encodable.
+	"iconst_plus1": func(env *matchEnv, s mval) ([]mval, bool) {
+		v, _, ok := iconstValue(s)
+		if !ok || v == 0 || v-1 > 0xfff {
+			return nil, false
+		}
+		return []mval{{kind: vImm, imm: v - 1}}, true
+	},
+
+	// (iconst_minus1 n): a constant v with v+1 encodable and non-zero.
+	"iconst_minus1": func(env *matchEnv, s mval) ([]mval, bool) {
+		v, _, ok := iconstValue(s)
+		if !ok || v+1 > 0xfff {
+			return nil, false
+		}
+		return []mval{{kind: vImm, imm: v + 1}}, true
+	},
+}
+
+// constructors registers extern constructors with real semantics.
+var constructors = map[string]constructFn{
+	// (operand_size ty): 32 for narrow types, 64 for i64.
+	"operand_size": func(env *matchEnv, args []mval) (*mval, error) {
+		bits := 64
+		if args[0].ty.Bits() <= 32 {
+			bits = 32
+		}
+		return &mval{kind: vType, ty: typeFromBits(bits)}, nil
+	},
+
+	// (widthof_value val): the value's type.
+	"widthof_value": func(env *matchEnv, args []mval) (*mval, error) {
+		return &mval{kind: vType, ty: args[0].v.Ty}, nil
+	},
+
+	"shift_mask": func(env *matchEnv, args []mval) (*mval, error) {
+		return &mval{kind: vImm, imm: uint64(args[0].ty.Bits() - 1)}, nil
+	},
+	"width_gap": func(env *matchEnv, args []mval) (*mval, error) {
+		return &mval{kind: vImm, imm: uint64(32 - args[0].ty.Bits())}, nil
+	},
+	"bit_at_width": func(env *matchEnv, args []mval) (*mval, error) {
+		return &mval{kind: vImm, imm: 1 << uint(args[0].ty.Bits())}, nil
+	},
+	"value_mask": func(env *matchEnv, args []mval) (*mval, error) {
+		return &mval{kind: vImm, imm: 1<<uint(args[0].ty.Bits()) - 1}, nil
+	},
+
+	// (u8_lteq a b): partial — Some(a) iff a <= b (the x64 shift guard).
+	"u8_lteq": func(env *matchEnv, args []mval) (*mval, error) {
+		if args[0].imm <= args[1].imm {
+			return &args[0], nil
+		}
+		return nil, nil
+	},
+
+	"u64_not": func(env *matchEnv, args []mval) (*mval, error) {
+		return &mval{kind: vImm, imm: ^args[0].imm}, nil
+	},
+
+	// The §4.4.4 buggy guard: TOTAL — always Some, even when false.
+	"u64_eq_total": func(env *matchEnv, args []mval) (*mval, error) {
+		v := uint64(0)
+		if args[0].imm == args[1].imm {
+			v = 1
+		}
+		return &mval{kind: vImm, imm: v}, nil
+	},
+
+	// The fixed guard: partial — Some only when equal.
+	"u64_eq_guard": func(env *matchEnv, args []mval) (*mval, error) {
+		if args[0].imm == args[1].imm {
+			return &args[0], nil
+		}
+		return nil, nil
+	},
+}

@@ -1,0 +1,358 @@
+// Package lower implements a term-rewriting instruction selector that
+// executes ISLE rules over CLIF expression trees — the runtime counterpart
+// of the verification in internal/core. It pattern-matches rule left-hand
+// sides (wildcards, captures, destructuring, extern extractors, if/if-let
+// guards, priorities), fires the best rule per value (maximal munch, as in
+// §2.1), and recursively lowers residual operands and intermediate-term
+// constructions.
+//
+// Its role in the reproduction is the §4.2 coverage experiment: it
+// instruments which unique rules fire while compiling a corpus, exactly
+// what the paper measured on Wasmtime ("We instrument Cranelift to
+// determine what proportion of invoked ISLE rules Crocus has verified").
+package lower
+
+import (
+	"fmt"
+	"sort"
+
+	"crocus/internal/clif"
+	"crocus/internal/isle"
+)
+
+// valKind discriminates runtime matcher values.
+type valKind int
+
+const (
+	vValue  valKind = iota // a CLIF value (ISLE Value/Inst)
+	vType                  // a Cranelift type (ISLE Type)
+	vImm                   // an immediate (u64/u8/Imm12/...)
+	vCC                    // a condition code (constructor name)
+	vOpaque                // an opaque machine-side value (Reg, Amode, ...)
+)
+
+// mval is a runtime matcher value.
+type mval struct {
+	kind valKind
+	v    *clif.Value
+	ty   clif.Type
+	imm  uint64
+	cc   string
+}
+
+// Engine executes the rules of a program.
+type Engine struct {
+	prog *isle.Program
+
+	// byHead groups rules by their LHS root term, sorted by descending
+	// priority (then source order).
+	byHead map[string][]*isle.Rule
+
+	// fired counts rule firings by rule name.
+	fired map[string]int
+}
+
+// New builds an engine over a typechecked program.
+func New(prog *isle.Program) *Engine {
+	e := &Engine{
+		prog:   prog,
+		byHead: map[string][]*isle.Rule{},
+		fired:  map[string]int{},
+	}
+	for _, r := range prog.Rules {
+		head := r.LHS.Name
+		e.byHead[head] = append(e.byHead[head], r)
+	}
+	for _, rs := range e.byHead {
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].Prio > rs[j].Prio })
+	}
+	return e
+}
+
+// Fired returns the per-rule firing counts accumulated so far.
+func (e *Engine) Fired() map[string]int {
+	out := make(map[string]int, len(e.fired))
+	for k, v := range e.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// UniqueFired returns the number of distinct rules that have fired.
+func (e *Engine) UniqueFired() int { return len(e.fired) }
+
+// Reset clears the firing counters.
+func (e *Engine) Reset() { e.fired = map[string]int{} }
+
+// LowerFunc lowers a function's body expression.
+func (e *Engine) LowerFunc(f *clif.Func) error { return e.LowerValue(f.Body) }
+
+// LowerValue selects instructions for the expression tree rooted at v by
+// firing `lower` rules, maximal-munch style: the highest-priority matching
+// rule consumes as much of the tree as its pattern covers, and the values
+// captured at the pattern's leaves are lowered recursively.
+func (e *Engine) LowerValue(v *clif.Value) error {
+	rules := e.byHead["lower"]
+	if len(rules) == 0 {
+		return fmt.Errorf("lower: program has no lower rules")
+	}
+	subject := mval{kind: vValue, v: v}
+	for _, r := range rules {
+		env := &matchEnv{e: e, vars: map[string]mval{}}
+		// (lower PAT): match PAT against the subject value.
+		if !env.matchPattern(r.LHS.Args[0], subject) {
+			continue
+		}
+		if !env.checkGuards(r) {
+			continue
+		}
+		e.fired[r.Name]++
+		// Construct the RHS (which may fire intermediate-term rules).
+		if _, err := env.construct(r.RHS); err != nil {
+			return fmt.Errorf("lower: rule %s: %w", r.Name, err)
+		}
+		// Recursively lower the residual operand values (constants
+		// captured as Values still need materializing; constants folded
+		// into immediates by an extractor were never captured as leaves).
+		for _, leaf := range env.leaves {
+			if leaf.Op != clif.OpParam {
+				if err := e.LowerValue(leaf); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("lower: no rule matches %s", v)
+}
+
+// matchEnv is the binding environment of one rule-match attempt.
+type matchEnv struct {
+	e      *Engine
+	vars   map[string]mval
+	leaves []*clif.Value // Value-typed pattern leaves to lower recursively
+}
+
+// matchPattern matches an LHS pattern node against a runtime value.
+func (env *matchEnv) matchPattern(pat *isle.TermNode, subject mval) bool {
+	switch pat.Kind {
+	case isle.NWildcard:
+		return true
+
+	case isle.NVar:
+		if prev, ok := env.vars[pat.Name]; ok {
+			return sameMval(prev, subject)
+		}
+		env.vars[pat.Name] = subject
+		if subject.kind == vValue && env.e.prog.Models[pat.Type].Kind == isle.MBV &&
+			(pat.Type == "Value" || pat.Type == "Inst") {
+			env.leaves = append(env.leaves, subject.v)
+		}
+		return true
+
+	case isle.NConst:
+		switch subject.kind {
+		case vImm:
+			return subject.imm == uint64(pat.IntVal)
+		case vType:
+			return subject.ty.Bits() == int(pat.IntVal)
+		default:
+			return false
+		}
+
+	case isle.NApply:
+		return env.matchApply(pat, subject)
+
+	default:
+		return false
+	}
+}
+
+func sameMval(a, b mval) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case vValue:
+		return a.v == b.v
+	case vType:
+		return a.ty == b.ty
+	case vImm:
+		return a.imm == b.imm
+	case vCC:
+		return a.cc == b.cc
+	default:
+		return false
+	}
+}
+
+// matchApply dispatches a term application pattern: IR opcodes
+// destructure CLIF values; extern extractors decompose the subject via
+// registered Go semantics; conversion terms pass through.
+func (env *matchEnv) matchApply(pat *isle.TermNode, subject mval) bool {
+	head := pat.Name
+
+	// Implicit conversions inserted by the typechecker are transparent
+	// during matching.
+	if head == "inst_result" || head == "put_in_reg" {
+		return env.matchPattern(pat.Args[0], subject)
+	}
+
+	// Condition-code constructors (IntCC.*, FloatCC.*) match by name.
+	if subject.kind == vCC {
+		return len(pat.Args) == 0 && subject.cc == head
+	}
+
+	// Extern extractors with Go semantics.
+	if fn, ok := extractors[head]; ok {
+		outs, ok := fn(env, subject)
+		if !ok {
+			return false
+		}
+		if len(outs) != len(pat.Args) {
+			return false
+		}
+		for i, sub := range pat.Args {
+			if !env.matchPattern(sub, outs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// IR opcode destructuring: the subject must be a CLIF value with the
+	// same opcode; sub-patterns match the operands.
+	if subject.kind != vValue {
+		return false
+	}
+	v := subject.v
+	if string(v.Op) != head {
+		return false
+	}
+	subs := irOperands(env.e.prog, v)
+	if len(subs) != len(pat.Args) {
+		return false
+	}
+	for i, sub := range pat.Args {
+		if !env.matchPattern(sub, subs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// irOperands exposes a CLIF value's operands as matcher values in the
+// ISLE term's argument order.
+func irOperands(prog *isle.Program, v *clif.Value) []mval {
+	var out []mval
+	if v.CC != "" {
+		out = append(out, mval{kind: vCC, cc: v.CC})
+	}
+	if v.Op == clif.OpIconst || v.Op == clif.OpFconst {
+		out = append(out, mval{kind: vImm, imm: v.Imm})
+	}
+	for _, a := range v.Args {
+		out = append(out, mval{kind: vValue, v: a})
+	}
+	_ = prog
+	return out
+}
+
+// checkGuards evaluates the rule's if / if-let clauses.
+func (env *matchEnv) checkGuards(r *isle.Rule) bool {
+	for _, il := range r.IfLets {
+		res, err := env.construct(il.Expr)
+		if err != nil {
+			return false
+		}
+		if res == nil {
+			return false // partial constructor declined
+		}
+		if il.Pat.Kind != isle.NWildcard && !env.matchPattern(il.Pat, *res) {
+			return false
+		}
+	}
+	return true
+}
+
+// construct evaluates an RHS term tree, firing the rules of internal
+// constructor terms (e.g. small_rotr). It returns nil (without error)
+// when a partial constructor declines.
+func (env *matchEnv) construct(n *isle.TermNode) (*mval, error) {
+	switch n.Kind {
+	case isle.NVar:
+		v, ok := env.vars[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("unbound variable %q", n.Name)
+		}
+		return &v, nil
+
+	case isle.NConst:
+		return &mval{kind: vImm, imm: uint64(n.IntVal)}, nil
+
+	case isle.NLet:
+		for i := range n.Lets {
+			b := &n.Lets[i]
+			v, err := env.construct(b.Expr)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				return nil, nil
+			}
+			env.vars[b.Name] = *v
+		}
+		return env.construct(n.Body)
+
+	case isle.NApply:
+		args := make([]mval, len(n.Args))
+		for i, a := range n.Args {
+			v, err := env.construct(a)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				return nil, nil
+			}
+			args[i] = *v
+		}
+		// Pure constructors with Go semantics (guards, immediates).
+		if fn, ok := constructors[n.Name]; ok {
+			return fn(env, args)
+		}
+		// Internal constructor terms with their own rules: fire them.
+		if rules, ok := env.e.byHead[n.Name]; ok && n.Name != "lower" {
+			for _, r := range rules {
+				sub := &matchEnv{e: env.e, vars: map[string]mval{}}
+				if !sub.matchArgs(r.LHS.Args, args) {
+					continue
+				}
+				if !sub.checkGuards(r) {
+					continue
+				}
+				env.e.fired[r.Name]++
+				return sub.construct(r.RHS)
+			}
+			return nil, fmt.Errorf("no %s rule matches", n.Name)
+		}
+		// Opaque machine-side constructor (ISA instruction, helper).
+		return &mval{kind: vOpaque}, nil
+
+	default:
+		return nil, fmt.Errorf("unexpected RHS node")
+	}
+}
+
+// matchArgs matches a constructor rule's argument patterns against
+// already-constructed values.
+func (env *matchEnv) matchArgs(pats []*isle.TermNode, args []mval) bool {
+	if len(pats) != len(args) {
+		return false
+	}
+	for i, p := range pats {
+		if !env.matchPattern(p, args[i]) {
+			return false
+		}
+	}
+	return true
+}

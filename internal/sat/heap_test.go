@@ -1,0 +1,146 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickVarHeapProperty checks the indexed max-heap underneath VSIDS:
+// after arbitrary interleavings of insert/update/removeMax with activity
+// bumps, removeMax must always return a variable of maximal activity
+// among those in the heap, and the pos index must stay consistent.
+func TestQuickVarHeapProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	f := func() bool {
+		n := 2 + r.Intn(20)
+		act := make([]float64, n)
+		h := newVarHeap(&act)
+		in := map[Var]bool{}
+		for op := 0; op < 200; op++ {
+			switch r.Intn(3) {
+			case 0: // insert
+				v := Var(r.Intn(n))
+				h.insert(v)
+				in[v] = true
+			case 1: // bump + update
+				v := Var(r.Intn(n))
+				act[v] += r.Float64()
+				h.update(v)
+			default: // removeMax
+				if h.empty() {
+					continue
+				}
+				top := h.removeMax()
+				if !in[top] {
+					return false
+				}
+				for v := range in {
+					if v != top && act[v] > act[top] {
+						return false // not the max
+					}
+				}
+				delete(in, top)
+			}
+			// pos consistency: every heap entry's recorded position is
+			// where it actually sits.
+			for i, v := range h.heap {
+				if h.pos[v] != int32(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSolveAfterUnsat: once the solver hits root-level UNSAT, further
+// Solve calls keep returning Unsat and AddClause reports failure.
+func TestSolveAfterUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true))
+	if s.Solve() != Unsat {
+		t.Fatal("unsat expected")
+	}
+	if s.Solve(MkLit(a, false)) != Unsat {
+		t.Fatal("unsat persists under assumptions")
+	}
+	b := s.NewVar()
+	if s.AddClause(MkLit(b, false)) {
+		t.Fatal("AddClause on a dead solver must report false")
+	}
+}
+
+// TestAssumptionOnlyConflicts: contradictory assumptions on an otherwise
+// satisfiable formula must be Unsat without poisoning the solver.
+func TestAssumptionOnlyConflicts(t *testing.T) {
+	s := New()
+	vars := make([]Var, 4)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	s.AddClause(MkLit(vars[0], false), MkLit(vars[1], false))
+	if s.Solve(MkLit(vars[2], false), MkLit(vars[2], true)) != Unsat {
+		t.Fatal("x ∧ ¬x assumptions must be unsat")
+	}
+	for i := 0; i < 5; i++ {
+		if s.Solve() != Sat {
+			t.Fatal("solver must recover")
+		}
+	}
+}
+
+// TestDuplicateLiteralsInClause: duplicates are deduplicated, not
+// miscounted by the watch scheme.
+func TestDuplicateLiteralsInClause(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, true))
+	if s.Solve() != Sat {
+		t.Fatal("sat expected")
+	}
+	if !s.Value(b) {
+		t.Fatal("b must be forced true")
+	}
+}
+
+// TestLargeStructuredInstance: a chain of equivalences with one flip is
+// unsat; without the flip it is sat. Exercises long implication chains.
+func TestLargeStructuredInstance(t *testing.T) {
+	build := func(flip bool) (*Solver, []Var) {
+		s := New()
+		n := 500
+		vars := make([]Var, n)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		for i := 0; i+1 < n; i++ {
+			// vars[i] <-> vars[i+1]
+			s.AddClause(MkLit(vars[i], true), MkLit(vars[i+1], false))
+			s.AddClause(MkLit(vars[i], false), MkLit(vars[i+1], true))
+		}
+		s.AddClause(MkLit(vars[0], false)) // head true
+		if flip {
+			s.AddClause(MkLit(vars[n-1], true)) // tail false: contradiction
+		}
+		return s, vars
+	}
+	s, vars := build(false)
+	if s.Solve() != Sat {
+		t.Fatal("chain should be sat")
+	}
+	if !s.Value(vars[len(vars)-1]) {
+		t.Fatal("equivalence chain must propagate true to the tail")
+	}
+	s, _ = build(true)
+	if s.Solve() != Unsat {
+		t.Fatal("flipped chain should be unsat")
+	}
+}

@@ -1,0 +1,379 @@
+// Package sexpr implements an S-expression reader and printer.
+//
+// It is the shared surface syntax for the ISLE instruction-lowering DSL
+// (internal/isle), the Crocus annotation language (internal/spec), and the
+// WAT-subset WebAssembly frontend (internal/wasm). The reader tracks source
+// positions so downstream packages can report errors against the original
+// rule text, and it recognizes ISLE's token shapes: symbols, integers
+// (decimal, hex, binary), string literals, and line comments introduced
+// with ';'.
+package sexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Pos is a location in an S-expression source buffer.
+type Pos struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// String renders the position in the conventional file:line:col form.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Kind discriminates the variants of a Node.
+type Kind int
+
+// The node kinds produced by the reader.
+const (
+	KindList   Kind = iota // a parenthesized list of child nodes
+	KindSymbol             // an identifier such as iadd or $x
+	KindInt                // an integer literal (decimal, 0x..., 0b..., #x..., #b...)
+	KindString             // a double-quoted string literal
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindList:
+		return "list"
+	case KindSymbol:
+		return "symbol"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Node is a single S-expression: an atom or a list.
+type Node struct {
+	Kind Kind
+	Pos  Pos
+
+	// Sym holds the text of a symbol, or the raw contents of a string
+	// literal (without quotes).
+	Sym string
+
+	// Int holds the value of an integer literal, interpreted as a signed
+	// 64-bit integer. Hex and binary literals wider than 63 bits wrap into
+	// the sign bit (matching ISLE, where constants are bit patterns).
+	Int int64
+
+	// IntWidth is the number of digits-bits for #b/#x literals (e.g. 8 for
+	// #b00000001, 32 for #x00000001). Zero for plain decimal literals; the
+	// annotation type checker uses it to give bitvector literals a width.
+	IntWidth int
+
+	// List holds child nodes when Kind == KindList.
+	List []*Node
+}
+
+// IsList reports whether n is a list whose head is the symbol head.
+func (n *Node) IsList(head string) bool {
+	return n != nil && n.Kind == KindList && len(n.List) > 0 &&
+		n.List[0].Kind == KindSymbol && n.List[0].Sym == head
+}
+
+// Head returns the head symbol of a list node, or "" if n is not a list
+// beginning with a symbol.
+func (n *Node) Head() string {
+	if n != nil && n.Kind == KindList && len(n.List) > 0 && n.List[0].Kind == KindSymbol {
+		return n.List[0].Sym
+	}
+	return ""
+}
+
+// String renders the node back to S-expression syntax.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	switch n.Kind {
+	case KindSymbol:
+		b.WriteString(n.Sym)
+	case KindString:
+		b.WriteString(strconv.Quote(n.Sym))
+	case KindInt:
+		switch {
+		case n.IntWidth > 8 && n.IntWidth%4 == 0:
+			fmt.Fprintf(b, "#x%0*x", n.IntWidth/4, uint64(n.Int)&widthMask(n.IntWidth))
+		case n.IntWidth > 0:
+			fmt.Fprintf(b, "#b%0*b", n.IntWidth, uint64(n.Int)&widthMask(n.IntWidth))
+		default:
+			fmt.Fprintf(b, "%d", n.Int)
+		}
+	case KindList:
+		b.WriteByte('(')
+		for i, c := range n.List {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			c.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+func widthMask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// Symbol constructs a symbol node.
+func Symbol(s string) *Node { return &Node{Kind: KindSymbol, Sym: s} }
+
+// Integer constructs an integer node.
+func Integer(v int64) *Node { return &Node{Kind: KindInt, Int: v} }
+
+// Bits constructs a sized bit-pattern node rendered as #b or #x.
+func Bits(v uint64, width int) *Node {
+	return &Node{Kind: KindInt, Int: int64(v), IntWidth: width}
+}
+
+// List constructs a list node.
+func List(children ...*Node) *Node { return &Node{Kind: KindList, List: children} }
+
+// ParseError is a syntax error with a source position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type lexer struct {
+	file string
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func (l *lexer) pos() Pos { return Pos{File: l.file, Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == ';':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isDelim(c byte) bool {
+	return c == 0 || c == ' ' || c == '\t' || c == '\r' || c == '\n' ||
+		c == '(' || c == ')' || c == ';' || c == '"'
+}
+
+// ParseAll reads every top-level S-expression from src. The file name is
+// used only in error and position reporting.
+func ParseAll(file, src string) ([]*Node, error) {
+	l := &lexer{file: file, src: src, line: 1, col: 1}
+	var out []*Node
+	for {
+		l.skipSpace()
+		if l.off >= len(l.src) {
+			return out, nil
+		}
+		n, err := parseNode(l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+}
+
+// ParseOne reads exactly one S-expression from src and requires that nothing
+// but whitespace and comments follow it.
+func ParseOne(file, src string) (*Node, error) {
+	nodes, err := ParseAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) != 1 {
+		return nil, fmt.Errorf("%s: expected exactly one expression, found %d", file, len(nodes))
+	}
+	return nodes[0], nil
+}
+
+func parseNode(l *lexer) (*Node, error) {
+	l.skipSpace()
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return nil, &ParseError{Pos: start, Msg: "unexpected end of input"}
+	}
+	switch c := l.peek(); {
+	case c == '(':
+		l.advance()
+		n := &Node{Kind: KindList, Pos: start}
+		for {
+			l.skipSpace()
+			if l.off >= len(l.src) {
+				return nil, &ParseError{Pos: start, Msg: "unclosed list"}
+			}
+			if l.peek() == ')' {
+				l.advance()
+				return n, nil
+			}
+			child, err := parseNode(l)
+			if err != nil {
+				return nil, err
+			}
+			n.List = append(n.List, child)
+		}
+	case c == ')':
+		return nil, &ParseError{Pos: start, Msg: "unexpected ')'"}
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return nil, &ParseError{Pos: start, Msg: "unterminated string"}
+			}
+			ch := l.advance()
+			if ch == '"' {
+				return &Node{Kind: KindString, Pos: start, Sym: b.String()}, nil
+			}
+			if ch == '\\' {
+				if l.off >= len(l.src) {
+					return nil, &ParseError{Pos: start, Msg: "unterminated escape"}
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"':
+					b.WriteByte(esc)
+				default:
+					return nil, &ParseError{Pos: start, Msg: fmt.Sprintf("bad escape \\%c", esc)}
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+	default:
+		var b strings.Builder
+		for !isDelim(l.peek()) {
+			b.WriteByte(l.advance())
+		}
+		tok := b.String()
+		if tok == "" {
+			return nil, &ParseError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", l.peek())}
+		}
+		return atomNode(start, tok)
+	}
+}
+
+func atomNode(pos Pos, tok string) (*Node, error) {
+	if n, ok, err := parseIntToken(pos, tok); err != nil {
+		return nil, err
+	} else if ok {
+		n.Pos = pos
+		return n, nil
+	}
+	return &Node{Kind: KindSymbol, Pos: pos, Sym: tok}, nil
+}
+
+func parseIntToken(pos Pos, tok string) (*Node, bool, error) {
+	body := tok
+	neg := false
+	if strings.HasPrefix(body, "-") && len(body) > 1 {
+		neg = true
+		body = body[1:]
+	}
+	switch {
+	case strings.HasPrefix(body, "#x") || strings.HasPrefix(body, "#b"):
+		base := 16
+		bits := 4
+		if body[1] == 'b' {
+			base = 2
+			bits = 1
+		}
+		digits := strings.ReplaceAll(body[2:], "_", "")
+		if digits == "" {
+			return nil, false, &ParseError{Pos: pos, Msg: fmt.Sprintf("empty literal %q", tok)}
+		}
+		v, err := strconv.ParseUint(digits, base, 64)
+		if err != nil {
+			return nil, false, &ParseError{Pos: pos, Msg: fmt.Sprintf("bad literal %q: %v", tok, err)}
+		}
+		n := &Node{Kind: KindInt, Int: int64(v), IntWidth: len(digits) * bits}
+		if neg {
+			n.Int = -n.Int
+		}
+		return n, true, nil
+	case strings.HasPrefix(body, "0x") || strings.HasPrefix(body, "0b"):
+		base := 16
+		if body[1] == 'b' {
+			base = 2
+		}
+		digits := strings.ReplaceAll(body[2:], "_", "")
+		v, err := strconv.ParseUint(digits, base, 64)
+		if err != nil {
+			return nil, false, &ParseError{Pos: pos, Msg: fmt.Sprintf("bad literal %q: %v", tok, err)}
+		}
+		n := &Node{Kind: KindInt, Int: int64(v)}
+		if neg {
+			n.Int = -n.Int
+		}
+		return n, true, nil
+	default:
+		if body == "" || body[0] < '0' || body[0] > '9' {
+			return nil, false, nil
+		}
+		digits := strings.ReplaceAll(body, "_", "")
+		v, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil {
+			return nil, false, &ParseError{Pos: pos, Msg: fmt.Sprintf("bad literal %q: %v", tok, err)}
+		}
+		n := &Node{Kind: KindInt, Int: int64(v)}
+		if neg {
+			n.Int = -n.Int
+		}
+		return n, true, nil
+	}
+}

@@ -1,0 +1,175 @@
+package sexpr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParseOne(t *testing.T, src string) *Node {
+	t.Helper()
+	n, err := ParseOne("test", src)
+	if err != nil {
+		t.Fatalf("ParseOne(%q): %v", src, err)
+	}
+	return n
+}
+
+func TestParseSymbol(t *testing.T) {
+	n := mustParseOne(t, "iadd")
+	if n.Kind != KindSymbol || n.Sym != "iadd" {
+		t.Fatalf("got %v %q", n.Kind, n.Sym)
+	}
+}
+
+func TestParseDecimal(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want int64
+	}{
+		{"0", 0}, {"42", 42}, {"-7", -7}, {"1_000", 1000},
+	} {
+		n := mustParseOne(t, tc.src)
+		if n.Kind != KindInt || n.Int != tc.want {
+			t.Errorf("%q: got kind=%v int=%d, want %d", tc.src, n.Kind, n.Int, tc.want)
+		}
+	}
+}
+
+func TestParseHexBinary(t *testing.T) {
+	n := mustParseOne(t, "#xd0000920")
+	if n.Kind != KindInt || uint64(n.Int) != 0xd0000920 || n.IntWidth != 32 {
+		t.Fatalf("got int=%#x width=%d", uint64(n.Int), n.IntWidth)
+	}
+	n = mustParseOne(t, "#b11111100")
+	if n.Kind != KindInt || uint64(n.Int) != 0xfc || n.IntWidth != 8 {
+		t.Fatalf("got int=%#x width=%d", uint64(n.Int), n.IntWidth)
+	}
+	n = mustParseOne(t, "0x10")
+	if n.Int != 16 || n.IntWidth != 0 {
+		t.Fatalf("got int=%d width=%d", n.Int, n.IntWidth)
+	}
+}
+
+func TestParseNestedList(t *testing.T) {
+	n := mustParseOne(t, "(rule (lower (iadd ty x y)) (add ty x y))")
+	if n.Head() != "rule" {
+		t.Fatalf("head = %q", n.Head())
+	}
+	if len(n.List) != 3 {
+		t.Fatalf("len = %d", len(n.List))
+	}
+	lhs := n.List[1]
+	if !lhs.IsList("lower") {
+		t.Fatalf("lhs head = %q", lhs.Head())
+	}
+	inner := lhs.List[1]
+	if inner.Head() != "iadd" || len(inner.List) != 4 {
+		t.Fatalf("inner = %v", inner)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	nodes, err := ParseAll("t", "; header\n(a b) ; trailing\n(c)\n;; tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("len = %d", len(nodes))
+	}
+}
+
+func TestParseString(t *testing.T) {
+	n := mustParseOne(t, `"hello \"w\" \n"`)
+	if n.Kind != KindString || n.Sym != "hello \"w\" \n" {
+		t.Fatalf("got %q", n.Sym)
+	}
+}
+
+func TestParsePositions(t *testing.T) {
+	nodes, err := ParseAll("f.isle", "(a\n  (b))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := nodes[0].List[1]
+	if b.Pos.Line != 2 || b.Pos.Col != 3 {
+		t.Fatalf("pos = %v", b.Pos)
+	}
+	if got := b.Pos.String(); got != "f.isle:2:3" {
+		t.Fatalf("pos string = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{"(", ")", "(a", `"unterminated`, `"bad \q"`, "#x", "#xzz"} {
+		if _, err := ParseAll("t", src); err == nil {
+			t.Errorf("ParseAll(%q): expected error", src)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		"(rule (lower (iadd ty x y)) (isa_add ty x y))",
+		"(spec (fits_in_16 arg) (provide (= result arg)) (require (<= arg 16)))",
+		"(a #b1010 #x00ff -3 12 \"s\")",
+	}
+	for _, src := range srcs {
+		n := mustParseOne(t, src)
+		rt := mustParseOne(t, n.String())
+		if rt.String() != n.String() {
+			t.Errorf("round trip: %q -> %q", n.String(), rt.String())
+		}
+	}
+}
+
+// randomNode builds a random S-expression tree for property testing.
+func randomNode(r *rand.Rand, depth int) *Node {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return Symbol("sym" + string(rune('a'+r.Intn(26))))
+		case 1:
+			return Integer(int64(r.Intn(2000) - 1000))
+		default:
+			return Bits(r.Uint64()&0xff, 8)
+		}
+	}
+	k := r.Intn(4)
+	kids := make([]*Node, 0, k+1)
+	kids = append(kids, Symbol("op"))
+	for i := 0; i < k; i++ {
+		kids = append(kids, randomNode(r, depth-1))
+	}
+	return List(kids...)
+}
+
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		n := randomNode(r, 4)
+		s := n.String()
+		got, err := ParseOne("q", s)
+		if err != nil {
+			return false
+		}
+		return got.String() == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	n := List(Symbol("x"), Integer(5))
+	if !strings.HasPrefix(n.String(), "(x 5") {
+		t.Fatalf("got %q", n.String())
+	}
+	if Bits(0xff, 8).String() != "#b11111111" {
+		t.Fatalf("bits: %q", Bits(0xff, 8).String())
+	}
+	if Bits(0xab, 16).String() != "#x00ab" {
+		t.Fatalf("bits16: %q", Bits(0xab, 16).String())
+	}
+}

@@ -1,0 +1,676 @@
+package smt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"crocus/internal/sat"
+)
+
+// blaster performs Tseitin bit-blasting of a term DAG into a sat.Solver.
+// Each boolean term becomes a literal; each bitvector term becomes a slice
+// of literals, least-significant bit first.
+type blaster struct {
+	b   *Builder
+	s   *sat.Solver
+	lt  sat.Lit // constant-true literal
+	lf  sat.Lit // constant-false literal
+	bws map[TermID][]sat.Lit
+	bls map[TermID]sat.Lit
+}
+
+func newBlaster(b *Builder, s *sat.Solver) *blaster {
+	bl := &blaster{
+		b:   b,
+		s:   s,
+		bws: make(map[TermID][]sat.Lit),
+		bls: make(map[TermID]sat.Lit),
+	}
+	t := s.NewVar()
+	bl.lt = sat.MkLit(t, false)
+	bl.lf = bl.lt.Not()
+	s.AddClause(bl.lt)
+	return bl
+}
+
+func (bl *blaster) lit(v bool) sat.Lit {
+	if v {
+		return bl.lt
+	}
+	return bl.lf
+}
+
+func (bl *blaster) fresh() sat.Lit { return sat.MkLit(bl.s.NewVar(), false) }
+
+// --- gates (with constant simplification) ---
+
+func (bl *blaster) gNot(a sat.Lit) sat.Lit { return a.Not() }
+
+func (bl *blaster) gAnd(a, b sat.Lit) sat.Lit {
+	switch {
+	case a == bl.lf || b == bl.lf:
+		return bl.lf
+	case a == bl.lt:
+		return b
+	case b == bl.lt:
+		return a
+	case a == b:
+		return a
+	case a == b.Not():
+		return bl.lf
+	}
+	g := bl.fresh()
+	bl.s.AddClause(g.Not(), a)
+	bl.s.AddClause(g.Not(), b)
+	bl.s.AddClause(g, a.Not(), b.Not())
+	return g
+}
+
+func (bl *blaster) gOr(a, b sat.Lit) sat.Lit {
+	return bl.gAnd(a.Not(), b.Not()).Not()
+}
+
+func (bl *blaster) gXor(a, b sat.Lit) sat.Lit {
+	switch {
+	case a == bl.lf:
+		return b
+	case b == bl.lf:
+		return a
+	case a == bl.lt:
+		return b.Not()
+	case b == bl.lt:
+		return a.Not()
+	case a == b:
+		return bl.lf
+	case a == b.Not():
+		return bl.lt
+	}
+	g := bl.fresh()
+	bl.s.AddClause(g.Not(), a, b)
+	bl.s.AddClause(g.Not(), a.Not(), b.Not())
+	bl.s.AddClause(g, a.Not(), b)
+	bl.s.AddClause(g, a, b.Not())
+	return g
+}
+
+func (bl *blaster) gIff(a, b sat.Lit) sat.Lit { return bl.gXor(a, b).Not() }
+
+func (bl *blaster) gIte(c, t, e sat.Lit) sat.Lit {
+	switch {
+	case c == bl.lt:
+		return t
+	case c == bl.lf:
+		return e
+	case t == e:
+		return t
+	case t == bl.lt && e == bl.lf:
+		return c
+	case t == bl.lf && e == bl.lt:
+		return c.Not()
+	}
+	g := bl.fresh()
+	bl.s.AddClause(g.Not(), c.Not(), t)
+	bl.s.AddClause(g.Not(), c, e)
+	bl.s.AddClause(g, c.Not(), t.Not())
+	bl.s.AddClause(g, c, e.Not())
+	return g
+}
+
+// gMaj computes the majority of three literals (full-adder carry).
+func (bl *blaster) gMaj(a, b, c sat.Lit) sat.Lit {
+	return bl.gOr(bl.gAnd(a, b), bl.gOr(bl.gAnd(a, c), bl.gAnd(b, c)))
+}
+
+// --- word-level circuits ---
+
+func (bl *blaster) constWord(v uint64, w int) []sat.Lit {
+	out := make([]sat.Lit, w)
+	for i := range out {
+		out[i] = bl.lit(v>>uint(i)&1 == 1)
+	}
+	return out
+}
+
+func (bl *blaster) addWord(a, b []sat.Lit, carryIn sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(a))
+	c := carryIn
+	for i := range a {
+		s := bl.gXor(bl.gXor(a[i], b[i]), c)
+		c = bl.gMaj(a[i], b[i], c)
+		out[i] = s
+	}
+	return out
+}
+
+func (bl *blaster) notWord(a []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(a))
+	for i := range a {
+		out[i] = a[i].Not()
+	}
+	return out
+}
+
+func (bl *blaster) negWord(a []sat.Lit) []sat.Lit {
+	return bl.addWord(bl.notWord(a), bl.constWord(0, len(a)), bl.lt)
+}
+
+func (bl *blaster) subWord(a, b []sat.Lit) []sat.Lit {
+	return bl.addWord(a, bl.notWord(b), bl.lt)
+}
+
+func (bl *blaster) mulWord(a, b []sat.Lit) []sat.Lit {
+	w := len(a)
+	acc := bl.constWord(0, w)
+	for i := 0; i < w; i++ {
+		// partial = (a << i) & replicate(b[i]) on the live bits.
+		part := make([]sat.Lit, w)
+		for j := 0; j < w; j++ {
+			if j < i {
+				part[j] = bl.lf
+			} else {
+				part[j] = bl.gAnd(a[j-i], b[i])
+			}
+		}
+		acc = bl.addWord(acc, part, bl.lf)
+	}
+	return acc
+}
+
+// ugeWord returns the literal a >= b (unsigned).
+func (bl *blaster) ugeWord(a, b []sat.Lit) sat.Lit {
+	// Compute a - b and return the final carry (no borrow).
+	c := bl.lt
+	for i := range a {
+		nb := b[i].Not()
+		c = bl.gMaj(a[i], nb, c)
+	}
+	return c
+}
+
+func (bl *blaster) ultWord(a, b []sat.Lit) sat.Lit { return bl.ugeWord(a, b).Not() }
+
+func (bl *blaster) sltWord(a, b []sat.Lit) sat.Lit {
+	w := len(a)
+	// slt(a,b) = ult(a ^ signmask, b ^ signmask): flip sign bits.
+	a2 := make([]sat.Lit, w)
+	b2 := make([]sat.Lit, w)
+	copy(a2, a)
+	copy(b2, b)
+	a2[w-1] = a[w-1].Not()
+	b2[w-1] = b[w-1].Not()
+	return bl.ultWord(a2, b2)
+}
+
+func (bl *blaster) eqWord(a, b []sat.Lit) sat.Lit {
+	acc := bl.lt
+	for i := range a {
+		acc = bl.gAnd(acc, bl.gIff(a[i], b[i]))
+	}
+	return acc
+}
+
+func (bl *blaster) iteWord(c sat.Lit, t, e []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(t))
+	for i := range t {
+		out[i] = bl.gIte(c, t[i], e[i])
+	}
+	return out
+}
+
+// divremWord implements restoring division, yielding quotient and
+// remainder with SMT-LIB zero-divisor semantics (q = all ones, r = a).
+func (bl *blaster) divremWord(a, b []sat.Lit) (q, r []sat.Lit) {
+	w := len(a)
+	q = make([]sat.Lit, w)
+	r = bl.constWord(0, w)
+	for i := w - 1; i >= 0; i-- {
+		// r = (r << 1) | a[i]
+		nr := make([]sat.Lit, w)
+		nr[0] = a[i]
+		copy(nr[1:], r[:w-1])
+		r = nr
+		ge := bl.ugeWord(r, b)
+		r = bl.iteWord(ge, bl.subWord(r, b), r)
+		q[i] = ge
+	}
+	return q, r
+}
+
+// shiftWord implements a barrel shifter. kind: 0 = shl, 1 = lshr, 2 = ashr.
+// Widths are powers of two (8/16/32/64), so amount mod/overflow handling
+// uses the low log2(w) bits plus an any-high-bit-set overflow flag.
+func (bl *blaster) shiftWord(a, amt []sat.Lit, kind int) []sat.Lit {
+	w := len(a)
+	k := bits.TrailingZeros(uint(w)) // log2(w) for power-of-two widths
+	fill := bl.lf
+	if kind == 2 {
+		fill = a[w-1]
+	}
+	cur := a
+	for s := 0; s < k; s++ {
+		sh := 1 << uint(s)
+		shifted := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			var src sat.Lit
+			switch kind {
+			case 0: // shl
+				if i-sh >= 0 {
+					src = cur[i-sh]
+				} else {
+					src = bl.lf
+				}
+			default: // lshr/ashr
+				if i+sh < w {
+					src = cur[i+sh]
+				} else {
+					src = fill
+				}
+			}
+			shifted[i] = bl.gIte(amt[s], src, cur[i])
+		}
+		cur = shifted
+	}
+	// Overflow: any amount bit at position >= k means shift >= w.
+	over := bl.lf
+	for i := k; i < w; i++ {
+		over = bl.gOr(over, amt[i])
+	}
+	ovWord := bl.constWord(0, w)
+	if kind == 2 {
+		for i := range ovWord {
+			ovWord[i] = fill
+		}
+	}
+	return bl.iteWord(over, ovWord, cur)
+}
+
+// rotateWord implements symbolic rotation; amount is taken mod w (power of
+// two), so only the low log2(w) bits matter.
+func (bl *blaster) rotateWord(a, amt []sat.Lit, left bool) []sat.Lit {
+	w := len(a)
+	k := bits.TrailingZeros(uint(w))
+	cur := a
+	for s := 0; s < k; s++ {
+		sh := 1 << uint(s)
+		rot := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			var src int
+			if left {
+				src = ((i-sh)%w + w) % w
+			} else {
+				src = (i + sh) % w
+			}
+			rot[i] = bl.gIte(amt[s], cur[src], cur[i])
+		}
+		cur = rot
+	}
+	return cur
+}
+
+// popcntWord sums the bits of a into a w-bit result.
+func (bl *blaster) popcntWord(a []sat.Lit) []sat.Lit {
+	w := len(a)
+	acc := bl.constWord(0, w)
+	for i := 0; i < w; i++ {
+		inc := make([]sat.Lit, w)
+		inc[0] = a[i]
+		for j := 1; j < w; j++ {
+			inc[j] = bl.lf
+		}
+		acc = bl.addWord(acc, inc, bl.lf)
+	}
+	return acc
+}
+
+// clzWord counts leading zeros of a into a w-bit result.
+func (bl *blaster) clzWord(a []sat.Lit) []sat.Lit {
+	w := len(a)
+	acc := bl.constWord(0, w)
+	found := bl.lf
+	for i := w - 1; i >= 0; i-- {
+		isZeroHere := bl.gAnd(found.Not(), a[i].Not())
+		inc := make([]sat.Lit, w)
+		inc[0] = isZeroHere
+		for j := 1; j < w; j++ {
+			inc[j] = bl.lf
+		}
+		acc = bl.addWord(acc, inc, bl.lf)
+		found = bl.gOr(found, a[i])
+	}
+	return acc
+}
+
+// --- term dispatch ---
+
+func (bl *blaster) blastBool(id TermID) (sat.Lit, error) {
+	if l, ok := bl.bls[id]; ok {
+		return l, nil
+	}
+	t := bl.b.Term(id)
+	if t.Sort.Kind != KindBool {
+		return 0, fmt.Errorf("smt: blastBool on %s term %s", t.Sort, bl.b.String(id))
+	}
+	var out sat.Lit
+	switch t.Op {
+	case OpBoolConst:
+		out = bl.lit(t.UArg == 1)
+	case OpVar:
+		out = bl.fresh()
+	case OpNot:
+		a, err := bl.blastBool(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		out = a.Not()
+	case OpAnd, OpOr, OpXorB, OpImplies, OpIff:
+		a, err := bl.blastBool(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		c, err := bl.blastBool(t.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case OpAnd:
+			out = bl.gAnd(a, c)
+		case OpOr:
+			out = bl.gOr(a, c)
+		case OpXorB:
+			out = bl.gXor(a, c)
+		case OpImplies:
+			out = bl.gOr(a.Not(), c)
+		default:
+			out = bl.gIff(a, c)
+		}
+	case OpIte:
+		c, err := bl.blastBool(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		x, err := bl.blastBool(t.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		y, err := bl.blastBool(t.Args[2])
+		if err != nil {
+			return 0, err
+		}
+		out = bl.gIte(c, x, y)
+	case OpEq:
+		argSort := bl.b.SortOf(t.Args[0])
+		switch argSort.Kind {
+		case KindBool:
+			a, err := bl.blastBool(t.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			c, err := bl.blastBool(t.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			out = bl.gIff(a, c)
+		case KindBV:
+			a, err := bl.blastBV(t.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			c, err := bl.blastBV(t.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			out = bl.eqWord(a, c)
+		default:
+			return 0, fmt.Errorf("smt: non-constant integer equality reached the bit-blaster: %s", bl.b.String(id))
+		}
+	case OpBVUlt, OpBVUle, OpBVSlt, OpBVSle:
+		a, err := bl.blastBV(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		c, err := bl.blastBV(t.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case OpBVUlt:
+			out = bl.ultWord(a, c)
+		case OpBVUle:
+			out = bl.ultWord(c, a).Not()
+		case OpBVSlt:
+			out = bl.sltWord(a, c)
+		default:
+			out = bl.sltWord(c, a).Not()
+		}
+	default:
+		return 0, fmt.Errorf("smt: non-constant %s term reached the bit-blaster: %s", t.Op, bl.b.String(id))
+	}
+	bl.bls[id] = out
+	return out, nil
+}
+
+func (bl *blaster) blastBV(id TermID) ([]sat.Lit, error) {
+	if w, ok := bl.bws[id]; ok {
+		return w, nil
+	}
+	t := bl.b.Term(id)
+	if t.Sort.Kind != KindBV {
+		return nil, fmt.Errorf("smt: blastBV on %s term %s", t.Sort, bl.b.String(id))
+	}
+	w := t.Sort.Width
+	var out []sat.Lit
+	var err error
+
+	bin := func() (a, c []sat.Lit, err error) {
+		a, err = bl.blastBV(t.Args[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err = bl.blastBV(t.Args[1])
+		return a, c, err
+	}
+
+	switch t.Op {
+	case OpBVConst:
+		out = bl.constWord(t.UArg, w)
+	case OpVar:
+		out = make([]sat.Lit, w)
+		for i := range out {
+			out[i] = bl.fresh()
+		}
+	case OpBVNot:
+		a, e := bl.blastBV(t.Args[0])
+		if e != nil {
+			return nil, e
+		}
+		out = bl.notWord(a)
+	case OpBVNeg:
+		a, e := bl.blastBV(t.Args[0])
+		if e != nil {
+			return nil, e
+		}
+		out = bl.negWord(a)
+	case OpBVAdd, OpBVSub, OpBVMul, OpBVAnd, OpBVOr, OpBVXor:
+		a, c, e := bin()
+		if e != nil {
+			return nil, e
+		}
+		switch t.Op {
+		case OpBVAdd:
+			out = bl.addWord(a, c, bl.lf)
+		case OpBVSub:
+			out = bl.subWord(a, c)
+		case OpBVMul:
+			out = bl.mulWord(a, c)
+		case OpBVAnd:
+			out = make([]sat.Lit, w)
+			for i := range out {
+				out[i] = bl.gAnd(a[i], c[i])
+			}
+		case OpBVOr:
+			out = make([]sat.Lit, w)
+			for i := range out {
+				out[i] = bl.gOr(a[i], c[i])
+			}
+		default:
+			out = make([]sat.Lit, w)
+			for i := range out {
+				out[i] = bl.gXor(a[i], c[i])
+			}
+		}
+	case OpBVUDiv, OpBVURem:
+		a, c, e := bin()
+		if e != nil {
+			return nil, e
+		}
+		q, r := bl.divremWord(a, c)
+		if t.Op == OpBVUDiv {
+			out = q
+		} else {
+			out = r
+		}
+	case OpBVSDiv, OpBVSRem:
+		a, c, e := bin()
+		if e != nil {
+			return nil, e
+		}
+		sa, sc := a[w-1], c[w-1]
+		ua := bl.iteWord(sa, bl.negWord(a), a)
+		uc := bl.iteWord(sc, bl.negWord(c), c)
+		q, r := bl.divremWord(ua, uc)
+		if t.Op == OpBVSDiv {
+			negQ := bl.gXor(sa, sc)
+			out = bl.iteWord(negQ, bl.negWord(q), q)
+		} else {
+			out = bl.iteWord(sa, bl.negWord(r), r)
+		}
+	case OpBVShl, OpBVLshr, OpBVAshr:
+		a, c, e := bin()
+		if e != nil {
+			return nil, e
+		}
+		kind := map[Op]int{OpBVShl: 0, OpBVLshr: 1, OpBVAshr: 2}[t.Op]
+		out = bl.shiftWord(a, c, kind)
+	case OpBVRotl, OpBVRotr:
+		a, c, e := bin()
+		if e != nil {
+			return nil, e
+		}
+		out = bl.rotateWord(a, c, t.Op == OpBVRotl)
+	case OpIte:
+		cond, e := bl.blastBool(t.Args[0])
+		if e != nil {
+			return nil, e
+		}
+		x, e := bl.blastBV(t.Args[1])
+		if e != nil {
+			return nil, e
+		}
+		y, e := bl.blastBV(t.Args[2])
+		if e != nil {
+			return nil, e
+		}
+		out = bl.iteWord(cond, x, y)
+	case OpExtract:
+		a, e := bl.blastBV(t.Args[0])
+		if e != nil {
+			return nil, e
+		}
+		out = a[t.JArg : t.IArg+1]
+	case OpConcat:
+		hi, e := bl.blastBV(t.Args[0])
+		if e != nil {
+			return nil, e
+		}
+		lo, e := bl.blastBV(t.Args[1])
+		if e != nil {
+			return nil, e
+		}
+		out = append(append([]sat.Lit{}, lo...), hi...)
+	case OpZeroExt:
+		a, e := bl.blastBV(t.Args[0])
+		if e != nil {
+			return nil, e
+		}
+		out = append(append([]sat.Lit{}, a...), bl.constWord(0, w-len(a))...)
+	case OpSignExt:
+		a, e := bl.blastBV(t.Args[0])
+		if e != nil {
+			return nil, e
+		}
+		out = append([]sat.Lit{}, a...)
+		for len(out) < w {
+			out = append(out, a[len(a)-1])
+		}
+	case OpCLZ:
+		a, e := bl.blastBV(t.Args[0])
+		if e != nil {
+			return nil, e
+		}
+		out = bl.clzWord(a)
+	case OpPopcnt:
+		a, e := bl.blastBV(t.Args[0])
+		if e != nil {
+			return nil, e
+		}
+		out = bl.popcntWord(a)
+	case OpRev:
+		a, e := bl.blastBV(t.Args[0])
+		if e != nil {
+			return nil, e
+		}
+		out = make([]sat.Lit, w)
+		for i := range out {
+			out[i] = a[w-1-i]
+		}
+	default:
+		return nil, fmt.Errorf("smt: non-constant %s term reached the bit-blaster: %s", t.Op, bl.b.String(id))
+	}
+	if len(out) != w {
+		panic(fmt.Sprintf("smt: blast width mismatch for %s: got %d want %d", t.Op, len(out), w))
+	}
+	bl.bws[id] = out
+	_ = err
+	return out, nil
+}
+
+// assertTrue adds clauses forcing the boolean term id to hold.
+func (bl *blaster) assertTrue(id TermID) error {
+	l, err := bl.blastBool(id)
+	if err != nil {
+		return err
+	}
+	bl.s.AddClause(l)
+	return nil
+}
+
+// wordValue reads the model value of a previously blasted term.
+func (bl *blaster) wordValue(id TermID) (uint64, bool) {
+	wls, ok := bl.bws[id]
+	if !ok {
+		return 0, false
+	}
+	var v uint64
+	for i, l := range wls {
+		bit := bl.s.Value(l.Var())
+		if l.Neg() {
+			bit = !bit
+		}
+		if bit {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, true
+}
+
+func (bl *blaster) boolValue(id TermID) (bool, bool) {
+	l, ok := bl.bls[id]
+	if !ok {
+		return false, false
+	}
+	bit := bl.s.Value(l.Var())
+	if l.Neg() {
+		bit = !bit
+	}
+	return bit, true
+}

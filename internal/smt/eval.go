@@ -1,0 +1,276 @@
+package smt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a concrete value of some sort, used by models and the evaluator.
+type Value struct {
+	Sort Sort
+	// Bits holds the value: for Bool, 0 or 1; for BV, the (masked) bit
+	// pattern; for Int, the two's-complement encoding of the int64.
+	Bits uint64
+}
+
+// BoolValue constructs a boolean value.
+func BoolValue(v bool) Value {
+	u := uint64(0)
+	if v {
+		u = 1
+	}
+	return Value{Sort: Bool, Bits: u}
+}
+
+// BVValue constructs a bitvector value.
+func BVValue(v uint64, width int) Value {
+	return Value{Sort: BV(width), Bits: v & mask(width)}
+}
+
+// IntValue constructs an integer value.
+func IntValue(v int64) Value { return Value{Sort: Int, Bits: uint64(v)} }
+
+// AsBool returns the value as a boolean (panics on sort mismatch).
+func (v Value) AsBool() bool {
+	if v.Sort.Kind != KindBool {
+		panic("smt: AsBool on " + v.Sort.String())
+	}
+	return v.Bits == 1
+}
+
+// AsInt returns the value as an int64 (panics on sort mismatch).
+func (v Value) AsInt() int64 {
+	if v.Sort.Kind != KindInt {
+		panic("smt: AsInt on " + v.Sort.String())
+	}
+	return int64(v.Bits)
+}
+
+// String renders the value: booleans as true/false, integers in decimal,
+// bitvectors as #b or #x literals (matching the paper's counterexamples).
+func (v Value) String() string {
+	switch v.Sort.Kind {
+	case KindBool:
+		if v.Bits == 1 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return fmt.Sprintf("%d", int64(v.Bits))
+	default:
+		w := v.Sort.Width
+		if w <= 8 {
+			return fmt.Sprintf("#b%0*b", w, v.Bits&mask(w))
+		}
+		if w%4 == 0 {
+			return fmt.Sprintf("#x%0*x", w/4, v.Bits&mask(w))
+		}
+		return fmt.Sprintf("#b%0*b", w, v.Bits&mask(w))
+	}
+}
+
+// Env assigns concrete values to variables by name.
+type Env map[string]Value
+
+// Eval evaluates term id under env. It returns an error when a variable is
+// unbound or has the wrong sort. Used by the model checker, the concrete
+// interpreter (§3.3 "test rules against specific concrete inputs"), and the
+// differential tests of the bit-blaster.
+func (b *Builder) Eval(id TermID, env Env) (Value, error) {
+	memo := make(map[TermID]Value)
+	return b.evalMemo(id, env, memo)
+}
+
+func (b *Builder) evalMemo(id TermID, env Env, memo map[TermID]Value) (Value, error) {
+	if v, ok := memo[id]; ok {
+		return v, nil
+	}
+	t := &b.terms[id]
+	var args [3]Value
+	for i := 0; i < t.NArg; i++ {
+		v, err := b.evalMemo(t.Args[i], env, memo)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	v, err := evalOp(t, args, env)
+	if err != nil {
+		return Value{}, err
+	}
+	memo[id] = v
+	return v, nil
+}
+
+func evalOp(t *Term, args [3]Value, env Env) (Value, error) {
+	w := t.Sort.Width
+	bvv := func(u uint64) (Value, error) { return BVValue(u, w), nil }
+	bl := func(v bool) (Value, error) { return BoolValue(v), nil }
+	switch t.Op {
+	case OpVar:
+		v, ok := env[t.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("smt: unbound variable %q", t.Name)
+		}
+		if v.Sort != t.Sort {
+			return Value{}, fmt.Errorf("smt: variable %q bound at %s, expected %s", t.Name, v.Sort, t.Sort)
+		}
+		return v, nil
+	case OpBoolConst:
+		return Value{Sort: Bool, Bits: t.UArg}, nil
+	case OpBVConst:
+		return BVValue(t.UArg, w), nil
+	case OpIntConst:
+		return IntValue(t.IArg), nil
+	case OpNot:
+		return bl(args[0].Bits == 0)
+	case OpAnd:
+		return bl(args[0].Bits == 1 && args[1].Bits == 1)
+	case OpOr:
+		return bl(args[0].Bits == 1 || args[1].Bits == 1)
+	case OpXorB:
+		return bl(args[0].Bits != args[1].Bits)
+	case OpImplies:
+		return bl(args[0].Bits == 0 || args[1].Bits == 1)
+	case OpIff:
+		return bl(args[0].Bits == args[1].Bits)
+	case OpIte:
+		if args[0].Bits == 1 {
+			return args[1], nil
+		}
+		return args[2], nil
+	case OpEq:
+		switch args[0].Sort.Kind {
+		case KindInt, KindBool:
+			return bl(args[0].Bits == args[1].Bits)
+		default:
+			aw := args[0].Sort.Width
+			return bl(args[0].Bits&mask(aw) == args[1].Bits&mask(aw))
+		}
+	case OpBVNot:
+		return bvv(^args[0].Bits)
+	case OpBVNeg:
+		return bvv(-args[0].Bits)
+	case OpBVAdd:
+		return bvv(args[0].Bits + args[1].Bits)
+	case OpBVSub:
+		return bvv(args[0].Bits - args[1].Bits)
+	case OpBVMul:
+		return bvv(args[0].Bits * args[1].Bits)
+	case OpBVUDiv:
+		return bvv(foldUDiv(args[0].Bits, args[1].Bits, w))
+	case OpBVURem:
+		return bvv(foldURem(args[0].Bits, args[1].Bits, w))
+	case OpBVSDiv:
+		return bvv(foldSDiv(args[0].Bits, args[1].Bits, w))
+	case OpBVSRem:
+		return bvv(foldSRem(args[0].Bits, args[1].Bits, w))
+	case OpBVAnd:
+		return bvv(args[0].Bits & args[1].Bits)
+	case OpBVOr:
+		return bvv(args[0].Bits | args[1].Bits)
+	case OpBVXor:
+		return bvv(args[0].Bits ^ args[1].Bits)
+	case OpBVShl:
+		return bvv(foldShl(args[0].Bits, args[1].Bits, w))
+	case OpBVLshr:
+		return bvv(foldLshr(args[0].Bits, args[1].Bits, w))
+	case OpBVAshr:
+		return bvv(foldAshr(args[0].Bits, args[1].Bits, w))
+	case OpBVRotl:
+		return bvv(foldRotl(args[0].Bits, args[1].Bits, w))
+	case OpBVRotr:
+		return bvv(foldRotr(args[0].Bits, args[1].Bits, w))
+	case OpBVUlt:
+		aw := args[0].Sort.Width
+		return bl(args[0].Bits&mask(aw) < args[1].Bits&mask(aw))
+	case OpBVUle:
+		aw := args[0].Sort.Width
+		return bl(args[0].Bits&mask(aw) <= args[1].Bits&mask(aw))
+	case OpBVSlt:
+		aw := args[0].Sort.Width
+		return bl(sext(args[0].Bits, aw) < sext(args[1].Bits, aw))
+	case OpBVSle:
+		aw := args[0].Sort.Width
+		return bl(sext(args[0].Bits, aw) <= sext(args[1].Bits, aw))
+	case OpExtract:
+		return bvv(args[0].Bits >> uint(t.JArg))
+	case OpConcat:
+		lw := args[1].Sort.Width
+		return bvv(args[0].Bits<<uint(lw) | args[1].Bits&mask(lw))
+	case OpZeroExt:
+		return bvv(args[0].Bits & mask(args[0].Sort.Width))
+	case OpSignExt:
+		return bvv(uint64(sext(args[0].Bits, args[0].Sort.Width)))
+	case OpCLZ:
+		return bvv(foldCLZ(args[0].Bits, w))
+	case OpPopcnt:
+		return bvv(foldPopcnt(args[0].Bits, w))
+	case OpRev:
+		return bvv(foldRev(args[0].Bits, w))
+	case OpIntAdd:
+		return IntValue(int64(args[0].Bits) + int64(args[1].Bits)), nil
+	case OpIntSub:
+		return IntValue(int64(args[0].Bits) - int64(args[1].Bits)), nil
+	case OpIntMul:
+		return IntValue(int64(args[0].Bits) * int64(args[1].Bits)), nil
+	case OpIntLe:
+		return bl(int64(args[0].Bits) <= int64(args[1].Bits))
+	case OpIntLt:
+		return bl(int64(args[0].Bits) < int64(args[1].Bits))
+	case OpIntGe:
+		return bl(int64(args[0].Bits) >= int64(args[1].Bits))
+	case OpIntGt:
+		return bl(int64(args[0].Bits) > int64(args[1].Bits))
+	default:
+		return Value{}, fmt.Errorf("smt: eval: unsupported op %s", t.Op)
+	}
+}
+
+// String renders term id as an SMT-LIB-style S-expression (for debugging
+// and error messages).
+func (b *Builder) String(id TermID) string {
+	var sb strings.Builder
+	b.writeTerm(&sb, id)
+	return sb.String()
+}
+
+func (b *Builder) writeTerm(sb *strings.Builder, id TermID) {
+	t := &b.terms[id]
+	switch t.Op {
+	case OpVar:
+		sb.WriteString(smtlibName(t.Name))
+		return
+	case OpBoolConst:
+		if t.UArg == 1 {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+		return
+	case OpBVConst:
+		sb.WriteString(BVValue(t.UArg, t.Sort.Width).String())
+		return
+	case OpIntConst:
+		fmt.Fprintf(sb, "%d", t.IArg)
+		return
+	case OpExtract:
+		fmt.Fprintf(sb, "((_ extract %d %d) ", t.IArg, t.JArg)
+		b.writeTerm(sb, t.Args[0])
+		sb.WriteByte(')')
+		return
+	case OpZeroExt, OpSignExt:
+		from := b.terms[t.Args[0]].Sort.Width
+		fmt.Fprintf(sb, "((_ %s %d) ", t.Op, t.Sort.Width-from)
+		b.writeTerm(sb, t.Args[0])
+		sb.WriteByte(')')
+		return
+	}
+	sb.WriteByte('(')
+	sb.WriteString(t.Op.String())
+	for i := 0; i < t.NArg; i++ {
+		sb.WriteByte(' ')
+		b.writeTerm(sb, t.Args[i])
+	}
+	sb.WriteByte(')')
+}

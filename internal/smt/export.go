@@ -1,0 +1,123 @@
+package smt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Desugar rewrites the custom encodings of the annotation language
+// (symbolic rotates, clz, popcnt, rev — §3.1's "custom encodings in its
+// backend") into core SMT-LIB QF_BV operators, so a query can be exported
+// and cross-checked with an external solver. Widths are concrete after
+// monomorphization, so every encoding has a finite expansion.
+func Desugar(b *Builder, id TermID) TermID {
+	memo := map[TermID]TermID{}
+	var walk func(TermID) TermID
+	walk = func(x TermID) TermID {
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		t := *b.Term(x) // copy: the builder may grow underneath us
+		args := make([]TermID, t.NArg)
+		for i := 0; i < t.NArg; i++ {
+			args[i] = walk(t.Args[i])
+		}
+		var out TermID
+		w := t.Sort.Width
+		switch t.Op {
+		case OpBVRotl, OpBVRotr:
+			// rot(x, y) with the amount reduced mod the (power-of-two)
+			// width: shift left and right and or (the Fig. 2 Rotl/Rotr
+			// elaboration).
+			x0, y0 := args[0], args[1]
+			n := b.BVConst(uint64(w), w)
+			amt := b.BVURem(y0, n)
+			inv := b.BVURem(b.BVSub(n, amt), n)
+			if t.Op == OpBVRotl {
+				out = b.BVOr(b.BVShl(x0, amt), b.BVLshr(x0, inv))
+			} else {
+				out = b.BVOr(b.BVLshr(x0, amt), b.BVShl(x0, inv))
+			}
+		case OpCLZ:
+			// Priority ite chain from the top bit down.
+			x0 := args[0]
+			out = b.BVConst(uint64(w), w) // all zero
+			for i := 0; i < w; i++ {
+				bit := b.Extract(i, i, x0)
+				out = b.Ite(b.Eq(bit, b.BVConst(1, 1)),
+					b.BVConst(uint64(w-1-i), w), out)
+			}
+		case OpPopcnt:
+			x0 := args[0]
+			out = b.BVConst(0, w)
+			for i := 0; i < w; i++ {
+				out = b.BVAdd(out, b.ZeroExt(w, b.Extract(i, i, x0)))
+			}
+		case OpRev:
+			x0 := args[0]
+			out = b.Extract(0, 0, x0)
+			for i := 1; i < w; i++ {
+				out = b.Concat(out, b.Extract(i, i, x0))
+			}
+		default:
+			if t.NArg == 0 {
+				out = x
+			} else {
+				t.Args = [3]TermID{NoTerm, NoTerm, NoTerm}
+				copy(t.Args[:], args)
+				out = b.intern(t)
+			}
+		}
+		memo[x] = out
+		return out
+	}
+	return walk(id)
+}
+
+// WriteSMTLIB writes the assertions as a standalone SMT-LIB 2 script
+// (QF_BV), desugaring custom encodings first. The output can be fed to an
+// external solver (z3, cvc5, bitwuzla) to cross-check this package's
+// verdicts; expect `unsat` exactly when Check reports UnsatRes.
+func WriteSMTLIB(w io.Writer, b *Builder, assertions []TermID) error {
+	fmt.Fprintln(w, "(set-logic QF_BV)")
+	desugared := make([]TermID, len(assertions))
+	vars := map[TermID]bool{}
+	for i, a := range assertions {
+		if b.SortOf(a).Kind != KindBool {
+			return fmt.Errorf("smt: assertion %d is %s, not Bool", i, b.SortOf(a))
+		}
+		desugared[i] = Desugar(b, a)
+		collectVars(b, desugared[i], vars)
+	}
+	names := make([]string, 0, len(vars))
+	byName := map[string]Sort{}
+	for v := range vars {
+		t := b.Term(v)
+		names = append(names, t.Name)
+		byName[t.Name] = t.Sort
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "(declare-const %s %s)\n", smtlibName(n), byName[n])
+	}
+	for _, a := range desugared {
+		fmt.Fprintf(w, "(assert %s)\n", b.String(a))
+	}
+	fmt.Fprintln(w, "(check-sat)")
+	return nil
+}
+
+// smtlibName quotes names containing characters outside the SMT-LIB
+// simple-symbol alphabet.
+func smtlibName(n string) string {
+	for _, r := range n {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '_' || r == '.' || r == '$' || r == '%' || r == '-':
+		default:
+			return "|" + n + "|"
+		}
+	}
+	return n
+}

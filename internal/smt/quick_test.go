@@ -1,0 +1,232 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTerm builds a random well-sorted term over the variables xs (all of
+// width w), exercising every operator the corpus's annotations reach.
+type randGen struct {
+	r *rand.Rand
+	b *Builder
+	w int
+	// bool/bv variable pools
+	bvs []TermID
+}
+
+func (g *randGen) bv(depth int) TermID {
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		if g.r.Intn(3) == 0 {
+			return g.b.BVConst(g.r.Uint64(), g.w)
+		}
+		return g.bvs[g.r.Intn(len(g.bvs))]
+	}
+	switch g.r.Intn(22) {
+	case 0:
+		return g.b.BVAdd(g.bv(depth-1), g.bv(depth-1))
+	case 1:
+		return g.b.BVSub(g.bv(depth-1), g.bv(depth-1))
+	case 2:
+		return g.b.BVMul(g.bv(depth-1), g.bv(depth-1))
+	case 3:
+		return g.b.BVUDiv(g.bv(depth-1), g.bv(depth-1))
+	case 4:
+		return g.b.BVURem(g.bv(depth-1), g.bv(depth-1))
+	case 5:
+		return g.b.BVSDiv(g.bv(depth-1), g.bv(depth-1))
+	case 6:
+		return g.b.BVSRem(g.bv(depth-1), g.bv(depth-1))
+	case 7:
+		return g.b.BVAnd(g.bv(depth-1), g.bv(depth-1))
+	case 8:
+		return g.b.BVOr(g.bv(depth-1), g.bv(depth-1))
+	case 9:
+		return g.b.BVXor(g.bv(depth-1), g.bv(depth-1))
+	case 10:
+		return g.b.BVShl(g.bv(depth-1), g.bv(depth-1))
+	case 11:
+		return g.b.BVLshr(g.bv(depth-1), g.bv(depth-1))
+	case 12:
+		return g.b.BVAshr(g.bv(depth-1), g.bv(depth-1))
+	case 13:
+		return g.b.BVRotl(g.bv(depth-1), g.bv(depth-1))
+	case 14:
+		return g.b.BVRotr(g.bv(depth-1), g.bv(depth-1))
+	case 15:
+		return g.b.BVNot(g.bv(depth - 1))
+	case 16:
+		return g.b.BVNeg(g.bv(depth - 1))
+	case 17:
+		return g.b.CLZ(g.bv(depth - 1))
+	case 18:
+		return g.b.Popcnt(g.bv(depth - 1))
+	case 19:
+		return g.b.Rev(g.bv(depth - 1))
+	case 20:
+		return g.b.Ite(g.boolean(depth-1), g.bv(depth-1), g.bv(depth-1))
+	default:
+		// Structural round trip at the same width: concat of extracts.
+		x := g.bv(depth - 1)
+		cut := 1 + g.r.Intn(g.w-1)
+		return g.b.Concat(g.b.Extract(g.w-1, cut, x), g.b.Extract(cut-1, 0, x))
+	}
+}
+
+func (g *randGen) boolean(depth int) TermID {
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		return g.b.BoolConst(g.r.Intn(2) == 0)
+	}
+	switch g.r.Intn(7) {
+	case 0:
+		return g.b.Eq(g.bv(depth-1), g.bv(depth-1))
+	case 1:
+		return g.b.BVUlt(g.bv(depth-1), g.bv(depth-1))
+	case 2:
+		return g.b.BVSle(g.bv(depth-1), g.bv(depth-1))
+	case 3:
+		return g.b.Not(g.boolean(depth - 1))
+	case 4:
+		return g.b.And(g.boolean(depth-1), g.boolean(depth-1))
+	case 5:
+		return g.b.Or(g.boolean(depth-1), g.boolean(depth-1))
+	default:
+		return g.b.XorB(g.boolean(depth-1), g.boolean(depth-1))
+	}
+}
+
+// TestQuickBlastAgainstEvalRandomTrees is the package's main soundness
+// property: for random expression trees and random concrete inputs, the
+// bit-blasted SAT encoding must agree with the reference evaluator —
+// asserting inputs and result ≠ eval(result) is UNSAT, and asserting
+// result = eval(result) is SAT.
+func TestQuickBlastAgainstEvalRandomTrees(t *testing.T) {
+	seed := int64(20240427)
+	r := rand.New(rand.NewSource(seed))
+	iter := 0
+	f := func() bool {
+		iter++
+		w := []int{4, 8, 16, 32}[r.Intn(4)]
+		b := NewBuilder()
+		nvars := 1 + r.Intn(3)
+		g := &randGen{r: r, b: b, w: w}
+		env := Env{}
+		var inputs []TermID
+		for i := 0; i < nvars; i++ {
+			name := string(rune('a' + i))
+			v := b.Var(name, BV(w))
+			g.bvs = append(g.bvs, v)
+			env[name] = BVValue(r.Uint64(), w)
+			inputs = append(inputs, v)
+		}
+		expr := g.bv(3 + r.Intn(2))
+		want, err := b.Eval(expr, env)
+		if err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+		asserts := []TermID{}
+		for i, in := range inputs {
+			name := b.Term(in).Name
+			asserts = append(asserts, b.Eq(in, b.BVConst(env[name].Bits, w)))
+			_ = i
+		}
+		neq := append(append([]TermID{}, asserts...), b.Distinct(expr, b.BVConst(want.Bits, w)))
+		res, err := Check(b, neq, Config{})
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		if res.Status != UnsatRes {
+			t.Logf("iter %d: expr %s", iter, b.String(expr))
+			t.Logf("env: %v want %s", env, want)
+			return false
+		}
+		eq := append(append([]TermID{}, asserts...), b.Eq(expr, b.BVConst(want.Bits, w)))
+		res, err = Check(b, eq, Config{})
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		return res.Status == SatRes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFoldMatchesEval checks the constant folder against the
+// evaluator: building an operation over constants must fold to exactly
+// the evaluator's value.
+func TestQuickFoldMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	type binOp struct {
+		name string
+		mk   func(b *Builder, x, y TermID) TermID
+	}
+	ops := []binOp{
+		{"add", (*Builder).BVAdd}, {"sub", (*Builder).BVSub}, {"mul", (*Builder).BVMul},
+		{"udiv", (*Builder).BVUDiv}, {"urem", (*Builder).BVURem},
+		{"sdiv", (*Builder).BVSDiv}, {"srem", (*Builder).BVSRem},
+		{"shl", (*Builder).BVShl}, {"lshr", (*Builder).BVLshr}, {"ashr", (*Builder).BVAshr},
+		{"rotl", (*Builder).BVRotl}, {"rotr", (*Builder).BVRotr},
+	}
+	f := func() bool {
+		w := []int{1, 7, 8, 13, 16, 32, 64}[r.Intn(7)]
+		a, c := r.Uint64(), r.Uint64()
+		op := ops[r.Intn(len(ops))]
+		b := NewBuilder()
+		folded := op.mk(b, b.BVConst(a, w), b.BVConst(c, w))
+		fv, ok := b.BVVal(folded)
+		if !ok {
+			return false // constants must fold
+		}
+		x := b.Var("x", BV(w))
+		y := b.Var("y", BV(w))
+		sym := op.mk(b, x, y)
+		ev, err := b.Eval(sym, Env{"x": BVValue(a, w), "y": BVValue(c, w)})
+		if err != nil {
+			return false
+		}
+		return fv == ev.Bits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickModelsSatisfy: whenever the solver answers SAT on a random
+// formula, the returned model must satisfy it under the evaluator.
+func TestQuickModelsSatisfy(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		w := []int{4, 8}[r.Intn(2)]
+		b := NewBuilder()
+		g := &randGen{r: r, b: b, w: w}
+		for i := 0; i < 2; i++ {
+			g.bvs = append(g.bvs, b.Var(string(rune('a'+i)), BV(w)))
+		}
+		form := g.boolean(4)
+		res, err := Check(b, []TermID{form}, Config{})
+		if err != nil {
+			return false
+		}
+		if res.Status != SatRes {
+			return true // nothing to check
+		}
+		env := res.Model.Env()
+		// Complete the env for variables eliminated by folding.
+		for _, v := range g.bvs {
+			name := b.Term(v).Name
+			if _, ok := env[name]; !ok {
+				env[name] = BVValue(0, w)
+			}
+		}
+		val, err := b.Eval(form, env)
+		if err != nil {
+			return false
+		}
+		return val.AsBool()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSimplifyIdentities checks the builder's local rewrites.
+func TestSimplifyIdentities(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(16))
+	zero := b.BVConst(0, 16)
+	ones := b.BVConst(0xffff, 16)
+	one := b.BVConst(1, 16)
+
+	if b.BVAdd(x, zero) != x || b.BVAdd(zero, x) != x {
+		t.Fatal("x+0")
+	}
+	if b.BVSub(x, zero) != x {
+		t.Fatal("x-0")
+	}
+	if v, _ := b.BVVal(b.BVSub(x, x)); v != 0 {
+		t.Fatal("x-x")
+	}
+	if b.BVMul(x, one) != x || b.BVMul(one, x) != x {
+		t.Fatal("x*1")
+	}
+	if v, _ := b.BVVal(b.BVMul(x, zero)); v != 0 {
+		t.Fatal("x*0")
+	}
+	if b.BVAnd(x, ones) != x || b.BVAnd(ones, x) != x || b.BVAnd(x, x) != x {
+		t.Fatal("and identities")
+	}
+	if v, _ := b.BVVal(b.BVAnd(x, zero)); v != 0 {
+		t.Fatal("x&0")
+	}
+	if b.BVOr(x, zero) != x || b.BVOr(x, x) != x {
+		t.Fatal("or identities")
+	}
+	if v, _ := b.BVVal(b.BVOr(x, ones)); v != 0xffff {
+		t.Fatal("x|ones")
+	}
+	if b.BVXor(x, zero) != x {
+		t.Fatal("x^0")
+	}
+	if v, _ := b.BVVal(b.BVXor(x, x)); v != 0 {
+		t.Fatal("x^x")
+	}
+	if b.BVXor(x, ones) != b.BVNot(x) {
+		t.Fatal("x^ones = ~x")
+	}
+	for _, sh := range []func(TermID, TermID) TermID{b.BVShl, b.BVLshr, b.BVAshr, b.BVRotl, b.BVRotr} {
+		if sh(x, zero) != x {
+			t.Fatal("shift/rotate by zero")
+		}
+	}
+	// Double negation.
+	if b.BVNot(b.BVNot(x)) != x {
+		t.Fatal("~~x")
+	}
+	if b.Not(b.Not(b.Var("p", Bool))) != b.Var("p", Bool) {
+		t.Fatal("!!p")
+	}
+}
+
+// TestQuickSimplificationsSound: the builder rewrites must preserve
+// semantics. For random operands (biased toward the identity-triggering
+// constants 0, 1, and all-ones), the simplified term must evaluate to the
+// same value as the reference fold function for that operator, with the
+// exact operand order used at construction.
+func TestQuickSimplificationsSound(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	type opCase struct {
+		mk   func(b *Builder, x, y TermID) TermID
+		fold bvBinFold
+	}
+	ops := []opCase{
+		{(*Builder).BVAdd, func(a, c uint64, w int) uint64 { return a + c }},
+		{(*Builder).BVSub, func(a, c uint64, w int) uint64 { return a - c }},
+		{(*Builder).BVMul, func(a, c uint64, w int) uint64 { return a * c }},
+		{(*Builder).BVAnd, func(a, c uint64, w int) uint64 { return a & c }},
+		{(*Builder).BVOr, func(a, c uint64, w int) uint64 { return a | c }},
+		{(*Builder).BVXor, func(a, c uint64, w int) uint64 { return a ^ c }},
+		{(*Builder).BVShl, foldShl},
+		{(*Builder).BVLshr, foldLshr},
+		{(*Builder).BVAshr, foldAshr},
+		{(*Builder).BVRotl, foldRotl},
+		{(*Builder).BVRotr, foldRotr},
+	}
+	f := func() bool {
+		w := []int{8, 16, 64}[r.Intn(3)]
+		a := r.Uint64() & mask(w)
+		specials := []uint64{0, 1, mask(w), r.Uint64() & mask(w)}
+		c := specials[r.Intn(len(specials))]
+		op := ops[r.Intn(len(ops))]
+
+		b := NewBuilder()
+		x := b.Var("x", BV(w))
+		constSide := b.BVConst(c, w)
+
+		var expr TermID
+		var want uint64
+		if r.Intn(2) == 0 {
+			expr = op.mk(b, x, constSide) // x OP c
+			want = op.fold(a, c, w) & mask(w)
+		} else {
+			expr = op.mk(b, constSide, x) // c OP x
+			want = op.fold(c, a, w) & mask(w)
+		}
+		got, err := b.Eval(expr, Env{"x": BVValue(a, w)})
+		if err != nil {
+			t.Logf("eval error: %v", err)
+			return false
+		}
+		if got.Bits != want {
+			t.Logf("w=%d a=%#x c=%#x: got %#x want %#x (%s)", w, a, c, got.Bits, want, b.String(expr))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

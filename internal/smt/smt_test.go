@@ -1,0 +1,464 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestSortString(t *testing.T) {
+	if BV(8).String() != "(_ BitVec 8)" || Bool.String() != "Bool" || Int.String() != "Int" {
+		t.Fatal("sort strings")
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	b := NewBuilder()
+	x := b.BVConst(0xff, 8)
+	y := b.BVConst(1, 8)
+	if v, ok := b.BVVal(b.BVAdd(x, y)); !ok || v != 0 {
+		t.Fatalf("0xff+1 = %#x", v)
+	}
+	if v, ok := b.BVVal(b.BVMul(b.BVConst(7, 8), b.BVConst(5, 8))); !ok || v != 35 {
+		t.Fatalf("7*5 = %d", v)
+	}
+	if v, ok := b.BVVal(b.BVUDiv(b.BVConst(7, 8), b.BVConst(0, 8))); !ok || v != 0xff {
+		t.Fatalf("udiv by zero = %#x, want all ones", v)
+	}
+	if v, ok := b.BVVal(b.BVURem(b.BVConst(7, 8), b.BVConst(0, 8))); !ok || v != 7 {
+		t.Fatalf("urem by zero = %d, want 7", v)
+	}
+	// sdiv: -8 / 2 = -4
+	if v, ok := b.BVVal(b.BVSDiv(b.BVConst(0xf8, 8), b.BVConst(2, 8))); !ok || v != 0xfc {
+		t.Fatalf("-8/2 = %#x", v)
+	}
+	if v, ok := b.BoolVal(b.BVSlt(b.BVConst(0x80, 8), b.BVConst(0, 8))); !ok || !v {
+		t.Fatal("-128 <s 0 should fold true")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	y := b.Var("y", BV(8))
+	a1 := b.BVAdd(x, y)
+	a2 := b.BVAdd(x, y)
+	if a1 != a2 {
+		t.Fatal("identical terms should be shared")
+	}
+	if b.BVAdd(y, x) == a1 {
+		t.Fatal("different argument order should differ")
+	}
+}
+
+func TestVarSortConflict(t *testing.T) {
+	b := NewBuilder()
+	b.Var("x", BV(8))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on sort conflict")
+		}
+	}()
+	b.Var("x", BV(16))
+}
+
+func TestExtractConcat(t *testing.T) {
+	b := NewBuilder()
+	c := b.BVConst(0xabcd, 16)
+	if v, _ := b.BVVal(b.Extract(15, 8, c)); v != 0xab {
+		t.Fatalf("extract hi = %#x", v)
+	}
+	if v, _ := b.BVVal(b.Extract(7, 0, c)); v != 0xcd {
+		t.Fatalf("extract lo = %#x", v)
+	}
+	hi := b.BVConst(0xab, 8)
+	lo := b.BVConst(0xcd, 8)
+	if v, _ := b.BVVal(b.Concat(hi, lo)); v != 0xabcd {
+		t.Fatalf("concat = %#x", v)
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	b := NewBuilder()
+	c := b.BVConst(0x80, 8)
+	if v, _ := b.BVVal(b.ZeroExt(16, c)); v != 0x0080 {
+		t.Fatalf("zext = %#x", v)
+	}
+	if v, _ := b.BVVal(b.SignExt(16, c)); v != 0xff80 {
+		t.Fatalf("sext = %#x", v)
+	}
+	x := b.Var("x", BV(8))
+	if b.ZeroExt(8, x) != x {
+		t.Fatal("identity extension should be a no-op")
+	}
+}
+
+func TestCLSIdentity(t *testing.T) {
+	b := NewBuilder()
+	// Paper §4.3.3: cls(#b11111100) = 5 for i8.
+	if v, ok := b.BVVal(b.CLS(b.BVConst(0xfc, 8))); !ok || v != 5 {
+		t.Fatalf("cls(0xfc) = %d, want 5", v)
+	}
+	if v, _ := b.BVVal(b.CLS(b.BVConst(0, 8))); v != 7 {
+		t.Fatalf("cls(0) = %d, want 7", v)
+	}
+	if v, _ := b.BVVal(b.CLS(b.BVConst(0xff, 8))); v != 7 {
+		t.Fatalf("cls(-1) = %d, want 7", v)
+	}
+	if v, _ := b.BVVal(b.CLS(b.BVConst(0x40, 8))); v != 0 {
+		t.Fatalf("cls(0x40) = %d, want 0", v)
+	}
+}
+
+func TestIntFold(t *testing.T) {
+	b := NewBuilder()
+	if v, ok := b.IntVal(b.IntAdd(b.IntConst(3), b.IntConst(4))); !ok || v != 7 {
+		t.Fatalf("3+4 = %d", v)
+	}
+	if v, ok := b.BoolVal(b.IntLe(b.IntConst(8), b.IntConst(16))); !ok || !v {
+		t.Fatal("8 <= 16")
+	}
+	if v, ok := b.BVVal(b.Int2BV(8, b.IntConst(255))); !ok || v != 255 {
+		t.Fatalf("int2bv = %d", v)
+	}
+	if v, ok := b.IntVal(b.BV2Int(b.BVConst(9, 8))); !ok || v != 9 {
+		t.Fatalf("bv2int = %d", v)
+	}
+}
+
+func solveOne(t *testing.T, b *Builder, assertions ...TermID) Result {
+	t.Helper()
+	res, err := Check(b, assertions, Config{})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return res
+}
+
+func TestSolveSimpleSat(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	// x + 1 = 0  =>  x = 0xff
+	res := solveOne(t, b, b.Eq(b.BVAdd(x, b.BVConst(1, 8)), b.BVConst(0, 8)))
+	if res.Status != SatRes {
+		t.Fatalf("status = %v", res.Status)
+	}
+	v, ok := res.Model.Value("x")
+	if !ok || v.Bits != 0xff {
+		t.Fatalf("model x = %v", v)
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	res := solveOne(t, b,
+		b.BVUlt(x, b.BVConst(4, 8)),
+		b.BVUlt(b.BVConst(10, 8), x))
+	if res.Status != UnsatRes {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestSolveCommutativityValid(t *testing.T) {
+	// x + y = y + x is valid: negation is unsat.
+	b := NewBuilder()
+	x := b.Var("x", BV(16))
+	y := b.Var("y", BV(16))
+	res := solveOne(t, b, b.Distinct(b.BVAdd(x, y), b.BVAdd(y, x)))
+	if res.Status != UnsatRes {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestSolveShiftAssociationInvalid(t *testing.T) {
+	// (x << 1) >> 1 = x is NOT valid (top bit lost): expect a model.
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	one := b.BVConst(1, 8)
+	lhs := b.BVLshr(b.BVShl(x, one), one)
+	res := solveOne(t, b, b.Distinct(lhs, x))
+	if res.Status != SatRes {
+		t.Fatalf("status = %v", res.Status)
+	}
+	v, _ := res.Model.Value("x")
+	if v.Bits>>7&1 != 1 {
+		t.Fatalf("counterexample must set the top bit, got %v", v)
+	}
+}
+
+func TestModelEnvRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	y := b.Var("y", BV(8))
+	form := b.Eq(b.BVMul(x, y), b.BVConst(36, 8))
+	res := solveOne(t, b, form)
+	if res.Status != SatRes {
+		t.Fatalf("status = %v", res.Status)
+	}
+	got, err := b.Eval(form, res.Model.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.AsBool() {
+		t.Fatalf("model does not satisfy formula: %s", res.Model)
+	}
+}
+
+func TestDeadlineUnknown(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(64))
+	y := b.Var("y", BV(64))
+	// A hard 64-bit multiplication inversion query.
+	form := b.Eq(b.BVMul(x, y), b.BVConst(0xdeadbeefcafebabe, 64))
+	res, err := Check(b, []TermID{form, b.BVUlt(b.BVConst(1, 64), x), b.BVUlt(b.BVConst(1, 64), y)},
+		Config{Deadline: time.Now().Add(50 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == UnsatRes {
+		t.Fatalf("factoring query cannot be unsat, got %v", res.Status)
+	}
+}
+
+// --- differential tests: bit-blaster vs concrete evaluator ---
+
+type binCase struct {
+	name string
+	mk   func(b *Builder, x, y TermID) TermID
+}
+
+var binOps = []binCase{
+	{"add", (*Builder).BVAdd}, {"sub", (*Builder).BVSub}, {"mul", (*Builder).BVMul},
+	{"udiv", (*Builder).BVUDiv}, {"urem", (*Builder).BVURem},
+	{"sdiv", (*Builder).BVSDiv}, {"srem", (*Builder).BVSRem},
+	{"and", (*Builder).BVAnd}, {"or", (*Builder).BVOr}, {"xor", (*Builder).BVXor},
+	{"shl", (*Builder).BVShl}, {"lshr", (*Builder).BVLshr}, {"ashr", (*Builder).BVAshr},
+	{"rotl", (*Builder).BVRotl}, {"rotr", (*Builder).BVRotr},
+}
+
+// TestBlastMatchesEvalBinary checks, for random concrete inputs, that the
+// SAT encoding of every binary operator agrees with the evaluator: the
+// formula (x = a) ∧ (y = b) ∧ (op(x,y) ≠ eval) must be UNSAT.
+func TestBlastMatchesEvalBinary(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, w := range []int{4, 8, 16} {
+		for _, op := range binOps {
+			for iter := 0; iter < 6; iter++ {
+				a := r.Uint64() & ((1 << uint(w)) - 1)
+				c := r.Uint64() & ((1 << uint(w)) - 1)
+				if iter == 0 {
+					c = 0 // always exercise the zero-divisor path
+				}
+				b := NewBuilder()
+				x := b.Var("x", BV(w))
+				y := b.Var("y", BV(w))
+				expr := op.mk(b, x, y)
+				want, err := b.Eval(expr, Env{"x": BVValue(a, w), "y": BVValue(c, w)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := solveOne(t, b,
+					b.Eq(x, b.BVConst(a, w)),
+					b.Eq(y, b.BVConst(c, w)),
+					b.Distinct(expr, b.BVConst(want.Bits, w)))
+				if res.Status != UnsatRes {
+					t.Fatalf("w=%d op=%s a=%#x b=%#x: blast disagrees with eval (want %s)",
+						w, op.name, a, c, want)
+				}
+			}
+		}
+	}
+}
+
+type unCase struct {
+	name string
+	mk   func(b *Builder, x TermID) TermID
+}
+
+var unOps = []unCase{
+	{"not", (*Builder).BVNot}, {"neg", (*Builder).BVNeg},
+	{"clz", (*Builder).CLZ}, {"cls", (*Builder).CLS},
+	{"popcnt", (*Builder).Popcnt}, {"rev", (*Builder).Rev},
+}
+
+func TestBlastMatchesEvalUnary(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, w := range []int{4, 8, 16} {
+		for _, op := range unOps {
+			for iter := 0; iter < 8; iter++ {
+				a := r.Uint64() & ((1 << uint(w)) - 1)
+				switch iter {
+				case 0:
+					a = 0
+				case 1:
+					a = (1 << uint(w)) - 1
+				}
+				b := NewBuilder()
+				x := b.Var("x", BV(w))
+				expr := op.mk(b, x)
+				want, err := b.Eval(expr, Env{"x": BVValue(a, w)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := solveOne(t, b,
+					b.Eq(x, b.BVConst(a, w)),
+					b.Distinct(expr, b.BVConst(want.Bits, w)))
+				if res.Status != UnsatRes {
+					t.Fatalf("w=%d op=%s a=%#x: blast disagrees with eval (want %s)", w, op.name, a, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBlastPredicates(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	preds := []struct {
+		name string
+		mk   func(b *Builder, x, y TermID) TermID
+	}{
+		{"ult", (*Builder).BVUlt}, {"ule", (*Builder).BVUle},
+		{"slt", (*Builder).BVSlt}, {"sle", (*Builder).BVSle},
+		{"eq", (*Builder).Eq},
+	}
+	for _, w := range []int{4, 8} {
+		for _, p := range preds {
+			for iter := 0; iter < 8; iter++ {
+				a := r.Uint64() & ((1 << uint(w)) - 1)
+				c := r.Uint64() & ((1 << uint(w)) - 1)
+				if iter == 0 {
+					c = a
+				}
+				b := NewBuilder()
+				x := b.Var("x", BV(w))
+				y := b.Var("y", BV(w))
+				expr := p.mk(b, x, y)
+				want, err := b.Eval(expr, Env{"x": BVValue(a, w), "y": BVValue(c, w)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := solveOne(t, b,
+					b.Eq(x, b.BVConst(a, w)),
+					b.Eq(y, b.BVConst(c, w)),
+					b.XorB(expr, b.BoolConst(want.AsBool())))
+				if res.Status != UnsatRes {
+					t.Fatalf("w=%d %s(%#x,%#x): blast disagrees with eval (want %v)", w, p.name, a, c, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBlastStructuralOps(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	// zext16(x)[15:8] must be 0 regardless of x.
+	hi := b.Extract(15, 8, b.ZeroExt(16, x))
+	res := solveOne(t, b, b.Distinct(hi, b.BVConst(0, 8)))
+	if res.Status != UnsatRes {
+		t.Fatal("zext high bits must be zero")
+	}
+	// sext16(x)[15:8] is 0xff iff x is negative.
+	b2 := NewBuilder()
+	x2 := b2.Var("x", BV(8))
+	hi2 := b2.Extract(15, 8, b2.SignExt(16, x2))
+	res = solveOne(t, b2, b2.BVSlt(x2, b2.BVConst(0, 8)), b2.Distinct(hi2, b2.BVConst(0xff, 8)))
+	if res.Status != UnsatRes {
+		t.Fatal("sext high bits of negative must be ones")
+	}
+	// concat(x[7:4], x[3:0]) = x.
+	b3 := NewBuilder()
+	x3 := b3.Var("x", BV(8))
+	rec := b3.Concat(b3.Extract(7, 4, x3), b3.Extract(3, 0, x3))
+	res = solveOne(t, b3, b3.Distinct(rec, x3))
+	if res.Status != UnsatRes {
+		t.Fatal("concat of extracts must reconstruct")
+	}
+}
+
+func TestBlastIteBool(t *testing.T) {
+	b := NewBuilder()
+	c := b.Var("c", Bool)
+	x := b.Var("x", BV(8))
+	y := b.Var("y", BV(8))
+	ite := b.Ite(c, x, y)
+	res := solveOne(t, b, c, b.Distinct(ite, x))
+	if res.Status != UnsatRes {
+		t.Fatal("ite with true cond must equal then-branch")
+	}
+	res = solveOne(t, b, b.Not(c), b.Distinct(ite, y))
+	if res.Status != UnsatRes {
+		t.Fatal("ite with false cond must equal else-branch")
+	}
+}
+
+// TestRotateIdentity verifies the paper's symbolic-rotate encoding via the
+// rotl/rotr inverse property at the SMT level.
+func TestRotateIdentity(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	y := b.Var("y", BV(8))
+	back := b.BVRotr(b.BVRotl(x, y), y)
+	res := solveOne(t, b, b.Distinct(back, x))
+	if res.Status != UnsatRes {
+		t.Fatalf("rotr(rotl(x,y),y) must equal x: %v", res.Status)
+	}
+}
+
+func TestQuickEvalAgainstGoSemantics(t *testing.T) {
+	// Property: evaluator semantics of add/mul/shl match Go uint64 math at
+	// width 64 (masked).
+	b := NewBuilder()
+	x := b.Var("x", BV(64))
+	y := b.Var("y", BV(64))
+	add := b.BVAdd(x, y)
+	mul := b.BVMul(x, y)
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		a, c := r.Uint64(), r.Uint64()
+		env := Env{"x": BVValue(a, 64), "y": BVValue(c, 64)}
+		if v, _ := b.Eval(add, env); v.Bits != a+c {
+			t.Fatalf("add eval mismatch")
+		}
+		if v, _ := b.Eval(mul, env); v.Bits != a*c {
+			t.Fatalf("mul eval mismatch")
+		}
+	}
+}
+
+func TestVarsCollection(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	y := b.Var("y", BV(8))
+	f := b.Eq(b.BVAdd(x, y), b.BVConst(0, 8))
+	vs := Vars(b, f)
+	if len(vs) != 2 || vs[0] != "x" || vs[1] != "y" {
+		t.Fatalf("vars = %v", vs)
+	}
+}
+
+func TestPrinter(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	s := b.String(b.BVAdd(x, b.BVConst(3, 8)))
+	if s != "(bvadd x #b00000011)" {
+		t.Fatalf("printed %q", s)
+	}
+	s = b.String(b.Extract(3, 0, x))
+	if s != "((_ extract 3 0) x)" {
+		t.Fatalf("printed %q", s)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if BVValue(0xfc, 8).String() != "#b11111100" {
+		t.Fatal(BVValue(0xfc, 8).String())
+	}
+	if BVValue(0xd0000920, 32).String() != "#xd0000920" {
+		t.Fatal(BVValue(0xd0000920, 32).String())
+	}
+	if BoolValue(true).String() != "true" || IntValue(-3).String() != "-3" {
+		t.Fatal("bool/int value strings")
+	}
+}

@@ -1,0 +1,180 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"crocus/internal/sat"
+)
+
+// Status mirrors the SAT result for SMT queries.
+type Status = sat.Status
+
+// Re-exported result statuses.
+const (
+	Unknown  = sat.Unknown
+	SatRes   = sat.Sat
+	UnsatRes = sat.Unsat
+)
+
+// Model maps variable names to concrete values for a satisfiable query.
+type Model struct {
+	vals map[string]Value
+}
+
+// Value returns the model value for a variable name.
+func (m *Model) Value(name string) (Value, bool) {
+	v, ok := m.vals[name]
+	return v, ok
+}
+
+// Names returns the model's variable names in sorted order.
+func (m *Model) Names() []string {
+	out := make([]string, 0, len(m.vals))
+	for k := range m.vals {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Env converts the model to an evaluation environment.
+func (m *Model) Env() Env {
+	env := make(Env, len(m.vals))
+	for k, v := range m.vals {
+		env[k] = v
+	}
+	return env
+}
+
+// String renders the model as sorted name=value lines.
+func (m *Model) String() string {
+	s := ""
+	for _, n := range m.Names() {
+		s += fmt.Sprintf("%s = %s\n", n, m.vals[n])
+	}
+	return s
+}
+
+// Result is the outcome of a Check call.
+type Result struct {
+	Status Status
+	Model  *Model // non-nil iff Status == Sat
+
+	// Stats
+	SATVars    int
+	SATClauses int
+	Duration   time.Duration
+}
+
+// Config controls solving resources.
+type Config struct {
+	// Deadline aborts the query (Status = Unknown) when passed. Zero means
+	// no deadline.
+	Deadline time.Time
+	// PropagationBudget bounds SAT propagations (0 = unlimited); useful for
+	// deterministic timeout tests.
+	PropagationBudget int64
+}
+
+// Check decides the conjunction of the given boolean assertions over the
+// builder's terms. On Sat, the model assigns every free variable that
+// appears (directly or transitively) in the assertions; variables the
+// folding eliminated entirely are absent.
+func Check(b *Builder, assertions []TermID, cfg Config) (Result, error) {
+	start := time.Now()
+	s := sat.New()
+	if !cfg.Deadline.IsZero() {
+		s.SetDeadline(cfg.Deadline)
+	}
+	if cfg.PropagationBudget > 0 {
+		s.SetBudget(cfg.PropagationBudget)
+	}
+	bl := newBlaster(b, s)
+
+	vars := map[TermID]bool{}
+	for _, a := range assertions {
+		if b.SortOf(a).Kind != KindBool {
+			return Result{}, fmt.Errorf("smt: assertion is %s, not Bool: %s", b.SortOf(a), b.String(a))
+		}
+		collectVars(b, a, vars)
+		if err := bl.assertTrue(a); err != nil {
+			return Result{}, err
+		}
+	}
+	// Ensure every referenced variable is blasted so the model covers it.
+	for v := range vars {
+		var err error
+		if b.SortOf(v).Kind == KindBV {
+			_, err = bl.blastBV(v)
+		} else {
+			_, err = bl.blastBool(v)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Result{
+		SATVars:    s.NumVars(),
+		SATClauses: s.NumClauses(),
+	}
+	res.Status = s.Solve()
+	res.Duration = time.Since(start)
+	if res.Status != sat.Sat {
+		return res, nil
+	}
+
+	m := &Model{vals: make(map[string]Value)}
+	for v := range vars {
+		t := b.Term(v)
+		switch t.Sort.Kind {
+		case KindBV:
+			u, ok := bl.wordValue(v)
+			if ok {
+				m.vals[t.Name] = BVValue(u, t.Sort.Width)
+			}
+		case KindBool:
+			bv, ok := bl.boolValue(v)
+			if ok {
+				m.vals[t.Name] = BoolValue(bv)
+			}
+		}
+	}
+	res.Model = m
+	return res, nil
+}
+
+// collectVars accumulates the free variables under id.
+func collectVars(b *Builder, id TermID, out map[TermID]bool) {
+	seen := map[TermID]bool{}
+	var walk func(TermID)
+	walk = func(x TermID) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		t := b.Term(x)
+		if t.Op == OpVar {
+			out[x] = true
+			return
+		}
+		for i := 0; i < t.NArg; i++ {
+			walk(t.Args[i])
+		}
+	}
+	walk(id)
+}
+
+// Vars returns the names of the free variables under id, sorted.
+func Vars(b *Builder, id TermID) []string {
+	set := map[TermID]bool{}
+	collectVars(b, id, set)
+	names := make([]string, 0, len(set))
+	for v := range set {
+		names = append(names, b.Term(v).Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,1023 @@
+// Package smt implements a small SMT engine for the quantifier-free theory
+// of fixed-width bitvectors (QF_BV) plus constant integer arithmetic.
+//
+// It is the reasoning engine that stands in for the paper's use of Z3:
+// Crocus verification conditions are built as terms in this package,
+// bit-blasted to CNF, and decided by the CDCL solver in internal/sat.
+// After Crocus's monomorphization (§3.1.3 of the paper) every integer-sorted
+// subterm denotes a concrete type width, so integer terms are required to
+// constant-fold before solving; bitvector and boolean structure is what
+// reaches the SAT solver.
+//
+// Terms are hash-consed into a Builder and identified by TermID. All
+// constructors perform sort checking (panicking on internal misuse, since
+// sorts are fully inferred by the time terms are built) and local constant
+// folding.
+package smt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SortKind discriminates term sorts.
+type SortKind uint8
+
+// Sort kinds.
+const (
+	KindBool SortKind = iota // propositional
+	KindBV                   // fixed-width bitvector
+	KindInt                  // mathematical integer (must fold to constants)
+)
+
+// Sort is a term sort. Width is meaningful only for KindBV.
+type Sort struct {
+	Kind  SortKind
+	Width int
+}
+
+// Convenient sort constructors.
+var (
+	Bool = Sort{Kind: KindBool}
+	Int  = Sort{Kind: KindInt}
+)
+
+// BV returns the bitvector sort of the given width (1..64).
+func BV(width int) Sort {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("smt: unsupported bitvector width %d", width))
+	}
+	return Sort{Kind: KindBV, Width: width}
+}
+
+// String renders the sort in SMT-LIB style.
+func (s Sort) String() string {
+	switch s.Kind {
+	case KindBool:
+		return "Bool"
+	case KindInt:
+		return "Int"
+	case KindBV:
+		return fmt.Sprintf("(_ BitVec %d)", s.Width)
+	default:
+		return fmt.Sprintf("Sort(%d)", s.Kind)
+	}
+}
+
+// Op is a term operator.
+type Op uint8
+
+// Term operators. Bitvector operators follow SMT-LIB semantics (including
+// total division: bvudiv x 0 = all-ones, bvurem x 0 = x, and the standard
+// sign-case definitions of bvsdiv/bvsrem).
+const (
+	OpVar Op = iota // free variable (Name)
+
+	OpBoolConst // Bool constant (UArg: 0/1)
+	OpBVConst   // BV constant (UArg, width from Sort)
+	OpIntConst  // Int constant (IArg)
+
+	// Boolean structure.
+	OpNot
+	OpAnd
+	OpOr
+	OpXorB
+	OpImplies
+	OpIff
+	OpIte // Ite(cond, then, else); then/else share any sort
+	OpEq  // polymorphic equality over BV/Bool/Int -> Bool
+
+	// Bitvector arithmetic and logic.
+	OpBVNot
+	OpBVNeg
+	OpBVAdd
+	OpBVSub
+	OpBVMul
+	OpBVUDiv
+	OpBVURem
+	OpBVSDiv
+	OpBVSRem
+	OpBVAnd
+	OpBVOr
+	OpBVXor
+	OpBVShl  // symbolic shift amount (same width)
+	OpBVLshr //
+	OpBVAshr //
+	OpBVRotl // symbolic rotate (paper's "symbolic rotates", §3.1)
+	OpBVRotr //
+
+	// Bitvector predicates.
+	OpBVUlt
+	OpBVUle
+	OpBVSlt
+	OpBVSle
+
+	// Structural.
+	OpExtract // Extract(hi, lo, x): bits hi..lo inclusive (IArg=hi, JArg=lo)
+	OpConcat  // Concat(hi, lo): hi bits become the high part
+	OpZeroExt // to Sort.Width
+	OpSignExt // to Sort.Width
+
+	// Custom encodings used by the annotation language (§3.1 of the paper).
+	OpCLZ    // count leading zeros (result is same-width BV)
+	OpCLS    // count leading sign bits, excluding the sign bit itself
+	OpPopcnt // population count
+	OpRev    // bit reversal
+
+	// Integer arithmetic over type widths. These must constant-fold before
+	// bit-blasting; the builder folds eagerly whenever arguments are const.
+	OpIntAdd
+	OpIntSub
+	OpIntMul
+	OpIntLe
+	OpIntLt
+	OpIntGe
+	OpIntGt
+)
+
+var opNames = map[Op]string{
+	OpVar: "var", OpBoolConst: "bool", OpBVConst: "bv", OpIntConst: "int",
+	OpNot: "not", OpAnd: "and", OpOr: "or", OpXorB: "xor", OpImplies: "=>",
+	OpIff: "=", OpIte: "ite", OpEq: "=",
+	OpBVNot: "bvnot", OpBVNeg: "bvneg", OpBVAdd: "bvadd", OpBVSub: "bvsub",
+	OpBVMul: "bvmul", OpBVUDiv: "bvudiv", OpBVURem: "bvurem",
+	OpBVSDiv: "bvsdiv", OpBVSRem: "bvsrem", OpBVAnd: "bvand", OpBVOr: "bvor",
+	OpBVXor: "bvxor", OpBVShl: "bvshl", OpBVLshr: "bvlshr", OpBVAshr: "bvashr",
+	OpBVRotl: "rotl", OpBVRotr: "rotr",
+	OpBVUlt: "bvult", OpBVUle: "bvule", OpBVSlt: "bvslt", OpBVSle: "bvsle",
+	OpExtract: "extract", OpConcat: "concat", OpZeroExt: "zero_extend",
+	OpSignExt: "sign_extend", OpCLZ: "clz", OpCLS: "cls", OpPopcnt: "popcnt",
+	OpRev: "rev", OpIntAdd: "+", OpIntSub: "-", OpIntMul: "*",
+	OpIntLe: "<=", OpIntLt: "<", OpIntGe: ">=", OpIntGt: ">",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// TermID identifies a term within a Builder.
+type TermID int32
+
+// NoTerm is the invalid TermID.
+const NoTerm TermID = -1
+
+// Term is a node of the hash-consed term DAG. Access via Builder.Term.
+type Term struct {
+	Op   Op
+	Sort Sort
+	Args [3]TermID // up to three children; NoTerm padding
+	NArg int
+	Name string // for OpVar
+	UArg uint64 // BV const value / Bool const (0/1)
+	IArg int64  // Int const, or Extract hi
+	JArg int64  // Extract lo
+}
+
+type termKey struct {
+	op         Op
+	sort       Sort
+	a, b, c    TermID
+	uArg       uint64
+	iArg, jArg int64
+	name       string
+}
+
+// Builder allocates and hash-conses terms.
+type Builder struct {
+	terms    []Term
+	index    map[termKey]TermID
+	varSorts map[string]Sort
+}
+
+// NewBuilder returns an empty term builder.
+func NewBuilder() *Builder {
+	return &Builder{index: make(map[termKey]TermID), varSorts: make(map[string]Sort)}
+}
+
+// Term returns the node for id.
+func (b *Builder) Term(id TermID) *Term { return &b.terms[id] }
+
+// SortOf returns the sort of id.
+func (b *Builder) SortOf(id TermID) Sort { return b.terms[id].Sort }
+
+// NumTerms returns the number of distinct terms allocated.
+func (b *Builder) NumTerms() int { return len(b.terms) }
+
+func (b *Builder) intern(t Term) TermID {
+	k := termKey{
+		op: t.Op, sort: t.Sort,
+		a: NoTerm, b: NoTerm, c: NoTerm,
+		uArg: t.UArg, iArg: t.IArg, jArg: t.JArg, name: t.Name,
+	}
+	if t.NArg > 0 {
+		k.a = t.Args[0]
+	}
+	if t.NArg > 1 {
+		k.b = t.Args[1]
+	}
+	if t.NArg > 2 {
+		k.c = t.Args[2]
+	}
+	if id, ok := b.index[k]; ok {
+		return id
+	}
+	id := TermID(len(b.terms))
+	b.terms = append(b.terms, t)
+	b.index[k] = id
+	return id
+}
+
+func (b *Builder) mk0(op Op, sort Sort, u uint64, i int64, name string) TermID {
+	return b.intern(Term{Op: op, Sort: sort, UArg: u, IArg: i, Name: name})
+}
+
+func (b *Builder) mk1(op Op, sort Sort, a TermID) TermID {
+	return b.intern(Term{Op: op, Sort: sort, Args: [3]TermID{a, NoTerm, NoTerm}, NArg: 1})
+}
+
+func (b *Builder) mk2(op Op, sort Sort, a1, a2 TermID) TermID {
+	return b.intern(Term{Op: op, Sort: sort, Args: [3]TermID{a1, a2, NoTerm}, NArg: 2})
+}
+
+func (b *Builder) mk3(op Op, sort Sort, a1, a2, a3 TermID) TermID {
+	return b.intern(Term{Op: op, Sort: sort, Args: [3]TermID{a1, a2, a3}, NArg: 3})
+}
+
+// mask returns the w-bit mask.
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// signBit reports the sign bit of v at width w.
+func signBit(v uint64, w int) bool { return v>>(uint(w)-1)&1 == 1 }
+
+// sext sign-extends a w-bit value to 64 bits.
+func sext(v uint64, w int) int64 {
+	v &= mask(w)
+	if signBit(v, w) {
+		v |= ^mask(w)
+	}
+	return int64(v)
+}
+
+// --- Leaf constructors ---
+
+// Var creates (or returns) the free variable name of the given sort.
+// Reusing a name with a different sort panics.
+func (b *Builder) Var(name string, sort Sort) TermID {
+	if prev, ok := b.varSorts[name]; ok && prev != sort {
+		panic(fmt.Sprintf("smt: variable %q redeclared at %s (was %s)", name, sort, prev))
+	}
+	b.varSorts[name] = sort
+	return b.mk0(OpVar, sort, 0, 0, name)
+}
+
+// BoolConst returns the boolean constant v.
+func (b *Builder) BoolConst(v bool) TermID {
+	u := uint64(0)
+	if v {
+		u = 1
+	}
+	return b.mk0(OpBoolConst, Bool, u, 0, "")
+}
+
+// BVConst returns the bitvector constant v at the given width (truncated).
+func (b *Builder) BVConst(v uint64, width int) TermID {
+	return b.mk0(OpBVConst, BV(width), v&mask(width), 0, "")
+}
+
+// IntConst returns the integer constant v.
+func (b *Builder) IntConst(v int64) TermID {
+	return b.mk0(OpIntConst, Int, 0, v, "")
+}
+
+// --- Constant inspection ---
+
+// BoolVal reports whether id is a boolean constant, and its value.
+func (b *Builder) BoolVal(id TermID) (val, ok bool) {
+	t := &b.terms[id]
+	return t.UArg == 1, t.Op == OpBoolConst
+}
+
+// BVVal reports whether id is a bitvector constant, and its value.
+func (b *Builder) BVVal(id TermID) (val uint64, ok bool) {
+	t := &b.terms[id]
+	return t.UArg, t.Op == OpBVConst
+}
+
+// IntVal reports whether id is an integer constant, and its value.
+func (b *Builder) IntVal(id TermID) (val int64, ok bool) {
+	t := &b.terms[id]
+	return t.IArg, t.Op == OpIntConst
+}
+
+func (b *Builder) wantBV(id TermID, ctx string) int {
+	s := b.terms[id].Sort
+	if s.Kind != KindBV {
+		panic(fmt.Sprintf("smt: %s: expected bitvector, got %s", ctx, s))
+	}
+	return s.Width
+}
+
+func (b *Builder) wantBool(id TermID, ctx string) {
+	if b.terms[id].Sort.Kind != KindBool {
+		panic(fmt.Sprintf("smt: %s: expected Bool, got %s", ctx, b.terms[id].Sort))
+	}
+}
+
+func (b *Builder) wantInt(id TermID, ctx string) {
+	if b.terms[id].Sort.Kind != KindInt {
+		panic(fmt.Sprintf("smt: %s: expected Int, got %s", ctx, b.terms[id].Sort))
+	}
+}
+
+func (b *Builder) wantSameBV(x, y TermID, ctx string) int {
+	wx := b.wantBV(x, ctx)
+	wy := b.wantBV(y, ctx)
+	if wx != wy {
+		panic(fmt.Sprintf("smt: %s: width mismatch %d vs %d", ctx, wx, wy))
+	}
+	return wx
+}
+
+// --- Boolean constructors ---
+
+// Not returns ¬x.
+func (b *Builder) Not(x TermID) TermID {
+	b.wantBool(x, "not")
+	if v, ok := b.BoolVal(x); ok {
+		return b.BoolConst(!v)
+	}
+	if t := &b.terms[x]; t.Op == OpNot {
+		return t.Args[0]
+	}
+	return b.mk1(OpNot, Bool, x)
+}
+
+// And returns the conjunction of xs (true for empty).
+func (b *Builder) And(xs ...TermID) TermID {
+	acc := b.BoolConst(true)
+	for _, x := range xs {
+		acc = b.and2(acc, x)
+	}
+	return acc
+}
+
+func (b *Builder) and2(x, y TermID) TermID {
+	b.wantBool(x, "and")
+	b.wantBool(y, "and")
+	if v, ok := b.BoolVal(x); ok {
+		if !v {
+			return x
+		}
+		return y
+	}
+	if v, ok := b.BoolVal(y); ok {
+		if !v {
+			return y
+		}
+		return x
+	}
+	if x == y {
+		return x
+	}
+	return b.mk2(OpAnd, Bool, x, y)
+}
+
+// Or returns the disjunction of xs (false for empty).
+func (b *Builder) Or(xs ...TermID) TermID {
+	acc := b.BoolConst(false)
+	for _, x := range xs {
+		acc = b.or2(acc, x)
+	}
+	return acc
+}
+
+func (b *Builder) or2(x, y TermID) TermID {
+	b.wantBool(x, "or")
+	b.wantBool(y, "or")
+	if v, ok := b.BoolVal(x); ok {
+		if v {
+			return x
+		}
+		return y
+	}
+	if v, ok := b.BoolVal(y); ok {
+		if v {
+			return y
+		}
+		return x
+	}
+	if x == y {
+		return x
+	}
+	return b.mk2(OpOr, Bool, x, y)
+}
+
+// XorB returns boolean exclusive-or.
+func (b *Builder) XorB(x, y TermID) TermID {
+	b.wantBool(x, "xorb")
+	b.wantBool(y, "xorb")
+	if vx, ok := b.BoolVal(x); ok {
+		if vy, ok2 := b.BoolVal(y); ok2 {
+			return b.BoolConst(vx != vy)
+		}
+	}
+	if x == y {
+		return b.BoolConst(false)
+	}
+	return b.mk2(OpXorB, Bool, x, y)
+}
+
+// Implies returns x ⇒ y.
+func (b *Builder) Implies(x, y TermID) TermID {
+	return b.Or(b.Not(x), y)
+}
+
+// Iff returns x ⇔ y.
+func (b *Builder) Iff(x, y TermID) TermID {
+	b.wantBool(x, "iff")
+	b.wantBool(y, "iff")
+	return b.Not(b.XorB(x, y))
+}
+
+// Eq returns x = y (both sides must share a sort).
+func (b *Builder) Eq(x, y TermID) TermID {
+	sx, sy := b.terms[x].Sort, b.terms[y].Sort
+	if sx != sy {
+		panic(fmt.Sprintf("smt: = applied to %s and %s", sx, sy))
+	}
+	if x == y {
+		return b.BoolConst(true)
+	}
+	switch sx.Kind {
+	case KindBool:
+		return b.Iff(x, y)
+	case KindInt:
+		if vx, ok := b.IntVal(x); ok {
+			if vy, ok2 := b.IntVal(y); ok2 {
+				return b.BoolConst(vx == vy)
+			}
+		}
+		return b.mk2(OpEq, Bool, x, y)
+	default:
+		if vx, ok := b.BVVal(x); ok {
+			if vy, ok2 := b.BVVal(y); ok2 {
+				return b.BoolConst(vx == vy)
+			}
+		}
+		return b.mk2(OpEq, Bool, x, y)
+	}
+}
+
+// Distinct returns x ≠ y.
+func (b *Builder) Distinct(x, y TermID) TermID { return b.Not(b.Eq(x, y)) }
+
+// Ite returns if c then x else y.
+func (b *Builder) Ite(c, x, y TermID) TermID {
+	b.wantBool(c, "ite")
+	sx, sy := b.terms[x].Sort, b.terms[y].Sort
+	if sx != sy {
+		panic(fmt.Sprintf("smt: ite branches differ: %s vs %s", sx, sy))
+	}
+	if v, ok := b.BoolVal(c); ok {
+		if v {
+			return x
+		}
+		return y
+	}
+	if x == y {
+		return x
+	}
+	return b.mk3(OpIte, sx, c, x, y)
+}
+
+// --- Bitvector constructors ---
+
+type bvBinFold func(x, y uint64, w int) uint64
+
+func (b *Builder) bvBin(op Op, x, y TermID, fold bvBinFold) TermID {
+	w := b.wantSameBV(x, y, op.String())
+	if vx, ok := b.BVVal(x); ok {
+		if vy, ok2 := b.BVVal(y); ok2 {
+			return b.BVConst(fold(vx, vy, w), w)
+		}
+	}
+	return b.mk2(op, BV(w), x, y)
+}
+
+// BVNot returns bitwise complement.
+func (b *Builder) BVNot(x TermID) TermID {
+	w := b.wantBV(x, "bvnot")
+	if v, ok := b.BVVal(x); ok {
+		return b.BVConst(^v, w)
+	}
+	if t := &b.terms[x]; t.Op == OpBVNot {
+		return t.Args[0]
+	}
+	return b.mk1(OpBVNot, BV(w), x)
+}
+
+// BVNeg returns two's-complement negation.
+func (b *Builder) BVNeg(x TermID) TermID {
+	w := b.wantBV(x, "bvneg")
+	if v, ok := b.BVVal(x); ok {
+		return b.BVConst(-v, w)
+	}
+	return b.mk1(OpBVNeg, BV(w), x)
+}
+
+// isZero reports whether id is the zero constant.
+func (b *Builder) isZero(id TermID) bool {
+	v, ok := b.BVVal(id)
+	return ok && v == 0
+}
+
+// isOnes reports whether id is the all-ones constant.
+func (b *Builder) isOnes(id TermID) bool {
+	t := &b.terms[id]
+	return t.Op == OpBVConst && t.UArg == mask(t.Sort.Width)
+}
+
+// isOne reports whether id is the constant one.
+func (b *Builder) isOne(id TermID) bool {
+	v, ok := b.BVVal(id)
+	return ok && v == 1
+}
+
+// BVAdd returns x + y (simplifying x+0 and 0+x).
+func (b *Builder) BVAdd(x, y TermID) TermID {
+	if b.isZero(y) {
+		b.wantSameBV(x, y, "bvadd")
+		return x
+	}
+	if b.isZero(x) {
+		b.wantSameBV(x, y, "bvadd")
+		return y
+	}
+	return b.bvBin(OpBVAdd, x, y, func(a, c uint64, w int) uint64 { return a + c })
+}
+
+// BVSub returns x - y (simplifying x-0 and x-x).
+func (b *Builder) BVSub(x, y TermID) TermID {
+	if b.isZero(y) {
+		b.wantSameBV(x, y, "bvsub")
+		return x
+	}
+	if x == y {
+		return b.BVConst(0, b.wantBV(x, "bvsub"))
+	}
+	return b.bvBin(OpBVSub, x, y, func(a, c uint64, w int) uint64 { return a - c })
+}
+
+// BVMul returns x * y (simplifying multiplication by 0 and 1).
+func (b *Builder) BVMul(x, y TermID) TermID {
+	w := b.wantSameBV(x, y, "bvmul")
+	switch {
+	case b.isZero(x) || b.isZero(y):
+		return b.BVConst(0, w)
+	case b.isOne(x):
+		return y
+	case b.isOne(y):
+		return x
+	}
+	return b.bvBin(OpBVMul, x, y, func(a, c uint64, w int) uint64 { return a * c })
+}
+
+// foldUDiv implements SMT-LIB bvudiv (x/0 = all ones).
+func foldUDiv(a, c uint64, w int) uint64 {
+	a &= mask(w)
+	c &= mask(w)
+	if c == 0 {
+		return mask(w)
+	}
+	return a / c
+}
+
+// foldURem implements SMT-LIB bvurem (x%0 = x).
+func foldURem(a, c uint64, w int) uint64 {
+	a &= mask(w)
+	c &= mask(w)
+	if c == 0 {
+		return a
+	}
+	return a % c
+}
+
+func foldSDiv(a, c uint64, w int) uint64 {
+	sa, sc := signBit(a&mask(w), w), signBit(c&mask(w), w)
+	ua, uc := a&mask(w), c&mask(w)
+	if sa {
+		ua = (-a) & mask(w)
+	}
+	if sc {
+		uc = (-c) & mask(w)
+	}
+	q := foldUDiv(ua, uc, w)
+	if sa != sc {
+		q = -q
+	}
+	return q & mask(w)
+}
+
+func foldSRem(a, c uint64, w int) uint64 {
+	sa, sc := signBit(a&mask(w), w), signBit(c&mask(w), w)
+	ua, uc := a&mask(w), c&mask(w)
+	if sa {
+		ua = (-a) & mask(w)
+	}
+	if sc {
+		uc = (-c) & mask(w)
+	}
+	r := foldURem(ua, uc, w)
+	if sa {
+		r = -r
+	}
+	return r & mask(w)
+}
+
+// BVUDiv returns unsigned division (SMT-LIB total semantics).
+func (b *Builder) BVUDiv(x, y TermID) TermID { return b.bvBin(OpBVUDiv, x, y, foldUDiv) }
+
+// BVURem returns unsigned remainder (SMT-LIB total semantics).
+func (b *Builder) BVURem(x, y TermID) TermID { return b.bvBin(OpBVURem, x, y, foldURem) }
+
+// BVSDiv returns signed division (SMT-LIB total semantics).
+func (b *Builder) BVSDiv(x, y TermID) TermID { return b.bvBin(OpBVSDiv, x, y, foldSDiv) }
+
+// BVSRem returns signed remainder (SMT-LIB total semantics).
+func (b *Builder) BVSRem(x, y TermID) TermID { return b.bvBin(OpBVSRem, x, y, foldSRem) }
+
+// BVAnd returns bitwise and (simplifying identities with 0, ones, and x&x).
+func (b *Builder) BVAnd(x, y TermID) TermID {
+	w := b.wantSameBV(x, y, "bvand")
+	switch {
+	case b.isZero(x) || b.isZero(y):
+		return b.BVConst(0, w)
+	case b.isOnes(x), x == y:
+		return y
+	case b.isOnes(y):
+		return x
+	}
+	return b.bvBin(OpBVAnd, x, y, func(a, c uint64, w int) uint64 { return a & c })
+}
+
+// BVOr returns bitwise or (simplifying identities with 0, ones, and x|x).
+func (b *Builder) BVOr(x, y TermID) TermID {
+	w := b.wantSameBV(x, y, "bvor")
+	switch {
+	case b.isOnes(x) || b.isOnes(y):
+		return b.BVConst(mask(w), w)
+	case b.isZero(x), x == y:
+		return y
+	case b.isZero(y):
+		return x
+	}
+	return b.bvBin(OpBVOr, x, y, func(a, c uint64, w int) uint64 { return a | c })
+}
+
+// BVXor returns bitwise exclusive-or (simplifying x^0, x^ones, x^x).
+func (b *Builder) BVXor(x, y TermID) TermID {
+	w := b.wantSameBV(x, y, "bvxor")
+	switch {
+	case x == y:
+		return b.BVConst(0, w)
+	case b.isZero(x):
+		return y
+	case b.isZero(y):
+		return x
+	case b.isOnes(x):
+		return b.BVNot(y)
+	case b.isOnes(y):
+		return b.BVNot(x)
+	}
+	return b.bvBin(OpBVXor, x, y, func(a, c uint64, w int) uint64 { return a ^ c })
+}
+
+func foldShl(a, c uint64, w int) uint64 {
+	c &= mask(w)
+	if c >= uint64(w) {
+		return 0
+	}
+	return a << c
+}
+
+func foldLshr(a, c uint64, w int) uint64 {
+	a &= mask(w)
+	c &= mask(w)
+	if c >= uint64(w) {
+		return 0
+	}
+	return a >> c
+}
+
+func foldAshr(a, c uint64, w int) uint64 {
+	c &= mask(w)
+	s := sext(a, w)
+	if c >= uint64(w) {
+		c = uint64(w) - 1
+	}
+	return uint64(s>>c) & mask(w)
+}
+
+func foldRotl(a, c uint64, w int) uint64 {
+	a &= mask(w)
+	r := int(c & mask(w) % uint64(w))
+	if w == 64 {
+		return bits.RotateLeft64(a, r)
+	}
+	return ((a << r) | (a >> (w - r))) & mask(w)
+}
+
+func foldRotr(a, c uint64, w int) uint64 {
+	r := c & mask(w) % uint64(w)
+	return foldRotl(a, uint64(w)-r, w)
+}
+
+// BVShl returns x << y (y symbolic, same width; shifts ≥ width give 0).
+func (b *Builder) BVShl(x, y TermID) TermID {
+	if b.isZero(y) {
+		b.wantSameBV(x, y, "bvshl")
+		return x
+	}
+	return b.bvBin(OpBVShl, x, y, foldShl)
+}
+
+// BVLshr returns logical right shift (shift by 0 simplifies).
+func (b *Builder) BVLshr(x, y TermID) TermID {
+	if b.isZero(y) {
+		b.wantSameBV(x, y, "bvlshr")
+		return x
+	}
+	return b.bvBin(OpBVLshr, x, y, foldLshr)
+}
+
+// BVAshr returns arithmetic right shift (shift by 0 simplifies).
+func (b *Builder) BVAshr(x, y TermID) TermID {
+	if b.isZero(y) {
+		b.wantSameBV(x, y, "bvashr")
+		return x
+	}
+	return b.bvBin(OpBVAshr, x, y, foldAshr)
+}
+
+// BVRotl returns a symbolic-amount left rotation (amount taken mod width).
+func (b *Builder) BVRotl(x, y TermID) TermID {
+	if b.isZero(y) {
+		b.wantSameBV(x, y, "rotl")
+		return x
+	}
+	return b.bvBin(OpBVRotl, x, y, foldRotl)
+}
+
+// BVRotr returns a symbolic-amount right rotation (amount taken mod width).
+func (b *Builder) BVRotr(x, y TermID) TermID {
+	if b.isZero(y) {
+		b.wantSameBV(x, y, "rotr")
+		return x
+	}
+	return b.bvBin(OpBVRotr, x, y, foldRotr)
+}
+
+func (b *Builder) bvPred(op Op, x, y TermID, fold func(a, c uint64, w int) bool) TermID {
+	w := b.wantSameBV(x, y, op.String())
+	if vx, ok := b.BVVal(x); ok {
+		if vy, ok2 := b.BVVal(y); ok2 {
+			return b.BoolConst(fold(vx, vy, w))
+		}
+	}
+	return b.mk2(op, Bool, x, y)
+}
+
+// BVUlt returns x <u y.
+func (b *Builder) BVUlt(x, y TermID) TermID {
+	return b.bvPred(OpBVUlt, x, y, func(a, c uint64, w int) bool { return a&mask(w) < c&mask(w) })
+}
+
+// BVUle returns x ≤u y.
+func (b *Builder) BVUle(x, y TermID) TermID {
+	return b.bvPred(OpBVUle, x, y, func(a, c uint64, w int) bool { return a&mask(w) <= c&mask(w) })
+}
+
+// BVUgt returns x >u y.
+func (b *Builder) BVUgt(x, y TermID) TermID { return b.BVUlt(y, x) }
+
+// BVUge returns x ≥u y.
+func (b *Builder) BVUge(x, y TermID) TermID { return b.BVUle(y, x) }
+
+// BVSlt returns x <s y.
+func (b *Builder) BVSlt(x, y TermID) TermID {
+	return b.bvPred(OpBVSlt, x, y, func(a, c uint64, w int) bool { return sext(a, w) < sext(c, w) })
+}
+
+// BVSle returns x ≤s y.
+func (b *Builder) BVSle(x, y TermID) TermID {
+	return b.bvPred(OpBVSle, x, y, func(a, c uint64, w int) bool { return sext(a, w) <= sext(c, w) })
+}
+
+// BVSgt returns x >s y.
+func (b *Builder) BVSgt(x, y TermID) TermID { return b.BVSlt(y, x) }
+
+// BVSge returns x ≥s y.
+func (b *Builder) BVSge(x, y TermID) TermID { return b.BVSle(y, x) }
+
+// Extract returns bits hi..lo (inclusive) of x.
+func (b *Builder) Extract(hi, lo int, x TermID) TermID {
+	w := b.wantBV(x, "extract")
+	if hi >= w || lo < 0 || hi < lo {
+		panic(fmt.Sprintf("smt: extract %d..%d out of range for width %d", hi, lo, w))
+	}
+	nw := hi - lo + 1
+	if hi == w-1 && lo == 0 {
+		return x
+	}
+	if v, ok := b.BVVal(x); ok {
+		return b.BVConst(v>>uint(lo), nw)
+	}
+	t := Term{Op: OpExtract, Sort: BV(nw), Args: [3]TermID{x, NoTerm, NoTerm}, NArg: 1, IArg: int64(hi), JArg: int64(lo)}
+	return b.intern(t)
+}
+
+// Concat concatenates hi (high bits) and lo (low bits).
+func (b *Builder) Concat(hi, lo TermID) TermID {
+	wh := b.wantBV(hi, "concat")
+	wl := b.wantBV(lo, "concat")
+	if wh+wl > 64 {
+		panic(fmt.Sprintf("smt: concat width %d exceeds 64", wh+wl))
+	}
+	if vh, ok := b.BVVal(hi); ok {
+		if vl, ok2 := b.BVVal(lo); ok2 {
+			return b.BVConst(vh<<uint(wl)|vl&mask(wl), wh+wl)
+		}
+	}
+	return b.mk2(OpConcat, BV(wh+wl), hi, lo)
+}
+
+// ZeroExt zero-extends x to the given width (identity if equal).
+func (b *Builder) ZeroExt(width int, x TermID) TermID {
+	w := b.wantBV(x, "zero_extend")
+	if width < w {
+		panic(fmt.Sprintf("smt: zero_extend to narrower width %d < %d", width, w))
+	}
+	if width == w {
+		return x
+	}
+	if v, ok := b.BVVal(x); ok {
+		return b.BVConst(v&mask(w), width)
+	}
+	return b.mk1(OpZeroExt, BV(width), x)
+}
+
+// SignExt sign-extends x to the given width (identity if equal).
+func (b *Builder) SignExt(width int, x TermID) TermID {
+	w := b.wantBV(x, "sign_extend")
+	if width < w {
+		panic(fmt.Sprintf("smt: sign_extend to narrower width %d < %d", width, w))
+	}
+	if width == w {
+		return x
+	}
+	if v, ok := b.BVVal(x); ok {
+		return b.BVConst(uint64(sext(v, w)), width)
+	}
+	return b.mk1(OpSignExt, BV(width), x)
+}
+
+func foldCLZ(a uint64, w int) uint64 {
+	a &= mask(w)
+	if a == 0 {
+		return uint64(w)
+	}
+	return uint64(bits.LeadingZeros64(a) - (64 - w))
+}
+
+// CLZ counts leading zero bits; result has the operand's width.
+func (b *Builder) CLZ(x TermID) TermID {
+	w := b.wantBV(x, "clz")
+	if v, ok := b.BVVal(x); ok {
+		return b.BVConst(foldCLZ(v, w), w)
+	}
+	return b.mk1(OpCLZ, BV(w), x)
+}
+
+// CLS counts leading sign bits excluding the sign bit itself (ARM CLS).
+// It is defined via the identity cls(x) = clz(x ^ ashr(x,1)) - 1, with the
+// all-equal case giving width-1.
+func (b *Builder) CLS(x TermID) TermID {
+	w := b.wantBV(x, "cls")
+	y := b.BVXor(x, b.BVAshr(x, b.BVConst(1, w)))
+	return b.BVSub(b.CLZ(y), b.BVConst(1, w))
+}
+
+func foldPopcnt(a uint64, w int) uint64 {
+	return uint64(bits.OnesCount64(a & mask(w)))
+}
+
+// Popcnt counts set bits; result has the operand's width.
+func (b *Builder) Popcnt(x TermID) TermID {
+	w := b.wantBV(x, "popcnt")
+	if v, ok := b.BVVal(x); ok {
+		return b.BVConst(foldPopcnt(v, w), w)
+	}
+	return b.mk1(OpPopcnt, BV(w), x)
+}
+
+func foldRev(a uint64, w int) uint64 {
+	return bits.Reverse64(a&mask(w)) >> uint(64-w)
+}
+
+// Rev reverses the bit order.
+func (b *Builder) Rev(x TermID) TermID {
+	w := b.wantBV(x, "rev")
+	if v, ok := b.BVVal(x); ok {
+		return b.BVConst(foldRev(v, w), w)
+	}
+	return b.mk1(OpRev, BV(w), x)
+}
+
+// --- Integer constructors (fold-eager) ---
+
+func (b *Builder) intBin(op Op, x, y TermID, fold func(a, c int64) int64) TermID {
+	b.wantInt(x, op.String())
+	b.wantInt(y, op.String())
+	if vx, ok := b.IntVal(x); ok {
+		if vy, ok2 := b.IntVal(y); ok2 {
+			return b.IntConst(fold(vx, vy))
+		}
+	}
+	return b.mk2(op, Int, x, y)
+}
+
+func (b *Builder) intPred(op Op, x, y TermID, fold func(a, c int64) bool) TermID {
+	b.wantInt(x, op.String())
+	b.wantInt(y, op.String())
+	if vx, ok := b.IntVal(x); ok {
+		if vy, ok2 := b.IntVal(y); ok2 {
+			return b.BoolConst(fold(vx, vy))
+		}
+	}
+	return b.mk2(op, Bool, x, y)
+}
+
+// IntAdd returns x + y over integers.
+func (b *Builder) IntAdd(x, y TermID) TermID {
+	return b.intBin(OpIntAdd, x, y, func(a, c int64) int64 { return a + c })
+}
+
+// IntSub returns x - y over integers.
+func (b *Builder) IntSub(x, y TermID) TermID {
+	return b.intBin(OpIntSub, x, y, func(a, c int64) int64 { return a - c })
+}
+
+// IntMul returns x * y over integers.
+func (b *Builder) IntMul(x, y TermID) TermID {
+	return b.intBin(OpIntMul, x, y, func(a, c int64) int64 { return a * c })
+}
+
+// IntLe returns x ≤ y over integers.
+func (b *Builder) IntLe(x, y TermID) TermID {
+	return b.intPred(OpIntLe, x, y, func(a, c int64) bool { return a <= c })
+}
+
+// IntLt returns x < y over integers.
+func (b *Builder) IntLt(x, y TermID) TermID {
+	return b.intPred(OpIntLt, x, y, func(a, c int64) bool { return a < c })
+}
+
+// IntGe returns x ≥ y over integers.
+func (b *Builder) IntGe(x, y TermID) TermID {
+	return b.intPred(OpIntGe, x, y, func(a, c int64) bool { return a >= c })
+}
+
+// IntGt returns x > y over integers.
+func (b *Builder) IntGt(x, y TermID) TermID {
+	return b.intPred(OpIntGt, x, y, func(a, c int64) bool { return a > c })
+}
+
+// Int2BV converts a constant integer term to a bitvector of the given
+// width (SMT-LIB nat2bv semantics: value mod 2^width).
+func (b *Builder) Int2BV(width int, x TermID) TermID {
+	b.wantInt(x, "int2bv")
+	if v, ok := b.IntVal(x); ok {
+		return b.BVConst(uint64(v), width)
+	}
+	// Non-constant int-to-bv never arises after monomorphization; treat it
+	// as an internal invariant violation rather than producing an opaque
+	// term the blaster could not handle.
+	panic("smt: int2bv applied to non-constant integer (unresolved type width)")
+}
+
+// BV2Int converts a constant bitvector term to its unsigned integer value.
+func (b *Builder) BV2Int(x TermID) TermID {
+	b.wantBV(x, "bv2int")
+	if v, ok := b.BVVal(x); ok {
+		return b.IntConst(int64(v))
+	}
+	panic("smt: bv2int applied to non-constant bitvector (unresolved type width)")
+}

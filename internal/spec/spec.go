@@ -1,0 +1,391 @@
+// Package spec implements the Crocus annotation language of Figure 1 of
+// the paper: the `(spec (term args...) (provide ...) (require ...))` forms
+// that compiler engineers co-locate with ISLE term declarations.
+//
+// The package owns the abstract syntax and the parser. Typing (the Fig. 2
+// judgements), monomorphization, and elaboration into internal/smt terms
+// are performed by internal/core, which has the rule context needed to
+// resolve polymorphic bitvector widths.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"crocus/internal/sexpr"
+)
+
+// Spec is one `(spec (name arg...) (provide e...) [(require e...)])`
+// annotation: the semantics of an ISLE term.
+type Spec struct {
+	Term    string   // the ISLE term being specified
+	Args    []string // argument names bound in the signature
+	Provide []*Expr  // semantics: relations over args and `result`
+	Require []*Expr  // preconditions (assumed on LHS use, checked on RHS use)
+	Pos     sexpr.Pos
+}
+
+// ExprKind discriminates annotation expressions.
+type ExprKind int
+
+// Expression kinds (mirroring the <expr> grammar of Fig. 1).
+const (
+	ExprVar     ExprKind = iota // identifier, including the special `result`
+	ExprConst                   // integer / sized-bitvector / boolean literal
+	ExprUnop                    // ! ~ -
+	ExprBinop                   // = != <= ... + - * & | xor shifts rotates
+	ExprConv                    // zeroext / signext / convto
+	ExprExtract                 // (extract hi lo e)
+	ExprInt2BV                  // (int2bv width e)
+	ExprBV2Int                  // (bv2int e)
+	ExprWidthOf                 // (widthof e)
+	ExprConcat                  // variadic concat
+	ExprIf                      // (if c t e)
+	ExprSwitch                  // (switch scrut (match e)...)
+	ExprEnc                     // custom encodings: cls clz rev popcnt subs
+)
+
+// Op names the operator of a Unop/Binop/Conv/Enc expression; values follow
+// the surface syntax of Fig. 1 (e.g. "zeroext", "ulte", "popcnt").
+type Op string
+
+// Expr is an annotation-language expression.
+type Expr struct {
+	Kind ExprKind
+	Pos  sexpr.Pos
+
+	Name string // ExprVar
+	Op   Op     // ExprUnop/ExprBinop/ExprConv/ExprEnc
+
+	// ExprConst: a boolean, integer, or sized bitvector literal.
+	IsBool   bool
+	BoolVal  bool
+	IntVal   int64
+	BitWidth int // >0 for #b/#x sized literals
+
+	// Children. For ExprConv and ExprInt2BV, Args[0] is the width
+	// expression and Args[1] the value. For ExprExtract, Hi/Lo hold the
+	// static indices and Args[0] the value. For ExprSwitch, Args[0] is the
+	// scrutinee and Cases hold (match, body) pairs.
+	Args  []*Expr
+	Hi    int
+	Lo    int
+	Cases [][2]*Expr
+}
+
+// String renders the expression back to annotation surface syntax.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder) {
+	switch e.Kind {
+	case ExprVar:
+		b.WriteString(e.Name)
+	case ExprConst:
+		switch {
+		case e.IsBool:
+			fmt.Fprintf(b, "%v", e.BoolVal)
+		case e.BitWidth > 0:
+			b.WriteString(sexpr.Bits(uint64(e.IntVal), e.BitWidth).String())
+		default:
+			fmt.Fprintf(b, "%d", e.IntVal)
+		}
+	case ExprUnop, ExprBinop, ExprEnc, ExprConv:
+		fmt.Fprintf(b, "(%s", e.Op)
+		for _, a := range e.Args {
+			b.WriteByte(' ')
+			a.write(b)
+		}
+		b.WriteByte(')')
+	case ExprExtract:
+		fmt.Fprintf(b, "(extract %d %d ", e.Hi, e.Lo)
+		e.Args[0].write(b)
+		b.WriteByte(')')
+	case ExprInt2BV:
+		b.WriteString("(int2bv ")
+		e.Args[0].write(b)
+		b.WriteByte(' ')
+		e.Args[1].write(b)
+		b.WriteByte(')')
+	case ExprBV2Int:
+		b.WriteString("(bv2int ")
+		e.Args[0].write(b)
+		b.WriteByte(')')
+	case ExprWidthOf:
+		b.WriteString("(widthof ")
+		e.Args[0].write(b)
+		b.WriteByte(')')
+	case ExprConcat:
+		b.WriteString("(concat")
+		for _, a := range e.Args {
+			b.WriteByte(' ')
+			a.write(b)
+		}
+		b.WriteByte(')')
+	case ExprIf:
+		b.WriteString("(if ")
+		e.Args[0].write(b)
+		b.WriteByte(' ')
+		e.Args[1].write(b)
+		b.WriteByte(' ')
+		e.Args[2].write(b)
+		b.WriteByte(')')
+	case ExprSwitch:
+		b.WriteString("(switch ")
+		e.Args[0].write(b)
+		for _, c := range e.Cases {
+			b.WriteString(" (")
+			c[0].write(b)
+			b.WriteByte(' ')
+			c[1].write(b)
+			b.WriteByte(')')
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Unops, binops, and encodings of Fig. 1, by surface name.
+var (
+	unops = map[string]bool{"!": true, "~": true, "-": true}
+
+	binops = map[string]bool{
+		"=": true, "!=": true, ">=": true, "<=": true, "<": true, ">": true,
+		"sgt": true, "sgte": true, "slt": true, "slte": true,
+		"ugt": true, "ugte": true, "ult": true, "ulte": true,
+		"+": true, "-": true, "*": true,
+		"sdiv": true, "udiv": true, "srem": true, "urem": true,
+		"&": true, "|": true, "xor": true,
+		"rotl": true, "rotr": true, "shl": true, "shr": true, "ashr": true,
+	}
+
+	convs = map[string]bool{"signext": true, "zeroext": true, "convto": true}
+
+	encodings = map[string]bool{"cls": true, "clz": true, "rev": true, "subs": true, "popcnt": true}
+)
+
+// errAt builds a positioned parse error.
+func errAt(pos sexpr.Pos, format string, args ...any) error {
+	return fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// ParseSpec parses a `(spec ...)` node.
+func ParseSpec(n *sexpr.Node) (*Spec, error) {
+	if !n.IsList("spec") || len(n.List) < 3 {
+		return nil, errAt(n.Pos, "malformed spec")
+	}
+	sig := n.List[1]
+	if sig.Kind != sexpr.KindList || len(sig.List) == 0 || sig.List[0].Kind != sexpr.KindSymbol {
+		return nil, errAt(sig.Pos, "spec signature must be (term args...)")
+	}
+	s := &Spec{Term: sig.List[0].Sym, Pos: n.Pos}
+	for _, a := range sig.List[1:] {
+		if a.Kind != sexpr.KindSymbol {
+			return nil, errAt(a.Pos, "spec argument must be an identifier")
+		}
+		s.Args = append(s.Args, a.Sym)
+	}
+	for _, clause := range n.List[2:] {
+		head := clause.Head()
+		if head != "provide" && head != "require" {
+			return nil, errAt(clause.Pos, "expected (provide ...) or (require ...), got %q", head)
+		}
+		for _, en := range clause.List[1:] {
+			e, err := ParseExpr(en)
+			if err != nil {
+				return nil, err
+			}
+			if head == "provide" {
+				s.Provide = append(s.Provide, e)
+			} else {
+				s.Require = append(s.Require, e)
+			}
+		}
+	}
+	if len(s.Provide) == 0 {
+		return nil, errAt(n.Pos, "spec for %s has no provide clause", s.Term)
+	}
+	return s, nil
+}
+
+// ParseExpr parses an annotation-language expression.
+func ParseExpr(n *sexpr.Node) (*Expr, error) {
+	switch n.Kind {
+	case sexpr.KindSymbol:
+		switch n.Sym {
+		case "true", "false":
+			return &Expr{Kind: ExprConst, Pos: n.Pos, IsBool: true, BoolVal: n.Sym == "true"}, nil
+		default:
+			return &Expr{Kind: ExprVar, Pos: n.Pos, Name: n.Sym}, nil
+		}
+	case sexpr.KindInt:
+		return &Expr{Kind: ExprConst, Pos: n.Pos, IntVal: n.Int, BitWidth: n.IntWidth}, nil
+	case sexpr.KindList:
+		return parseListExpr(n)
+	default:
+		return nil, errAt(n.Pos, "unexpected %s in annotation expression", n.Kind)
+	}
+}
+
+func parseListExpr(n *sexpr.Node) (*Expr, error) {
+	if len(n.List) == 0 || n.List[0].Kind != sexpr.KindSymbol {
+		return nil, errAt(n.Pos, "expected operator application")
+	}
+	head := n.List[0].Sym
+	args := n.List[1:]
+
+	parseArgs := func(want int) ([]*Expr, error) {
+		if want >= 0 && len(args) != want {
+			return nil, errAt(n.Pos, "%s expects %d arguments, got %d", head, want, len(args))
+		}
+		out := make([]*Expr, len(args))
+		for i, a := range args {
+			e, err := ParseExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = e
+		}
+		return out, nil
+	}
+
+	switch {
+	case head == "if":
+		as, err := parseArgs(3)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprIf, Pos: n.Pos, Args: as}, nil
+
+	case head == "switch":
+		if len(args) < 2 {
+			return nil, errAt(n.Pos, "switch needs a scrutinee and at least one case")
+		}
+		scrut, err := ParseExpr(args[0])
+		if err != nil {
+			return nil, err
+		}
+		e := &Expr{Kind: ExprSwitch, Pos: n.Pos, Args: []*Expr{scrut}}
+		for _, c := range args[1:] {
+			if c.Kind != sexpr.KindList || len(c.List) != 2 {
+				return nil, errAt(c.Pos, "switch case must be (match body)")
+			}
+			m, err := ParseExpr(c.List[0])
+			if err != nil {
+				return nil, err
+			}
+			body, err := ParseExpr(c.List[1])
+			if err != nil {
+				return nil, err
+			}
+			e.Cases = append(e.Cases, [2]*Expr{m, body})
+		}
+		return e, nil
+
+	case head == "extract":
+		if len(args) != 3 || args[0].Kind != sexpr.KindInt || args[1].Kind != sexpr.KindInt {
+			return nil, errAt(n.Pos, "extract expects (extract hi lo e)")
+		}
+		v, err := ParseExpr(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprExtract, Pos: n.Pos, Hi: int(args[0].Int), Lo: int(args[1].Int), Args: []*Expr{v}}, nil
+
+	case head == "int2bv":
+		as, err := parseArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprInt2BV, Pos: n.Pos, Args: as}, nil
+
+	case head == "bv2int":
+		as, err := parseArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprBV2Int, Pos: n.Pos, Args: as}, nil
+
+	case head == "widthof":
+		as, err := parseArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprWidthOf, Pos: n.Pos, Args: as}, nil
+
+	case head == "concat":
+		if len(args) < 2 {
+			return nil, errAt(n.Pos, "concat needs at least two arguments")
+		}
+		as, err := parseArgs(-1)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprConcat, Pos: n.Pos, Args: as}, nil
+
+	case convs[head]:
+		as, err := parseArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprConv, Pos: n.Pos, Op: Op(head), Args: as}, nil
+
+	case encodings[head]:
+		as, err := parseArgs(-1)
+		if err != nil {
+			return nil, err
+		}
+		want := 1
+		if head == "subs" {
+			want = 3 // (subs width a b): subtraction with flags
+		}
+		if len(as) != want {
+			return nil, errAt(n.Pos, "%s expects %d arguments, got %d", head, want, len(as))
+		}
+		return &Expr{Kind: ExprEnc, Pos: n.Pos, Op: Op(head), Args: as}, nil
+
+	case head == "-" && len(args) == 1, unops[head] && head != "-":
+		as, err := parseArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprUnop, Pos: n.Pos, Op: Op(head), Args: as}, nil
+
+	case binops[head]:
+		as, err := parseArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprBinop, Pos: n.Pos, Op: Op(head), Args: as}, nil
+
+	default:
+		return nil, errAt(n.Pos, "unknown annotation operator %q", head)
+	}
+}
+
+// Walk visits e and every subexpression in pre-order.
+func Walk(e *Expr, f func(*Expr)) {
+	f(e)
+	for _, a := range e.Args {
+		Walk(a, f)
+	}
+	for _, c := range e.Cases {
+		Walk(c[0], f)
+		Walk(c[1], f)
+	}
+}
+
+// FreeVars returns the distinct variable names used in e, in first-use order.
+func FreeVars(e *Expr) []string {
+	var out []string
+	seen := map[string]bool{}
+	Walk(e, func(x *Expr) {
+		if x.Kind == ExprVar && !seen[x.Name] {
+			seen[x.Name] = true
+			out = append(out, x.Name)
+		}
+	})
+	return out
+}

@@ -1,0 +1,201 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"crocus/internal/sexpr"
+)
+
+func parseSpecSrc(t *testing.T, src string) *Spec {
+	t.Helper()
+	n, err := sexpr.ParseOne("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSpec(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParseFitsIn16(t *testing.T) {
+	// The paper's §3.1 running example.
+	s := parseSpecSrc(t, `
+		(spec (fits_in_16 arg)
+			(provide (= result arg))
+			(require (<= arg 16)))`)
+	if s.Term != "fits_in_16" || len(s.Args) != 1 || s.Args[0] != "arg" {
+		t.Fatalf("sig = %v %v", s.Term, s.Args)
+	}
+	if len(s.Provide) != 1 || len(s.Require) != 1 {
+		t.Fatalf("clauses = %d/%d", len(s.Provide), len(s.Require))
+	}
+	p := s.Provide[0]
+	if p.Kind != ExprBinop || p.Op != "=" {
+		t.Fatalf("provide = %v", p)
+	}
+	if p.Args[0].Name != "result" || p.Args[1].Name != "arg" {
+		t.Fatalf("provide args = %v", p)
+	}
+}
+
+func TestParsePutInReg(t *testing.T) {
+	s := parseSpecSrc(t, `
+		(spec (put_in_reg arg)
+			(provide (= result (convto 64 arg))))`)
+	conv := s.Provide[0].Args[1]
+	if conv.Kind != ExprConv || conv.Op != "convto" {
+		t.Fatalf("conv = %+v", conv)
+	}
+	if conv.Args[0].Kind != ExprConst || conv.Args[0].IntVal != 64 {
+		t.Fatalf("width = %+v", conv.Args[0])
+	}
+}
+
+func TestParseSwitchRequire(t *testing.T) {
+	// The paper's small_rotr precondition (§3.1.1).
+	s := parseSpecSrc(t, `
+		(spec (small_rotr ty x y)
+			(provide (= result x))
+			(require (switch ty
+				(8 (= (extract 63 8 x) #x00000000000000))
+				(16 (= (extract 63 16 x) #x000000000000)))))`)
+	sw := s.Require[0]
+	if sw.Kind != ExprSwitch || len(sw.Cases) != 2 {
+		t.Fatalf("switch = %+v", sw)
+	}
+	if sw.Cases[0][0].IntVal != 8 {
+		t.Fatalf("case 0 match = %+v", sw.Cases[0][0])
+	}
+	body := sw.Cases[0][1]
+	if body.Kind != ExprBinop || body.Args[0].Kind != ExprExtract {
+		t.Fatalf("case 0 body = %+v", body)
+	}
+	ext := body.Args[0]
+	if ext.Hi != 63 || ext.Lo != 8 {
+		t.Fatalf("extract = %d %d", ext.Hi, ext.Lo)
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	for _, src := range []string{
+		"(zeroext 32 x)",
+		"(signext 64 y)",
+		"(convto (widthof result) x)",
+		"(int2bv 8 n)",
+		"(bv2int v)",
+		"(concat a b c)",
+		"(if c t e)",
+		"(cls x)",
+		"(clz x)",
+		"(rev x)",
+		"(popcnt x)",
+		"(subs 64 a b)",
+		"(! p)",
+		"(~ v)",
+		"(- v)",
+		"(- a b)",
+		"(rotl x y)",
+		"(ashr x y)",
+		"(ulte x y)",
+		"(sgt x y)",
+		"true",
+		"#b1010",
+		"-5",
+	} {
+		n, err := sexpr.ParseOne("t", src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if _, err := ParseExpr(n); err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"(spec x (provide (= result x)))",     // bad signature
+		"(spec (f a) (produce (= result a)))", // bad clause head
+		"(spec (f a))",                        // no provide
+		"(spec (f (g)) (provide true))",       // non-identifier arg
+	} {
+		n, err := sexpr.ParseOne("t", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseSpec(n); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", src)
+		}
+	}
+	for _, src := range []string{
+		"(bogus_op x)",
+		"(extract a 0 x)",
+		"(if c t)",
+		"(switch x)",
+		"(switch x (1 2) bad)",
+		"(zeroext 32)",
+		"(subs a)",
+		"(concat a)",
+	} {
+		n, err := sexpr.ParseOne("t", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseExpr(n); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", src)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	for _, src := range []string{
+		"(= result (convto 64 arg))",
+		"(switch ty (8 x) (16 y))",
+		"(extract 63 8 x)",
+		"(widthof e)",
+		"(concat a b)",
+	} {
+		n, _ := sexpr.ParseOne("t", src)
+		e, err := ParseExpr(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip: printing and reparsing is stable.
+		n2, err := sexpr.ParseOne("t", e.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", e.String(), err)
+		}
+		e2, err := ParseExpr(n2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e2.String() != e.String() {
+			t.Errorf("round trip %q -> %q", e.String(), e2.String())
+		}
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	n, _ := sexpr.ParseOne("t", "(= result (+ x (rotl x y)))")
+	e, err := ParseExpr(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := FreeVars(e)
+	if strings.Join(vs, ",") != "result,x,y" {
+		t.Fatalf("vars = %v", vs)
+	}
+}
+
+func TestWalkVisitsSwitchCases(t *testing.T) {
+	n, _ := sexpr.ParseOne("t", "(switch ty (8 a) (16 b))")
+	e, _ := ParseExpr(n)
+	count := 0
+	Walk(e, func(*Expr) { count++ })
+	if count != 6 { // switch, ty, 8, a, 16, b
+		t.Fatalf("visited %d nodes", count)
+	}
+}

@@ -1,0 +1,228 @@
+package wasm
+
+import (
+	"fmt"
+	"strings"
+
+	"crocus/internal/clif"
+)
+
+// ReferenceSuiteWAT generates the WAT text of a per-instruction test
+// corpus mirroring the structure of the WebAssembly reference test suite
+// for Wasm 1.0 (one small function per instruction form, plus a few
+// program-shaped composites). This is the workload of the §4.2 coverage
+// experiment's first row.
+func ReferenceSuiteWAT() string {
+	var b strings.Builder
+	b.WriteString("(module\n")
+	n := 0
+	emit := func(params string, result string, body string) {
+		fmt.Fprintf(&b, "  (func $t%d %s (result %s) %s)\n", n, params, result, body)
+		n++
+	}
+
+	for _, ty := range []string{"i32", "i64"} {
+		pp := fmt.Sprintf("(param %s %s)", ty, ty)
+		p0 := "(local.get 0)"
+		p1 := "(local.get 1)"
+		for _, op := range []string{
+			"add", "sub", "mul", "div_s", "div_u", "rem_s", "rem_u",
+			"and", "or", "xor", "shl", "shr_s", "shr_u", "rotl", "rotr",
+		} {
+			emit(pp, ty, fmt.Sprintf("(%s.%s %s %s)", ty, op, p0, p1))
+		}
+		for _, op := range []string{
+			"eq", "ne", "lt_s", "lt_u", "gt_s", "gt_u", "le_s", "le_u", "ge_s", "ge_u",
+		} {
+			emit(pp, "i32", fmt.Sprintf("(%s.%s %s %s)", ty, op, p0, p1))
+		}
+		for _, op := range []string{"clz", "ctz", "popcnt"} {
+			emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.%s %s)", ty, op, p0))
+		}
+		emit(fmt.Sprintf("(param %s)", ty), "i32", fmt.Sprintf("(%s.eqz %s)", ty, p0))
+		// Constant-operand forms (immediate-folding rule shapes).
+		emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.add %s (%s.const 7))", ty, p0, ty))
+		emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.add %s (%s.const 1000000))", ty, p0, ty))
+		emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.sub %s (%s.const 12))", ty, p0, ty))
+		emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.sub %s (%s.const -9))", ty, p0, ty))
+		emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.and %s (%s.const 255))", ty, p0, ty))
+		emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.shl %s (%s.const 3))", ty, p0, ty))
+		emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.div_u %s (%s.const 10))", ty, p0, ty))
+		emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.ge_u %s (%s.const 17))", ty, p0, ty))
+	}
+
+	for _, ty := range []string{"f32", "f64"} {
+		pp := fmt.Sprintf("(param %s %s)", ty, ty)
+		p0 := "(local.get 0)"
+		p1 := "(local.get 1)"
+		for _, op := range []string{"add", "sub", "mul", "div", "min", "max", "copysign"} {
+			emit(pp, ty, fmt.Sprintf("(%s.%s %s %s)", ty, op, p0, p1))
+		}
+		for _, op := range []string{"abs", "neg", "sqrt", "ceil", "floor", "trunc", "nearest"} {
+			emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.%s %s)", ty, op, p0))
+		}
+		for _, op := range []string{"eq", "ne", "lt", "le", "gt", "ge"} {
+			emit(pp, "i32", fmt.Sprintf("(%s.%s %s %s)", ty, op, p0, p1))
+		}
+		emit(fmt.Sprintf("(param %s)", ty), ty, fmt.Sprintf("(%s.add %s (%s.const 3))", ty, p0, ty))
+		// Fused multiply-add shape.
+		emit(fmt.Sprintf("(param %s %s %s)", ty, ty, ty), ty,
+			fmt.Sprintf("(%s.add %s (%s.mul %s (local.get 2)))", ty, p0, ty, p1))
+	}
+
+	// Conversions.
+	emit("(param i64)", "i32", "(i32.wrap_i64 (local.get 0))")
+	emit("(param i32)", "i64", "(i64.extend_i32_u (local.get 0))")
+	emit("(param i32)", "i64", "(i64.extend_i32_s (local.get 0))")
+	emit("(param f32)", "i32", "(i32.trunc_f32_s (local.get 0))")
+	emit("(param f32)", "i32", "(i32.trunc_f32_u (local.get 0))")
+	emit("(param f64)", "i64", "(i64.trunc_f64_s (local.get 0))")
+	emit("(param f64)", "i64", "(i64.trunc_f64_u (local.get 0))")
+	emit("(param i32)", "f32", "(f32.convert_i32_s (local.get 0))")
+	emit("(param i32)", "f32", "(f32.convert_i32_u (local.get 0))")
+	emit("(param i64)", "f64", "(f64.convert_i64_s (local.get 0))")
+	emit("(param i64)", "f64", "(f64.convert_i64_u (local.get 0))")
+	emit("(param f32)", "f64", "(f64.promote_f32 (local.get 0))")
+	emit("(param f64)", "f32", "(f32.demote_f64 (local.get 0))")
+	emit("(param f32)", "i32", "(i32.reinterpret_f32 (local.get 0))")
+	emit("(param i32)", "f32", "(f32.reinterpret_i32 (local.get 0))")
+	emit("(param f64)", "i64", "(i64.reinterpret_f64 (local.get 0))")
+	emit("(param i64)", "f64", "(f64.reinterpret_i64 (local.get 0))")
+
+	// Memory (loads; addresses fold into addressing forms).
+	emit("(param i32)", "i32", "(i32.load (local.get 0))")
+	emit("(param i32)", "i32", "(i32.load (i32.add (local.get 0) (i32.const 16)))")
+	emit("(param i32 i32)", "i32", "(i32.load (i32.add (local.get 0) (local.get 1)))")
+	emit("(param i32)", "i32", "(i32.load8_u (local.get 0))")
+	emit("(param i32)", "i32", "(i32.load8_s (local.get 0))")
+	emit("(param i32)", "i32", "(i32.load16_u (local.get 0))")
+	emit("(param i32)", "i32", "(i32.load16_s (local.get 0))")
+	emit("(param i32)", "i64", "(i64.load (local.get 0))")
+	emit("(param i32)", "i64", "(i64.load32_u (local.get 0))")
+	emit("(param i32)", "i64", "(i64.load32_s (local.get 0))")
+	emit("(param i32)", "f32", "(f32.load (local.get 0))")
+	emit("(param i32)", "f64", "(f64.load (local.get 0))")
+
+	// Select.
+	emit("(param i32 i32 i32)", "i32", "(select (local.get 0) (local.get 1) (local.get 2))")
+	emit("(param f32 f32 i32)", "f32", "(select (local.get 0) (local.get 1) (local.get 2))")
+	emit("(param f64 f64 i32)", "f64", "(select (local.get 0) (local.get 1) (local.get 2))")
+
+	// Program-shaped composites (the effective-address shape of §1 among
+	// them).
+	emit("(param i32 i32 i32)", "i32",
+		"(i32.add (local.get 0) (i32.mul (local.get 1) (local.get 2)))")
+	emit("(param i64 i64)", "i64",
+		"(i64.and (i64.rotr (local.get 0) (local.get 1)) (i64.const 65535))")
+	emit("(param i32)", "i64",
+		"(i64.extend_i32_u (i32.shl (local.get 0) (i32.const 3)))")
+	emit("(param i32 i32)", "i32",
+		"(i32.load (i32.add (local.get 0) (i32.shl (local.get 1) (i32.const 2))))")
+	emit("(param i64)", "i64",
+		"(i64.mul (i64.add (local.get 0) (i64.const 1)) (i64.const 3))")
+	emit("(param i32)", "i32",
+		"(i32.xor (i32.shr_u (local.get 0) (i32.const 16)) (local.get 0))")
+
+	b.WriteString(")\n")
+	return b.String()
+}
+
+// ReferenceSuite parses the generated reference-style corpus.
+func ReferenceSuite() (*Module, error) {
+	return ParseModule("reference-suite.wat", ReferenceSuiteWAT())
+}
+
+// NarrowSuite generates the rustc_codegen_cranelift stand-in: CLIF
+// functions over the narrow i8/i16 types Wasm cannot express, plus a
+// sprinkling of i32 code (the paper: "to assess our coverage on integer
+// types narrower than those that Wasm supports"). See DESIGN.md's
+// substitution table.
+func NarrowSuite() []*clif.Func {
+	var out []*clif.Func
+	add := func(name string, params []clif.Type, ret clif.Type, body *clif.Value) {
+		out = append(out, &clif.Func{Name: name, Params: params, Ret: ret, Body: body})
+	}
+	for _, ty := range []clif.Type{clif.I8, clif.I16} {
+		p0 := clif.Param(ty, 0)
+		p1 := clif.Param(ty, 1)
+		two := []clif.Type{ty, ty}
+		one := []clif.Type{ty}
+		for _, op := range []clif.Op{
+			"iadd", "isub", "imul", "band", "bor", "bxor",
+			"ishl", "ushr", "sshr", "rotl", "rotr",
+		} {
+			add(fmt.Sprintf("%s_%s", op, ty), two, ty, clif.Binary(op, ty, p0, p1))
+		}
+		for _, op := range []clif.Op{"clz", "ctz", "cls", "popcnt", "bnot", "ineg"} {
+			add(fmt.Sprintf("%s_%s", op, ty), one, ty, clif.Unary(op, ty, p0))
+		}
+		for _, cc := range []string{
+			"IntCC.Equal", "IntCC.UnsignedLessThan", "IntCC.SignedGreaterThan",
+			"IntCC.SignedLessThanOrEqual", "IntCC.UnsignedGreaterThanOrEqual",
+		} {
+			add(fmt.Sprintf("icmp_%s_%s", cc, ty), two, clif.I8, clif.Icmp(cc, p0, p1))
+		}
+		// Immediate forms.
+		add(fmt.Sprintf("addi_%s", ty), one, ty, clif.Binary("iadd", ty, p0, clif.Iconst(ty, 5)))
+		negThree := ^uint64(2) // two's-complement -3, truncated by Iconst
+		add(fmt.Sprintf("subni_%s", ty), one, ty,
+			clif.Binary("isub", ty, p0, clif.Iconst(ty, negThree)))
+		add(fmt.Sprintf("shli_%s", ty), one, ty, clif.Binary("ishl", ty, p0, clif.Iconst(ty, 2)))
+		add(fmt.Sprintf("andi_%s", ty), one, ty, clif.Binary("band", ty, p0, clif.Iconst(ty, 0x0f)))
+		// Width changes to/from narrow types.
+		add(fmt.Sprintf("uext32_%s", ty), one, clif.I32, clif.Unary("uextend", clif.I32, p0))
+		add(fmt.Sprintf("sext64_%s", ty), one, clif.I64, clif.Unary("sextend", clif.I64, p0))
+		add(fmt.Sprintf("reduce_%s", ty), []clif.Type{clif.I32}, ty,
+			clif.Unary("ireduce", ty, clif.Param(clif.I32, 0)))
+		// Narrow loads (sign/zero-extending).
+		addr := clif.Param(clif.I64, 0)
+		add(fmt.Sprintf("uload_%s", ty), []clif.Type{clif.I64}, ty, clif.Unary("uload8", ty, addr))
+		add(fmt.Sprintf("sload_%s", ty), []clif.Type{clif.I64}, ty, clif.Unary("sload8", ty, addr))
+	}
+	// Mixed-type code, as whole Rust programs contain: i32/i64 arithmetic,
+	// floats, memory traffic, conversions, and selects.
+	p0 := clif.Param(clif.I32, 0)
+	p1 := clif.Param(clif.I32, 1)
+	add("mix32_add", []clif.Type{clif.I32, clif.I32}, clif.I32, clif.Binary("iadd", clif.I32, p0, p1))
+	add("mix32_mul", []clif.Type{clif.I32, clif.I32}, clif.I32, clif.Binary("imul", clif.I32, p0, p1))
+	add("mix32_cmp", []clif.Type{clif.I32, clif.I32}, clif.I8, clif.Icmp("IntCC.SignedLessThan", p0, p1))
+	add("mix32_sel", []clif.Type{clif.I32, clif.I32, clif.I8}, clif.I32,
+		&clif.Value{Op: "select", Ty: clif.I32, Args: []*clif.Value{clif.Param(clif.I8, 2), p0, p1}})
+	addr := clif.Param(clif.I64, 0)
+	add("mix32_load", []clif.Type{clif.I64}, clif.I32, clif.Unary("load", clif.I32, addr))
+	add("mix_load_off", []clif.Type{clif.I64}, clif.I64,
+		clif.Unary("load", clif.I64, clif.Binary("iadd", clif.I64, addr, clif.Iconst(clif.I64, 24))))
+	add("mix_load_rr", []clif.Type{clif.I64, clif.I64}, clif.I64,
+		clif.Unary("load", clif.I64, clif.Binary("iadd", clif.I64, addr, clif.Param(clif.I64, 1))))
+	add("mix_uload16", []clif.Type{clif.I64}, clif.I32, clif.Unary("uload16", clif.I32, addr))
+	add("mix_sload16", []clif.Type{clif.I64}, clif.I32, clif.Unary("sload16", clif.I32, addr))
+	add("mix_uload32", []clif.Type{clif.I64}, clif.I64, clif.Unary("uload32", clif.I64, addr))
+
+	for _, fty := range []clif.Type{clif.F32, clif.F64} {
+		f0 := clif.Param(fty, 0)
+		f1 := clif.Param(fty, 1)
+		two := []clif.Type{fty, fty}
+		for _, op := range []clif.Op{"fadd", "fsub", "fmul", "fdiv", "fmin", "fmax", "fcopysign"} {
+			add(fmt.Sprintf("mix_%s_%s", op, fty), two, fty, clif.Binary(op, fty, f0, f1))
+		}
+		for _, op := range []clif.Op{"fabs", "fneg", "fsqrt", "floor", "ceil", "trunc", "nearest"} {
+			add(fmt.Sprintf("mix_%s_%s", op, fty), []clif.Type{fty}, fty, clif.Unary(op, fty, f0))
+		}
+		for _, cc := range []string{"FloatCC.LessThan", "FloatCC.Equal", "FloatCC.GreaterThanOrEqual", "FloatCC.NotEqual"} {
+			add(fmt.Sprintf("mix_fcmp_%s_%s", cc, fty), two, clif.I8, clif.Fcmp(cc, f0, f1))
+		}
+		add(fmt.Sprintf("mix_fload_%s", fty), []clif.Type{clif.I64}, fty, clif.Unary("load", fty, addr))
+		add(fmt.Sprintf("mix_fma_%s", fty), []clif.Type{fty, fty, fty}, fty,
+			clif.Binary("fadd", fty, f0, clif.Binary("fmul", fty, f1, clif.Param(fty, 2))))
+	}
+	add("mix_cvt_sf", []clif.Type{clif.I32}, clif.F32, clif.Unary("fcvt_from_sint", clif.F32, p0))
+	add("mix_cvt_uf", []clif.Type{clif.I64}, clif.F64, clif.Unary("fcvt_from_uint", clif.F64, clif.Param(clif.I64, 0)))
+	add("mix_cvt_fs", []clif.Type{clif.F64}, clif.I64, clif.Unary("fcvt_to_sint", clif.I64, clif.Param(clif.F64, 0)))
+	add("mix_cvt_fu", []clif.Type{clif.F32}, clif.I32, clif.Unary("fcvt_to_uint", clif.I32, clif.Param(clif.F32, 0)))
+	add("mix_promote", []clif.Type{clif.F32}, clif.F64, clif.Unary("fpromote", clif.F64, clif.Param(clif.F32, 0)))
+	add("mix_demote", []clif.Type{clif.F64}, clif.F32, clif.Unary("fdemote", clif.F32, clif.Param(clif.F64, 0)))
+	add("mix_bitcast", []clif.Type{clif.F32}, clif.I32, clif.Unary("bitcast", clif.I32, clif.Param(clif.F32, 0)))
+	add("mix_fsel", []clif.Type{clif.F64, clif.F64, clif.I8}, clif.F64,
+		&clif.Value{Op: "select", Ty: clif.F64, Args: []*clif.Value{clif.Param(clif.I8, 2), clif.Param(clif.F64, 0), clif.Param(clif.F64, 1)}})
+	return out
+}

@@ -1,0 +1,436 @@
+// Package wasm implements a WAT-subset (folded S-expression) WebAssembly
+// frontend: it parses modules of pure functions over i32/i64/f32/f64 and
+// translates their bodies into CLIF expression trees for the instruction
+// selector in internal/lower.
+//
+// Together with the generators in suite.go it stands in for the paper's
+// §4.2 workloads: the WebAssembly reference test suite (per-instruction
+// test functions for the Wasm 1.0 feature set) and the
+// rustc_codegen_cranelift suite (narrow i8/i16 types Wasm cannot express).
+package wasm
+
+import (
+	"fmt"
+	"strings"
+
+	"crocus/internal/clif"
+	"crocus/internal/sexpr"
+)
+
+// Module is a parsed WAT module.
+type Module struct {
+	Funcs []*clif.Func
+}
+
+// ParseModule parses WAT text of the form
+//
+//	(module (func $name (param i32 ...) (result i32) <folded-expr>) ...)
+func ParseModule(filename, src string) (*Module, error) {
+	root, err := sexpr.ParseOne(filename, src)
+	if err != nil {
+		return nil, err
+	}
+	if !root.IsList("module") {
+		return nil, fmt.Errorf("%s: expected (module ...)", root.Pos)
+	}
+	m := &Module{}
+	for _, fn := range root.List[1:] {
+		if !fn.IsList("func") {
+			return nil, fmt.Errorf("%s: expected (func ...)", fn.Pos)
+		}
+		f, err := parseFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	return m, nil
+}
+
+func valType(n *sexpr.Node) (clif.Type, error) {
+	if n.Kind == sexpr.KindSymbol {
+		switch n.Sym {
+		case "i32":
+			return clif.I32, nil
+		case "i64":
+			return clif.I64, nil
+		case "f32":
+			return clif.F32, nil
+		case "f64":
+			return clif.F64, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: unknown value type", n.Pos)
+}
+
+func parseFunc(n *sexpr.Node) (*clif.Func, error) {
+	f := &clif.Func{Name: "anon"}
+	items := n.List[1:]
+	if len(items) > 0 && items[0].Kind == sexpr.KindSymbol && strings.HasPrefix(items[0].Sym, "$") {
+		f.Name = items[0].Sym[1:]
+		items = items[1:]
+	}
+	for len(items) > 0 && items[0].IsList("param") {
+		for _, tn := range items[0].List[1:] {
+			ty, err := valType(tn)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, ty)
+		}
+		items = items[1:]
+	}
+	if len(items) > 0 && items[0].IsList("result") {
+		if len(items[0].List) != 2 {
+			return nil, fmt.Errorf("%s: result expects one type", items[0].Pos)
+		}
+		ty, err := valType(items[0].List[1])
+		if err != nil {
+			return nil, err
+		}
+		f.Ret = ty
+		items = items[1:]
+	}
+	if len(items) != 1 {
+		return nil, fmt.Errorf("%s: function body must be a single folded expression", n.Pos)
+	}
+	body, err := translate(items[0], f)
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// intBinOps maps Wasm integer binary mnemonics to CLIF ops.
+var intBinOps = map[string]clif.Op{
+	"add": "iadd", "sub": "isub", "mul": "imul",
+	"div_u": "udiv", "div_s": "sdiv", "rem_u": "urem", "rem_s": "srem",
+	"and": "band", "or": "bor", "xor": "bxor",
+	"shl": "ishl", "shr_u": "ushr", "shr_s": "sshr",
+	"rotl": "rotl", "rotr": "rotr",
+}
+
+// intCmpOps maps Wasm comparison mnemonics to IntCC constructor names.
+var intCmpOps = map[string]string{
+	"eq": "IntCC.Equal", "ne": "IntCC.NotEqual",
+	"lt_s": "IntCC.SignedLessThan", "le_s": "IntCC.SignedLessThanOrEqual",
+	"gt_s": "IntCC.SignedGreaterThan", "ge_s": "IntCC.SignedGreaterThanOrEqual",
+	"lt_u": "IntCC.UnsignedLessThan", "le_u": "IntCC.UnsignedLessThanOrEqual",
+	"gt_u": "IntCC.UnsignedGreaterThan", "ge_u": "IntCC.UnsignedGreaterThanOrEqual",
+}
+
+var intUnOps = map[string]clif.Op{
+	"clz": "clz", "ctz": "ctz", "popcnt": "popcnt",
+}
+
+var floatBinOps = map[string]clif.Op{
+	"add": "fadd", "sub": "fsub", "mul": "fmul", "div": "fdiv",
+	"min": "fmin", "max": "fmax", "copysign": "fcopysign",
+}
+
+var floatUnOps = map[string]clif.Op{
+	"abs": "fabs", "neg": "fneg", "sqrt": "fsqrt",
+	"ceil": "ceil", "floor": "floor", "trunc": "trunc", "nearest": "nearest",
+}
+
+var floatCmpOps = map[string]string{
+	"eq": "FloatCC.Equal", "ne": "FloatCC.NotEqual",
+	"lt": "FloatCC.LessThan", "le": "FloatCC.LessThanOrEqual",
+	"gt": "FloatCC.GreaterThan", "ge": "FloatCC.GreaterThanOrEqual",
+}
+
+func translate(n *sexpr.Node, f *clif.Func) (*clif.Value, error) {
+	if n.Kind != sexpr.KindList || len(n.List) == 0 || n.List[0].Kind != sexpr.KindSymbol {
+		return nil, fmt.Errorf("%s: expected a folded instruction", n.Pos)
+	}
+	head := n.List[0].Sym
+	args := n.List[1:]
+
+	sub := func(i int) (*clif.Value, error) { return translate(args[i], f) }
+	need := func(k int) error {
+		if len(args) != k {
+			return fmt.Errorf("%s: %s expects %d operands, got %d", n.Pos, head, k, len(args))
+		}
+		return nil
+	}
+
+	// Non-typed instructions.
+	switch head {
+	case "local.get":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if args[0].Kind != sexpr.KindInt {
+			return nil, fmt.Errorf("%s: local.get expects an index", n.Pos)
+		}
+		idx := int(args[0].Int)
+		if idx < 0 || idx >= len(f.Params) {
+			return nil, fmt.Errorf("%s: local index %d out of range", n.Pos, idx)
+		}
+		return clif.Param(f.Params[idx], idx), nil
+	case "select":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := sub(1)
+		if err != nil {
+			return nil, err
+		}
+		c, err := sub(2)
+		if err != nil {
+			return nil, err
+		}
+		return &clif.Value{Op: "select", Ty: a.Ty, Args: []*clif.Value{c, a, b}}, nil
+	}
+
+	dot := strings.IndexByte(head, '.')
+	if dot < 0 {
+		return nil, fmt.Errorf("%s: unknown instruction %q", n.Pos, head)
+	}
+	tyName, op := head[:dot], head[dot+1:]
+	var ty clif.Type
+	switch tyName {
+	case "i32":
+		ty = clif.I32
+	case "i64":
+		ty = clif.I64
+	case "f32":
+		ty = clif.F32
+	case "f64":
+		ty = clif.F64
+	default:
+		return nil, fmt.Errorf("%s: unknown type prefix %q", n.Pos, tyName)
+	}
+
+	// Constants.
+	if op == "const" {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if args[0].Kind != sexpr.KindInt {
+			return nil, fmt.Errorf("%s: const expects an integer literal", n.Pos)
+		}
+		if ty.IsInt() {
+			return clif.Iconst(ty, uint64(args[0].Int)), nil
+		}
+		return &clif.Value{Op: clif.OpFconst, Ty: ty, Imm: uint64(args[0].Int)}, nil
+	}
+
+	if ty.IsInt() {
+		if cop, ok := intBinOps[op]; ok {
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := sub(1)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Binary(cop, ty, a, b), nil
+		}
+		if cc, ok := intCmpOps[op]; ok {
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			b, err := sub(1)
+			if err != nil {
+				return nil, err
+			}
+			// Wasm comparisons produce i32; Cranelift icmp produces an i8
+			// boolean that the frontend widens.
+			return clif.Unary("uextend", clif.I32, clif.Icmp(cc, a, b)), nil
+		}
+		if cop, ok := intUnOps[op]; ok {
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary(cop, ty, a), nil
+		}
+		switch op {
+		case "eqz":
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			zero := clif.Iconst(a.Ty, 0)
+			return clif.Unary("uextend", clif.I32, clif.Icmp("IntCC.Equal", a, zero)), nil
+		case "extend_i32_u":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("uextend", clif.I64, a), nil
+		case "extend_i32_s":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("sextend", clif.I64, a), nil
+		case "wrap_i64":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("ireduce", clif.I32, a), nil
+		case "trunc_f32_s", "trunc_f64_s":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("fcvt_to_sint", ty, a), nil
+		case "trunc_f32_u", "trunc_f64_u":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("fcvt_to_uint", ty, a), nil
+		case "reinterpret_f32", "reinterpret_f64":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("bitcast", ty, a), nil
+		case "load":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("load", ty, a), nil
+		case "load8_u":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("uload8", ty, a), nil
+		case "load8_s":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("sload8", ty, a), nil
+		case "load16_u":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("uload16", ty, a), nil
+		case "load16_s":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("sload16", ty, a), nil
+		case "load32_u":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("uload32", ty, a), nil
+		case "load32_s":
+			a, err := sub(0)
+			if err != nil {
+				return nil, err
+			}
+			return clif.Unary("sload32", ty, a), nil
+		}
+		return nil, fmt.Errorf("%s: unsupported integer instruction %q", n.Pos, head)
+	}
+
+	// Float instructions.
+	if cop, ok := floatBinOps[op]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := sub(1)
+		if err != nil {
+			return nil, err
+		}
+		return clif.Binary(cop, ty, a, b), nil
+	}
+	if cop, ok := floatUnOps[op]; ok {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return clif.Unary(cop, ty, a), nil
+	}
+	if cc, ok := floatCmpOps[op]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := sub(1)
+		if err != nil {
+			return nil, err
+		}
+		return clif.Unary("uextend", clif.I32, clif.Fcmp(cc, a, b)), nil
+	}
+	switch op {
+	case "convert_i32_s", "convert_i64_s":
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return clif.Unary("fcvt_from_sint", ty, a), nil
+	case "convert_i32_u", "convert_i64_u":
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return clif.Unary("fcvt_from_uint", ty, a), nil
+	case "promote_f32":
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return clif.Unary("fpromote", clif.F64, a), nil
+	case "demote_f64":
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return clif.Unary("fdemote", clif.F32, a), nil
+	case "reinterpret_i32", "reinterpret_i64":
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return clif.Unary("bitcast", ty, a), nil
+	case "load":
+		a, err := sub(0)
+		if err != nil {
+			return nil, err
+		}
+		return clif.Unary("load", ty, a), nil
+	}
+	return nil, fmt.Errorf("%s: unsupported float instruction %q", n.Pos, head)
+}

@@ -1,0 +1,159 @@
+package wasm
+
+import (
+	"strings"
+	"testing"
+
+	"crocus/internal/clif"
+)
+
+func TestParseSimpleModule(t *testing.T) {
+	m, err := ParseModule("t.wat", `
+		(module
+			(func $add (param i32 i32) (result i32)
+				(i32.add (local.get 0) (local.get 1))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(m.Funcs))
+	}
+	f := m.Funcs[0]
+	if f.Name != "add" || len(f.Params) != 2 || f.Ret != clif.I32 {
+		t.Fatalf("func = %+v", f)
+	}
+	if f.Body.Op != "iadd" || f.Body.Ty != clif.I32 {
+		t.Fatalf("body = %s", f.Body)
+	}
+	if f.Body.Args[0].Op != clif.OpParam || f.Body.Args[1].Imm != 1 {
+		t.Fatalf("args = %s", f.Body)
+	}
+}
+
+func TestParsePaperAddressExpr(t *testing.T) {
+	// The §1 Wasm snippet: (i32.load (i32.shl (local.get x) (i32.const 3))).
+	m, err := ParseModule("t.wat", `
+		(module
+			(func $addr (param i32) (result i32)
+				(i32.load (i32.shl (local.get 0) (i32.const 3)))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := m.Funcs[0].Body
+	if body.Op != "load" {
+		t.Fatalf("body = %s", body)
+	}
+	shl := body.Args[0]
+	if shl.Op != "ishl" || shl.Args[1].Op != clif.OpIconst || shl.Args[1].Imm != 3 {
+		t.Fatalf("shl = %s", shl)
+	}
+}
+
+func TestParseComparisonsWiden(t *testing.T) {
+	m, err := ParseModule("t.wat", `
+		(module (func (param i64 i64) (result i32)
+			(i64.lt_u (local.get 0) (local.get 1))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := m.Funcs[0].Body
+	if body.Op != "uextend" || body.Ty != clif.I32 {
+		t.Fatalf("comparison should widen to i32: %s", body)
+	}
+	icmp := body.Args[0]
+	if icmp.Op != "icmp" || icmp.CC != "IntCC.UnsignedLessThan" || icmp.Ty != clif.I8 {
+		t.Fatalf("icmp = %s", icmp)
+	}
+}
+
+func TestParseEqz(t *testing.T) {
+	m, err := ParseModule("t.wat", `
+		(module (func (param i32) (result i32) (i32.eqz (local.get 0))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	icmp := m.Funcs[0].Body.Args[0]
+	if icmp.CC != "IntCC.Equal" || icmp.Args[1].Op != clif.OpIconst {
+		t.Fatalf("eqz = %s", m.Funcs[0].Body)
+	}
+}
+
+func TestParseFloatAndConversions(t *testing.T) {
+	m, err := ParseModule("t.wat", `
+		(module
+			(func (param f64 f64) (result f64) (f64.max (local.get 0) (local.get 1)))
+			(func (param f32) (result i32) (i32.trunc_f32_s (local.get 0)))
+			(func (param i32) (result i64) (i64.extend_i32_s (local.get 0)))
+			(func (param f32 f32 i32) (result f32)
+				(select (local.get 0) (local.get 1) (local.get 2))))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Funcs[0].Body.Op != "fmax" {
+		t.Fatalf("fmax = %s", m.Funcs[0].Body)
+	}
+	if m.Funcs[1].Body.Op != "fcvt_to_sint" {
+		t.Fatalf("trunc = %s", m.Funcs[1].Body)
+	}
+	if m.Funcs[2].Body.Op != "sextend" {
+		t.Fatalf("extend = %s", m.Funcs[2].Body)
+	}
+	sel := m.Funcs[3].Body
+	if sel.Op != "select" || sel.Ty != clif.F32 || sel.Args[0].Ty != clif.I32 {
+		t.Fatalf("select = %s", sel)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		`(func)`,
+		`(module (notfunc))`,
+		`(module (func (param i31) (result i32) (i32.const 1)))`,
+		`(module (func (result i32) (local.get 0)))`,
+		`(module (func (result i32) (i32.bogus)))`,
+		`(module (func (result i32) (i32.add (i32.const 1))))`,
+		`(module (func (result i32) (frobnicate)))`,
+		`(module (func (result i32) (i32.const 1) (i32.const 2)))`,
+	} {
+		if _, err := ParseModule("t.wat", src); err == nil {
+			t.Errorf("ParseModule(%q): expected error", src)
+		}
+	}
+}
+
+func TestReferenceSuiteParses(t *testing.T) {
+	m, err := ReferenceSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) < 120 {
+		t.Fatalf("reference suite has %d functions, expected a full per-instruction corpus", len(m.Funcs))
+	}
+	// Every generated function has a body and a sensible size.
+	for _, f := range m.Funcs {
+		if f.Body == nil || clif.Count(f.Body) < 2 {
+			t.Fatalf("degenerate function %s", f.Name)
+		}
+	}
+	if !strings.Contains(ReferenceSuiteWAT(), "i64.rotr") {
+		t.Fatal("suite should cover rotates")
+	}
+}
+
+func TestNarrowSuite(t *testing.T) {
+	funcs := NarrowSuite()
+	if len(funcs) < 50 {
+		t.Fatalf("narrow suite has %d functions", len(funcs))
+	}
+	sawI8 := false
+	for _, f := range funcs {
+		for _, p := range f.Params {
+			if p == clif.I8 {
+				sawI8 = true
+			}
+		}
+	}
+	if !sawI8 {
+		t.Fatal("narrow suite must exercise i8")
+	}
+}
