@@ -27,9 +27,10 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-query solver deadline")
 	distinct := flag.Bool("distinct", false, "run the distinct-models check during table1")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent rule verification during table1 (1 = sequential)")
+	cacheDir := flag.String("cache-dir", "", "persist verification results under this directory and replay them on re-runs (incremental verification)")
 	flag.Parse()
 
-	cfg := eval.Config{Timeout: *timeout, Distinct: *distinct, Parallelism: *parallel}
+	cfg := eval.Config{Timeout: *timeout, Distinct: *distinct, Parallelism: *parallel, CacheDir: *cacheDir}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "crocus-eval:", err)
 		os.Exit(1)
@@ -50,6 +51,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(res.Render())
+		if res.Cache != nil {
+			fmt.Println(res.Cache)
+		}
 	}
 	if run["fig4"] {
 		res, err := eval.Fig4(cfg)
@@ -66,7 +70,7 @@ func main() {
 		fmt.Println(eval.RenderCoverage(rs))
 	}
 	if run["knownbugs"] || run["newbugs"] {
-		rs, err := eval.Bugs(cfg)
+		rs, stats, err := eval.BugsStats(cfg)
 		if err != nil {
 			fail(err)
 		}
@@ -78,5 +82,8 @@ func main() {
 			}
 		}
 		fmt.Println(eval.RenderBugs(filtered))
+		if stats != nil {
+			fmt.Println(stats)
+		}
 	}
 }

@@ -5,10 +5,14 @@
 //
 // Usage:
 //
-//	crocus [-timeout 5s] [-rule name] [-distinct] [-corpus aarch64|x64|midend|bug:<id>] [file.isle ...]
+//	crocus [-timeout 5s] [-rule name] [-distinct] [-parallel N] [-stats]
+//	       [-cache-dir DIR] [-corpus aarch64|x64|midend|bug:<id>] [file.isle ...]
 //
 // With file arguments, the named ISLE files are parsed (in order) and
-// verified; otherwise the selected embedded corpus is used.
+// verified; otherwise the selected embedded corpus is used. With
+// -cache-dir, verification is incremental: results are persisted under
+// the directory keyed by a content fingerprint of each query, so an
+// unchanged rule is replayed instead of re-solved on the next run.
 package main
 
 import (
@@ -28,6 +32,9 @@ func main() {
 	corpusName := flag.String("corpus", "aarch64", "embedded corpus: aarch64, x64, midend, or bug:<id>")
 	custom := flag.Bool("custom-vc", false, "apply the corpus's custom verification conditions")
 	overlap := flag.Bool("overlap", false, "run the multi-rule overlap/priority analysis instead of verification")
+	parallel := flag.Int("parallel", 1, "concurrent rule verification (1 = sequential)")
+	stats := flag.Bool("stats", false, "print cumulative SAT statistics (propagations/conflicts/decisions) per rule")
+	cacheDir := flag.String("cache-dir", "", "persist verification results under this directory and replay them on re-runs (incremental verification)")
 	flag.Parse()
 
 	prog, err := loadProgram(*corpusName, flag.Args())
@@ -36,7 +43,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := crocus.Options{Timeout: *timeout, DistinctModels: *distinct}
+	opts := crocus.Options{
+		Timeout:        *timeout,
+		DistinctModels: *distinct,
+		Parallelism:    *parallel,
+		CacheDir:       *cacheDir,
+	}
 	if *custom {
 		opts.Custom = crocus.CorpusCustomVCs()
 	}
@@ -64,38 +76,78 @@ func main() {
 	}
 
 	exit := 0
-	for _, r := range prog.Rules {
-		if *ruleName != "" && r.Name != *ruleName {
-			continue
-		}
-		start := time.Now()
-		rr, err := v.VerifyRule(r)
+	if *parallel > 1 && *ruleName == "" {
+		// Parallel sweep through the façade: one VerifyAll call, results
+		// kept in source order, printed after the pool drains.
+		rs, err := v.VerifyAll()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "crocus: %s: %v\n", r.Name, err)
-			exit = 1
-			continue
+			fmt.Fprintln(os.Stderr, "crocus:", err)
+			os.Exit(1)
 		}
-		var outs []string
-		for _, io := range rr.Insts {
-			s := io.Outcome.String()
-			if io.Sig != nil {
-				s = fmt.Sprintf("%s:%s", io.Sig.Ret, io.Outcome)
-			}
-			if io.DistinctInputs != nil && !*io.DistinctInputs {
-				s += "!single-model"
-			}
-			outs = append(outs, s)
+		for _, rr := range rs {
+			printRule(rr, *stats, &exit)
 		}
-		fmt.Printf("%-30s %-12s %8.2fs  [%s]\n",
-			r.Name, rr.Outcome(), time.Since(start).Seconds(), strings.Join(outs, " "))
-		for _, io := range rr.Insts {
-			if io.Counterexample != nil {
-				fmt.Printf("  counterexample (%s):\n%s\n", io.Sig, indent(io.Counterexample.Rendered))
-				exit = 2
+	} else {
+		for _, r := range prog.Rules {
+			if *ruleName != "" && r.Name != *ruleName {
+				continue
 			}
+			rr, err := v.VerifyRule(r)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "crocus: %s: %v\n", r.Name, err)
+				exit = 1
+				continue
+			}
+			printRule(rr, *stats, &exit)
+		}
+	}
+	if *cacheDir != "" {
+		if err := v.CacheErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus: cache disabled:", err)
+		} else {
+			fmt.Println(v.CacheStats())
 		}
 	}
 	os.Exit(exit)
+}
+
+// printRule prints one rule's per-instantiation outcomes (and, under
+// -stats, its cumulative SAT statistics), updating the exit code on
+// counterexamples.
+func printRule(rr *crocus.RuleResult, stats bool, exit *int) {
+	var dur time.Duration
+	var agg crocus.SolverStats
+	cached := 0
+	var outs []string
+	for _, io := range rr.Insts {
+		dur += io.Duration
+		agg.Add(io.Stats)
+		if io.Cached {
+			cached++
+		}
+		s := io.Outcome.String()
+		if io.Sig != nil {
+			s = fmt.Sprintf("%s:%s", io.Sig.Ret, io.Outcome)
+		}
+		if io.Cached {
+			s += "*"
+		}
+		if io.DistinctInputs != nil && !*io.DistinctInputs {
+			s += "!single-model"
+		}
+		outs = append(outs, s)
+	}
+	fmt.Printf("%-30s %-12s %8.2fs  [%s]\n",
+		rr.Rule.Name, rr.Outcome(), dur.Seconds(), strings.Join(outs, " "))
+	if stats {
+		fmt.Printf("    stats: %s  cached=%d/%d\n", agg, cached, len(rr.Insts))
+	}
+	for _, io := range rr.Insts {
+		if io.Counterexample != nil {
+			fmt.Printf("  counterexample (%s):\n%s\n", io.Sig, indent(io.Counterexample.Rendered))
+			*exit = 2
+		}
+	}
 }
 
 func loadProgram(corpusName string, files []string) (*crocus.Program, error) {

@@ -23,6 +23,7 @@ import (
 	"crocus/internal/corpus"
 	"crocus/internal/interp"
 	"crocus/internal/isle"
+	"crocus/internal/vcache"
 )
 
 // Re-exported core types: the verifier, its configuration, and its
@@ -54,6 +55,12 @@ type (
 	Runner = interp.Runner
 	// Case is one concrete interpreter test vector.
 	Case = interp.Case
+	// SolverStats are cumulative SAT statistics for a verification unit.
+	SolverStats = core.SolverStats
+	// CacheStats are the incremental-verification cache's per-run probe
+	// counters (hits, misses, stale timeouts, solve time saved), returned
+	// by Verifier.CacheStats when Options.CacheDir is set.
+	CacheStats = vcache.Stats
 )
 
 // Verification outcomes.

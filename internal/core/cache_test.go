@@ -1,0 +1,295 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"crocus/internal/vcache"
+)
+
+const cacheRules = `
+	(rule c_add
+		(lower (has_type ty (iadd x y)))
+		(a64_add ty x y))
+	(rule c_add_swapped
+		(lower (has_type ty (iadd y x)))
+		(a64_add ty x y))
+	(rule c_rotr_broken
+		(lower (rotr x y))
+		(a64_rotr_64 x y))`
+
+// flatten collapses rule results to the fields cached replay must
+// preserve: outcome, counterexample, distinctness, assignment count.
+type flatInst struct {
+	Rule, Sig   string
+	Outcome     Outcome
+	Rendered    string
+	Distinct    *bool
+	Assignments int
+}
+
+func flatten(t *testing.T, rs []*RuleResult) []flatInst {
+	t.Helper()
+	var out []flatInst
+	for _, rr := range rs {
+		for _, io := range rr.Insts {
+			fi := flatInst{
+				Rule:        rr.Rule.Name,
+				Outcome:     io.Outcome,
+				Distinct:    io.DistinctInputs,
+				Assignments: io.Assignments,
+			}
+			if io.Sig != nil {
+				fi.Sig = io.Sig.String()
+			}
+			if io.Counterexample != nil {
+				fi.Rendered = io.Counterexample.Rendered
+			}
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// TestCacheEnabledMatchesDisabled: with and without the cache — cold and
+// warm — VerifyAll returns identical statuses and counterexamples.
+func TestCacheEnabledMatchesDisabled(t *testing.T) {
+	plain := buildVerifier(t, cacheRules, Options{})
+	base, err := plain.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flatten(t, base)
+
+	cache := vcache.NewMemory()
+	cold := buildVerifier(t, cacheRules, Options{Cache: cache})
+	coldRes, err := cold.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flatten(t, coldRes); !reflect.DeepEqual(got, want) {
+		t.Fatalf("cold cached run differs from uncached:\n%+v\n%+v", got, want)
+	}
+	if s := cache.Stats(); s.Hits != 0 || s.Misses == 0 {
+		t.Fatalf("cold stats = %+v", s)
+	}
+
+	warm := buildVerifier(t, cacheRules, Options{Cache: cache})
+	warmRes, err := warm.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flatten(t, warmRes); !reflect.DeepEqual(got, want) {
+		t.Fatalf("warm cached run differs from uncached:\n%+v\n%+v", got, want)
+	}
+	s := cache.Stats()
+	if s.Misses != s.Hits || s.Stale != 0 {
+		t.Fatalf("warm run not fully hit: %+v", s)
+	}
+	for _, rr := range warmRes {
+		for _, io := range rr.Insts {
+			if io.Assignments > 0 && !io.Cached {
+				t.Errorf("%s %s: not served from cache on warm run", rr.Rule.Name, io.Sig)
+			}
+		}
+	}
+}
+
+// TestCacheConcurrentVerifyAll exercises the cache under Parallelism with
+// a disk-backed store (run with -race): concurrent workers share one
+// store without duplicate solves or data races, and a second parallel
+// run is all hits.
+func TestCacheConcurrentVerifyAll(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := vcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := buildVerifier(t, cacheRules, Options{Parallelism: 4, Cache: cache})
+	r1, err := v1.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := cache.Len()
+	if s := cache.Stats(); s.Misses != uint64(units) || units == 0 {
+		t.Fatalf("cold parallel run: %d units, stats %+v (duplicate solves?)", units, s)
+	}
+
+	cache2, err := vcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := buildVerifier(t, cacheRules, Options{Parallelism: 4, Cache: cache2})
+	r2, err := v2.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cache2.Stats(); s.Misses != 0 || s.Hits != uint64(units) {
+		t.Fatalf("warm parallel run stats = %+v, want %d hits", s, units)
+	}
+	if !reflect.DeepEqual(flatten(t, r1), flatten(t, r2)) {
+		t.Fatal("parallel cached runs disagree")
+	}
+}
+
+// TestCacheSingleRuleInvalidation: editing one rule's text must miss only
+// that rule's units; every other entry still hits.
+func TestCacheSingleRuleInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := vcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := buildVerifier(t, cacheRules, Options{Cache: cache})
+	if _, err := v1.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	total := cache.Len()
+
+	// Same program with c_add_swapped's RHS edited (y duplicated).
+	mutated := `
+	(rule c_add
+		(lower (has_type ty (iadd x y)))
+		(a64_add ty x y))
+	(rule c_add_swapped
+		(lower (has_type ty (iadd y x)))
+		(a64_add ty y y))
+	(rule c_rotr_broken
+		(lower (rotr x y))
+		(a64_rotr_64 x y))`
+	cache2, err := vcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := buildVerifier(t, mutated, Options{Cache: cache2})
+	if _, err := v2.VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+	s := cache2.Stats()
+	if s.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (only c_add_swapped's instantiations)", s.Misses)
+	}
+	if s.Hits != uint64(total)-4 {
+		t.Errorf("hits = %d, want %d (all untouched rules)", s.Hits, total-4)
+	}
+}
+
+// TestCacheTimeoutRetriedUnderLongerDeadline: a timeout cached under one
+// deadline is replayed for equal-or-shorter deadlines but stale — and
+// re-solved — once a longer deadline is requested.
+func TestCacheTimeoutRetriedUnderLongerDeadline(t *testing.T) {
+	// The hard_mul pattern from TestVerifyTimeout: a tiny propagation
+	// budget makes every solve end in a timeout quickly. The budget is
+	// part of the fingerprint (same across runs here); the deadline is
+	// not — it is tracked via staleness.
+	rules := `
+		(decl imul (Value Value) Inst)
+		(spec (imul x y) (provide (= result (* x y))))
+		(instantiate imul ((args (bv 64) (bv 64)) (ret (bv 64))))
+		(decl a64_madd_hard (Type Reg Reg) Reg)
+		(spec (a64_madd_hard ty x y) (provide (= result (* (+ x y) (+ y x)))))
+		(rule hard_mul
+			(lower (has_type ty (imul x y)))
+			(a64_madd_hard ty x y))`
+	cache := vcache.NewMemory()
+	opts := func(d time.Duration) Options {
+		return Options{PropagationBudget: 2000, Timeout: d, Cache: cache}
+	}
+
+	short := buildVerifier(t, rules, opts(time.Second))
+	rr := verifyOnly(t, short, "hard_mul")
+	if rr.Outcome() != OutcomeTimeout || rr.Insts[0].Cached {
+		t.Fatalf("cold run: outcome %v cached %v", rr.Outcome(), rr.Insts[0].Cached)
+	}
+
+	// Same deadline: the cached timeout is an honest hit.
+	short2 := buildVerifier(t, rules, opts(time.Second))
+	rr = verifyOnly(t, short2, "hard_mul")
+	if rr.Outcome() != OutcomeTimeout || !rr.Insts[0].Cached {
+		t.Fatalf("same-deadline re-run: outcome %v cached %v", rr.Outcome(), rr.Insts[0].Cached)
+	}
+
+	// Longer deadline: the entry is stale and the unit re-solved (it
+	// times out again here and is re-cached under the new deadline).
+	long := buildVerifier(t, rules, opts(2*time.Second))
+	rr = verifyOnly(t, long, "hard_mul")
+	if rr.Outcome() != OutcomeTimeout || rr.Insts[0].Cached {
+		t.Fatalf("longer deadline should re-solve: outcome %v cached %v",
+			rr.Outcome(), rr.Insts[0].Cached)
+	}
+	if s := cache.Stats(); s.Stale == 0 {
+		t.Fatalf("no stale probes recorded: %+v", s)
+	}
+
+	// The re-cached attempt is replayed at the longer deadline...
+	long2 := buildVerifier(t, rules, opts(2*time.Second))
+	rr = verifyOnly(t, long2, "hard_mul")
+	if rr.Outcome() != OutcomeTimeout || !rr.Insts[0].Cached {
+		t.Fatalf("refreshed timeout not replayed: %v cached=%v", rr.Outcome(), rr.Insts[0].Cached)
+	}
+	// ...but an unlimited deadline triggers another retry.
+	if _, st := cache.Lookup(mustFingerprint(t, long2, "hard_mul"), 0); st != vcache.Stale {
+		t.Fatalf("unlimited deadline probe = %v, want stale", st)
+	}
+}
+
+func mustFingerprint(t *testing.T, v *Verifier, name string) string {
+	t.Helper()
+	for _, r := range v.Prog.Rules {
+		if r.Name != name {
+			continue
+		}
+		for _, sig := range v.Sigs(r) {
+			fp, ok, err := v.FingerprintInstantiation(r, sig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				return fp
+			}
+		}
+	}
+	t.Fatalf("no cacheable unit for %s", name)
+	return ""
+}
+
+// TestCacheDirOpenFailureDegradesGracefully: an unusable cache directory
+// disables caching (CacheErr reports it) but never fails verification.
+func TestCacheDirOpenFailureDegradesGracefully(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v := buildVerifier(t, cacheRules, Options{CacheDir: filepath.Join(file, "sub")})
+	rr := verifyOnly(t, v, "c_add")
+	if rr.Outcome() != OutcomeSuccess {
+		t.Fatalf("verification should succeed without cache: %v", rr.Outcome())
+	}
+	if v.CacheErr() == nil {
+		t.Fatal("CacheErr should report the unopenable directory")
+	}
+}
+
+// TestCacheCorruptedStoreStillVerifies: garbage in the store file is
+// skipped on open; verification proceeds and repopulates it.
+func TestCacheCorruptedStoreStillVerifies(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, vcache.FileName),
+		[]byte("garbage\n{\"key\":\"zz\"}\ntruncated{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v := buildVerifier(t, cacheRules, Options{CacheDir: dir})
+	rr := verifyOnly(t, v, "c_add")
+	if rr.Outcome() != OutcomeSuccess {
+		t.Fatalf("outcome = %v", rr.Outcome())
+	}
+	if err := v.CacheErr(); err != nil {
+		t.Fatalf("corrupted store should not disable caching: %v", err)
+	}
+	if s := v.CacheStats(); s.Misses == 0 {
+		t.Fatalf("expected misses against the healed store: %+v", s)
+	}
+}

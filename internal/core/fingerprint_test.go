@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crocus/internal/smt"
+)
+
+// fingerprintRule computes the fingerprints of every applicable (rule,
+// sig) unit of the named rule, keyed by the sig's rendering.
+func fingerprintRule(t *testing.T, v *Verifier, name string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, r := range v.Prog.Rules {
+		if r.Name != name {
+			continue
+		}
+		for _, sig := range v.Sigs(r) {
+			fp, ok, err := v.FingerprintInstantiation(r, sig)
+			if err != nil {
+				t.Fatalf("FingerprintInstantiation(%s, %s): %v", name, sig, err)
+			}
+			if !ok {
+				continue
+			}
+			key := "<nil>"
+			if sig != nil {
+				key = sig.String()
+			}
+			out[key] = fp
+		}
+		return out
+	}
+	t.Fatalf("no rule named %s", name)
+	return nil
+}
+
+const fpRules = `
+	(rule fp_add
+		(lower (has_type ty (iadd x y)))
+		(a64_add ty x y))
+	(rule fp_rotr
+		(lower (rotr x y))
+		(a64_rotr_64 x y))`
+
+// TestFingerprintStableAcrossFreshVerifiers: the fingerprint must be a
+// pure function of (rule text, instantiation, options): re-parsing the
+// same sources into fresh programs — with fresh hash-cons tables and
+// freshly randomized map iteration orders throughout analysis and
+// monomorphization — must reproduce it bit for bit.
+func TestFingerprintStableAcrossFreshVerifiers(t *testing.T) {
+	ref := map[string]map[string]string{}
+	for trial := 0; trial < 5; trial++ {
+		v := buildVerifier(t, fpRules, Options{})
+		for _, name := range []string{"fp_add", "fp_rotr"} {
+			fps := fingerprintRule(t, v, name)
+			if len(fps) == 0 {
+				t.Fatalf("%s: no applicable units", name)
+			}
+			if trial == 0 {
+				ref[name] = fps
+				continue
+			}
+			if len(fps) != len(ref[name]) {
+				t.Fatalf("%s: unit count changed between parses", name)
+			}
+			for sig, fp := range fps {
+				if fp != ref[name][sig] {
+					t.Fatalf("%s %s: fingerprint drifted across fresh verifiers:\n%s\n%s",
+						name, sig, ref[name][sig], fp)
+				}
+			}
+		}
+	}
+}
+
+// TestFingerprintQuickRuleTextSensitivity is the testing/quick half of
+// the stability property: for random width-literal pairs, two parses of
+// the same rule text agree, and rule texts differing in the literal
+// fingerprint differently.
+func TestFingerprintQuickRuleTextSensitivity(t *testing.T) {
+	widths := []int{8, 16, 32, 64}
+	fpFor := func(w int) string {
+		v := buildVerifier(t, ruleWithWidth(w), Options{})
+		fps := fingerprintRule(t, v, "fp_lit")
+		if len(fps) != 1 {
+			t.Fatalf("width %d: applicable units = %d, want 1", w, len(fps))
+		}
+		for _, fp := range fps {
+			return fp
+		}
+		return ""
+	}
+	prop := func(a, b uint8) bool {
+		wa, wb := widths[int(a)%4], widths[int(b)%4]
+		fa, fb := fpFor(wa), fpFor(wb)
+		if fa2 := fpFor(wa); fa2 != fa {
+			t.Logf("width %d: two parses disagree", wa)
+			return false
+		}
+		if (wa == wb) != (fa == fb) {
+			t.Logf("widths %d/%d: equal-fingerprint=%v", wa, wb, fa == fb)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ruleWithWidth(w int) string {
+	switch w {
+	case 8:
+		return `(rule fp_lit (lower (has_type 8 (iadd x y))) (a64_add 8 x y))`
+	case 16:
+		return `(rule fp_lit (lower (has_type 16 (iadd x y))) (a64_add 16 x y))`
+	case 32:
+		return `(rule fp_lit (lower (has_type 32 (iadd x y))) (a64_add 32 x y))`
+	default:
+		return `(rule fp_lit (lower (has_type 64 (iadd x y))) (a64_add 64 x y))`
+	}
+}
+
+// TestFingerprintSensitivity: targeted single-edit mutations — RHS
+// operand swap, custom verification condition, outcome-affecting options
+// — must each change the fingerprint, while an untouched rule keeps its.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := buildVerifier(t, fpRules, Options{})
+	baseAdd := fingerprintRule(t, base, "fp_add")
+	baseRotr := fingerprintRule(t, base, "fp_rotr")
+
+	// Mutate fp_add's RHS: (a64_add ty x y) -> (a64_add ty x x).
+	mutated := buildVerifier(t, `
+		(rule fp_add
+			(lower (has_type ty (iadd x y)))
+			(a64_add ty x x))
+		(rule fp_rotr
+			(lower (rotr x y))
+			(a64_rotr_64 x y))`, Options{})
+	mutAdd := fingerprintRule(t, mutated, "fp_add")
+	mutRotr := fingerprintRule(t, mutated, "fp_rotr")
+
+	for sig, fp := range mutAdd {
+		if fp == baseAdd[sig] {
+			t.Errorf("fp_add %s: rule-text mutation did not change fingerprint", sig)
+		}
+	}
+	for sig, fp := range mutRotr {
+		if fp != baseRotr[sig] {
+			t.Errorf("fp_rotr %s: fingerprint changed although the rule did not", sig)
+		}
+	}
+
+	// Different instantiations of one rule are distinct units.
+	seen := map[string]string{}
+	for sig, fp := range baseAdd {
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("instantiations %s and %s share a fingerprint", prev, sig)
+		}
+		seen[fp] = sig
+	}
+
+	// A custom verification condition changes the conditions, hence the
+	// fingerprint. (A custom condition that builds the same formula as
+	// the default would — correctly — keep it.)
+	withVC := buildVerifier(t, fpRules, Options{})
+	withVC.Opts.Custom = map[string]*CustomVC{
+		"fp_add": {Condition: func(ctx *VCContext) (smt.TermID, error) {
+			w := ctx.B.SortOf(ctx.LHSResult).Width
+			two := ctx.B.BVConst(2, w)
+			return ctx.B.Eq(ctx.RHSResult, ctx.B.BVMul(two, ctx.LHSResult)), nil
+		}},
+	}
+	vcAdd := fingerprintRule(t, withVC, "fp_add")
+	for sig, fp := range vcAdd {
+		if fp == baseAdd[sig] {
+			t.Errorf("fp_add %s: custom VC did not change fingerprint", sig)
+		}
+	}
+
+	// Outcome-affecting options are part of the unit identity.
+	distinct := buildVerifier(t, fpRules, Options{DistinctModels: true})
+	dAdd := fingerprintRule(t, distinct, "fp_add")
+	for sig, fp := range dAdd {
+		if fp == baseAdd[sig] {
+			t.Errorf("fp_add %s: DistinctModels did not change fingerprint", sig)
+		}
+	}
+}
+
+// TestFingerprintInapplicableUnit: a unit with no assignment is reported
+// not-cacheable rather than hashed (it costs nothing to recompute).
+func TestFingerprintInapplicableUnit(t *testing.T) {
+	v := buildVerifier(t, `(rule fp_lit (lower (has_type 8 (iadd x y))) (a64_add 8 x y))`, Options{})
+	rule := v.Prog.Rules[0]
+	applicable := 0
+	for _, sig := range v.Sigs(rule) {
+		_, ok, err := v.FingerprintInstantiation(rule, sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			applicable++
+		}
+	}
+	if applicable != 1 {
+		t.Fatalf("applicable units = %d, want 1 (only (bv 8))", applicable)
+	}
+}

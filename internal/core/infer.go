@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"crocus/internal/isle"
 	"crocus/internal/spec"
@@ -469,6 +470,11 @@ func (ra *ruleAnalysis) unknownSlots(a *assignment) (bv, ints []tvar) {
 			consider(s)
 		}
 	}
+	// nodeSlot and env are maps, so collection order is randomized;
+	// canonicalize so assignment enumeration — and with it query
+	// construction and vcache fingerprints — is deterministic across runs.
+	sort.Slice(bv, func(i, j int) bool { return bv[i] < bv[j] })
+	sort.Slice(ints, func(i, j int) bool { return ints[i] < ints[j] })
 	return bv, ints
 }
 

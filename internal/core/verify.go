@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"crocus/internal/isle"
 	"crocus/internal/smt"
+	"crocus/internal/vcache"
 )
 
 // Outcome classifies a verification attempt, mirroring §3.2's three
@@ -78,6 +80,14 @@ type Options struct {
 	// (0 or 1 = sequential). Each query owns its solver, so this is safe
 	// and near-linear for sweep workloads.
 	Parallelism int
+	// CacheDir enables the incremental-verification result cache
+	// (internal/vcache): verification units whose content fingerprint is
+	// already stored are replayed instead of re-solved, and fresh results
+	// are persisted under this directory. Empty = no caching.
+	CacheDir string
+	// Cache injects an already-open result cache, e.g. to share one store
+	// between several verifiers in a run. Takes precedence over CacheDir.
+	Cache *vcache.Cache
 }
 
 // Verifier verifies the rules of an ISLE program against their
@@ -85,6 +95,10 @@ type Options struct {
 type Verifier struct {
 	Prog *isle.Program
 	Opts Options
+
+	cacheOnce sync.Once
+	cache     *vcache.Cache
+	cacheErr  error
 }
 
 // New creates a Verifier over a typechecked program.
@@ -102,6 +116,33 @@ type Counterexample struct {
 	Rendered string // paper-style annotated rule text
 }
 
+// SolverStats are cumulative SAT search statistics across a verification
+// unit's queries (applicability, distinctness, equivalence).
+type SolverStats struct {
+	Propagations int64
+	Conflicts    int64
+	Decisions    int64
+}
+
+// Add accumulates other into s.
+func (s *SolverStats) Add(other SolverStats) {
+	s.Propagations += other.Propagations
+	s.Conflicts += other.Conflicts
+	s.Decisions += other.Decisions
+}
+
+func (s *SolverStats) addResult(r smt.Result) {
+	s.Propagations += r.Propagations
+	s.Conflicts += r.Conflicts
+	s.Decisions += r.Decisions
+}
+
+// String renders the stats in the -stats flag's layout.
+func (s SolverStats) String() string {
+	return fmt.Sprintf("props=%d conflicts=%d decisions=%d",
+		s.Propagations, s.Conflicts, s.Decisions)
+}
+
 // InstOutcome is the verification result for one (rule, type
 // instantiation) pair — one row contribution to Table 1.
 type InstOutcome struct {
@@ -115,6 +156,12 @@ type InstOutcome struct {
 	Duration       time.Duration
 	// Assignments is how many type assignments monomorphization produced.
 	Assignments int
+	// Stats are the unit's cumulative SAT statistics (replayed from the
+	// cache on a hit).
+	Stats SolverStats
+	// Cached reports that this outcome was served from the result cache
+	// without solving.
+	Cached bool
 }
 
 // RuleResult aggregates the per-instantiation outcomes of one rule.
@@ -249,6 +296,12 @@ func (v *Verifier) solverConfig() smt.Config {
 // VerifyInstantiation runs the full §3.2 pipeline for one rule and type
 // instantiation: monomorphize, elaborate, applicability query (Eq. 1),
 // optional distinct-models check, and equivalence query (Eq. 2/3).
+//
+// When a result cache is configured (Options.CacheDir / Options.Cache),
+// the prepared queries are fingerprinted first and a stored verdict for
+// the same content is replayed instead of solved; fresh verdicts are
+// recorded afterwards. Cached timeouts are retried when the current
+// Options.Timeout is more generous than the one they were tried under.
 func (v *Verifier) VerifyInstantiation(rule *isle.Rule, sig *isle.Sig) (*InstOutcome, error) {
 	start := time.Now()
 	io := &InstOutcome{Sig: sig}
@@ -264,20 +317,41 @@ func (v *Verifier) VerifyInstantiation(rule *isle.Rule, sig *isle.Sig) (*InstOut
 		return io, nil
 	}
 
+	preps := make([]*prepared, len(assigns))
+	for i, a := range assigns {
+		if preps[i], err = v.prepareAssignment(ra, a); err != nil {
+			return nil, err
+		}
+	}
+
+	cache := v.cacheStore()
+	var key string
+	if cache != nil {
+		key = v.fingerprint(preps)
+		if e, st := cache.Lookup(key, v.Opts.Timeout); st == vcache.Hit {
+			if err := applyEntry(e, io); err == nil {
+				return io, nil
+			}
+			// An undecodable entry degrades to a miss: fall through and
+			// re-solve (the fresh result overwrites it).
+		}
+	}
+
 	agg := OutcomeInapplicable
-	for _, a := range assigns {
-		out, cex, distinct, err := v.verifyAssignment(ra, a)
+	for _, p := range preps {
+		out, cex, distinct, err := v.solvePrepared(p, io)
 		if err != nil {
 			return nil, err
 		}
 		if distinct != nil && (io.DistinctInputs == nil || !*distinct) {
 			io.DistinctInputs = distinct
 		}
-		switch out {
-		case OutcomeFailure:
+		if out == OutcomeFailure {
 			io.Outcome = OutcomeFailure
 			io.Counterexample = cex
-			return io, nil
+			break
+		}
+		switch out {
 		case OutcomeTimeout:
 			agg = OutcomeTimeout
 		case OutcomeSuccess:
@@ -286,46 +360,24 @@ func (v *Verifier) VerifyInstantiation(rule *isle.Rule, sig *isle.Sig) (*InstOut
 			}
 		}
 	}
-	io.Outcome = agg
+	if io.Outcome != OutcomeFailure {
+		io.Outcome = agg
+	}
+	v.recordOutcome(cache, key, rule, sig, io, time.Since(start))
 	return io, nil
 }
 
-func (v *Verifier) verifyAssignment(ra *ruleAnalysis, a *assignment) (Outcome, *Counterexample, *bool, error) {
-	el, err := v.elaborate(ra, a)
-	if err != nil {
-		return 0, nil, nil, err
-	}
-	b := el.b
-
-	ctx := &VCContext{
-		B:         b,
-		LHSResult: el.LHSResult,
-		RHSResult: el.RHSResult,
-		Var: func(name string) (smt.TermID, bool) {
-			t, ok := el.varVal[name]
-			return t, ok
-		},
-	}
-	custom := v.Opts.Custom[ra.rule.Name]
-	var extraAssumptions []smt.TermID
-	if custom != nil && custom.Assumptions != nil {
-		extraAssumptions, err = custom.Assumptions(ctx)
-		if err != nil {
-			return 0, nil, nil, err
-		}
-	}
+// solvePrepared decides one prepared assignment, accumulating SAT
+// statistics into io.
+func (v *Verifier) solvePrepared(p *prepared, io *InstOutcome) (Outcome, *Counterexample, *bool, error) {
+	el, b := p.el, p.el.b
 
 	// Query 1 (Eq. 1): applicability — P_LHS ∧ R_LHS ∧ P_RHS satisfiable?
-	base := make([]smt.TermID, 0, len(el.pLHS)+len(el.rLHS)+len(el.pRHS)+len(extraAssumptions))
-	base = append(base, el.pLHS...)
-	base = append(base, el.rLHS...)
-	base = append(base, el.pRHS...)
-	base = append(base, extraAssumptions...)
-
-	res, err := smt.Check(b, base, v.solverConfig())
+	res, err := smt.Check(b, p.base, v.solverConfig())
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("applicability query: %w", err)
 	}
+	io.Stats.addResult(res)
 	switch res.Status {
 	case smt.UnsatRes:
 		return OutcomeInapplicable, nil, nil, nil
@@ -346,11 +398,12 @@ func (v *Verifier) verifyAssignment(ra *ruleAnalysis, a *assignment) (Outcome, *
 			}
 		}
 		if len(diffs) > 0 {
-			q := append(append([]smt.TermID{}, base...), b.And(diffs...))
+			q := append(append([]smt.TermID{}, p.base...), b.And(diffs...))
 			dres, err := smt.Check(b, q, v.solverConfig())
 			if err != nil {
 				return 0, nil, nil, fmt.Errorf("distinctness query: %w", err)
 			}
+			io.Stats.addResult(dres)
 			if dres.Status != smt.Unknown {
 				d := dres.Status == smt.SatRes
 				distinct = &d
@@ -360,19 +413,12 @@ func (v *Verifier) verifyAssignment(ra *ruleAnalysis, a *assignment) (Outcome, *
 
 	// Query 2 (Eq. 2/3): equivalence — search for a counterexample where
 	// the preconditions hold but the condition or an RHS require fails.
-	cond := b.Eq(el.LHSResult, el.RHSResult)
-	if custom != nil && custom.Condition != nil {
-		cond, err = custom.Condition(ctx)
-		if err != nil {
-			return 0, nil, nil, err
-		}
-	}
-	goal := b.And(append([]smt.TermID{cond}, el.rRHS...)...)
-	q2 := append(append([]smt.TermID{}, base...), b.Not(goal))
+	q2 := append(append([]smt.TermID{}, p.base...), b.Not(p.goal))
 	res2, err := smt.Check(b, q2, v.solverConfig())
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("equivalence query: %w", err)
 	}
+	io.Stats.addResult(res2)
 	switch res2.Status {
 	case smt.Unknown:
 		return OutcomeTimeout, nil, distinct, nil
@@ -380,7 +426,7 @@ func (v *Verifier) verifyAssignment(ra *ruleAnalysis, a *assignment) (Outcome, *
 		return OutcomeSuccess, nil, distinct, nil
 	}
 
-	cex, err := v.buildCounterexample(ra, el, res2.Model)
+	cex, err := v.buildCounterexample(el.ra, el, res2.Model)
 	if err != nil {
 		return 0, nil, nil, err
 	}

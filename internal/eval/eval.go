@@ -16,6 +16,7 @@ import (
 	"crocus/internal/corpus"
 	"crocus/internal/isle"
 	"crocus/internal/lower"
+	"crocus/internal/vcache"
 	"crocus/internal/wasm"
 )
 
@@ -32,6 +33,18 @@ type Config struct {
 	// (0/1 = sequential). Figure 4 always runs sequentially because it
 	// measures per-rule isolation times.
 	Parallelism int
+	// CacheDir enables the incremental-verification result cache for
+	// Table 1 and the bug reproductions: a warm re-run replays stored
+	// verdicts instead of re-solving, so it is dominated by parse time.
+	// Figure 4 never uses the cache (it measures solve times).
+	CacheDir string
+	// Rules, when non-empty, restricts Table 1 to the named rules (a
+	// reduced corpus for quick cold/warm cache experiments and tests).
+	Rules []string
+	// PropagationBudget bounds SAT work deterministically (0 = unlimited).
+	// Unlike Timeout it is machine-independent, so budget-capped runs
+	// reproduce bit-identical outcomes; it is part of the cache key.
+	PropagationBudget int64
 }
 
 func (c Config) timeout() time.Duration {
@@ -71,6 +84,11 @@ type Table1Result struct {
 	TimeoutInsts      int
 	InapplicableInsts int
 	FailureInsts      int
+
+	// Cache holds the run's result-cache probe counters when
+	// Config.CacheDir was set (nil otherwise). Deliberately excluded from
+	// Render so cold and warm runs produce identical Table 1 output.
+	Cache *vcache.Stats
 }
 
 // Table1 verifies the full aarch64 integer corpus (96 rules) across all
@@ -82,12 +100,42 @@ func Table1(cfg Config) (*Table1Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(cfg.Rules) > 0 {
+		keep := map[string]bool{}
+		for _, n := range cfg.Rules {
+			keep[n] = true
+		}
+		reduced := *prog
+		reduced.Rules = nil
+		for _, r := range prog.Rules {
+			if keep[r.Name] {
+				reduced.Rules = append(reduced.Rules, r)
+			}
+		}
+		prog = &reduced
+	}
+	var cache *vcache.Cache
+	if cfg.CacheDir != "" {
+		// One store shared by the strict and custom-VC verifiers: their
+		// units fingerprint differently wherever the conditions differ,
+		// and identically (shared hits) where they don't.
+		if cache, err = vcache.Open(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
 	strict := core.New(prog, core.Options{
-		Timeout:        cfg.timeout(),
-		DistinctModels: cfg.Distinct,
-		Parallelism:    cfg.Parallelism,
+		Timeout:           cfg.timeout(),
+		DistinctModels:    cfg.Distinct,
+		Parallelism:       cfg.Parallelism,
+		PropagationBudget: cfg.PropagationBudget,
+		Cache:             cache,
 	})
-	custom := core.New(prog, core.Options{Timeout: cfg.timeout(), Custom: corpus.CustomVCs()})
+	custom := core.New(prog, core.Options{
+		Timeout:           cfg.timeout(),
+		Custom:            corpus.CustomVCs(),
+		PropagationBudget: cfg.PropagationBudget,
+		Cache:             cache,
+	})
 
 	res := &Table1Result{}
 	needsCustom := map[string]bool{}
@@ -157,6 +205,10 @@ func Table1(cfg Config) (*Table1Result, error) {
 		if anyTimeout && !anySuccess {
 			res.TimeoutAllTypes++
 		}
+	}
+	if cache != nil {
+		s := cache.Stats()
+		res.Cache = &s
 	}
 	return res, nil
 }
@@ -361,16 +413,33 @@ type BugResult struct {
 // produce its expected outcome (counterexample, single-model warning, or
 // verified-as-intended contrast).
 func Bugs(cfg Config) ([]*BugResult, error) {
+	out, _, err := BugsStats(cfg)
+	return out, err
+}
+
+// BugsStats is Bugs plus the run's result-cache probe counters (nil when
+// Config.CacheDir is unset).
+func BugsStats(cfg Config) ([]*BugResult, *vcache.Stats, error) {
+	var cache *vcache.Cache
+	if cfg.CacheDir != "" {
+		c, err := vcache.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		cache = c
+	}
 	var out []*BugResult
 	for _, bug := range corpus.Bugs() {
 		start := time.Now()
 		prog, err := corpus.LoadBug(bug)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		v := core.New(prog, core.Options{
-			Timeout:        cfg.timeout(),
-			DistinctModels: bug.DistinctModels,
+			Timeout:           cfg.timeout(),
+			DistinctModels:    bug.DistinctModels,
+			PropagationBudget: cfg.PropagationBudget,
+			Cache:             cache,
 		})
 		res := &BugResult{Bug: bug, Detected: true}
 		names := make([]string, 0, len(bug.Expect))
@@ -382,11 +451,11 @@ func Bugs(cfg Config) ([]*BugResult, error) {
 			want := bug.Expect[name]
 			rule := findRule(prog.Rules, name)
 			if rule == nil {
-				return nil, fmt.Errorf("bug %s: rule %s not found", bug.ID, name)
+				return nil, nil, fmt.Errorf("bug %s: rule %s not found", bug.ID, name)
 			}
 			rr, err := v.VerifyRule(rule)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			got := rr.Outcome()
 			ok := got == want
@@ -418,7 +487,12 @@ func Bugs(cfg Config) ([]*BugResult, error) {
 		res.Duration = time.Since(start)
 		out = append(out, res)
 	}
-	return out, nil
+	var stats *vcache.Stats
+	if cache != nil {
+		s := cache.Stats()
+		stats = &s
+	}
+	return out, stats, nil
 }
 
 func findRule(rules []*isle.Rule, name string) *isle.Rule {

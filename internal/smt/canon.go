@@ -1,0 +1,62 @@
+package smt
+
+import (
+	"sort"
+	"strings"
+)
+
+// CanonicalQuery renders a query (the conjunction of the given boolean
+// assertions) in a canonical textual form suitable for content
+// addressing: the result depends only on the logical content of the
+// assertions — the structural S-expression of each term, the free
+// variables' names and sorts — and not on TermID numbering, hash-cons
+// table state, term-construction order, or the order assertions were
+// accumulated in. Declarations are sorted by name; assertion lines are
+// deduplicated and sorted lexicographically.
+//
+// Two builders that construct the same formula set in different orders
+// (or interleaved with unrelated terms) therefore produce byte-identical
+// canonical queries, which is what makes vcache fingerprints stable
+// across runs and processes.
+func CanonicalQuery(b *Builder, assertions []TermID) string {
+	vars := map[TermID]bool{}
+	lines := make([]string, 0, len(assertions))
+	for _, a := range assertions {
+		collectVars(b, a, vars)
+		lines = append(lines, b.String(a))
+	}
+	sort.Strings(lines)
+	// Dedup: a conjunction is idempotent, so repeated assertions carry no
+	// content.
+	lines = dedupSorted(lines)
+
+	decls := make([]string, 0, len(vars))
+	for v := range vars {
+		t := b.Term(v)
+		decls = append(decls, smtlibName(t.Name)+" "+t.Sort.String())
+	}
+	sort.Strings(decls)
+
+	var sb strings.Builder
+	for _, d := range decls {
+		sb.WriteString("(declare-const ")
+		sb.WriteString(d)
+		sb.WriteString(")\n")
+	}
+	for _, l := range lines {
+		sb.WriteString("(assert ")
+		sb.WriteString(l)
+		sb.WriteString(")\n")
+	}
+	return sb.String()
+}
+
+func dedupSorted(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

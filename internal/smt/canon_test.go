@@ -1,0 +1,179 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fnode is a builder-independent description of a random formula, so the
+// same formula can be constructed into different builders in different
+// orders.
+type fnode struct {
+	op   int // 0=var 1=const 2=not 3=and 4=or 5=eq 6=add 7=mul 8=ult 9=ite
+	w    int
+	name string
+	val  uint64
+	kids []*fnode
+}
+
+var varNames = []string{"a", "b", "c", "d"}
+
+// genBV generates a random bitvector-sorted formula description.
+func genBV(r *rand.Rand, w, depth int) *fnode {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return &fnode{op: 0, w: w, name: varNames[r.Intn(len(varNames))]}
+		}
+		return &fnode{op: 1, w: w, val: r.Uint64()}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return &fnode{op: 6, w: w, kids: []*fnode{genBV(r, w, depth-1), genBV(r, w, depth-1)}}
+	case 1:
+		return &fnode{op: 7, w: w, kids: []*fnode{genBV(r, w, depth-1), genBV(r, w, depth-1)}}
+	default:
+		return &fnode{op: 9, w: w, kids: []*fnode{genBool(r, w, depth-1), genBV(r, w, depth-1), genBV(r, w, depth-1)}}
+	}
+}
+
+// genBool generates a random boolean-sorted formula description.
+func genBool(r *rand.Rand, w, depth int) *fnode {
+	if depth <= 0 {
+		return &fnode{op: 5, kids: []*fnode{genBV(r, w, 0), genBV(r, w, 0)}}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return &fnode{op: 2, kids: []*fnode{genBool(r, w, depth-1)}}
+	case 1:
+		return &fnode{op: 3, kids: []*fnode{genBool(r, w, depth-1), genBool(r, w, depth-1)}}
+	case 2:
+		return &fnode{op: 4, kids: []*fnode{genBool(r, w, depth-1), genBool(r, w, depth-1)}}
+	case 3:
+		return &fnode{op: 8, kids: []*fnode{genBV(r, w, depth-1), genBV(r, w, depth-1)}}
+	default:
+		return &fnode{op: 5, kids: []*fnode{genBV(r, w, depth-1), genBV(r, w, depth-1)}}
+	}
+}
+
+// build constructs the described formula in b.
+func build(b *Builder, n *fnode) TermID {
+	switch n.op {
+	case 0:
+		return b.Var(n.name, BV(n.w))
+	case 1:
+		return b.BVConst(n.val, n.w)
+	case 2:
+		return b.Not(build(b, n.kids[0]))
+	case 3:
+		return b.And(build(b, n.kids[0]), build(b, n.kids[1]))
+	case 4:
+		return b.Or(build(b, n.kids[0]), build(b, n.kids[1]))
+	case 5:
+		return b.Eq(build(b, n.kids[0]), build(b, n.kids[1]))
+	case 6:
+		return b.BVAdd(build(b, n.kids[0]), build(b, n.kids[1]))
+	case 7:
+		return b.BVMul(build(b, n.kids[0]), build(b, n.kids[1]))
+	case 8:
+		return b.BVUlt(build(b, n.kids[0]), build(b, n.kids[1]))
+	default:
+		return b.Ite(build(b, n.kids[0]), build(b, n.kids[1]), build(b, n.kids[2]))
+	}
+}
+
+// buildShuffled constructs the same assertions into a fresh builder, but
+// perturbs the hash-cons table first: assertions are built in a permuted
+// order, and random subtrees are pre-interned so every TermID differs
+// from the natural construction order.
+func buildShuffled(r *rand.Rand, specs []*fnode) (*Builder, []TermID) {
+	b := NewBuilder()
+	// Pre-intern some random subtrees (and unrelated junk) to shift IDs.
+	b.Var("zzz_unrelated", BV(17))
+	for _, s := range specs {
+		if r.Intn(2) == 0 {
+			walkSubtrees(s, func(sub *fnode) {
+				if r.Intn(3) == 0 {
+					build(b, sub)
+				}
+			})
+		}
+	}
+	ids := make([]TermID, len(specs))
+	for _, i := range r.Perm(len(specs)) {
+		ids[i] = build(b, specs[i])
+	}
+	// Assertion list handed over in permuted order too.
+	out := make([]TermID, 0, len(ids))
+	for _, i := range r.Perm(len(ids)) {
+		out = append(out, ids[i])
+	}
+	return b, out
+}
+
+func walkSubtrees(n *fnode, f func(*fnode)) {
+	for _, k := range n.kids {
+		walkSubtrees(k, f)
+	}
+	f(n)
+}
+
+// TestCanonicalQueryOrderIndependent is the fingerprint-stability
+// property: the same verification condition built with shuffled
+// term-construction order into fresh hash-cons tables serializes (and so
+// fingerprints) identically.
+func TestCanonicalQueryOrderIndependent(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := []int{8, 16, 32, 64}[r.Intn(4)]
+		n := 1 + r.Intn(4)
+		specs := make([]*fnode, n)
+		for i := range specs {
+			specs[i] = genBool(r, w, 1+r.Intn(3))
+		}
+
+		b1 := NewBuilder()
+		ids1 := make([]TermID, n)
+		for i, s := range specs {
+			ids1[i] = build(b1, s)
+		}
+		c1 := CanonicalQuery(b1, ids1)
+
+		b2, ids2 := buildShuffled(r, specs)
+		c2 := CanonicalQuery(b2, ids2)
+		if c1 != c2 {
+			t.Logf("canonical mismatch:\n%s\n----\n%s", c1, c2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanonicalQueryDistinguishesContent spot-checks that content changes
+// do change the canonical form (folding-safe cases only; the end-to-end
+// rule-mutation guarantee is covered in core's fingerprint tests).
+func TestCanonicalQueryDistinguishesContent(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(32))
+	y := b.Var("y", BV(32))
+	z := b.Var("z", BV(32))
+	q1 := CanonicalQuery(b, []TermID{b.Eq(x, y)})
+	q2 := CanonicalQuery(b, []TermID{b.Eq(x, z)})
+	if q1 == q2 {
+		t.Fatal("different variables canonicalize identically")
+	}
+	q3 := CanonicalQuery(b, []TermID{b.Eq(b.BVAdd(x, b.BVConst(1, 32)), y)})
+	q4 := CanonicalQuery(b, []TermID{b.Eq(b.BVAdd(x, b.BVConst(2, 32)), y)})
+	if q3 == q4 {
+		t.Fatal("different constants canonicalize identically")
+	}
+	// Same set, different order and duplication: identical.
+	a1 := b.BVUlt(x, y)
+	a2 := b.Eq(y, z)
+	if CanonicalQuery(b, []TermID{a1, a2}) != CanonicalQuery(b, []TermID{a2, a1, a2}) {
+		t.Fatal("assertion order/duplication leaked into canonical form")
+	}
+}

@@ -66,6 +66,10 @@ type Result struct {
 	SATVars    int
 	SATClauses int
 	Duration   time.Duration
+	// Cumulative SAT search statistics for this query (sat.Solver.Stats).
+	Propagations int64
+	Conflicts    int64
+	Decisions    int64
 }
 
 // Config controls solving resources.
@@ -121,6 +125,7 @@ func Check(b *Builder, assertions []TermID, cfg Config) (Result, error) {
 		SATClauses: s.NumClauses(),
 	}
 	res.Status = s.Solve()
+	res.Propagations, res.Conflicts, res.Decisions = s.Stats()
 	res.Duration = time.Since(start)
 	if res.Status != sat.Sat {
 		return res, nil

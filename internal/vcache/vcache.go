@@ -1,0 +1,327 @@
+// Package vcache makes re-verification incremental: it memoizes the
+// outcome of one (rule, type instantiation, options) verification unit
+// under a content-addressed fingerprint of its monomorphized SMT
+// verification conditions.
+//
+// The fingerprint is a SHA-256 over a canonical serialization of the
+// queries (see smt.CanonicalQuery) plus an engine-version salt, so it is
+// independent of hash-consing order and term-construction order, changes
+// whenever the rule text, annotations, or type instantiation change the
+// generated conditions, and is invalidated wholesale by solver or
+// bit-blaster changes (bump the salt).
+//
+// The store is two-tier: an in-memory map in front of an optional
+// disk-persisted JSON-lines file under a configurable cache directory.
+// Disk writes are atomic (whole-line appends; compaction goes through a
+// temp file and rename) and loading is corruption-tolerant: a truncated
+// or garbled line is skipped, never fatal, and a dirty file self-heals by
+// compaction on open.
+package vcache
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fingerprint hashes an engine-version salt plus canonical content
+// sections into a content address. Sections are length-prefixed so
+// distinct section lists cannot collide by concatenation.
+func Fingerprint(salt string, sections []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%s", len(salt), salt)
+	for _, s := range sections {
+		fmt.Fprintf(h, "%d:%s", len(s), s)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Value is a serializable concrete value (mirrors smt.Value without
+// importing it, to keep this package dependency-free).
+type Value struct {
+	Kind  uint8  `json:"k"` // smt.SortKind
+	Width int    `json:"w,omitempty"`
+	Bits  uint64 `json:"b"`
+}
+
+// Counterexample is a cached lifted counterexample.
+type Counterexample struct {
+	Inputs   map[string]Value `json:"inputs,omitempty"`
+	LHS      Value            `json:"lhs"`
+	RHS      Value            `json:"rhs"`
+	Rendered string           `json:"rendered"`
+}
+
+// SolverStats are cumulative SAT statistics for a verification unit.
+type SolverStats struct {
+	Propagations int64 `json:"p,omitempty"`
+	Conflicts    int64 `json:"c,omitempty"`
+	Decisions    int64 `json:"d,omitempty"`
+}
+
+// Entry is one cached verification-unit result.
+type Entry struct {
+	// Key is the unit's content fingerprint (hex SHA-256).
+	Key string `json:"key"`
+	// Rule and Sig are informational (debugging, cache inspection); they
+	// are not part of the address.
+	Rule string `json:"rule,omitempty"`
+	Sig  string `json:"sig,omitempty"`
+	// Outcome is the core.Outcome string: success, inapplicable, failure,
+	// or timeout.
+	Outcome string `json:"outcome"`
+	// TriedTimeoutNS is the per-query deadline the unit was solved under
+	// (0 = unlimited). Timeout entries become stale when a more generous
+	// deadline is requested.
+	TriedTimeoutNS int64 `json:"timeout_ns,omitempty"`
+	// ElapsedNS is the original solve time (what a hit saves).
+	ElapsedNS int64 `json:"elapsed_ns"`
+	// Assignments is how many type assignments monomorphization produced.
+	Assignments int `json:"assignments"`
+	// DistinctInputs mirrors InstOutcome.DistinctInputs (§3.2.1 check).
+	DistinctInputs *bool `json:"distinct,omitempty"`
+	// Stats are the unit's cumulative SAT statistics.
+	Stats SolverStats `json:"stats,omitempty"`
+	// Cex is the lifted counterexample for failure outcomes.
+	Cex *Counterexample `json:"cex,omitempty"`
+}
+
+var validOutcomes = map[string]bool{
+	"success": true, "inapplicable": true, "failure": true, "timeout": true,
+}
+
+func (e *Entry) valid() bool {
+	return len(e.Key) == 2*sha256.Size && validOutcomes[e.Outcome]
+}
+
+// LookupStatus classifies a cache probe.
+type LookupStatus int
+
+// Probe outcomes: a fresh hit, an absent key, or a stale entry (a timeout
+// recorded under a smaller deadline than the one now requested).
+const (
+	Miss LookupStatus = iota
+	Hit
+	Stale
+)
+
+func (s LookupStatus) String() string {
+	switch s {
+	case Hit:
+		return "hit"
+	case Stale:
+		return "stale"
+	default:
+		return "miss"
+	}
+}
+
+// Stats counts cache probes and the solve time hits avoided.
+type Stats struct {
+	Hits, Misses, Stale uint64
+	// SavedNS sums the recorded solve time of every hit.
+	SavedNS int64
+}
+
+// HitRate returns hits / probes in [0,1] (1 for zero probes on a warm
+// no-op run guard-free).
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Stale
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// String renders the per-run stats line.
+func (s Stats) String() string {
+	return fmt.Sprintf("cache: %d hits, %d misses, %d stale (%.0f%% hit rate, saved %v)",
+		s.Hits, s.Misses, s.Stale, 100*s.HitRate(),
+		time.Duration(s.SavedNS).Round(time.Millisecond))
+}
+
+// Cache is the two-tier store. All methods are safe for concurrent use.
+type Cache struct {
+	mu   sync.Mutex
+	mem  map[string]Entry
+	path string // "" = memory-only
+
+	hits, misses, stale atomic.Uint64
+	savedNS             atomic.Int64
+}
+
+// FileName is the JSON-lines store's file name inside the cache dir.
+const FileName = "cache.jsonl"
+
+// NewMemory returns a memory-only cache (tier 1 alone).
+func NewMemory() *Cache {
+	return &Cache{mem: map[string]Entry{}}
+}
+
+// Open loads (or creates) the persistent cache under dir. An empty dir
+// yields a memory-only cache. Corrupt lines in an existing store are
+// skipped and the file is compacted (atomically) to self-heal; only
+// directory/IO failures creating the store are errors.
+func Open(dir string) (*Cache, error) {
+	c := NewMemory()
+	if dir == "" {
+		return c, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vcache: %w", err)
+	}
+	c.path = filepath.Join(dir, FileName)
+	corrupt, err := c.load()
+	if err != nil {
+		return nil, err
+	}
+	if corrupt > 0 {
+		// Self-heal: rewrite only the valid entries.
+		if err := c.compact(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// load reads the JSONL file into memory, returning how many lines were
+// skipped as corrupt. A missing file is an empty cache.
+func (c *Cache) load() (corrupt int, err error) {
+	f, err := os.Open(c.path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("vcache: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if json.Unmarshal(line, &e) != nil || !e.valid() {
+			corrupt++
+			continue
+		}
+		c.mem[e.Key] = e // last write wins
+	}
+	if sc.Err() != nil {
+		// A torn tail (e.g. kill -9 mid-append or an over-long garbage
+		// line) is corruption, not failure.
+		corrupt++
+	}
+	return corrupt, nil
+}
+
+// compact atomically rewrites the store from memory (temp file + rename).
+func (c *Cache) compact() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), FileName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	for _, e := range c.mem {
+		b, err := json.Marshal(e)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("vcache: %w", err)
+		}
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("vcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	return nil
+}
+
+// Lookup probes the cache for key under the given per-query deadline
+// budget (0 = unlimited). A cached timeout tried under a smaller budget
+// than the one now requested is reported Stale so the caller re-solves
+// with the longer deadline; every other present entry is a Hit.
+func (c *Cache) Lookup(key string, timeout time.Duration) (Entry, LookupStatus) {
+	c.mu.Lock()
+	e, ok := c.mem[key]
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return Entry{}, Miss
+	}
+	if e.Outcome == "timeout" && e.TriedTimeoutNS != 0 &&
+		(timeout == 0 || timeout.Nanoseconds() > e.TriedTimeoutNS) {
+		c.stale.Add(1)
+		return e, Stale
+	}
+	c.hits.Add(1)
+	c.savedNS.Add(e.ElapsedNS)
+	return e, Hit
+}
+
+// Put records an entry in memory and appends it to the disk store. Each
+// entry is one line written with a single write call; a reader never
+// observes a half-line except at the file tail, which load tolerates.
+func (c *Cache) Put(e Entry) error {
+	if !e.valid() {
+		return fmt.Errorf("vcache: invalid entry (key %q, outcome %q)", e.Key, e.Outcome)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem[e.Key] = e
+	if c.path == "" {
+		return nil
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	f, err := os.OpenFile(c.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Path returns the backing file path ("" for memory-only caches).
+func (c *Cache) Path() string { return c.path }
+
+// Stats returns the probe counters accumulated since Open.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Stale:   c.stale.Load(),
+		SavedNS: c.savedNS.Load(),
+	}
+}
