@@ -28,9 +28,10 @@ func main() {
 	distinct := flag.Bool("distinct", false, "run the distinct-models check during table1")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent rule verification during table1 (1 = sequential)")
 	cacheDir := flag.String("cache-dir", "", "persist verification results under this directory and replay them on re-runs (incremental verification)")
+	fresh := flag.Bool("fresh", false, "use a fresh solver per query instead of one incremental session per rule (reference pipeline)")
 	flag.Parse()
 
-	cfg := eval.Config{Timeout: *timeout, Distinct: *distinct, Parallelism: *parallel, CacheDir: *cacheDir}
+	cfg := eval.Config{Timeout: *timeout, Distinct: *distinct, Parallelism: *parallel, CacheDir: *cacheDir, FreshSolvers: *fresh}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "crocus-eval:", err)
 		os.Exit(1)

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"crocus"
+)
+
+// benchPhase summarizes one full-corpus verification sweep.
+type benchPhase struct {
+	WallNS      int64          `json:"wall_ns"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Rules       int            `json:"rules"`
+	Insts       int            `json:"instantiations"`
+	Outcomes    map[string]int `json:"outcomes"`
+	Cached      int            `json:"cached"`
+	// Aggregate SAT statistics across every unit of the sweep.
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Queries      int64 `json:"queries"`
+}
+
+// benchReport is the schema of the -bench-json artifact (BENCH_pr2.json):
+// the same corpus swept three ways — per-query fresh solvers (the
+// reference pipeline), the incremental session pipeline cold, and a warm
+// vcache replay over the cold run's store.
+type benchReport struct {
+	Corpus             string     `json:"corpus"`
+	TimeoutNS          int64      `json:"timeout_ns"`
+	Parallel           int        `json:"parallel"`
+	Fresh              benchPhase `json:"fresh"`
+	IncrementalCold    benchPhase `json:"incremental_cold"`
+	IncrementalWarm    benchPhase `json:"incremental_warm_cache"`
+	SpeedupColdVsFresh float64    `json:"speedup_cold_vs_fresh"`
+	SpeedupWarmVsFresh float64    `json:"speedup_warm_vs_fresh"`
+	// VerdictsMatch reports that no instantiation was decided
+	// contradictorily across the three sweeps. Timeouts are resource
+	// artifacts, not verdicts: a query near the wall-clock deadline can
+	// finish in one pipeline and not the other, so success/timeout flips
+	// are compatible, while success vs failure is a real disagreement.
+	VerdictsMatch bool `json:"verdicts_match"`
+	// The eval_* fields record the cross-build acceptance measurement:
+	// cold full-corpus `crocus-eval -exp table1` wall time under the
+	// pre-PR build vs this build, measured back-to-back on the same idle
+	// machine and injected via -bench-eval-base-ns / -bench-eval-new-ns
+	// (two binaries cannot share one process, so the report carries the
+	// externally timed numbers alongside its own in-process sweeps).
+	EvalBaselineWallNS int64   `json:"eval_pre_pr_wall_ns,omitempty"`
+	EvalNewWallNS      int64   `json:"eval_this_pr_wall_ns,omitempty"`
+	EvalImprovement    float64 `json:"eval_improvement,omitempty"`
+}
+
+// runBenchJSON sweeps the corpus under the three pipelines and writes the
+// JSON report to path. Exit status 1 signals an error, 2 a verdict
+// mismatch between pipelines.
+func runBenchJSON(path string, prog *crocus.Program, base crocus.Options, corpusName string, evalBaseNS, evalNewNS int64) int {
+	cacheDir, err := os.MkdirTemp("", "crocus-bench-cache-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crocus:", err)
+		return 1
+	}
+	defer os.RemoveAll(cacheDir)
+
+	sweep := func(opts crocus.Options) (benchPhase, []string, error) {
+		v := crocus.NewVerifier(prog, opts)
+		start := time.Now()
+		rs, err := v.VerifyAll()
+		wall := time.Since(start)
+		if err != nil {
+			return benchPhase{}, nil, err
+		}
+		ph := benchPhase{
+			WallNS:      wall.Nanoseconds(),
+			WallSeconds: wall.Seconds(),
+			Rules:       len(rs),
+			Outcomes:    map[string]int{},
+		}
+		var verdicts []string
+		for _, rr := range rs {
+			for _, io := range rr.Insts {
+				ph.Insts++
+				ph.Outcomes[io.Outcome.String()]++
+				if io.Cached {
+					ph.Cached++
+				}
+				ph.Propagations += io.Stats.Propagations
+				ph.Conflicts += io.Stats.Conflicts
+				ph.Decisions += io.Stats.Decisions
+				ph.Queries += io.Stats.Queries
+				verdicts = append(verdicts, io.Outcome.String())
+			}
+		}
+		return ph, verdicts, nil
+	}
+
+	report := benchReport{Corpus: corpusName, TimeoutNS: base.Timeout.Nanoseconds(), Parallel: base.Parallelism}
+
+	fresh := base
+	fresh.FreshSolvers = true
+	fresh.CacheDir = ""
+	freshPh, freshV, err := sweep(fresh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crocus: fresh sweep:", err)
+		return 1
+	}
+	report.Fresh = freshPh
+
+	cold := base
+	cold.FreshSolvers = false
+	cold.CacheDir = cacheDir
+	coldPh, coldV, err := sweep(cold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crocus: incremental sweep:", err)
+		return 1
+	}
+	report.IncrementalCold = coldPh
+
+	warmPh, warmV, err := sweep(cold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crocus: warm sweep:", err)
+		return 1
+	}
+	report.IncrementalWarm = warmPh
+
+	report.VerdictsMatch = compatibleVerdicts(freshV, coldV) && compatibleVerdicts(coldV, warmV)
+	if evalBaseNS > 0 && evalNewNS > 0 {
+		report.EvalBaselineWallNS = evalBaseNS
+		report.EvalNewWallNS = evalNewNS
+		report.EvalImprovement = 1 - float64(evalNewNS)/float64(evalBaseNS)
+	}
+	if coldPh.WallNS > 0 {
+		report.SpeedupColdVsFresh = float64(freshPh.WallNS) / float64(coldPh.WallNS)
+	}
+	if warmPh.WallNS > 0 {
+		report.SpeedupWarmVsFresh = float64(freshPh.WallNS) / float64(warmPh.WallNS)
+	}
+
+	out, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crocus:", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "crocus:", err)
+		return 1
+	}
+	fmt.Printf("bench: fresh %.2fs, incremental cold %.2fs (%.2fx), warm cache %.2fs (%.2fx), verdicts match: %v -> %s\n",
+		freshPh.WallSeconds, coldPh.WallSeconds, report.SpeedupColdVsFresh,
+		warmPh.WallSeconds, report.SpeedupWarmVsFresh, report.VerdictsMatch, path)
+	if !report.VerdictsMatch {
+		fmt.Fprintln(os.Stderr, "crocus: pipelines disagree on verdicts")
+		return 2
+	}
+	return 0
+}
+
+// compatibleVerdicts compares per-instantiation outcome sequences.
+// Decided outcomes must match exactly; "timeout" is compatible with
+// anything (the sweeps run against a wall clock, so queries near the
+// deadline legitimately decide in one pipeline and not another).
+func compatibleVerdicts(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && a[i] != "timeout" && b[i] != "timeout" {
+			return false
+		}
+	}
+	return true
+}

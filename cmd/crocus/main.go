@@ -6,13 +6,22 @@
 // Usage:
 //
 //	crocus [-timeout 5s] [-rule name] [-distinct] [-parallel N] [-stats]
-//	       [-cache-dir DIR] [-corpus aarch64|x64|midend|bug:<id>] [file.isle ...]
+//	       [-cache-dir DIR] [-fresh] [-bench-json FILE]
+//	       [-corpus aarch64|x64|midend|bug:<id>] [file.isle ...]
 //
 // With file arguments, the named ISLE files are parsed (in order) and
 // verified; otherwise the selected embedded corpus is used. With
 // -cache-dir, verification is incremental: results are persisted under
 // the directory keyed by a content fingerprint of each query, so an
 // unchanged rule is replayed instead of re-solved on the next run.
+//
+// By default each rule's instantiations share one incremental SMT
+// session (word-level simplification, retained learned clauses,
+// assumption-guarded queries); -fresh reverts to a fresh solver per
+// query, which is the reference pipeline for A/B comparison.
+// -bench-json sweeps the corpus under both pipelines plus a warm-cache
+// replay, checks the verdicts agree, and writes wall-times and solver
+// statistics to the given file.
 package main
 
 import (
@@ -33,8 +42,12 @@ func main() {
 	custom := flag.Bool("custom-vc", false, "apply the corpus's custom verification conditions")
 	overlap := flag.Bool("overlap", false, "run the multi-rule overlap/priority analysis instead of verification")
 	parallel := flag.Int("parallel", 1, "concurrent rule verification (1 = sequential)")
-	stats := flag.Bool("stats", false, "print cumulative SAT statistics (propagations/conflicts/decisions) per rule")
+	stats := flag.Bool("stats", false, "print cumulative SAT statistics (propagations/conflicts/decisions/queries) per rule")
 	cacheDir := flag.String("cache-dir", "", "persist verification results under this directory and replay them on re-runs (incremental verification)")
+	fresh := flag.Bool("fresh", false, "use a fresh solver per query instead of one incremental session per rule (reference pipeline)")
+	benchJSON := flag.String("bench-json", "", "benchmark the corpus under fresh, incremental, and warm-cache pipelines and write the report to this file")
+	benchEvalBase := flag.Int64("bench-eval-base-ns", 0, "externally measured pre-PR crocus-eval wall time (ns), recorded in the -bench-json report")
+	benchEvalNew := flag.Int64("bench-eval-new-ns", 0, "externally measured this-build crocus-eval wall time (ns), recorded in the -bench-json report")
 	flag.Parse()
 
 	prog, err := loadProgram(*corpusName, flag.Args())
@@ -48,10 +61,16 @@ func main() {
 		DistinctModels: *distinct,
 		Parallelism:    *parallel,
 		CacheDir:       *cacheDir,
+		FreshSolvers:   *fresh,
 	}
 	if *custom {
 		opts.Custom = crocus.CorpusCustomVCs()
 	}
+
+	if *benchJSON != "" {
+		os.Exit(runBenchJSON(*benchJSON, prog, opts, *corpusName, *benchEvalBase, *benchEvalNew))
+	}
+
 	v := crocus.NewVerifier(prog, opts)
 
 	if *overlap {

@@ -15,7 +15,7 @@ import (
 // solver, bit-blaster, elaborator, or verification-condition shape
 // changes in a way that could alter verdicts: old cache entries then stop
 // matching and are re-solved rather than trusted.
-const EngineVersion = "crocus-engine-1"
+const EngineVersion = "crocus-engine-2"
 
 // prepared holds one monomorphized assignment's elaborated verification
 // conditions, ready both for fingerprinting and for solving: the Eq. 1
@@ -26,11 +26,37 @@ type prepared struct {
 	goal smt.TermID   // condition ∧ R_RHS (Eq. 2/3 consequent)
 }
 
+// unitScope derives the SMT variable-name prefix for one monomorphized
+// assignment of a verification unit. It depends only on the unit's
+// content (type signature and assignment index), so the same unit hashes
+// to the same fingerprint whether it is prepared standalone, inside a
+// rule sweep, or for FingerprintInstantiation. The characters used are
+// all SMT-LIB-name-safe (see smtlibName), so canonical queries stay
+// unquoted.
+func unitScope(sig *isle.Sig, idx int) string {
+	var sb strings.Builder
+	sb.WriteString("u")
+	if sig != nil {
+		for _, r := range sig.String() {
+			if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+				sb.WriteRune(r)
+			} else {
+				sb.WriteByte('_')
+			}
+		}
+	}
+	fmt.Fprintf(&sb, ".a%d.", idx)
+	return sb.String()
+}
+
 // prepareAssignment elaborates one assignment and builds its queries
 // without solving anything. This is the "parse-time" half of
 // verification; on a warm cache run it is all the work that happens.
-func (v *Verifier) prepareAssignment(ra *ruleAnalysis, a *assignment) (*prepared, error) {
-	el, err := v.elaborate(ra, a)
+// A nil builder elaborates into a fresh one; a shared builder must come
+// with a content-derived scope (unitScope) so variable names are unique
+// and deterministic.
+func (v *Verifier) prepareAssignment(ra *ruleAnalysis, a *assignment, bld *smt.Builder, scope string) (*prepared, error) {
+	el, err := v.elaborate(ra, a, bld, scope)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +146,7 @@ func (v *Verifier) FingerprintInstantiation(rule *isle.Rule, sig *isle.Sig) (fp 
 	}
 	preps := make([]*prepared, len(assigns))
 	for i, a := range assigns {
-		if preps[i], err = v.prepareAssignment(ra, a); err != nil {
+		if preps[i], err = v.prepareAssignment(ra, a, nil, unitScope(sig, i)); err != nil {
 			return "", false, err
 		}
 	}
@@ -179,6 +205,7 @@ func (v *Verifier) recordOutcome(c *vcache.Cache, key string, rule *isle.Rule, s
 			Propagations: io.Stats.Propagations,
 			Conflicts:    io.Stats.Conflicts,
 			Decisions:    io.Stats.Decisions,
+			Queries:      io.Stats.Queries,
 		},
 	}
 	if io.Outcome == OutcomeTimeout {
@@ -216,6 +243,7 @@ func applyEntry(e vcache.Entry, io *InstOutcome) error {
 		Propagations: e.Stats.Propagations,
 		Conflicts:    e.Stats.Conflicts,
 		Decisions:    e.Stats.Decisions,
+		Queries:      e.Stats.Queries,
 	}
 	if e.DistinctInputs != nil {
 		d := *e.DistinctInputs

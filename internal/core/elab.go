@@ -20,6 +20,14 @@ type elaboration struct {
 	a  *assignment
 	b  *smt.Builder
 
+	// scope prefixes every SMT variable name this elaboration creates.
+	// When a rule's instantiations share one builder (the incremental
+	// session path), distinct scopes keep same-named ISLE variables of
+	// different widths from colliding. The scope is derived purely from
+	// the unit's content (signature + assignment index), never from sweep
+	// position, so fingerprints stay deterministic.
+	scope string
+
 	nodeVal map[*isle.TermNode]smt.TermID
 	varVal  map[string]smt.TermID // ISLE rule variables by name
 
@@ -36,11 +44,18 @@ type elaboration struct {
 	fresh int
 }
 
-func (v *Verifier) elaborate(ra *ruleAnalysis, a *assignment) (*elaboration, error) {
+// elaborate lowers one assignment into SMT terms. A nil builder gets a
+// fresh one; passing a shared builder (with a unique scope) lets several
+// assignments coexist for incremental solving.
+func (v *Verifier) elaborate(ra *ruleAnalysis, a *assignment, b *smt.Builder, scope string) (*elaboration, error) {
+	if b == nil {
+		b = smt.NewBuilder()
+	}
 	el := &elaboration{
 		ra:      ra,
 		a:       a,
-		b:       smt.NewBuilder(),
+		b:       b,
+		scope:   scope,
 		nodeVal: map[*isle.TermNode]smt.TermID{},
 		varVal:  map[string]smt.TermID{},
 	}
@@ -99,7 +114,7 @@ func (el *elaboration) sortOf(s tvar, pos fmt.Stringer) (smt.Sort, error) {
 
 func (el *elaboration) freshVar(prefix string, sort smt.Sort) smt.TermID {
 	el.fresh++
-	return el.b.Var(fmt.Sprintf("%%%s%d", prefix, el.fresh), sort)
+	return el.b.Var(fmt.Sprintf("%s%%%s%d", el.scope, prefix, el.fresh), sort)
 }
 
 // slotIntVal returns the static integer value of an Int-kinded slot.
@@ -158,7 +173,7 @@ func (el *elaboration) elabNodeInner(n *isle.TermNode, slot tvar, onLHS bool) (s
 		if err != nil {
 			return smt.NoTerm, err
 		}
-		t := el.b.Var(sanitizeName(n.Name), sort)
+		t := el.b.Var(el.scope+sanitizeName(n.Name), sort)
 		el.varVal[n.Name] = t
 		return t, nil
 
@@ -310,7 +325,7 @@ func (ie *instElab) elabExpr(e *spec.Expr) (smt.TermID, error) {
 		if err != nil {
 			return smt.NoTerm, err
 		}
-		t := ie.el.b.Var(fmt.Sprintf("%%%s_%s%d", sanitizeName(e.Name), ie.inst.term, ie.inst.seq), sort)
+		t := ie.el.b.Var(fmt.Sprintf("%s%%%s_%s%d", ie.el.scope, sanitizeName(e.Name), ie.inst.term, ie.inst.seq), sort)
 		ie.vals[e.Name] = t
 		return t, nil
 

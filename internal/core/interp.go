@@ -34,7 +34,7 @@ func (v *Verifier) Interpret(rule *isle.Rule, sig *isle.Sig, inputs map[string]s
 		return &InterpResult{Matches: false}, nil
 	}
 	for _, a := range assigns {
-		el, err := v.elaborate(ra, a)
+		el, err := v.elaborate(ra, a, nil, "")
 		if err != nil {
 			return nil, err
 		}

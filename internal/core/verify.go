@@ -88,6 +88,12 @@ type Options struct {
 	// Cache injects an already-open result cache, e.g. to share one store
 	// between several verifiers in a run. Takes precedence over CacheDir.
 	Cache *vcache.Cache
+	// FreshSolvers disables the incremental solve pipeline: every query
+	// gets its own builder, blaster, and SAT solver, as in the original
+	// per-query path. Verdicts are identical either way (the differential
+	// tests assert this); the fresh path is the slower reference
+	// implementation, kept for A/B benchmarking and diagnosis.
+	FreshSolvers bool
 }
 
 // Verifier verifies the rules of an ISLE program against their
@@ -117,11 +123,16 @@ type Counterexample struct {
 }
 
 // SolverStats are cumulative SAT search statistics across a verification
-// unit's queries (applicability, distinctness, equivalence).
+// unit's queries (applicability, distinctness, equivalence). With the
+// incremental pipeline the propagation/conflict/decision counts are
+// per-query deltas summed over the unit's queries, so they remain
+// comparable to the fresh-solver path.
 type SolverStats struct {
 	Propagations int64
 	Conflicts    int64
 	Decisions    int64
+	// Queries is the number of SMT queries issued.
+	Queries int64
 }
 
 // Add accumulates other into s.
@@ -129,18 +140,20 @@ func (s *SolverStats) Add(other SolverStats) {
 	s.Propagations += other.Propagations
 	s.Conflicts += other.Conflicts
 	s.Decisions += other.Decisions
+	s.Queries += other.Queries
 }
 
 func (s *SolverStats) addResult(r smt.Result) {
 	s.Propagations += r.Propagations
 	s.Conflicts += r.Conflicts
 	s.Decisions += r.Decisions
+	s.Queries++
 }
 
 // String renders the stats in the -stats flag's layout.
 func (s SolverStats) String() string {
-	return fmt.Sprintf("props=%d conflicts=%d decisions=%d",
-		s.Propagations, s.Conflicts, s.Decisions)
+	return fmt.Sprintf("props=%d conflicts=%d decisions=%d queries=%d",
+		s.Propagations, s.Conflicts, s.Decisions, s.Queries)
 }
 
 // InstOutcome is the verification result for one (rule, type
@@ -221,17 +234,47 @@ func (v *Verifier) Sigs(rule *isle.Rule) []*isle.Sig {
 	return out
 }
 
+// ruleSession bundles the shared term builder and the incremental SMT
+// session all verification units of one rule solve through. The
+// monomorphized instantiations of a rule share most of their term
+// structure; one session means that structure is interned, simplified,
+// and bit-blasted once, and the SAT solver carries its learned clauses
+// from one width's queries to the next. Each query is isolated behind
+// its own activation literal (see smt.Session). A ruleSession is owned
+// by a single goroutine.
+type ruleSession struct {
+	b    *smt.Builder
+	sess *smt.Session
+}
+
+func newRuleSession() *ruleSession {
+	b := smt.NewBuilder()
+	return &ruleSession{b: b, sess: smt.NewSession(b)}
+}
+
 // VerifyRule verifies one rule across all of its type instantiations.
+// The instantiations share one incremental session (unless
+// Options.FreshSolvers).
 func (v *Verifier) VerifyRule(rule *isle.Rule) (*RuleResult, error) {
 	rr := &RuleResult{Rule: rule}
+	rs := v.newSession()
 	for _, sig := range v.Sigs(rule) {
-		io, err := v.VerifyInstantiation(rule, sig)
+		io, err := v.verifyInstantiation(rs, rule, sig)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", rule, err)
 		}
 		rr.Insts = append(rr.Insts, *io)
 	}
 	return rr, nil
+}
+
+// newSession returns the rule-level session for the configured pipeline:
+// nil under FreshSolvers (every query then builds its own solver).
+func (v *Verifier) newSession() *ruleSession {
+	if v.Opts.FreshSolvers {
+		return nil
+	}
+	return newRuleSession()
 }
 
 // VerifyAll verifies every rule in the program, in source order. When
@@ -303,6 +346,12 @@ func (v *Verifier) solverConfig() smt.Config {
 // recorded afterwards. Cached timeouts are retried when the current
 // Options.Timeout is more generous than the one they were tried under.
 func (v *Verifier) VerifyInstantiation(rule *isle.Rule, sig *isle.Sig) (*InstOutcome, error) {
+	return v.verifyInstantiation(v.newSession(), rule, sig)
+}
+
+// verifyInstantiation is VerifyInstantiation solving through the given
+// rule session (nil = fresh solver per query).
+func (v *Verifier) verifyInstantiation(rs *ruleSession, rule *isle.Rule, sig *isle.Sig) (*InstOutcome, error) {
 	start := time.Now()
 	io := &InstOutcome{Sig: sig}
 	defer func() { io.Duration = time.Since(start) }()
@@ -317,9 +366,17 @@ func (v *Verifier) VerifyInstantiation(rule *isle.Rule, sig *isle.Sig) (*InstOut
 		return io, nil
 	}
 
+	// Elaborate into the session's shared builder. Scopes are derived
+	// from unit content alone, so the resulting terms — and therefore the
+	// cache fingerprints below — do not depend on which units the session
+	// solved earlier.
+	var shared *smt.Builder
+	if rs != nil {
+		shared = rs.b
+	}
 	preps := make([]*prepared, len(assigns))
 	for i, a := range assigns {
-		if preps[i], err = v.prepareAssignment(ra, a); err != nil {
+		if preps[i], err = v.prepareAssignment(ra, a, shared, unitScope(sig, i)); err != nil {
 			return nil, err
 		}
 	}
@@ -339,7 +396,7 @@ func (v *Verifier) VerifyInstantiation(rule *isle.Rule, sig *isle.Sig) (*InstOut
 
 	agg := OutcomeInapplicable
 	for _, p := range preps {
-		out, cex, distinct, err := v.solvePrepared(p, io)
+		out, cex, distinct, err := v.solvePrepared(rs, p, io)
 		if err != nil {
 			return nil, err
 		}
@@ -368,12 +425,20 @@ func (v *Verifier) VerifyInstantiation(rule *isle.Rule, sig *isle.Sig) (*InstOut
 }
 
 // solvePrepared decides one prepared assignment, accumulating SAT
-// statistics into io.
-func (v *Verifier) solvePrepared(p *prepared, io *InstOutcome) (Outcome, *Counterexample, *bool, error) {
+// statistics into io. With a rule session, the three queries run
+// incrementally on the session's solver; otherwise each builds a fresh
+// solver.
+func (v *Verifier) solvePrepared(rs *ruleSession, p *prepared, io *InstOutcome) (Outcome, *Counterexample, *bool, error) {
 	el, b := p.el, p.el.b
+	check := func(assertions []smt.TermID) (smt.Result, error) {
+		if rs != nil {
+			return rs.sess.Check(assertions, v.solverConfig())
+		}
+		return smt.Check(b, assertions, v.solverConfig())
+	}
 
 	// Query 1 (Eq. 1): applicability — P_LHS ∧ R_LHS ∧ P_RHS satisfiable?
-	res, err := smt.Check(b, p.base, v.solverConfig())
+	res, err := check(p.base)
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("applicability query: %w", err)
 	}
@@ -399,7 +464,7 @@ func (v *Verifier) solvePrepared(p *prepared, io *InstOutcome) (Outcome, *Counte
 		}
 		if len(diffs) > 0 {
 			q := append(append([]smt.TermID{}, p.base...), b.And(diffs...))
-			dres, err := smt.Check(b, q, v.solverConfig())
+			dres, err := check(q)
 			if err != nil {
 				return 0, nil, nil, fmt.Errorf("distinctness query: %w", err)
 			}
@@ -414,7 +479,7 @@ func (v *Verifier) solvePrepared(p *prepared, io *InstOutcome) (Outcome, *Counte
 	// Query 2 (Eq. 2/3): equivalence — search for a counterexample where
 	// the preconditions hold but the condition or an RHS require fails.
 	q2 := append(append([]smt.TermID{}, p.base...), b.Not(p.goal))
-	res2, err := smt.Check(b, q2, v.solverConfig())
+	res2, err := check(q2)
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("equivalence query: %w", err)
 	}

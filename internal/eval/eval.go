@@ -45,6 +45,9 @@ type Config struct {
 	// Unlike Timeout it is machine-independent, so budget-capped runs
 	// reproduce bit-identical outcomes; it is part of the cache key.
 	PropagationBudget int64
+	// FreshSolvers falls back to the per-query fresh-solver reference
+	// pipeline instead of incremental rule sessions (A/B benchmarking).
+	FreshSolvers bool
 }
 
 func (c Config) timeout() time.Duration {
@@ -129,12 +132,14 @@ func Table1(cfg Config) (*Table1Result, error) {
 		Parallelism:       cfg.Parallelism,
 		PropagationBudget: cfg.PropagationBudget,
 		Cache:             cache,
+		FreshSolvers:      cfg.FreshSolvers,
 	})
 	custom := core.New(prog, core.Options{
 		Timeout:           cfg.timeout(),
 		Custom:            corpus.CustomVCs(),
 		PropagationBudget: cfg.PropagationBudget,
 		Cache:             cache,
+		FreshSolvers:      cfg.FreshSolvers,
 	})
 
 	res := &Table1Result{}
@@ -440,6 +445,7 @@ func BugsStats(cfg Config) ([]*BugResult, *vcache.Stats, error) {
 			DistinctModels:    bug.DistinctModels,
 			PropagationBudget: cfg.PropagationBudget,
 			Cache:             cache,
+			FreshSolvers:      cfg.FreshSolvers,
 		})
 		res := &BugResult{Bug: bug, Detected: true}
 		names := make([]string, 0, len(bug.Expect))

@@ -1,0 +1,171 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLastStatsPerCall: Stats() accumulates across Solve calls while
+// LastStats() reports only the most recent call's work.
+func TestLastStatsPerCall(t *testing.T) {
+	s := New()
+	pigeonhole(s, 6, 5)
+	if s.Solve() != Unsat {
+		t.Fatal("PHP(6,5) must be unsat")
+	}
+	p1, c1, d1 := s.LastStats()
+	cp1, cc1, cd1 := s.Stats()
+	if p1 != cp1 || c1 != cc1 || d1 != cd1 {
+		t.Fatalf("first call: LastStats (%d,%d,%d) != Stats (%d,%d,%d)",
+			p1, c1, d1, cp1, cc1, cd1)
+	}
+	if p1 == 0 || c1 == 0 {
+		t.Fatalf("PHP must propagate and conflict, got (%d,%d,%d)", p1, c1, d1)
+	}
+
+	// Second solve on the same (still unsat) instance: cumulative counters
+	// must equal the first call plus the reported delta.
+	if s.Solve() != Unsat {
+		t.Fatal("still unsat")
+	}
+	p2, c2, d2 := s.LastStats()
+	cp2, cc2, cd2 := s.Stats()
+	if cp2 != cp1+p2 || cc2 != cc1+c2 || cd2 != cd1+d2 {
+		t.Fatalf("cumulative (%d,%d,%d) != first (%d,%d,%d) + delta (%d,%d,%d)",
+			cp2, cc2, cd2, cp1, cc1, cd1, p2, c2, d2)
+	}
+}
+
+// TestBudgetIsPerSolveCall: a propagation budget bounds each Solve call
+// independently — an exhausted first call must not starve the second.
+func TestBudgetIsPerSolveCall(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8)
+	s.SetBudget(200)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("first budgeted solve = %v, want unknown", got)
+	}
+	used1, _, _ := s.LastStats()
+	if used1 == 0 {
+		t.Fatal("first call must have done work")
+	}
+	// The second call gets its own 200 propagations rather than bailing on
+	// the cumulative counter.
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("second budgeted solve = %v, want unknown", got)
+	}
+	used2, _, _ := s.LastStats()
+	if used2 == 0 {
+		t.Fatal("second call was starved by the first call's spend")
+	}
+}
+
+// TestDeadlineIsPerSolveCall: an expired deadline from a previous call is
+// replaced by the next SetDeadline, and a zero deadline clears it.
+func TestDeadlineIsPerSolveCall(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8)
+	s.SetDeadline(time.Now().Add(-time.Second)) // already expired
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("expired deadline solve = %v, want unknown", got)
+	}
+	s.SetDeadline(time.Time{})
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("cleared deadline solve = %v, want unsat", got)
+	}
+}
+
+// TestFinalConflictCore: after an Unsat solve under assumptions, the
+// final conflict is a subset of the assumptions that is itself jointly
+// unsatisfiable, and it omits assumptions irrelevant to the conflict.
+func TestFinalConflictCore(t *testing.T) {
+	s := New()
+	a, b, c, d := s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()
+	// a -> b, b -> c; d unconstrained.
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	s.AddClause(MkLit(b, true), MkLit(c, false))
+
+	assumeA, assumeNotC, assumeD := MkLit(a, false), MkLit(c, true), MkLit(d, false)
+	if got := s.Solve(assumeD, assumeA, assumeNotC); got != Unsat {
+		t.Fatalf("solve = %v, want unsat", got)
+	}
+	core := s.FinalConflict()
+	if len(core) == 0 {
+		t.Fatal("unsat under assumptions must yield a core")
+	}
+	inCore := map[Lit]bool{}
+	for _, l := range core {
+		inCore[l] = true
+		if l != assumeA && l != assumeNotC && l != assumeD {
+			t.Fatalf("core literal %v is not an assumption", l)
+		}
+	}
+	if inCore[assumeD] {
+		t.Fatal("irrelevant assumption d must not appear in the core")
+	}
+	if !inCore[assumeA] || !inCore[assumeNotC] {
+		t.Fatalf("core %v must contain both a and ¬c", core)
+	}
+	// The core must be unsat on its own.
+	if got := s.Solve(core...); got != Unsat {
+		t.Fatalf("solve(core) = %v, want unsat", got)
+	}
+	// And the solver stays usable without assumptions.
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solve() = %v, want sat", got)
+	}
+	if s.FinalConflict() != nil {
+		t.Fatal("FinalConflict must be cleared by a Sat solve")
+	}
+}
+
+// TestFinalConflictRootImplied: an assumption already false at the root
+// level yields the singleton core {assumption}.
+func TestFinalConflictRootImplied(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, true)) // unit ¬a
+	assume := MkLit(a, false)
+	if got := s.Solve(assume); got != Unsat {
+		t.Fatalf("solve = %v, want unsat", got)
+	}
+	core := s.FinalConflict()
+	if len(core) != 1 || core[0] != assume {
+		t.Fatalf("core = %v, want [%v]", core, assume)
+	}
+}
+
+// TestFinalConflictNilOnRootUnsat: a formula unsat without any
+// assumptions has no core to blame.
+func TestFinalConflictNilOnRootUnsat(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true))
+	if got := s.Solve(MkLit(b, false)); got != Unsat {
+		t.Fatal("want unsat")
+	}
+	if core := s.FinalConflict(); core != nil {
+		t.Fatalf("root-level unsat must have nil core, got %v", core)
+	}
+}
+
+// TestAssumptionSolvesRetainLearning: repeated assumption solves on the
+// same instance reuse learned clauses — later identical calls must not
+// do more conflicts than the first.
+func TestAssumptionSolvesRetainLearning(t *testing.T) {
+	s := New()
+	pigeonhole(s, 7, 6)
+	act := MkLit(s.NewVar(), false)
+	if got := s.Solve(act); got != Unsat {
+		t.Fatalf("solve = %v, want unsat", got)
+	}
+	_, c1, _ := s.LastStats()
+	if got := s.Solve(act); got != Unsat {
+		t.Fatalf("resolve = %v, want unsat", got)
+	}
+	_, c2, _ := s.LastStats()
+	if c2 > c1 {
+		t.Fatalf("second solve did more conflicts (%d) than first (%d): learning lost", c2, c1)
+	}
+}

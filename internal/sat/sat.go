@@ -122,6 +122,15 @@ type Solver struct {
 	deadline     time.Time
 	hasDeadline  bool
 
+	// Counter snapshots taken at the entry of the current/most recent
+	// Solve call; LastStats and the propagation budget work on deltas so
+	// an incremental session gets a fresh budget per query.
+	solveProps int64
+	solveConfl int64
+	solveDecs  int64
+
+	core []Lit // final conflict of the last assumption-failed Solve
+
 	ok bool // false once UNSAT at level 0
 }
 
@@ -151,10 +160,24 @@ func (s *Solver) NumClauses() int {
 	return n
 }
 
-// Stats reports cumulative propagation/conflict/decision counts.
+// Stats reports cumulative propagation/conflict/decision counts across
+// the solver's lifetime (all Solve calls).
 func (s *Solver) Stats() (propagations, conflicts, decisions int64) {
 	return s.propagations, s.conflicts, s.decisions
 }
+
+// LastStats reports the counts spent by the most recent Solve call alone
+// (all zero before the first call).
+func (s *Solver) LastStats() (propagations, conflicts, decisions int64) {
+	return s.propagations - s.solveProps, s.conflicts - s.solveConfl, s.decisions - s.solveDecs
+}
+
+// FinalConflict returns the subset of the last Solve call's assumptions
+// that the solver found jointly unsatisfiable with the clause set, or nil
+// when the last Unsat did not involve the assumptions (root-level
+// unsatisfiability) or the last call was not Unsat. The slice is valid
+// until the next Solve.
+func (s *Solver) FinalConflict() []Lit { return s.core }
 
 // NewVar allocates a fresh variable.
 func (s *Solver) NewVar() Var {
@@ -183,8 +206,10 @@ func (s *Solver) value(l Lit) lbool {
 	return a
 }
 
-// SetBudget limits the number of propagations for subsequent Solve calls
-// (0 means unlimited).
+// SetBudget limits the number of propagations each subsequent Solve call
+// may spend (0 means unlimited). The budget applies per call: an
+// incremental session issuing many queries gives every query the full
+// allowance rather than sharing one cumulative pool.
 func (s *Solver) SetBudget(propagations int64) { s.budgetProps = propagations }
 
 // SetDeadline sets a wall-clock deadline for subsequent Solve calls.
@@ -354,6 +379,28 @@ func (s *Solver) cancelUntil(lvl int) {
 	s.qhead = len(s.trail)
 }
 
+// PrioritizeVarsFrom raises every variable in [from, NumVars) to the top
+// of the decision order. Incremental clients call it after encoding a new
+// query: branching then stays inside the newest query's cone, and
+// variables belonging to earlier, retired queries are only assigned once
+// the live cone is already satisfied — instead of being re-decided and
+// re-propagated on every restart because of stale activity.
+func (s *Solver) PrioritizeVarsFrom(from Var) {
+	if int(from) >= len(s.activity) {
+		return
+	}
+	mx := 0.0
+	for _, a := range s.activity {
+		if a > mx {
+			mx = a
+		}
+	}
+	for v := from; int(v) < len(s.activity); v++ {
+		s.activity[v] = mx
+		s.order.update(v)
+	}
+}
+
 func (s *Solver) bumpVar(v Var) {
 	s.activity[v] += s.varInc
 	if s.activity[v] > 1e100 {
@@ -460,6 +507,39 @@ func (s *Solver) analyze(confl clauseRef) ([]Lit, int) {
 	return learnt, bj
 }
 
+// analyzeFinal computes the final conflict for a falsified assumption a:
+// the subset of the current assumptions that together force ¬a. It walks
+// the trail top-down from the assumption levels, expanding implied
+// literals through their reasons and collecting the pseudo-decision
+// (assumption) literals that remain. Must run before backtracking.
+func (s *Solver) analyzeFinal(a Lit) []Lit {
+	out := []Lit{a}
+	if s.decisionLevel() == 0 {
+		// ¬a is implied at the root: the assumption conflicts on its own.
+		return out
+	}
+	s.seen[a.Var()] = true
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nilReason {
+			// A pseudo-decision above level 0 is an assumption literal.
+			out = append(out, s.trail[i])
+		} else {
+			for _, l := range s.clauses[s.reason[v]].lits {
+				if l.Var() != v && s.level[l.Var()] > 0 {
+					s.seen[l.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[a.Var()] = false
+	return out
+}
+
 // redundant reports whether literal q in a learned clause is implied by the
 // other literals (local self-subsumption: every literal of q's reason is
 // already seen or at level 0).
@@ -551,7 +631,7 @@ func luby(i int64) int64 {
 }
 
 func (s *Solver) outOfBudget() bool {
-	if s.budgetProps > 0 && s.propagations > s.budgetProps {
+	if s.budgetProps > 0 && s.propagations-s.solveProps > s.budgetProps {
 		return true
 	}
 	if s.hasDeadline && s.conflicts&63 == 0 && time.Now().After(s.deadline) {
@@ -562,7 +642,12 @@ func (s *Solver) outOfBudget() bool {
 
 // Solve searches for a satisfying assignment under the given assumptions.
 // On Sat, the model is available via Value until the next Solve/AddClause.
+// On Unsat caused by the assumptions, FinalConflict reports which of them
+// clashed. Learned clauses are retained between calls, so repeated Solve
+// calls over a growing clause set amortize earlier search effort.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.core = nil
+	s.solveProps, s.solveConfl, s.solveDecs = s.propagations, s.conflicts, s.decisions
 	if !s.ok {
 		return Unsat
 	}
@@ -624,6 +709,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				s.trailLim = append(s.trailLim, int32(len(s.trail)))
 				continue
 			case lFalse:
+				s.core = s.analyzeFinal(a)
 				s.cancelUntil(0)
 				return Unsat
 			default:

@@ -634,16 +634,6 @@ func (bl *blaster) blastBV(id TermID) ([]sat.Lit, error) {
 	return out, nil
 }
 
-// assertTrue adds clauses forcing the boolean term id to hold.
-func (bl *blaster) assertTrue(id TermID) error {
-	l, err := bl.blastBool(id)
-	if err != nil {
-		return err
-	}
-	bl.s.AddClause(l)
-	return nil
-}
-
 // wordValue reads the model value of a previously blasted term.
 func (bl *blaster) wordValue(id TermID) (uint64, bool) {
 	wls, ok := bl.bws[id]

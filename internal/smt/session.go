@@ -1,0 +1,195 @@
+package smt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"crocus/internal/sat"
+)
+
+// Session is an incremental SMT solving context over one Builder. It
+// keeps a single sat.Solver, the Tseitin gate cache, the word encodings,
+// and the simplifier memo alive across Check calls, so queries that
+// share term structure (a rule's monomorphized instantiations, the
+// applicability/equivalence query pair of one unit) re-encode and
+// re-decide only what is new.
+//
+// Each Check guards its assertions behind a fresh activation literal:
+// the assertion CNF is added as (¬act ∨ lit) clauses and the query is
+// solved under the assumption act. After the call the session retires
+// the query with the unit clause ¬act, permanently satisfying its
+// guards, while definitional gate clauses and learned clauses — implied
+// by the definitions alone — remain valid for later queries.
+//
+// A Session is not safe for concurrent use; parallel verification gives
+// each worker its own session.
+type Session struct {
+	b       *Builder
+	s       *sat.Solver
+	bl      *blaster
+	simp    *simplifier
+	queries int
+}
+
+// NewSession creates an incremental session over the builder's terms.
+func NewSession(b *Builder) *Session {
+	s := sat.New()
+	return &Session{b: b, s: s, bl: newBlaster(b, s), simp: newSimplifier(b)}
+}
+
+// Queries returns the number of Check calls issued on the session.
+func (ss *Session) Queries() int { return ss.queries }
+
+// Check decides the conjunction of the given boolean assertions under
+// the session's resource configuration, reusing all encoding and search
+// state accumulated by earlier calls. Deadline and budget are applied
+// per call. On Sat, the model assigns every free variable appearing in
+// the original (pre-simplification) assertions.
+func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
+	start := time.Now()
+	b, s := ss.b, ss.s
+	s.SetDeadline(cfg.Deadline)
+	s.SetBudget(cfg.PropagationBudget)
+
+	// Collect variables from the original assertions: simplification may
+	// eliminate some entirely, but the model must still cover them (any
+	// model of the simplified query extends to one of the original, since
+	// every rewrite is an equivalence over the same free variables).
+	vars := map[TermID]bool{}
+	for _, a := range assertions {
+		if b.SortOf(a).Kind != KindBool {
+			return Result{}, fmt.Errorf("smt: assertion is %s, not Bool: %s", b.SortOf(a), b.String(a))
+		}
+		collectVars(b, a, vars)
+	}
+	// Blasting order determines SAT variable numbering, which steers the
+	// search's tie-breaking: keep it deterministic (and machine-independent
+	// under propagation budgets) by ordering on TermID, never map order.
+	varList := make([]TermID, 0, len(vars))
+	for v := range vars {
+		varList = append(varList, v)
+	}
+	sort.Slice(varList, func(i, j int) bool { return varList[i] < varList[j] })
+
+	// Word-level preprocessing: orient the elaborator's definitional
+	// equalities into a substitution, inline them, simplify, and flatten
+	// the result into unit assertions. Many equivalence queries collapse
+	// here — both sides fold to one hash-consed term, or the negated goal
+	// contradicts an asserted side condition — and are decided without
+	// building a circuit at all.
+	sol, substituted := solveEqs(b, assertions)
+	units := make([]TermID, 0, len(substituted))
+	var addUnit func(TermID)
+	addUnit = func(a TermID) {
+		t := b.Term(a)
+		if t.Op == OpAnd {
+			addUnit(t.Args[0])
+			addUnit(t.Args[1])
+			return
+		}
+		if v, ok := b.BoolVal(a); ok && v {
+			return
+		}
+		units = append(units, a)
+	}
+	for _, a := range substituted {
+		addUnit(ss.simp.rewrite(a))
+	}
+	unsat := false
+	pos := make(map[TermID]bool, len(units))
+	for _, u := range units {
+		if v, ok := b.BoolVal(u); ok && !v {
+			unsat = true
+			break
+		}
+		pos[u] = true
+	}
+	if !unsat {
+		for _, u := range units {
+			if t := b.Term(u); t.Op == OpNot && pos[t.Args[0]] {
+				unsat = true
+				break
+			}
+		}
+	}
+	if unsat {
+		ss.queries++
+		return Result{
+			Status:     sat.Unsat,
+			SATVars:    s.NumVars(),
+			SATClauses: s.NumClauses(),
+			Duration:   time.Since(start),
+		}, nil
+	}
+
+	firstNew := sat.Var(s.NumVars())
+	act := sat.MkLit(s.NewVar(), false)
+	for _, u := range units {
+		l, err := ss.bl.blastBool(u)
+		if err != nil {
+			return Result{}, err
+		}
+		if !s.AddClause(act.Not(), l) {
+			return Result{}, fmt.Errorf("smt: session solver in contradictory state")
+		}
+	}
+	for _, v := range varList {
+		if sol.solved(v) {
+			// Eliminated by the substitution: no circuit needed, the model
+			// value is reconstructed from the definition below.
+			continue
+		}
+		var err error
+		if b.SortOf(v).Kind == KindBV {
+			_, err = ss.bl.blastBV(v)
+		} else {
+			_, err = ss.bl.blastBool(v)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Steer branching into this query's newly encoded cone: stale activity
+	// from earlier queries would otherwise send every restart through
+	// retired circuitry first.
+	s.PrioritizeVarsFrom(firstNew)
+
+	res := Result{
+		SATVars:    s.NumVars(),
+		SATClauses: s.NumClauses(),
+	}
+	res.Status = s.Solve(act)
+	res.Propagations, res.Conflicts, res.Decisions = s.LastStats()
+	ss.queries++
+
+	if res.Status == sat.Sat {
+		// Read the model before retiring the query: retiring adds a
+		// clause, which drops the satisfying trail.
+		m := &Model{vals: make(map[string]Value)}
+		for _, v := range varList {
+			if sol.solved(v) {
+				continue
+			}
+			t := b.Term(v)
+			switch t.Sort.Kind {
+			case KindBV:
+				if u, ok := ss.bl.wordValue(v); ok {
+					m.vals[t.Name] = BVValue(u, t.Sort.Width)
+				}
+			case KindBool:
+				if bv, ok := ss.bl.boolValue(v); ok {
+					m.vals[t.Name] = BoolValue(bv)
+				}
+			}
+		}
+		// Variables eliminated by equality solving get their values back by
+		// evaluating their definitions under the model just read.
+		sol.extendModel(m)
+		res.Model = m
+	}
+	s.AddClause(act.Not())
+	res.Duration = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,182 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestSessionMultipleQueries runs a mix of sat and unsat queries through
+// one session: every verdict must be correct, models must satisfy their
+// queries, and retired queries must not leak into later ones.
+func TestSessionMultipleQueries(t *testing.T) {
+	b := NewBuilder()
+	ss := NewSession(b)
+	x := b.Var("x", BV(16))
+	y := b.Var("y", BV(16))
+
+	// Q1 (sat): x + y = 10 ∧ x = 3.
+	res, err := ss.Check([]TermID{
+		b.Eq(b.BVAdd(x, y), b.BVConst(10, 16)),
+		b.Eq(x, b.BVConst(3, 16)),
+	}, Config{})
+	if err != nil || res.Status != SatRes {
+		t.Fatalf("q1 = %v, %v", res.Status, err)
+	}
+	if v, ok := res.Model.Value("y"); !ok || v.Bits != 7 {
+		t.Fatalf("q1 model y = %v, want 7", v)
+	}
+
+	// Q2 (unsat): x ≠ x. The previous query's constraints must not be
+	// consulted — and this contradiction must not poison later queries.
+	res, err = ss.Check([]TermID{b.Distinct(x, x)}, Config{})
+	if err != nil || res.Status != UnsatRes {
+		t.Fatalf("q2 = %v, %v", res.Status, err)
+	}
+
+	// Q3 (sat): x = 100 — contradicts Q1's x = 3, so any leak of retired
+	// assertions shows up as unsat here.
+	res, err = ss.Check([]TermID{b.Eq(x, b.BVConst(100, 16))}, Config{})
+	if err != nil || res.Status != SatRes {
+		t.Fatalf("q3 = %v, %v (retired query leaked?)", res.Status, err)
+	}
+	if v, ok := res.Model.Value("x"); !ok || v.Bits != 100 {
+		t.Fatalf("q3 model x = %v, want 100", v)
+	}
+
+	// Q4 (unsat): commutativity of addition.
+	res, err = ss.Check([]TermID{b.Distinct(b.BVAdd(x, y), b.BVAdd(y, x))}, Config{})
+	if err != nil || res.Status != UnsatRes {
+		t.Fatalf("q4 = %v, %v", res.Status, err)
+	}
+	if ss.Queries() != 4 {
+		t.Fatalf("Queries() = %d, want 4", ss.Queries())
+	}
+}
+
+// TestSessionModelCoversSimplifiedAwayVars: when simplification removes
+// a variable from the query entirely, the model must still assign it.
+func TestSessionModelCoversSimplifiedAwayVars(t *testing.T) {
+	b := NewBuilder()
+	ss := NewSession(b)
+	x := b.Var("x", BV(8))
+	y := b.Var("y", BV(8))
+	// x & ~x = 0 is a tautology the simplifier (not the builder) folds:
+	// x vanishes pre-blast. y = 5 keeps the query nontrivial.
+	res, err := ss.Check([]TermID{
+		b.Eq(b.BVAnd(x, b.BVNot(x)), b.BVConst(0, 8)),
+		b.Eq(y, b.BVConst(5, 8)),
+	}, Config{})
+	if err != nil || res.Status != SatRes {
+		t.Fatalf("check = %v, %v", res.Status, err)
+	}
+	if _, ok := res.Model.Value("x"); !ok {
+		t.Fatal("model must assign x even though simplification removed it")
+	}
+	if v, ok := res.Model.Value("y"); !ok || v.Bits != 5 {
+		t.Fatalf("model y = %v, want 5", v)
+	}
+}
+
+// TestSessionBudgetPerQuery: a budget-exhausted query must not poison
+// the session — the next query with a cleared budget completes.
+func TestSessionBudgetPerQuery(t *testing.T) {
+	b := NewBuilder()
+	ss := NewSession(b)
+	x := b.Var("x", BV(64))
+	y := b.Var("y", BV(64))
+	// Distributivity is beyond the word-level rewrites (commutativity is
+	// not: operand ordering hash-cons-collapses it), so this genuinely
+	// reaches the bit-level search.
+	hard := b.Distinct(b.BVMul(x, b.BVAdd(y, b.BVConst(1, 64))), b.BVAdd(b.BVMul(x, y), x))
+	res, err := ss.Check([]TermID{hard}, Config{PropagationBudget: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("64-bit mul commutativity under 1000 propagations = %v, want unknown", res.Status)
+	}
+	// Same session, unlimited budget, easy query.
+	res, err = ss.Check([]TermID{b.Eq(x, b.BVConst(42, 64))}, Config{})
+	if err != nil || res.Status != SatRes {
+		t.Fatalf("easy query after budget exhaustion = %v, %v", res.Status, err)
+	}
+	if v, ok := res.Model.Value("x"); !ok || v.Bits != 42 {
+		t.Fatalf("model x = %v, want 42", v)
+	}
+}
+
+// TestSessionDeadlinePerQuery mirrors the budget test with wall-clock
+// deadlines.
+func TestSessionDeadlinePerQuery(t *testing.T) {
+	b := NewBuilder()
+	ss := NewSession(b)
+	x := b.Var("x", BV(64))
+	y := b.Var("y", BV(64))
+	hard := b.Distinct(b.BVMul(x, b.BVAdd(y, b.BVConst(1, 64))), b.BVAdd(b.BVMul(x, y), x))
+	res, err := ss.Check([]TermID{hard}, Config{Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("expired deadline = %v, want unknown", res.Status)
+	}
+	res, err = ss.Check([]TermID{b.Eq(y, b.BVConst(7, 64))}, Config{})
+	if err != nil || res.Status != SatRes {
+		t.Fatalf("query after expired deadline = %v, %v", res.Status, err)
+	}
+}
+
+// TestQuickSessionMatchesEvalRandomTrees is the incremental analogue of
+// TestQuickBlastAgainstEvalRandomTrees: ONE session answers a long
+// stream of unrelated random queries, and every verdict must agree with
+// the reference evaluator. This exercises activation-literal hygiene,
+// learned-clause retention, and the shared simplifier memo across
+// queries.
+func TestQuickSessionMatchesEvalRandomTrees(t *testing.T) {
+	r := rand.New(rand.NewSource(20260806))
+	b := NewBuilder()
+	ss := NewSession(b)
+	iter := 0
+	f := func() bool {
+		iter++
+		w := []int{4, 8, 16}[r.Intn(3)]
+		g := &randGen{r: r, b: b, w: w}
+		env := Env{}
+		var asserts []TermID
+		nvars := 1 + r.Intn(3)
+		for i := 0; i < nvars; i++ {
+			name := string(rune('a'+i)) + "w" + string(rune('0'+w/4))
+			v := b.Var(name, BV(w))
+			g.bvs = append(g.bvs, v)
+			env[name] = BVValue(r.Uint64(), w)
+			asserts = append(asserts, b.Eq(v, b.BVConst(env[name].Bits, w)))
+		}
+		expr := g.bv(2 + r.Intn(2))
+		want, err := b.Eval(expr, env)
+		if err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+		// Pinned inputs + expr ≠ eval(expr) must be unsat...
+		neq := append(append([]TermID{}, asserts...), b.Distinct(expr, b.BVConst(want.Bits, w)))
+		res, err := ss.Check(neq, Config{})
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		if res.Status != UnsatRes {
+			t.Logf("iter %d: expr %s env %v want %s", iter, b.String(expr), env, want)
+			return false
+		}
+		// ...and expr = eval(expr) must be sat, on the same session.
+		eq := append(append([]TermID{}, asserts...), b.Eq(expr, b.BVConst(want.Bits, w)))
+		res, err = ss.Check(eq, Config{})
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		return res.Status == SatRes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,556 @@
+package smt
+
+import "math/bits"
+
+// Word-level pre-blast simplification.
+//
+// The verifier's queries share large amounts of structure (§4.1: near-
+// identical bitvector VCs across a rule's type instantiations), and much
+// of it collapses before bit-blasting: xors of equal terms, masked
+// constants threaded through extends and concats, shifts by
+// out-of-range constants. The simplifier rewrites a term to an
+// equivalent — not merely equisatisfiable — term over the same free
+// variables, so models of the simplified query are models of the
+// original and counterexample extraction is unaffected.
+//
+// The pass is a memoized bottom-up rebuild: every node is reconstructed
+// through the Builder constructors (re-triggering their local constant
+// folds on the simplified children) and then run through the rule table
+// below to a local fixpoint. Rules that decompose a term into narrower
+// subproblems (equality splitting over concat, extraction through
+// concat/extend) recurse on the strictly smaller pieces, so the pass
+// terminates.
+
+type simplifier struct {
+	b    *Builder
+	memo map[TermID]TermID
+}
+
+func newSimplifier(b *Builder) *simplifier {
+	return &simplifier{b: b, memo: make(map[TermID]TermID)}
+}
+
+// Simplify returns a term equivalent to id, typically smaller. The
+// result is interned in the same builder.
+func (b *Builder) Simplify(id TermID) TermID {
+	return newSimplifier(b).rewrite(id)
+}
+
+// rewrite simplifies id bottom-up with memoization. The memo persists
+// for the simplifier's lifetime (a Session keeps one across queries), so
+// structure shared between queries is rewritten once.
+func (sp *simplifier) rewrite(id TermID) TermID {
+	if out, ok := sp.memo[id]; ok {
+		return out
+	}
+	t := *sp.b.Term(id)
+	var as [3]TermID
+	for i := 0; i < t.NArg; i++ {
+		as[i] = sp.rewrite(t.Args[i])
+	}
+	out := sp.top(sp.rebuild(id, &t, as))
+	sp.memo[id] = out
+	return out
+}
+
+// top applies the rule table at the root until it no longer fires. The
+// iteration cap is pure defense: every rule strictly shrinks the term or
+// a constant argument, so a fixpoint is reached long before it.
+func (sp *simplifier) top(id TermID) TermID {
+	for i := 0; i < 64; i++ {
+		n := sp.rules(id)
+		if n == id {
+			break
+		}
+		id = n
+	}
+	return id
+}
+
+// rebuild reconstructs the node through the public constructors so their
+// constant folds and identities (x^x→0, x&x→x, ite-equal-arms, shifts by
+// zero, const-const folds) apply to the simplified children.
+func (sp *simplifier) rebuild(id TermID, t *Term, a [3]TermID) TermID {
+	return rebuildNode(sp.b, id, t, a)
+}
+
+// rebuildNode rebuilds one term node with replacement children through
+// the public constructors (shared by the simplifier and solveEqs).
+func rebuildNode(b *Builder, id TermID, t *Term, a [3]TermID) TermID {
+	switch t.Op {
+	case OpNot:
+		return b.Not(a[0])
+	case OpAnd:
+		return b.And(a[0], a[1])
+	case OpOr:
+		return b.Or(a[0], a[1])
+	case OpXorB:
+		return b.XorB(a[0], a[1])
+	case OpImplies:
+		return b.Implies(a[0], a[1])
+	case OpIff:
+		return b.Iff(a[0], a[1])
+	case OpIte:
+		return b.Ite(a[0], a[1], a[2])
+	case OpEq:
+		return b.Eq(a[0], a[1])
+	case OpBVNot:
+		return b.BVNot(a[0])
+	case OpBVNeg:
+		return b.BVNeg(a[0])
+	case OpBVAdd:
+		return b.BVAdd(a[0], a[1])
+	case OpBVSub:
+		return b.BVSub(a[0], a[1])
+	case OpBVMul:
+		return b.BVMul(a[0], a[1])
+	case OpBVUDiv:
+		return b.BVUDiv(a[0], a[1])
+	case OpBVURem:
+		return b.BVURem(a[0], a[1])
+	case OpBVSDiv:
+		return b.BVSDiv(a[0], a[1])
+	case OpBVSRem:
+		return b.BVSRem(a[0], a[1])
+	case OpBVAnd:
+		return b.BVAnd(a[0], a[1])
+	case OpBVOr:
+		return b.BVOr(a[0], a[1])
+	case OpBVXor:
+		return b.BVXor(a[0], a[1])
+	case OpBVShl:
+		return b.BVShl(a[0], a[1])
+	case OpBVLshr:
+		return b.BVLshr(a[0], a[1])
+	case OpBVAshr:
+		return b.BVAshr(a[0], a[1])
+	case OpBVRotl:
+		return b.BVRotl(a[0], a[1])
+	case OpBVRotr:
+		return b.BVRotr(a[0], a[1])
+	case OpBVUlt:
+		return b.BVUlt(a[0], a[1])
+	case OpBVUle:
+		return b.BVUle(a[0], a[1])
+	case OpBVSlt:
+		return b.BVSlt(a[0], a[1])
+	case OpBVSle:
+		return b.BVSle(a[0], a[1])
+	case OpExtract:
+		return b.Extract(int(t.IArg), int(t.JArg), a[0])
+	case OpConcat:
+		return b.Concat(a[0], a[1])
+	case OpZeroExt:
+		return b.ZeroExt(t.Sort.Width, a[0])
+	case OpSignExt:
+		return b.SignExt(t.Sort.Width, a[0])
+	case OpCLZ:
+		return b.CLZ(a[0])
+	case OpPopcnt:
+		return b.Popcnt(a[0])
+	case OpRev:
+		return b.Rev(a[0])
+	case OpIntAdd:
+		return b.IntAdd(a[0], a[1])
+	case OpIntSub:
+		return b.IntSub(a[0], a[1])
+	case OpIntMul:
+		return b.IntMul(a[0], a[1])
+	case OpIntLe:
+		return b.IntLe(a[0], a[1])
+	case OpIntLt:
+		return b.IntLt(a[0], a[1])
+	case OpIntGe:
+		return b.IntGe(a[0], a[1])
+	case OpIntGt:
+		return b.IntGt(a[0], a[1])
+	default:
+		// Leaves (vars, constants) and any op without a rebuild path pass
+		// through untouched.
+		return id
+	}
+}
+
+// isNotOf reports whether x is (not y) / (bvnot y) for the given op.
+func (sp *simplifier) isNotOf(op Op, x, y TermID) bool {
+	t := sp.b.Term(x)
+	return t.Op == op && t.Args[0] == y
+}
+
+// orderCommutative puts the operands of a commutative node in TermID
+// order, so structurally equal terms built in different operand orders
+// hash-cons to one node (the equivalence queries compare an IR-shaped
+// expression against an instruction-shaped one, and the two sides
+// routinely commute operands). The rewrite fires only on strictly
+// out-of-order operands, so it is idempotent.
+func (sp *simplifier) orderCommutative(id TermID, t *Term) TermID {
+	if t.Args[0] <= t.Args[1] {
+		return id
+	}
+	return rebuildNode(sp.b, id, t, [3]TermID{t.Args[1], t.Args[0], NoTerm})
+}
+
+// rules applies one step of root-level rewriting; it returns id when no
+// rule fires. Children are already simplified when rules runs.
+func (sp *simplifier) rules(id TermID) TermID {
+	b := sp.b
+	t := b.Term(id)
+	switch t.Op {
+	case OpAnd:
+		if sp.isNotOf(OpNot, t.Args[0], t.Args[1]) || sp.isNotOf(OpNot, t.Args[1], t.Args[0]) {
+			return b.BoolConst(false)
+		}
+		return sp.orderCommutative(id, t)
+	case OpOr, OpXorB:
+		if sp.isNotOf(OpNot, t.Args[0], t.Args[1]) || sp.isNotOf(OpNot, t.Args[1], t.Args[0]) {
+			return b.BoolConst(true)
+		}
+		return sp.orderCommutative(id, t)
+	case OpBVAdd, OpBVMul:
+		return sp.orderCommutative(id, t)
+	case OpIte:
+		c, th, el := t.Args[0], t.Args[1], t.Args[2]
+		if ct := b.Term(c); ct.Op == OpNot {
+			return b.Ite(ct.Args[0], el, th)
+		}
+		if t.Sort.Kind == KindBool {
+			// A constant branch turns the ite into plain and/or structure,
+			// which blasts to fewer gates than a 3-input mux.
+			if tv, ok := b.BoolVal(th); ok {
+				if tv {
+					return b.Or(c, el)
+				}
+				return b.And(b.Not(c), el)
+			}
+			if ev, ok := b.BoolVal(el); ok {
+				if ev {
+					return b.Or(b.Not(c), th)
+				}
+				return b.And(c, th)
+			}
+		}
+	case OpBVAnd:
+		if sp.isNotOf(OpBVNot, t.Args[0], t.Args[1]) || sp.isNotOf(OpBVNot, t.Args[1], t.Args[0]) {
+			return b.BVConst(0, t.Sort.Width)
+		}
+		return sp.orderCommutative(id, t)
+	case OpBVOr, OpBVXor:
+		if sp.isNotOf(OpBVNot, t.Args[0], t.Args[1]) || sp.isNotOf(OpBVNot, t.Args[1], t.Args[0]) {
+			return b.BVConst(mask(t.Sort.Width), t.Sort.Width)
+		}
+		return sp.orderCommutative(id, t)
+	case OpBVURem:
+		// x urem 2^k = x & (2^k − 1). The IR specs express modulo-width
+		// shift amounts with urem, the instruction specs with a mask; this
+		// makes the two spellings identical.
+		if c, ok := b.BVVal(t.Args[1]); ok && c != 0 && c&(c-1) == 0 {
+			return b.BVAnd(t.Args[0], b.BVConst(c-1, t.Sort.Width))
+		}
+	case OpBVUDiv:
+		if c, ok := b.BVVal(t.Args[1]); ok && c != 0 && c&(c-1) == 0 {
+			return b.BVLshr(t.Args[0], b.BVConst(uint64(bits.TrailingZeros64(c)), t.Sort.Width))
+		}
+	case OpBVShl, OpBVLshr:
+		return sp.logicalShift(id, t)
+	case OpBVAshr:
+		return sp.arithShift(id, t)
+	case OpBVRotl, OpBVRotr:
+		return sp.rotate(id, t)
+	case OpExtract:
+		return sp.extract(id, t)
+	case OpZeroExt:
+		if inner := b.Term(t.Args[0]); inner.Op == OpZeroExt {
+			return b.ZeroExt(t.Sort.Width, inner.Args[0])
+		}
+	case OpSignExt:
+		inner := b.Term(t.Args[0])
+		if inner.Op == OpSignExt {
+			return b.SignExt(t.Sort.Width, inner.Args[0])
+		}
+		if inner.Op == OpZeroExt {
+			// A zero-extension is strict (the builder folds the identity
+			// case), so the extended value's top bit is 0 and sign- and
+			// zero-extension coincide.
+			return b.ZeroExt(t.Sort.Width, inner.Args[0])
+		}
+	case OpEq:
+		return sp.equality(id, t)
+	}
+	return id
+}
+
+// logicalShift handles shl/lshr with a constant amount: out-of-range
+// amounts give zero, and stacked constant shifts of the same kind fuse.
+func (sp *simplifier) logicalShift(id TermID, t *Term) TermID {
+	b := sp.b
+	w := t.Sort.Width
+	c, ok := b.BVVal(t.Args[1])
+	if !ok {
+		return id
+	}
+	if c >= uint64(w) {
+		return b.BVConst(0, w)
+	}
+	x := b.Term(t.Args[0])
+	if x.Op != t.Op {
+		return id
+	}
+	c2, ok := b.BVVal(x.Args[1])
+	if !ok {
+		return id
+	}
+	// The inner amount is already canonical, so c2 < w and c+c2 cannot
+	// overflow.
+	if c+c2 >= uint64(w) {
+		return b.BVConst(0, w)
+	}
+	mk := b.BVShl
+	if t.Op == OpBVLshr {
+		mk = b.BVLshr
+	}
+	return mk(x.Args[0], b.BVConst(c+c2, w))
+}
+
+// arithShift clamps constant ashr amounts at width-1 and fuses stacked
+// constant arithmetic shifts (saturating at width-1).
+func (sp *simplifier) arithShift(id TermID, t *Term) TermID {
+	b := sp.b
+	w := t.Sort.Width
+	c, ok := b.BVVal(t.Args[1])
+	if !ok {
+		return id
+	}
+	if c >= uint64(w) {
+		return b.BVAshr(t.Args[0], b.BVConst(uint64(w-1), w))
+	}
+	x := b.Term(t.Args[0])
+	if x.Op != OpBVAshr {
+		return id
+	}
+	c2, ok := b.BVVal(x.Args[1])
+	if !ok {
+		return id
+	}
+	sum := c + c2
+	if sum > uint64(w-1) {
+		sum = uint64(w - 1)
+	}
+	return b.BVAshr(x.Args[0], b.BVConst(sum, w))
+}
+
+// rotate reduces constant rotate amounts mod the width and fuses stacked
+// constant rotates of the same direction.
+func (sp *simplifier) rotate(id TermID, t *Term) TermID {
+	b := sp.b
+	w := t.Sort.Width
+	c, ok := b.BVVal(t.Args[1])
+	if !ok {
+		return id
+	}
+	mk := b.BVRotl
+	if t.Op == OpBVRotr {
+		mk = b.BVRotr
+	}
+	if r := c % uint64(w); r != c {
+		return mk(t.Args[0], b.BVConst(r, w))
+	}
+	x := b.Term(t.Args[0])
+	if x.Op != t.Op {
+		return id
+	}
+	c2, ok := b.BVVal(x.Args[1])
+	if !ok {
+		return id
+	}
+	return mk(x.Args[0], b.BVConst((c+c2)%uint64(w), w))
+}
+
+// extract pushes extraction through concat, nested extracts, and
+// extensions, narrowing the circuit the blaster must build.
+func (sp *simplifier) extract(id TermID, t *Term) TermID {
+	b := sp.b
+	hi, lo := int(t.IArg), int(t.JArg)
+	x := b.Term(t.Args[0])
+	switch x.Op {
+	case OpExtract:
+		return b.Extract(int(x.JArg)+hi, int(x.JArg)+lo, x.Args[0])
+	case OpConcat:
+		hiP, loP := x.Args[0], x.Args[1]
+		wl := b.SortOf(loP).Width
+		switch {
+		case hi < wl:
+			return sp.top(b.Extract(hi, lo, loP))
+		case lo >= wl:
+			return sp.top(b.Extract(hi-wl, lo-wl, hiP))
+		default:
+			return b.Concat(sp.top(b.Extract(hi-wl, 0, hiP)), sp.top(b.Extract(wl-1, lo, loP)))
+		}
+	case OpZeroExt:
+		inner := x.Args[0]
+		wx := b.SortOf(inner).Width
+		switch {
+		case hi < wx:
+			return sp.top(b.Extract(hi, lo, inner))
+		case lo >= wx:
+			return b.BVConst(0, hi-lo+1)
+		default:
+			return b.Concat(b.BVConst(0, hi-wx+1), sp.top(b.Extract(wx-1, lo, inner)))
+		}
+	case OpSignExt:
+		inner := x.Args[0]
+		wx := b.SortOf(inner).Width
+		if hi < wx {
+			return sp.top(b.Extract(hi, lo, inner))
+		}
+	case OpBVShl, OpBVLshr:
+		// Push extraction through a constant shift: bit i of (shl y c) is
+		// y[i-c] (zero below c), bit i of (lshr y c) is y[i+c] (zero at and
+		// above w). The high-half/low-half selections the lowering rules
+		// perform (lsr of a widened product, extract of a shifted value)
+		// reduce to plain extracts of the shift operand.
+		c, ok := b.BVVal(x.Args[1])
+		w := x.Sort.Width
+		if !ok || c >= uint64(w) {
+			// Out-of-range constant amounts are folded to zero by the shift
+			// rules before extraction sees them; this is defensive.
+			return id
+		}
+		ci := int(c)
+		if x.Op == OpBVShl {
+			switch {
+			case hi < ci:
+				return b.BVConst(0, hi-lo+1)
+			case lo >= ci:
+				return sp.top(b.Extract(hi-ci, lo-ci, x.Args[0]))
+			default:
+				return b.Concat(sp.top(b.Extract(hi-ci, 0, x.Args[0])), b.BVConst(0, ci-lo))
+			}
+		}
+		switch {
+		case hi+ci < w:
+			return sp.top(b.Extract(hi+ci, lo+ci, x.Args[0]))
+		case lo+ci >= w:
+			return b.BVConst(0, hi-lo+1)
+		default:
+			return b.Concat(b.BVConst(0, hi+ci-w+1), sp.top(b.Extract(w-1, lo+ci, x.Args[0])))
+		}
+	}
+	return id
+}
+
+// equality chains constants through invertible operations and splits
+// equalities over concatenations and extensions into narrower ones.
+func (sp *simplifier) equality(id TermID, t *Term) TermID {
+	b := sp.b
+	l, r := t.Args[0], t.Args[1]
+	if b.SortOf(l).Kind != KindBV {
+		return id
+	}
+	if _, ok := b.BVVal(l); ok {
+		l, r = r, l
+	}
+	if c, ok := b.BVVal(r); ok {
+		return sp.eqConst(id, l, c)
+	}
+	lt, rt := b.Term(l), b.Term(r)
+	// x = ite(c, a, x)  ⇔  ¬c ∨ x = a (and the mirrored arms): the shared
+	// arm contributes nothing, so the expensive term it names is never
+	// constrained through this equality.
+	if rt.Op == OpIte {
+		if rt.Args[2] == l {
+			return sp.top(b.Or(b.Not(rt.Args[0]), sp.top(b.Eq(l, rt.Args[1]))))
+		}
+		if rt.Args[1] == l {
+			return sp.top(b.Or(rt.Args[0], sp.top(b.Eq(l, rt.Args[2]))))
+		}
+	}
+	if lt.Op == OpIte {
+		if lt.Args[2] == r {
+			return sp.top(b.Or(b.Not(lt.Args[0]), sp.top(b.Eq(r, lt.Args[1]))))
+		}
+		if lt.Args[1] == r {
+			return sp.top(b.Or(lt.Args[0], sp.top(b.Eq(r, lt.Args[2]))))
+		}
+	}
+	if lt.Op != rt.Op {
+		return sp.orderCommutative(id, b.Term(id))
+	}
+	switch lt.Op {
+	case OpZeroExt, OpSignExt:
+		if b.SortOf(lt.Args[0]).Width == b.SortOf(rt.Args[0]).Width {
+			return sp.top(b.Eq(lt.Args[0], rt.Args[0]))
+		}
+	case OpConcat:
+		if b.SortOf(lt.Args[0]).Width == b.SortOf(rt.Args[0]).Width {
+			return b.And(sp.top(b.Eq(lt.Args[0], rt.Args[0])), sp.top(b.Eq(lt.Args[1], rt.Args[1])))
+		}
+	case OpBVNot, OpBVNeg:
+		return sp.top(b.Eq(lt.Args[0], rt.Args[0]))
+	}
+	return sp.orderCommutative(id, b.Term(id))
+}
+
+// eqConst simplifies l = c for a constant c.
+func (sp *simplifier) eqConst(id, l TermID, c uint64) TermID {
+	b := sp.b
+	lt := b.Term(l)
+	w := lt.Sort.Width
+	constArg := func() (other TermID, cv uint64, ok bool) {
+		if v, k := b.BVVal(lt.Args[0]); k {
+			return lt.Args[1], v, true
+		}
+		if v, k := b.BVVal(lt.Args[1]); k {
+			return lt.Args[0], v, true
+		}
+		return NoTerm, 0, false
+	}
+	switch lt.Op {
+	case OpBVAdd:
+		if x, c1, ok := constArg(); ok {
+			return sp.top(b.Eq(x, b.BVConst(c-c1, w)))
+		}
+	case OpBVSub:
+		if c1, ok := b.BVVal(lt.Args[1]); ok { // x - c1 = c  ⇒  x = c + c1
+			return sp.top(b.Eq(lt.Args[0], b.BVConst(c+c1, w)))
+		}
+		if c1, ok := b.BVVal(lt.Args[0]); ok { // c1 - y = c  ⇒  y = c1 - c
+			return sp.top(b.Eq(lt.Args[1], b.BVConst(c1-c, w)))
+		}
+		if c == 0 { // x - y = 0  ⇒  x = y
+			return sp.top(b.Eq(lt.Args[0], lt.Args[1]))
+		}
+	case OpBVXor:
+		if x, c1, ok := constArg(); ok {
+			return sp.top(b.Eq(x, b.BVConst(c^c1, w)))
+		}
+		if c == 0 { // x ^ y = 0  ⇒  x = y
+			return sp.top(b.Eq(lt.Args[0], lt.Args[1]))
+		}
+	case OpBVNot:
+		return sp.top(b.Eq(lt.Args[0], b.BVConst(^c, w)))
+	case OpBVNeg:
+		return sp.top(b.Eq(lt.Args[0], b.BVConst(-c, w)))
+	case OpZeroExt:
+		inner := lt.Args[0]
+		wx := b.SortOf(inner).Width
+		if c>>uint(wx) != 0 {
+			return b.BoolConst(false)
+		}
+		return sp.top(b.Eq(inner, b.BVConst(c, wx)))
+	case OpSignExt:
+		inner := lt.Args[0]
+		wx := b.SortOf(inner).Width
+		trunc := c & mask(wx)
+		if uint64(sext(trunc, wx))&mask(w) != c {
+			return b.BoolConst(false)
+		}
+		return sp.top(b.Eq(inner, b.BVConst(trunc, wx)))
+	case OpConcat:
+		hiP, loP := lt.Args[0], lt.Args[1]
+		wl := b.SortOf(loP).Width
+		return b.And(
+			sp.top(b.Eq(hiP, b.BVConst(c>>uint(wl), b.SortOf(hiP).Width))),
+			sp.top(b.Eq(loP, b.BVConst(c&mask(wl), wl))))
+	}
+	return id
+}

@@ -1,0 +1,209 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSimplifyStructural pins the shape of each root-rule rewrite class.
+// Terms are interned, so expecting a specific TermID is exact.
+func TestSimplifyStructural(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	y := b.Var("y", BV(8))
+	p := b.Var("p", Bool)
+	q := b.Var("q", Bool)
+	cst := func(v uint64, w int) TermID { return b.BVConst(v, w) }
+
+	cases := []struct {
+		name string
+		in   TermID
+		want TermID
+	}{
+		// Boolean complements.
+		{"and-compl", b.And(p, b.Not(p)), b.BoolConst(false)},
+		{"or-compl", b.Or(b.Not(p), p), b.BoolConst(true)},
+		{"xor-compl", b.XorB(p, b.Not(p)), b.BoolConst(true)},
+		// Ite restructuring.
+		{"ite-not-cond", b.Ite(b.Not(p), x, y), b.Ite(p, y, x)},
+		{"ite-true-then", b.Ite(p, b.BoolConst(true), q), b.Or(p, q)},
+		{"ite-false-else", b.Ite(p, q, b.BoolConst(false)), b.And(p, q)},
+		// Bitvector complements.
+		{"bvand-compl", b.BVAnd(x, b.BVNot(x)), cst(0, 8)},
+		{"bvor-compl", b.BVOr(b.BVNot(x), x), cst(0xff, 8)},
+		{"bvxor-compl", b.BVXor(x, b.BVNot(x)), cst(0xff, 8)},
+		// Shift folding.
+		{"lshr-oob", b.BVLshr(x, cst(9, 8)), cst(0, 8)},
+		{"lshr-fuse", b.BVLshr(b.BVLshr(x, cst(3, 8)), cst(2, 8)), b.BVLshr(x, cst(5, 8))},
+		{"shl-fuse-oob", b.BVShl(b.BVShl(x, cst(5, 8)), cst(4, 8)), cst(0, 8)},
+		{"ashr-clamp", b.BVAshr(x, cst(12, 8)), b.BVAshr(x, cst(7, 8))},
+		{"ashr-fuse-sat", b.BVAshr(b.BVAshr(x, cst(5, 8)), cst(5, 8)), b.BVAshr(x, cst(7, 8))},
+		{"rotl-mod", b.BVRotl(x, cst(11, 8)), b.BVRotl(x, cst(3, 8))},
+		{"rotr-fuse", b.BVRotr(b.BVRotr(x, cst(3, 8)), cst(6, 8)), b.BVRotr(x, cst(1, 8))},
+		// Extension flattening.
+		{"zext-zext", b.ZeroExt(16, b.ZeroExt(12, x)), b.ZeroExt(16, x)},
+		{"sext-sext", b.SignExt(16, b.SignExt(12, x)), b.SignExt(16, x)},
+		{"sext-of-zext", b.SignExt(16, b.ZeroExt(12, x)), b.ZeroExt(16, x)},
+		// Extraction narrowing.
+		{"extract-concat-lo", b.Extract(5, 2, b.Concat(y, x)), b.Extract(5, 2, x)},
+		{"extract-concat-hi", b.Extract(13, 10, b.Concat(y, x)), b.Extract(5, 2, y)},
+		{"extract-concat-span", b.Extract(11, 4, b.Concat(y, x)),
+			b.Concat(b.Extract(3, 0, y), b.Extract(7, 4, x))},
+		{"extract-zext-low", b.Extract(5, 1, b.ZeroExt(16, x)), b.Extract(5, 1, x)},
+		{"extract-zext-high", b.Extract(15, 8, b.ZeroExt(16, x)), cst(0, 8)},
+		{"extract-sext-low", b.Extract(6, 0, b.SignExt(16, x)), b.Extract(6, 0, x)},
+		// Equality chaining.
+		{"eq-add-const", b.Eq(b.BVAdd(x, cst(5, 8)), cst(12, 8)), b.Eq(x, cst(7, 8))},
+		{"eq-sub-const", b.Eq(b.BVSub(x, cst(5, 8)), cst(12, 8)), b.Eq(x, cst(17, 8))},
+		{"eq-sub-zero", b.Eq(b.BVSub(x, y), cst(0, 8)), b.Eq(x, y)},
+		{"eq-xor-zero", b.Eq(b.BVXor(x, y), cst(0, 8)), b.Eq(x, y)},
+		{"eq-not-const", b.Eq(b.BVNot(x), cst(0xf0, 8)), b.Eq(x, cst(0x0f, 8))},
+		{"eq-neg-const", b.Eq(b.BVNeg(x), cst(1, 8)), b.Eq(x, cst(0xff, 8))},
+		{"eq-zext-narrow", b.Eq(b.ZeroExt(16, x), cst(0x42, 16)), b.Eq(x, cst(0x42, 8))},
+		{"eq-zext-range", b.Eq(b.ZeroExt(16, x), cst(0x1ff, 16)), b.BoolConst(false)},
+		{"eq-sext-range", b.Eq(b.SignExt(16, x), cst(0x00ff, 16)), b.BoolConst(false)},
+		{"eq-both-not", b.Eq(b.BVNot(x), b.BVNot(y)), b.Eq(x, y)},
+		{"eq-both-zext", b.Eq(b.ZeroExt(16, x), b.ZeroExt(16, y)), b.Eq(x, y)},
+		{"eq-concat-split", b.Eq(b.Concat(x, y), cst(0x1234, 16)),
+			b.And(b.Eq(x, cst(0x12, 8)), b.Eq(y, cst(0x34, 8)))},
+		// Unsigned rem/div by a power of two.
+		{"urem-pow2", b.BVURem(x, cst(8, 8)), b.BVAnd(x, cst(7, 8))},
+		{"udiv-pow2", b.BVUDiv(x, cst(4, 8)), b.BVLshr(x, cst(2, 8))},
+		// Extraction through constant shifts.
+		{"extract-shl-zero", b.Extract(1, 0, b.BVShl(x, cst(3, 8))), cst(0, 2)},
+		{"extract-shl-inner", b.Extract(6, 4, b.BVShl(x, cst(3, 8))), b.Extract(3, 1, x)},
+		{"extract-shl-span", b.Extract(5, 1, b.BVShl(x, cst(3, 8))),
+			b.Concat(b.Extract(2, 0, x), cst(0, 2))},
+		{"extract-lshr-inner", b.Extract(3, 1, b.BVLshr(x, cst(2, 8))), b.Extract(5, 3, x)},
+		{"extract-lshr-zero", b.Extract(7, 6, b.BVLshr(x, cst(6, 8))), cst(0, 2)},
+		{"extract-lshr-span", b.Extract(6, 2, b.BVLshr(x, cst(3, 8))),
+			b.Concat(cst(0, 2), b.Extract(7, 5, x))},
+		// Equality against an ite sharing one arm.
+		{"eq-ite-shared-else", b.Eq(x, b.Ite(p, y, x)), b.Or(b.Not(p), b.Eq(x, y))},
+		{"eq-ite-shared-then", b.Eq(x, b.Ite(p, x, y)), b.Or(p, b.Eq(x, y))},
+		// Commutative operand canonicalization: both spellings intern to the
+		// TermID-ordered node.
+		{"bvmul-commute", b.BVMul(y, x), b.Simplify(b.BVMul(x, y))},
+		{"bvadd-commute", b.BVAdd(y, x), b.Simplify(b.BVAdd(x, y))},
+	}
+	for _, tc := range cases {
+		got := b.Simplify(tc.in)
+		// Wants are written in canonical form, but commutative ordering
+		// depends on interning order, so normalize them the same way.
+		tc.want = b.Simplify(tc.want)
+		if got != tc.want {
+			t.Errorf("%s: Simplify(%s) = %s, want %s",
+				tc.name, b.String(tc.in), b.String(got), b.String(tc.want))
+		}
+	}
+}
+
+// TestQuickSimplifyPreservesSemantics: Simplify must be a semantic
+// identity on random bitvector and boolean trees — the cornerstone of
+// using it pre-blast (models must transfer to the original query).
+func TestQuickSimplifyPreservesSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(424242))
+	f := func() bool {
+		w := []int{4, 8, 16, 32}[r.Intn(4)]
+		b := NewBuilder()
+		g := &randGen{r: r, b: b, w: w}
+		env := Env{}
+		for i := 0; i < 1+r.Intn(3); i++ {
+			name := string(rune('a' + i))
+			g.bvs = append(g.bvs, b.Var(name, BV(w)))
+			env[name] = BVValue(r.Uint64(), w)
+		}
+		var expr TermID
+		if r.Intn(3) == 0 {
+			expr = g.boolean(3 + r.Intn(2))
+		} else {
+			expr = g.bv(3 + r.Intn(2))
+		}
+		simp := b.Simplify(expr)
+		want, err := b.Eval(expr, env)
+		if err != nil {
+			t.Fatalf("eval original: %v", err)
+		}
+		got, err := b.Eval(simp, env)
+		if err != nil {
+			t.Fatalf("eval simplified: %v", err)
+		}
+		if got != want {
+			t.Logf("expr %s\nsimp %s\nenv %v: got %v want %v",
+				b.String(expr), b.String(simp), env, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSimplifyTargetedShapes drives the rewrite classes the random
+// trees rarely hit (stacked constant shifts, extends, equalities against
+// constants) and checks semantics against the evaluator.
+func TestQuickSimplifyTargetedShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(99887766))
+	f := func() bool {
+		w := []int{8, 16, 32}[r.Intn(3)]
+		b := NewBuilder()
+		x := b.Var("x", BV(w))
+		y := b.Var("y", BV(w))
+		env := Env{"x": BVValue(r.Uint64(), w), "y": BVValue(r.Uint64(), w)}
+		amt := func() TermID { return b.BVConst(r.Uint64()%uint64(2*w), w) }
+		c := func() TermID { return b.BVConst(r.Uint64(), w) }
+
+		var expr TermID
+		switch r.Intn(10) {
+		case 0:
+			expr = b.BVLshr(b.BVLshr(x, amt()), amt())
+		case 1:
+			expr = b.BVShl(b.BVShl(x, amt()), amt())
+		case 2:
+			expr = b.BVAshr(b.BVAshr(x, amt()), amt())
+		case 3:
+			expr = b.BVRotl(b.BVRotr(b.BVRotl(x, amt()), amt()), amt())
+		case 4:
+			hi := 1 + r.Intn(2*w-1)
+			lo := r.Intn(hi + 1)
+			expr = b.ZeroExt(2*w, b.Extract(hi, lo, b.ZeroExt(2*w, x)))
+		case 5:
+			outer := 4 * w
+			if outer > 64 {
+				outer = 64
+			}
+			expr = b.ZeroExt(outer, b.SignExt(2*w, x))
+		case 6:
+			e := b.Eq(b.BVAdd(b.BVXor(x, c()), c()), c())
+			expr = b.Ite(e, x, y)
+		case 7:
+			e := b.Eq(b.BVSub(x, y), b.BVConst(0, w))
+			expr = b.Ite(e, b.BVNot(x), b.BVNeg(y))
+		case 8:
+			e := b.Eq(b.Concat(x, y), b.Concat(b.BVNot(y), b.BVNot(x)))
+			expr = b.Ite(e, x, y)
+		default:
+			e := b.Eq(b.ZeroExt(2*w, x), b.ZeroExt(2*w, b.BVAnd(y, b.BVNot(x))))
+			expr = b.Ite(e, x, y)
+		}
+		simp := b.Simplify(expr)
+		want, err := b.Eval(expr, env)
+		if err != nil {
+			t.Fatalf("eval original: %v", err)
+		}
+		got, err := b.Eval(simp, env)
+		if err != nil {
+			t.Fatalf("eval simplified: %v", err)
+		}
+		if got != want {
+			t.Logf("expr %s\nsimp %s\nenv %v", b.String(expr), b.String(simp), env)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}

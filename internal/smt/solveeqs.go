@@ -1,0 +1,204 @@
+package smt
+
+// Equality solving (the word-level analogue of Z3's solve-eqs tactic).
+//
+// Elaborated verification conditions arrive as SSA-style conjunctions of
+// definitional equalities — `%put_in_reg_6 = (concat junk x)`,
+// `%output_reg_4 = ((_ extract 31 0) %a64_madd_5)` — threaded through
+// intermediate variables. The structural rewrites in simplify.go cannot
+// see through those variables: `extract 31 0 (%reg)` never meets the
+// concat it extracts from. solveEqs orients such equalities into an
+// acyclic substitution, inlines every solved variable into the remaining
+// assertions, and lets the simplifier collapse the exposed structure.
+// For the corpus's mul/div/rem lowering rules this routinely folds both
+// sides of the equivalence query to the same term, deciding at the word
+// level what the bit-level search would time out on.
+//
+// The substituted conjunction is equisatisfiable with the original over
+// the unsolved variables: any model of it extends uniquely to the
+// original by evaluating each solved variable's definition, which is how
+// the session reconstructs full models (counterexamples must still bind
+// every variable the elaboration introduced).
+
+// eqSolution is the outcome of solveEqs: which variables were solved,
+// their fully substituted definitions, and a memo for applying the
+// substitution to further terms.
+type eqSolution struct {
+	b *Builder
+	// raw maps a solved variable to its (unsubstituted) definition.
+	raw map[TermID]TermID
+	// order lists solved variables in discovery order (deterministic).
+	order []TermID
+	memo  map[TermID]TermID
+}
+
+// solved reports whether v was eliminated by the substitution.
+func (es *eqSolution) solved(v TermID) bool {
+	_, ok := es.raw[v]
+	return ok
+}
+
+// apply substitutes every solved variable in id by its definition,
+// recursively; the result contains only unsolved variables.
+func (es *eqSolution) apply(id TermID) TermID {
+	if out, ok := es.memo[id]; ok {
+		return out
+	}
+	t := *es.b.Term(id)
+	var out TermID
+	switch {
+	case t.Op == OpVar:
+		if rhs, ok := es.raw[id]; ok {
+			out = es.apply(rhs)
+		} else {
+			out = id
+		}
+	case t.NArg == 0:
+		out = id
+	default:
+		var as [3]TermID
+		changed := false
+		for i := 0; i < t.NArg; i++ {
+			as[i] = es.apply(t.Args[i])
+			if as[i] != t.Args[i] {
+				changed = true
+			}
+		}
+		if changed {
+			out = rebuildNode(es.b, id, &t, as)
+		} else {
+			out = id
+		}
+	}
+	es.memo[id] = out
+	return out
+}
+
+// extendModel adds values for every solved variable to the model by
+// evaluating its definition under the model's environment. Definitions
+// are fully substituted, so they mention only unsolved variables, which
+// the model already covers.
+func (es *eqSolution) extendModel(m *Model) {
+	env := m.Env()
+	for _, v := range es.order {
+		def := es.apply(es.raw[v])
+		val, err := es.b.Eval(def, env)
+		if err != nil {
+			continue
+		}
+		name := es.b.Term(v).Name
+		m.vals[name] = val
+		env[name] = val
+	}
+}
+
+// occursIn reports whether variable v appears in term id.
+func occursIn(b *Builder, id, v TermID) bool {
+	seen := map[TermID]bool{}
+	var walk func(TermID) bool
+	walk = func(id TermID) bool {
+		if id == v {
+			return true
+		}
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		t := b.Term(id)
+		for i := 0; i < t.NArg; i++ {
+			if walk(t.Args[i]) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(id)
+}
+
+// solveEqs extracts an acyclic substitution from the definitional
+// equalities among the assertions and returns it along with the
+// substituted assertion set (defining equalities dropped — they become
+// t = t). Only bitvector-sorted variables are solved: boolean equality
+// is rebuilt as xor structure before it gets here, and integer terms
+// must constant-fold anyway.
+func solveEqs(b *Builder, assertions []TermID) (*eqSolution, []TermID) {
+	es := &eqSolution{b: b, raw: map[TermID]TermID{}, memo: map[TermID]TermID{}}
+	defAssert := map[TermID]TermID{} // solved var -> its defining assertion
+	for _, a := range assertions {
+		t := b.Term(a)
+		if t.Op != OpEq {
+			continue
+		}
+		x, y := t.Args[0], t.Args[1]
+		v, rhs := NoTerm, NoTerm
+		switch {
+		case b.Term(x).Op == OpVar && b.SortOf(x).Kind == KindBV:
+			v, rhs = x, y
+		case b.Term(y).Op == OpVar && b.SortOf(y).Kind == KindBV:
+			v, rhs = y, x
+		default:
+			continue
+		}
+		if es.solved(v) || occursIn(b, rhs, v) {
+			continue
+		}
+		es.raw[v] = rhs
+		es.order = append(es.order, v)
+		defAssert[v] = a
+	}
+
+	// Drop any definition that reaches its own variable through other
+	// definitions. Elaboration emits pure SSA chains, so cycles do not
+	// occur in practice; this is defensive, and deterministic because it
+	// walks variables in discovery order.
+	reaches := func(from, target TermID) bool {
+		seen := map[TermID]bool{}
+		var walk func(TermID) bool
+		walk = func(id TermID) bool {
+			if id == target {
+				return true
+			}
+			if seen[id] {
+				return false
+			}
+			seen[id] = true
+			t := b.Term(id)
+			if t.Op == OpVar {
+				if rhs, ok := es.raw[id]; ok {
+					return walk(rhs)
+				}
+				return false
+			}
+			for i := 0; i < t.NArg; i++ {
+				if walk(t.Args[i]) {
+					return true
+				}
+			}
+			return false
+		}
+		return walk(from)
+	}
+	kept := es.order[:0]
+	for _, v := range es.order {
+		if reaches(es.raw[v], v) {
+			delete(es.raw, v)
+			delete(defAssert, v)
+			continue
+		}
+		kept = append(kept, v)
+	}
+	es.order = kept
+
+	dropped := map[TermID]bool{}
+	for _, a := range defAssert {
+		dropped[a] = true
+	}
+	out := make([]TermID, 0, len(assertions))
+	for _, a := range assertions {
+		if dropped[a] {
+			continue
+		}
+		out = append(out, es.apply(a))
+	}
+	return es, out
+}

@@ -1,0 +1,104 @@
+package smt
+
+import "testing"
+
+// TestSolveEqsCollapsesDefinitionalChain: an SSA-style query — the shape
+// the elaborator emits — must be decided propositionally, with no SAT
+// search at all, once the definitional equalities are inlined and the
+// two sides of the equivalence hash-cons to one term.
+func TestSolveEqsCollapsesDefinitionalChain(t *testing.T) {
+	b := NewBuilder()
+	ss := NewSession(b)
+	x := b.Var("x", BV(32))
+	y := b.Var("y", BV(32))
+	r1 := b.Var("r1", BV(32))
+	r2 := b.Var("r2", BV(32))
+	asserts := []TermID{
+		b.Eq(r1, b.BVMul(x, y)),
+		b.Eq(r2, r1),
+		b.Not(b.Eq(r2, b.BVMul(y, x))),
+	}
+	res, err := ss.Check(asserts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != UnsatRes {
+		t.Fatalf("status = %v, want unsat", res.Status)
+	}
+	if res.Propagations != 0 || res.Decisions != 0 {
+		t.Fatalf("expected a propositional decision, got %d propagations / %d decisions",
+			res.Propagations, res.Decisions)
+	}
+}
+
+// TestSolveEqsModelReconstruction: variables eliminated by equality
+// solving must reappear in the model with values that satisfy the
+// ORIGINAL assertions (counterexample extraction depends on this).
+func TestSolveEqsModelReconstruction(t *testing.T) {
+	b := NewBuilder()
+	ss := NewSession(b)
+	x := b.Var("x", BV(16))
+	d := b.Var("d", BV(16))
+	asserts := []TermID{
+		b.Eq(d, b.BVAdd(x, b.BVConst(5, 16))),
+		b.BVUlt(d, b.BVConst(100, 16)),
+	}
+	res, err := ss.Check(asserts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != SatRes {
+		t.Fatalf("status = %v, want sat", res.Status)
+	}
+	for _, name := range []string{"x", "d"} {
+		if _, ok := res.Model.Value(name); !ok {
+			t.Fatalf("model missing %q: %v", name, res.Model)
+		}
+	}
+	env := res.Model.Env()
+	for _, a := range asserts {
+		v, err := b.Eval(a, env)
+		if err != nil {
+			t.Fatalf("eval %s: %v", b.String(a), err)
+		}
+		if v.Bits != 1 {
+			t.Fatalf("original assertion %s is false under reconstructed model %v",
+				b.String(a), res.Model)
+		}
+	}
+}
+
+// TestSolveEqsCyclicDefinitions: mutually recursive equalities must not
+// loop or mis-substitute. a = c+1 ∧ c = a+1 forces a = a+2, which is
+// unsatisfiable at any width > 1.
+func TestSolveEqsCyclicDefinitions(t *testing.T) {
+	b := NewBuilder()
+	a := b.Var("a", BV(8))
+	c := b.Var("c", BV(8))
+	asserts := []TermID{
+		b.Eq(a, b.BVAdd(c, b.BVConst(1, 8))),
+		b.Eq(c, b.BVAdd(a, b.BVConst(1, 8))),
+	}
+	sol, subst := solveEqs(b, asserts)
+	// The cycle-breaking pass must keep the substitution acyclic: no
+	// surviving definition may still mention a solved variable after
+	// application.
+	for v := range sol.raw {
+		def := sol.apply(sol.raw[v])
+		for u := range sol.raw {
+			if occursIn(b, def, u) {
+				t.Fatalf("definition of %s still mentions solved var %s", b.String(v), b.String(u))
+			}
+		}
+	}
+	if len(subst) == 0 {
+		t.Fatal("all assertions dropped: substitution lost constraints")
+	}
+	res, err := NewSession(b).Check(asserts, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != UnsatRes {
+		t.Fatalf("a=c+1 ∧ c=a+1 = %v, want unsat", res.Status)
+	}
+}

@@ -3,6 +3,7 @@ package smt
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"crocus/internal/sat"
@@ -50,11 +51,11 @@ func (m *Model) Env() Env {
 
 // String renders the model as sorted name=value lines.
 func (m *Model) String() string {
-	s := ""
+	var sb strings.Builder
 	for _, n := range m.Names() {
-		s += fmt.Sprintf("%s = %s\n", n, m.vals[n])
+		fmt.Fprintf(&sb, "%s = %s\n", n, m.vals[n])
 	}
-	return s
+	return sb.String()
 }
 
 // Result is the outcome of a Check call.
@@ -66,7 +67,9 @@ type Result struct {
 	SATVars    int
 	SATClauses int
 	Duration   time.Duration
-	// Cumulative SAT search statistics for this query (sat.Solver.Stats).
+	// SAT search statistics spent by this query alone
+	// (sat.Solver.LastStats; for an incremental Session these are
+	// per-call deltas, not session totals).
 	Propagations int64
 	Conflicts    int64
 	Decisions    int64
@@ -86,69 +89,12 @@ type Config struct {
 // builder's terms. On Sat, the model assigns every free variable that
 // appears (directly or transitively) in the assertions; variables the
 // folding eliminated entirely are absent.
+//
+// Check is the one-shot entry point: it runs a fresh single-query
+// Session (simplify → blast → solve). Callers issuing related queries
+// over one builder should hold a Session and amortize the encoding.
 func Check(b *Builder, assertions []TermID, cfg Config) (Result, error) {
-	start := time.Now()
-	s := sat.New()
-	if !cfg.Deadline.IsZero() {
-		s.SetDeadline(cfg.Deadline)
-	}
-	if cfg.PropagationBudget > 0 {
-		s.SetBudget(cfg.PropagationBudget)
-	}
-	bl := newBlaster(b, s)
-
-	vars := map[TermID]bool{}
-	for _, a := range assertions {
-		if b.SortOf(a).Kind != KindBool {
-			return Result{}, fmt.Errorf("smt: assertion is %s, not Bool: %s", b.SortOf(a), b.String(a))
-		}
-		collectVars(b, a, vars)
-		if err := bl.assertTrue(a); err != nil {
-			return Result{}, err
-		}
-	}
-	// Ensure every referenced variable is blasted so the model covers it.
-	for v := range vars {
-		var err error
-		if b.SortOf(v).Kind == KindBV {
-			_, err = bl.blastBV(v)
-		} else {
-			_, err = bl.blastBool(v)
-		}
-		if err != nil {
-			return Result{}, err
-		}
-	}
-
-	res := Result{
-		SATVars:    s.NumVars(),
-		SATClauses: s.NumClauses(),
-	}
-	res.Status = s.Solve()
-	res.Propagations, res.Conflicts, res.Decisions = s.Stats()
-	res.Duration = time.Since(start)
-	if res.Status != sat.Sat {
-		return res, nil
-	}
-
-	m := &Model{vals: make(map[string]Value)}
-	for v := range vars {
-		t := b.Term(v)
-		switch t.Sort.Kind {
-		case KindBV:
-			u, ok := bl.wordValue(v)
-			if ok {
-				m.vals[t.Name] = BVValue(u, t.Sort.Width)
-			}
-		case KindBool:
-			bv, ok := bl.boolValue(v)
-			if ok {
-				m.vals[t.Name] = BoolValue(bv)
-			}
-		}
-	}
-	res.Model = m
-	return res, nil
+	return NewSession(b).Check(assertions, cfg)
 }
 
 // collectVars accumulates the free variables under id.

@@ -64,6 +64,9 @@ type SolverStats struct {
 	Propagations int64 `json:"p,omitempty"`
 	Conflicts    int64 `json:"c,omitempty"`
 	Decisions    int64 `json:"d,omitempty"`
+	// Queries counts the SMT queries the unit issued (applicability,
+	// distinctness, equivalence, per assignment).
+	Queries int64 `json:"q,omitempty"`
 }
 
 // Entry is one cached verification-unit result.
