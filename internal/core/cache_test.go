@@ -1,9 +1,11 @@
 package core
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -291,5 +293,89 @@ func TestCacheCorruptedStoreStillVerifies(t *testing.T) {
 	}
 	if s := v.CacheStats(); s.Misses == 0 {
 		t.Fatalf("expected misses against the healed store: %+v", s)
+	}
+}
+
+// TestEngineSaltBumpOrphansDiskCache simulates the EngineVersion bump
+// end to end: a warm disk store whose entries were fingerprinted by a
+// different engine salt (rewritten in place to stale keys) must yield
+// zero hits — every unit is re-solved rather than trusted — while the
+// orphaned generation stays in the JSONL file alongside the fresh one.
+func TestEngineSaltBumpOrphansDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	warm := buildVerifier(t, cacheRules, Options{CacheDir: dir})
+	base, err := warm.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flatten(t, base)
+
+	// Re-key every stored entry as an older engine would have: same
+	// content sections, different salt, so no current fingerprint can
+	// reach them.
+	path := filepath.Join(dir, vcache.FileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stale []string
+	oldKeys := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var e vcache.Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("warm store line invalid: %q", line)
+		}
+		e.Key = vcache.Fingerprint("crocus-engine-stale", []string{e.Key})
+		oldKeys[e.Key] = true
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stale = append(stale, string(b))
+	}
+	if len(stale) == 0 {
+		t.Fatal("warm run persisted no entries")
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(stale, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "bumped" engine finds only orphans: all misses, same verdicts.
+	bumped := buildVerifier(t, cacheRules, Options{CacheDir: dir})
+	res, err := bumped.VerifyAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flatten(t, res); !reflect.DeepEqual(got, want) {
+		t.Fatalf("re-solve after salt bump differs:\n%+v\n%+v", got, want)
+	}
+	s := bumped.CacheStats()
+	if s.Hits != 0 {
+		t.Fatalf("stale-salt entries were trusted: %+v", s)
+	}
+	if s.Misses == 0 {
+		t.Fatalf("bumped run did not probe the cache: %+v", s)
+	}
+
+	// Both generations coexist on disk until a compaction drops orphans.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSeen, newSeen := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(string(after)), "\n") {
+		var e vcache.Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("post-bump line invalid: %q", line)
+		}
+		if oldKeys[e.Key] {
+			oldSeen++
+		} else {
+			newSeen++
+		}
+	}
+	if oldSeen != len(stale) || newSeen == 0 {
+		t.Fatalf("store has %d orphaned + %d fresh entries, want %d + >0",
+			oldSeen, newSeen, len(stale))
 	}
 }

@@ -78,50 +78,160 @@ func TestInjectedFlawsAreCaught(t *testing.T) {
 
 	for _, m := range mutations {
 		t.Run(m.name, func(t *testing.T) {
-			if !strings.Contains(base, m.old) {
-				t.Fatalf("mutation anchor not found: %q", m.old)
-			}
-			mutated := strings.Replace(base, m.old, m.new, 1)
-			p := isle.NewProgram()
-			if err := p.ParseFile("prelude.isle", prelude); err != nil {
-				t.Fatal(err)
-			}
-			if err := p.ParseFile("aarch64.isle", mutated); err != nil {
-				t.Fatal(err)
-			}
-			if err := p.Typecheck(); err != nil {
-				t.Fatal(err)
-			}
-			v := core.New(p, core.Options{Timeout: 10 * time.Second})
-			var rule *isle.Rule
-			for _, r := range p.Rules {
-				if r.Name == m.rule {
-					rule = r
-				}
-			}
-			if rule == nil {
-				t.Fatalf("rule %s missing after mutation", m.rule)
-			}
-			start := time.Now()
-			rr, err := v.VerifyRule(rule)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if rr.Outcome() != core.OutcomeFailure {
-				t.Fatalf("mutant outcome = %v, want failure", rr.Outcome())
-			}
-			var cex *core.Counterexample
-			for _, io := range rr.Insts {
-				if io.Counterexample != nil {
-					cex = io.Counterexample
-				}
-			}
-			if cex == nil {
-				t.Fatal("failure without counterexample")
-			}
-			if elapsed := time.Since(start); elapsed > 20*time.Second {
-				t.Fatalf("counterexample took %v (paper: within 10 seconds)", elapsed)
-			}
+			checkMutationCaught(t, "aarch64.isle", base, prelude, m)
+		})
+	}
+}
+
+// mutation is one textual flaw injected into a corpus file; the verifier
+// must flip the named rule's outcome to Failure with a counterexample.
+type mutation struct {
+	name string
+	rule string
+	old  string
+	new  string
+}
+
+func checkMutationCaught(t *testing.T, file, base, prelude string, m mutation) {
+	t.Helper()
+	if !strings.Contains(base, m.old) {
+		t.Fatalf("mutation anchor not found: %q", m.old)
+	}
+	mutated := strings.Replace(base, m.old, m.new, 1)
+	p := isle.NewProgram()
+	if err := p.ParseFile("prelude.isle", prelude); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ParseFile(file, mutated); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Typecheck(); err != nil {
+		t.Fatal(err)
+	}
+	v := core.New(p, core.Options{Timeout: 10 * time.Second})
+	var rule *isle.Rule
+	for _, r := range p.Rules {
+		if r.Name == m.rule {
+			rule = r
+		}
+	}
+	if rule == nil {
+		t.Fatalf("rule %s missing after mutation", m.rule)
+	}
+	start := time.Now()
+	rr, err := v.VerifyRule(rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Outcome() != core.OutcomeFailure {
+		t.Fatalf("mutant outcome = %v, want failure", rr.Outcome())
+	}
+	var cex *core.Counterexample
+	for _, io := range rr.Insts {
+		if io.Counterexample != nil {
+			cex = io.Counterexample
+		}
+	}
+	if cex == nil {
+		t.Fatal("failure without counterexample")
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("counterexample took %v (paper: within 10 seconds)", elapsed)
+	}
+}
+
+// TestInjectedFlawsAreCaughtX64 runs the same flaw-injection check over
+// the x64 backend rules, so mutation coverage is not aarch64-only.
+func TestInjectedFlawsAreCaughtX64(t *testing.T) {
+	base, err := Source("x64.isle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prelude, err := Source("prelude.isle")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := []mutation{
+		{
+			// Swap the operands of the subtraction target: x-y -> y-x.
+			name: "isub operand swap",
+			rule: "x64_isub_base",
+			old:  "(rule x64_isub_base\n\t(lower (has_type (fits_in_64 ty) (isub x y)))\n\t(x64_sub ty x y))",
+			new:  "(rule x64_isub_base\n\t(lower (has_type (fits_in_64 ty) (isub x y)))\n\t(x64_sub ty y x))",
+		},
+		{
+			// Drop the shift-amount pre-mask from the narrow shift (Wasm
+			// semantics require amount mod width; SHL on a 32-bit operand
+			// masks mod 32, not mod ty).
+			name: "ishl missing mask",
+			rule: "x64_ishl_fits32",
+			old:  "(x64_shl 32 x (x64_and 32 y (x64_mov_imm (shift_mask_u64 ty)))))",
+			new:  "(x64_shl 32 x y))",
+		},
+		{
+			// Sign-extend the operand of an unsigned right shift.
+			name: "ushr movzx -> movsx",
+			rule: "x64_ushr_fits32",
+			old:  "(x64_shr 32 (x64_movzx ty x)",
+			new:  "(x64_shr 32 (x64_movsx_to32 ty x)",
+		},
+		{
+			// Lower uextend with the sign-extending move.
+			name: "uextend movzx -> movsx",
+			rule: "x64_uextend_lower",
+			old:  "(x64_movzx (widthof_value x) x))",
+			new:  "(x64_movsx (widthof_value x) x))",
+		},
+		{
+			// Duplicate an operand in the narrow multiply: x*x != x*y.
+			name: "imul_8 operand duplicated",
+			rule: "x64_imul_8",
+			old:  "(rule x64_imul_8\n\t(lower (has_type 8 (imul x y)))\n\t(x64_imul 32 x y))",
+			new:  "(rule x64_imul_8\n\t(lower (has_type 8 (imul x y)))\n\t(x64_imul 32 x x))",
+		},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			checkMutationCaught(t, "x64.isle", base, prelude, m)
+		})
+	}
+}
+
+// TestInjectedFlawsAreCaughtMidend injects flaws into the mid-end
+// rewrite rules — including re-introducing the paper's §4.4.4 Souper
+// guard bug by dropping the u64_eq_guard condition.
+func TestInjectedFlawsAreCaughtMidend(t *testing.T) {
+	base, err := Source("midend.isle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prelude, err := Source("prelude.isle")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutations := []mutation{
+		{
+			// The §4.4.4 flaw re-injected: without the guard the rewrite
+			// or(and(x, y), z) -> or(x, z) fires for unrelated y and z.
+			name: "bor_band_not guard dropped",
+			rule: "bor_band_not_fixed",
+			old:  "\t(if (u64_eq_guard z (u64_not y)))\n",
+			new:  "",
+		},
+		{
+			// Guard against y itself instead of ~y: the rewrite is then
+			// or(and(x, y), y) -> or(x, y), which is wrong (LHS is y).
+			name: "bor_band_not missing negation",
+			rule: "bor_band_not_fixed",
+			old:  "(if (u64_eq_guard z (u64_not y)))",
+			new:  "(if (u64_eq_guard z y))",
+		},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			checkMutationCaught(t, "midend.isle", base, prelude, m)
 		})
 	}
 }

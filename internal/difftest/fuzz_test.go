@@ -1,0 +1,195 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"crocus/internal/isle"
+	"crocus/internal/sat"
+	"crocus/internal/smt"
+)
+
+// Native fuzz targets. Each one drives the deterministic generator with
+// the fuzzer-mutated byte stream (ByteSource), so coverage feedback
+// steers the *shape* of the generated terms, and then checks the same
+// invariants as the seeded differential driver. Run a target with
+//
+//	go test ./internal/difftest -run='^$' -fuzz=FuzzSolve -fuzztime=30s
+//
+// A crasher is minimized into testdata/fuzz/<Target>/ by the Go tool;
+// feed it back through the target name to reproduce.
+
+// fuzzEnvs derives a handful of deterministic environments for the free
+// variables of terms, seeded from the input bytes.
+func fuzzEnvs(b *smt.Builder, data []byte, terms ...smt.TermID) []map[string]Val {
+	var seed int64
+	for _, x := range data {
+		seed = seed*131 + int64(x)
+	}
+	return randEnvs(b, rand.New(rand.NewSource(seed)), 4, terms...)
+}
+
+// FuzzSimplify checks the word-level rewriter is a semantic equivalence
+// on arbitrary generated terms.
+func FuzzSimplify(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08})
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := smt.NewBuilder()
+		g := NewGen(b, NewByteSource(data))
+		term := g.Bool(3)
+		simp := b.Simplify(term)
+		if b.SortOf(simp) != b.SortOf(term) {
+			t.Fatalf("sort changed: %s -> %s", b.SortOf(term), b.SortOf(simp))
+		}
+		for _, env := range fuzzEnvs(b, data, term) {
+			want, err := Eval(b, term, env)
+			if err != nil {
+				t.Fatalf("oracle on original: %v", err)
+			}
+			got, err := Eval(b, simp, env)
+			if err != nil {
+				t.Fatalf("oracle on simplified: %v", err)
+			}
+			if want.B.Cmp(got.B) != 0 {
+				t.Fatalf("simplify changed semantics:\nbefore: %s\nafter:  %s",
+					b.String(term), b.String(simp))
+			}
+		}
+	})
+}
+
+// FuzzSolveEqs checks the equality-solving pass never flips a verdict:
+// the same query with and without substitution must agree, and both
+// models must satisfy the oracle.
+func FuzzSolveEqs(f *testing.F) {
+	f.Add([]byte{0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80})
+	f.Add([]byte{0x02, 0x02, 0x02, 0x02, 0x02, 0x02, 0x02, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := smt.NewBuilder()
+		g := NewGen(b, NewByteSource(data))
+		g.DefHeavy = true
+		q := g.Query()
+		configs := []PipeConfig{
+			{NoSolveEqs: false},
+			{NoSolveEqs: true},
+			{NoSolveEqs: false, NoSimplify: true},
+			{NoSolveEqs: true, NoSimplify: true},
+		}
+		if d := CheckQuery(b, q.Asserts, configs); d != nil {
+			t.Fatalf("%v\nreproducer:\n%s", d, Format(b, q.Asserts))
+		}
+	})
+}
+
+// FuzzSolve runs the full configuration matrix on one generated query.
+func FuzzSolve(f *testing.F) {
+	f.Add([]byte{0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f, 0x1a, 0x1b})
+	f.Add([]byte{0x80, 0x40, 0x20, 0x10, 0x08, 0x04, 0x02, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := smt.NewBuilder()
+		g := NewGen(b, NewByteSource(data))
+		q := g.Query()
+		if d := CheckQuery(b, q.Asserts, Matrix()); d != nil {
+			t.Fatalf("%v\nreproducer:\n%s", d, Format(b, q.Asserts))
+		}
+	})
+}
+
+// FuzzCanonicalQuery checks content addressing is insensitive to term
+// interning order: the same query built in a second builder after junk
+// allocations (shifting every TermID) and with the asserts reversed
+// must serialize byte-identically — the property the vcache fingerprint
+// depends on.
+func FuzzCanonicalQuery(f *testing.F) {
+	f.Add([]byte{0x31, 0x41, 0x59, 0x26, 0x53, 0x58, 0x97, 0x93})
+	f.Add([]byte{0x00, 0x01, 0x00, 0x01, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b1 := smt.NewBuilder()
+		q := NewGen(b1, NewByteSource(data)).Query()
+		c1 := smt.CanonicalQuery(b1, q.Asserts)
+
+		// Rebuild in a fresh builder with shifted TermIDs and reversed
+		// assertion order.
+		b2 := smt.NewBuilder()
+		for i := 0; i < 13; i++ {
+			b2.Var(name("junk", i), smt.BV(7))
+		}
+		rev := make([]smt.TermID, 0, len(q.Asserts))
+		for i := len(q.Asserts) - 1; i >= 0; i-- {
+			rev = append(rev, transplant(b1, b2, q.Asserts[i]))
+		}
+		c2 := smt.CanonicalQuery(b2, rev)
+		if c1 != c2 {
+			t.Fatalf("canonical form depends on interning order:\n%s\nvs\n%s", c1, c2)
+		}
+	})
+}
+
+// transplant rebuilds a term from one builder inside another.
+func transplant(from, to *smt.Builder, id smt.TermID) smt.TermID {
+	memo := map[smt.TermID]smt.TermID{}
+	var walk func(smt.TermID) smt.TermID
+	walk = func(x smt.TermID) smt.TermID {
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		t := from.Term(x)
+		var r smt.TermID
+		switch t.Op {
+		case smt.OpVar:
+			r = to.Var(t.Name, t.Sort)
+		case smt.OpBoolConst:
+			r = to.BoolConst(t.UArg == 1)
+		case smt.OpBVConst:
+			r = to.BVConst(t.UArg, t.Sort.Width)
+		case smt.OpIntConst:
+			r = to.IntConst(t.IArg)
+		default:
+			var a [3]smt.TermID
+			for i := 0; i < t.NArg; i++ {
+				a[i] = walk(t.Args[i])
+			}
+			r = rebuildNode(to, t, a)
+		}
+		memo[x] = r
+		return r
+	}
+	return walk(id)
+}
+
+// FuzzISLEParse feeds arbitrary text through the ISLE parser and
+// typechecker: they must reject or accept, never panic or hang.
+func FuzzISLEParse(f *testing.F) {
+	f.Add("(decl iadd (Value Value) Value)")
+	f.Add("(rule (lower (iadd x y)) (add64 x y))")
+	f.Add("(type Value (primitive Value))\n(spec (iadd x y) (provide (= result (bvadd x y))))")
+	f.Add("((((")
+	f.Add(";; comment only\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p := isle.NewProgram()
+		if err := p.ParseFile("fuzz.isle", src); err != nil {
+			return
+		}
+		// Typecheck errors are fine; panics are not.
+		_ = p.Typecheck()
+	})
+}
+
+// FuzzSolve's invariants only matter if Unknown stays impossible; pin
+// that assumption here so a future default-budget change fails loudly
+// in the fuzz package too.
+func TestFuzzConfigsHaveNoBudgets(t *testing.T) {
+	b := smt.NewBuilder()
+	x := b.Var("x", smt.BV(8))
+	q := []smt.TermID{b.Eq(b.BVMul(x, x), b.BVConst(49, 8))}
+	for _, c := range Matrix() {
+		res, err := smt.Check(b, q, smt.Config{NoSimplify: c.NoSimplify, NoSolveEqs: c.NoSolveEqs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == sat.Unknown {
+			t.Fatalf("config %s returned Unknown without a budget", c.Name())
+		}
+	}
+}

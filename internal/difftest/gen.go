@@ -1,0 +1,453 @@
+// Package difftest is the differential-fuzzing harness for the solver
+// stack: internal/smt (simplifier, equality solver, sessions, blaster)
+// and internal/sat underneath it.
+//
+// The solver pipeline is the verifier's trusted core — a silent
+// soundness bug there would make every "verified" rule in the corpus
+// meaningless. Following the methodology of Crux (Pernsteiner et al.),
+// the harness earns trust by systematic cross-checking rather than
+// hand-picked cases:
+//
+//   - a seeded, deterministic generator builds random queries in the
+//     QF_BV+Int fragment the verifier actually emits (gen.go);
+//   - an independent big-integer evaluator serves as the ground-truth
+//     oracle (oracle.go), with exhaustive enumeration at small widths;
+//   - a differential driver solves every query under the pipeline's
+//     full configuration matrix — fresh solver vs. persistent session,
+//     rewrites on/off, equality solving on/off — and asserts all
+//     configurations agree and every SAT model satisfies the oracle
+//     (diff.go);
+//   - failing queries are shrunk to minimal reproducers (shrink.go).
+//
+// The same generator, driven by a fuzzer-mutated byte stream instead of
+// a seeded PRNG, powers the native fuzz targets (fuzz_test.go).
+package difftest
+
+import (
+	"math/rand"
+
+	"crocus/internal/smt"
+)
+
+// Source is the deterministic entropy stream that drives term
+// generation. Two implementations exist: RandSource for the seeded
+// differential driver and ByteSource for the native fuzz targets (the
+// fuzzer mutates the byte stream, which deterministically mutates the
+// generated query).
+type Source interface {
+	// Intn returns a draw in [0, n) for n > 0.
+	Intn(n int) int
+	// Uint64 returns a full-width draw (bitvector constant values).
+	Uint64() uint64
+}
+
+// RandSource adapts a seeded *rand.Rand.
+type RandSource struct{ R *rand.Rand }
+
+// Intn implements Source.
+func (s RandSource) Intn(n int) int { return s.R.Intn(n) }
+
+// Uint64 implements Source.
+func (s RandSource) Uint64() uint64 { return s.R.Uint64() }
+
+// ByteSource reads draws from a byte slice. An exhausted stream yields
+// zeros, which steers every generator choice to its first (leaf)
+// alternative, so generation always terminates no matter how short the
+// input is.
+type ByteSource struct {
+	data []byte
+	off  int
+}
+
+// NewByteSource wraps a fuzz input.
+func NewByteSource(data []byte) *ByteSource { return &ByteSource{data: data} }
+
+func (s *ByteSource) next() byte {
+	if s.off >= len(s.data) {
+		return 0
+	}
+	b := s.data[s.off]
+	s.off++
+	return b
+}
+
+// Intn implements Source. The slight modulo bias is irrelevant for
+// fuzzing.
+func (s *ByteSource) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	v := int(s.next())
+	if n > 256 {
+		v = v<<8 | int(s.next())
+	}
+	return v % n
+}
+
+// Uint64 implements Source.
+func (s *ByteSource) Uint64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(s.next())
+	}
+	return v
+}
+
+// Widths is the generator's width domain: the type widths the corpus
+// instantiates (8/16/32/64), the single-bit width where every operator
+// has edge cases, and one odd in-between width.
+var Widths = []int{1, 4, 8, 16, 32, 64}
+
+// Gen builds random well-sorted terms in the QF_BV+Int fragment the
+// verifier emits: fixed-width bitvectors (1..64 bits) with the full
+// operator set including symbolic shifts/rotates and the annotation
+// language's clz/cls/popcnt/rev, boolean structure above them, and
+// integer terms that constant-fold (after monomorphization, every
+// integer subterm in a real verification condition is constant).
+type Gen struct {
+	B   *smt.Builder
+	src Source
+	// DefHeavy biases Query toward long chains of SSA-style
+	// definitional equalities, the shape solveEqs exists for.
+	DefHeavy bool
+
+	// pools holds declared variables by width (bools under key 0).
+	pools map[int][]smt.TermID
+	fresh int
+}
+
+// NewGen returns a generator over the builder.
+func NewGen(b *smt.Builder, src Source) *Gen {
+	return &Gen{B: b, src: src, pools: map[int][]smt.TermID{}}
+}
+
+// width picks a width, biased toward small ones so exhaustive
+// enumeration stays feasible and solving stays fast.
+func (g *Gen) width() int {
+	// 1,4,8 twice as likely as 16,32,64.
+	table := []int{1, 1, 4, 4, 8, 8, 16, 32, 64}
+	return table[g.src.Intn(len(table))]
+}
+
+// varOf returns a variable of the given width (0 = Bool), declaring a
+// fresh one while the pool is short.
+func (g *Gen) varOf(w int) smt.TermID {
+	pool := g.pools[w]
+	if len(pool) < 2 || (len(pool) < 4 && g.src.Intn(3) == 0) {
+		g.fresh++
+		var v smt.TermID
+		if w == 0 {
+			v = g.B.Var(name("p", g.fresh), smt.Bool)
+		} else {
+			v = g.B.Var(name("v", g.fresh, "_", w), smt.BV(w))
+		}
+		g.pools[w] = append(pool, v)
+		return v
+	}
+	return pool[g.src.Intn(len(pool))]
+}
+
+func name(prefix string, n int, parts ...any) string {
+	s := prefix + itoa(n)
+	if len(parts) == 2 {
+		s += parts[0].(string) + itoa(parts[1].(int))
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BV generates a bitvector term of width w with the given remaining
+// depth.
+func (g *Gen) BV(w, depth int) smt.TermID {
+	b := g.B
+	if depth <= 0 || g.src.Intn(4) == 0 {
+		if g.src.Intn(3) == 0 {
+			return b.BVConst(g.constVal(w), w)
+		}
+		return g.varOf(w)
+	}
+	op := g.src.Intn(27)
+	// Multiplication and the four divisions blast to circuits whose SAT
+	// instances are factoring-shaped; above 16 bits a single random
+	// equality can dominate the whole run. The differential driver keeps
+	// them to widths where the solver is fast — their wide-width
+	// semantics are still covered by the oracle and rewrite tests, which
+	// never blast.
+	if op >= 2 && op <= 6 && w > 8 {
+		op = g.src.Intn(2)
+	}
+	switch op {
+	case 0:
+		return b.BVAdd(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 1:
+		return b.BVSub(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 2:
+		return b.BVMul(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 3:
+		return b.BVUDiv(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 4:
+		return b.BVURem(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 5:
+		return b.BVSDiv(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 6:
+		return b.BVSRem(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 7:
+		return b.BVAnd(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 8:
+		return b.BVOr(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 9:
+		return b.BVXor(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 10:
+		return b.BVShl(g.BV(w, depth-1), g.shiftAmount(w, depth))
+	case 11:
+		return b.BVLshr(g.BV(w, depth-1), g.shiftAmount(w, depth))
+	case 12:
+		return b.BVAshr(g.BV(w, depth-1), g.shiftAmount(w, depth))
+	case 13:
+		return b.BVRotl(g.BV(w, depth-1), g.shiftAmount(w, depth))
+	case 14:
+		return b.BVRotr(g.BV(w, depth-1), g.shiftAmount(w, depth))
+	case 15:
+		return b.BVNot(g.BV(w, depth-1))
+	case 16:
+		return b.BVNeg(g.BV(w, depth-1))
+	case 17:
+		return b.CLZ(g.BV(w, depth-1))
+	case 18:
+		return b.CLS(g.BV(w, depth-1))
+	case 19:
+		return b.Popcnt(g.BV(w, depth-1))
+	case 20:
+		return b.Rev(g.BV(w, depth-1))
+	case 21:
+		return b.Ite(g.Bool(depth-1), g.BV(w, depth-1), g.BV(w, depth-1))
+	case 22:
+		// Extract from a strictly wider term.
+		if w >= 64 {
+			return g.varOf(w)
+		}
+		w2 := w + 1 + g.src.Intn(64-w)
+		lo := g.src.Intn(w2 - w + 1)
+		return b.Extract(lo+w-1, lo, g.BV(w2, depth-1))
+	case 23:
+		// Concat of two narrower pieces.
+		if w < 2 {
+			return g.varOf(w)
+		}
+		cut := 1 + g.src.Intn(w-1)
+		return b.Concat(g.BV(w-cut, depth-1), g.BV(cut, depth-1))
+	case 24:
+		if w < 2 {
+			return g.varOf(w)
+		}
+		return b.ZeroExt(w, g.BV(1+g.src.Intn(w-1), depth-1))
+	case 25:
+		if w < 2 {
+			return g.varOf(w)
+		}
+		return b.SignExt(w, g.BV(1+g.src.Intn(w-1), depth-1))
+	default:
+		// The monomorphized integer fragment: integer arithmetic over
+		// widths constant-folds, then converts to a bitvector constant.
+		return b.Int2BV(w, g.Int(depth-1))
+	}
+}
+
+// constVal draws a constant biased toward the boundary values where
+// arithmetic identities and sign handling break.
+func (g *Gen) constVal(w int) uint64 {
+	switch g.src.Intn(6) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return ^uint64(0) // all ones after masking
+	case 3:
+		return uint64(1) << uint(w-1) // sign bit
+	default:
+		return g.src.Uint64()
+	}
+}
+
+// shiftAmount yields a same-width amount term, biased toward constants
+// near the width boundary (in-range, exactly width, out-of-range).
+func (g *Gen) shiftAmount(w, depth int) smt.TermID {
+	switch g.src.Intn(4) {
+	case 0:
+		return g.B.BVConst(uint64(g.src.Intn(w+2)), w)
+	case 1:
+		return g.BV(w, depth-1)
+	default:
+		return g.B.BVConst(g.constVal(w), w)
+	}
+}
+
+// Int generates an integer term. Only constant-rooted structure is
+// produced (no integer variables): after monomorphization, every
+// integer subterm of a real verification condition folds to a constant,
+// and the engine requires exactly that.
+func (g *Gen) Int(depth int) smt.TermID {
+	b := g.B
+	if depth <= 0 || g.src.Intn(2) == 0 {
+		// Small constants: widths and immediates.
+		return b.IntConst(int64(g.src.Intn(130)) - 1)
+	}
+	switch g.src.Intn(3) {
+	case 0:
+		return b.IntAdd(g.Int(depth-1), g.Int(depth-1))
+	case 1:
+		return b.IntSub(g.Int(depth-1), g.Int(depth-1))
+	default:
+		return b.IntMul(g.Int(depth-1), g.Int(depth-1))
+	}
+}
+
+// Bool generates a boolean term with the given remaining depth.
+func (g *Gen) Bool(depth int) smt.TermID {
+	b := g.B
+	if depth <= 0 || g.src.Intn(5) == 0 {
+		if g.src.Intn(3) == 0 {
+			return b.BoolConst(g.src.Intn(2) == 0)
+		}
+		return g.varOf(0)
+	}
+	switch g.src.Intn(12) {
+	case 0:
+		return b.Not(g.Bool(depth - 1))
+	case 1:
+		return b.And(g.Bool(depth-1), g.Bool(depth-1))
+	case 2:
+		return b.Or(g.Bool(depth-1), g.Bool(depth-1))
+	case 3:
+		return b.XorB(g.Bool(depth-1), g.Bool(depth-1))
+	case 4:
+		return b.Implies(g.Bool(depth-1), g.Bool(depth-1))
+	case 5:
+		return b.Iff(g.Bool(depth-1), g.Bool(depth-1))
+	case 6:
+		return b.Ite(g.Bool(depth-1), g.Bool(depth-1), g.Bool(depth-1))
+	case 7:
+		w := g.width()
+		return b.Eq(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 8:
+		w := g.width()
+		return b.BVUlt(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 9:
+		w := g.width()
+		return b.BVUle(g.BV(w, depth-1), g.BV(w, depth-1))
+	case 10:
+		w := g.width()
+		return b.BVSlt(g.BV(w, depth-1), g.BV(w, depth-1))
+	default:
+		w := g.width()
+		return b.BVSle(g.BV(w, depth-1), g.BV(w, depth-1))
+	}
+}
+
+// Query is one generated solver query: the conjunction of Asserts over
+// the batch's shared builder.
+type Query struct {
+	Asserts []smt.TermID
+}
+
+// Query generates one query shaped like the verifier's elaborated
+// verification conditions: a prefix of SSA-style definitional
+// equalities (%dN = expr, the shape solveEqs orients and inlines)
+// followed by boolean assertions that reference the defined variables.
+func (g *Gen) Query() Query {
+	b := g.B
+	var asserts []smt.TermID
+
+	ndefs := g.src.Intn(3)
+	if g.DefHeavy {
+		ndefs = 2 + g.src.Intn(4)
+	}
+	for i := 0; i < ndefs; i++ {
+		w := g.width()
+		rhs := g.BV(w, 1+g.src.Intn(2))
+		g.fresh++
+		dv := b.Var(name("d", g.fresh, "_", w), smt.BV(w))
+		if g.src.Intn(2) == 0 {
+			asserts = append(asserts, b.Eq(dv, rhs))
+		} else {
+			asserts = append(asserts, b.Eq(rhs, dv))
+		}
+		// Later terms may reference the defined variable.
+		g.pools[w] = append(g.pools[w], dv)
+	}
+
+	ngoals := 1 + g.src.Intn(2)
+	for i := 0; i < ngoals; i++ {
+		asserts = append(asserts, g.Bool(2+g.src.Intn(2)))
+	}
+	return Query{Asserts: asserts}
+}
+
+// Batch is a builder plus the queries generated over it. Queries of one
+// batch share variable pools and term structure, mirroring how the
+// verifier solves a rule's monomorphized instantiations over one
+// builder and one incremental session.
+type Batch struct {
+	B       *smt.Builder
+	Queries []Query
+}
+
+// GenBatch generates nq queries over one fresh builder.
+func GenBatch(src Source, nq int) *Batch {
+	b := smt.NewBuilder()
+	g := NewGen(b, src)
+	batch := &Batch{B: b}
+	for i := 0; i < nq; i++ {
+		batch.Queries = append(batch.Queries, g.Query())
+	}
+	return batch
+}
+
+// FreeVars returns the free variables under the given assertions,
+// sorted by TermID (deterministic).
+func FreeVars(b *smt.Builder, asserts []smt.TermID) []smt.TermID {
+	seen := map[smt.TermID]bool{}
+	var out []smt.TermID
+	var walk func(smt.TermID)
+	walk = func(id smt.TermID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		t := b.Term(id)
+		if t.Op == smt.OpVar {
+			out = append(out, id)
+			return
+		}
+		for i := 0; i < t.NArg; i++ {
+			walk(t.Args[i])
+		}
+	}
+	for _, a := range asserts {
+		walk(a)
+	}
+	sortTermIDs(out)
+	return out
+}
+
+func sortTermIDs(xs []smt.TermID) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,424 @@
+package difftest
+
+import (
+	"fmt"
+	"math/big"
+
+	"crocus/internal/smt"
+)
+
+// The oracle is a from-scratch big-integer implementation of the SMT-LIB
+// semantics the engine claims to implement. It deliberately shares no
+// code with internal/smt: the builder's constant folding, the
+// simplifier, the blaster, and smt.Eval all route through the same fold*
+// helpers, so checking a model with smt.Eval would only prove the engine
+// agrees with itself. Evaluating with math/big (arbitrary precision,
+// explicit masking, structural signed-division definitions) breaks that
+// circularity.
+
+// Val is a concrete value in the oracle's representation: booleans and
+// bitvectors as non-negative big integers (Bool is 0/1, BV(w) is in
+// [0, 2^w)), integers as signed 64-bit values wrapped to match the
+// engine's int64 arithmetic.
+type Val struct {
+	Sort smt.Sort
+	B    *big.Int
+}
+
+// BoolVal constructs a boolean oracle value.
+func BoolVal(v bool) Val {
+	b := big.NewInt(0)
+	if v {
+		b.SetInt64(1)
+	}
+	return Val{Sort: smt.Bool, B: b}
+}
+
+// BVVal constructs a bitvector oracle value (masked to width).
+func BVVal(v uint64, w int) Val {
+	return Val{Sort: smt.BV(w), B: norm(new(big.Int).SetUint64(v), w)}
+}
+
+// IntVal constructs an integer oracle value.
+func IntVal(v int64) Val { return Val{Sort: smt.Int, B: big.NewInt(v)} }
+
+// Uint64 returns the value's bit pattern (Bool as 0/1, Int as two's
+// complement), for comparison against engine Values.
+func (v Val) Uint64() uint64 {
+	if v.Sort.Kind == smt.KindInt {
+		return uint64(v.B.Int64())
+	}
+	return v.B.Uint64()
+}
+
+// True reports whether a boolean value holds.
+func (v Val) True() bool { return v.B.Sign() != 0 }
+
+func pow2(w int) *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(w))
+}
+
+// norm reduces x into [0, 2^w) (two's complement for negatives).
+func norm(x *big.Int, w int) *big.Int {
+	r := new(big.Int).Mod(x, pow2(w))
+	if r.Sign() < 0 {
+		r.Add(r, pow2(w))
+	}
+	return r
+}
+
+// signed interprets a [0, 2^w) value as signed two's complement.
+func signed(x *big.Int, w int) *big.Int {
+	half := pow2(w - 1)
+	if x.Cmp(half) >= 0 {
+		return new(big.Int).Sub(x, pow2(w))
+	}
+	return new(big.Int).Set(x)
+}
+
+// wrapInt64 reduces x to the engine's int64 wraparound arithmetic.
+func wrapInt64(x *big.Int) *big.Int {
+	r := norm(x, 64)
+	return signed(r, 64)
+}
+
+// Eval evaluates term id under env (variable name → value) with the
+// oracle semantics. Unbound variables are an error.
+func Eval(b *smt.Builder, id smt.TermID, env map[string]Val) (Val, error) {
+	memo := map[smt.TermID]Val{}
+	return evalMemo(b, id, env, memo)
+}
+
+func evalMemo(b *smt.Builder, id smt.TermID, env map[string]Val, memo map[smt.TermID]Val) (Val, error) {
+	if v, ok := memo[id]; ok {
+		return v, nil
+	}
+	t := b.Term(id)
+	var args [3]Val
+	for i := 0; i < t.NArg; i++ {
+		v, err := evalMemo(b, t.Args[i], env, memo)
+		if err != nil {
+			return Val{}, err
+		}
+		args[i] = v
+	}
+	v, err := evalNode(b, t, args, env)
+	if err != nil {
+		return Val{}, err
+	}
+	memo[id] = v
+	return v, nil
+}
+
+func evalNode(b *smt.Builder, t *smt.Term, args [3]Val, env map[string]Val) (Val, error) {
+	w := t.Sort.Width
+	bv := func(x *big.Int) (Val, error) {
+		return Val{Sort: smt.BV(w), B: norm(x, w)}, nil
+	}
+	bl := func(v bool) (Val, error) { return BoolVal(v), nil }
+	iv := func(x *big.Int) (Val, error) {
+		return Val{Sort: smt.Int, B: wrapInt64(x)}, nil
+	}
+
+	switch t.Op {
+	case smt.OpVar:
+		v, ok := env[t.Name]
+		if !ok {
+			return Val{}, fmt.Errorf("difftest: unbound variable %q", t.Name)
+		}
+		if v.Sort != t.Sort {
+			return Val{}, fmt.Errorf("difftest: variable %q bound at %s, expected %s", t.Name, v.Sort, t.Sort)
+		}
+		return v, nil
+	case smt.OpBoolConst:
+		return bl(t.UArg == 1)
+	case smt.OpBVConst:
+		return BVVal(t.UArg, w), nil
+	case smt.OpIntConst:
+		return IntVal(t.IArg), nil
+
+	case smt.OpNot:
+		return bl(!args[0].True())
+	case smt.OpAnd:
+		return bl(args[0].True() && args[1].True())
+	case smt.OpOr:
+		return bl(args[0].True() || args[1].True())
+	case smt.OpXorB:
+		return bl(args[0].True() != args[1].True())
+	case smt.OpImplies:
+		return bl(!args[0].True() || args[1].True())
+	case smt.OpIff:
+		return bl(args[0].True() == args[1].True())
+	case smt.OpIte:
+		if args[0].True() {
+			return args[1], nil
+		}
+		return args[2], nil
+	case smt.OpEq:
+		return bl(args[0].B.Cmp(args[1].B) == 0)
+
+	case smt.OpBVNot:
+		m := new(big.Int).Sub(pow2(w), big.NewInt(1))
+		return bv(new(big.Int).Xor(args[0].B, m))
+	case smt.OpBVNeg:
+		return bv(new(big.Int).Neg(args[0].B))
+	case smt.OpBVAdd:
+		return bv(new(big.Int).Add(args[0].B, args[1].B))
+	case smt.OpBVSub:
+		return bv(new(big.Int).Sub(args[0].B, args[1].B))
+	case smt.OpBVMul:
+		return bv(new(big.Int).Mul(args[0].B, args[1].B))
+	case smt.OpBVUDiv:
+		// SMT-LIB: bvudiv x 0 = all ones.
+		if args[1].B.Sign() == 0 {
+			return bv(new(big.Int).Sub(pow2(w), big.NewInt(1)))
+		}
+		return bv(new(big.Int).Quo(args[0].B, args[1].B))
+	case smt.OpBVURem:
+		// SMT-LIB: bvurem x 0 = x.
+		if args[1].B.Sign() == 0 {
+			return bv(args[0].B)
+		}
+		return bv(new(big.Int).Rem(args[0].B, args[1].B))
+	case smt.OpBVSDiv:
+		// SMT-LIB definition by sign cases over bvudiv of magnitudes.
+		sa, sb := signed(args[0].B, w), signed(args[1].B, w)
+		ua, ub := new(big.Int).Abs(sa), new(big.Int).Abs(sb)
+		var q *big.Int
+		if ub.Sign() == 0 {
+			q = new(big.Int).Sub(pow2(w), big.NewInt(1)) // udiv-by-zero on magnitudes
+		} else {
+			q = new(big.Int).Quo(ua, ub)
+		}
+		if (sa.Sign() < 0) != (sb.Sign() < 0) {
+			q.Neg(q)
+		}
+		return bv(q)
+	case smt.OpBVSRem:
+		// SMT-LIB: result sign follows the dividend.
+		sa, sb := signed(args[0].B, w), signed(args[1].B, w)
+		ua, ub := new(big.Int).Abs(sa), new(big.Int).Abs(sb)
+		var r *big.Int
+		if ub.Sign() == 0 {
+			r = ua // urem-by-zero on magnitudes
+		} else {
+			r = new(big.Int).Rem(ua, ub)
+		}
+		if sa.Sign() < 0 {
+			r.Neg(r)
+		}
+		return bv(r)
+	case smt.OpBVAnd:
+		return bv(new(big.Int).And(args[0].B, args[1].B))
+	case smt.OpBVOr:
+		return bv(new(big.Int).Or(args[0].B, args[1].B))
+	case smt.OpBVXor:
+		return bv(new(big.Int).Xor(args[0].B, args[1].B))
+	case smt.OpBVShl:
+		if args[1].B.Cmp(big.NewInt(int64(w))) >= 0 {
+			return bv(big.NewInt(0))
+		}
+		return bv(new(big.Int).Lsh(args[0].B, uint(args[1].B.Uint64())))
+	case smt.OpBVLshr:
+		if args[1].B.Cmp(big.NewInt(int64(w))) >= 0 {
+			return bv(big.NewInt(0))
+		}
+		return bv(new(big.Int).Rsh(args[0].B, uint(args[1].B.Uint64())))
+	case smt.OpBVAshr:
+		sh := args[1].B
+		amt := uint(w - 1)
+		if sh.Cmp(big.NewInt(int64(w))) < 0 {
+			amt = uint(sh.Uint64())
+		}
+		// big.Int.Rsh on a negative value floors, which is exactly
+		// arithmetic shift.
+		return bv(new(big.Int).Rsh(signed(args[0].B, w), amt))
+	case smt.OpBVRotl:
+		r := new(big.Int).Mod(args[1].B, big.NewInt(int64(w))).Uint64()
+		hi := new(big.Int).Lsh(args[0].B, uint(r))
+		lo := new(big.Int).Rsh(args[0].B, uint(uint64(w)-r)%uint(w))
+		if r == 0 {
+			return bv(args[0].B)
+		}
+		return bv(new(big.Int).Or(hi, lo))
+	case smt.OpBVRotr:
+		r := new(big.Int).Mod(args[1].B, big.NewInt(int64(w))).Uint64()
+		if r == 0 {
+			return bv(args[0].B)
+		}
+		lo := new(big.Int).Rsh(args[0].B, uint(r))
+		hi := new(big.Int).Lsh(args[0].B, uint(uint64(w)-r))
+		return bv(new(big.Int).Or(hi, lo))
+
+	case smt.OpBVUlt:
+		return bl(args[0].B.Cmp(args[1].B) < 0)
+	case smt.OpBVUle:
+		return bl(args[0].B.Cmp(args[1].B) <= 0)
+	case smt.OpBVSlt:
+		aw := args[0].Sort.Width
+		return bl(signed(args[0].B, aw).Cmp(signed(args[1].B, aw)) < 0)
+	case smt.OpBVSle:
+		aw := args[0].Sort.Width
+		return bl(signed(args[0].B, aw).Cmp(signed(args[1].B, aw)) <= 0)
+
+	case smt.OpExtract:
+		return bv(new(big.Int).Rsh(args[0].B, uint(t.JArg)))
+	case smt.OpConcat:
+		lw := args[1].Sort.Width
+		hi := new(big.Int).Lsh(args[0].B, uint(lw))
+		return bv(new(big.Int).Or(hi, args[1].B))
+	case smt.OpZeroExt:
+		return bv(args[0].B)
+	case smt.OpSignExt:
+		return bv(signed(args[0].B, args[0].Sort.Width))
+
+	case smt.OpCLZ:
+		n := 0
+		for i := w - 1; i >= 0; i-- {
+			if args[0].B.Bit(i) != 0 {
+				break
+			}
+			n++
+		}
+		return bv(big.NewInt(int64(n)))
+	case smt.OpPopcnt:
+		n := 0
+		for i := 0; i < w; i++ {
+			if args[0].B.Bit(i) != 0 {
+				n++
+			}
+		}
+		return bv(big.NewInt(int64(n)))
+	case smt.OpRev:
+		r := new(big.Int)
+		for i := 0; i < w; i++ {
+			if args[0].B.Bit(i) != 0 {
+				r.SetBit(r, w-1-i, 1)
+			}
+		}
+		return bv(r)
+
+	case smt.OpIntAdd:
+		return iv(new(big.Int).Add(args[0].B, args[1].B))
+	case smt.OpIntSub:
+		return iv(new(big.Int).Sub(args[0].B, args[1].B))
+	case smt.OpIntMul:
+		return iv(new(big.Int).Mul(args[0].B, args[1].B))
+	case smt.OpIntLe:
+		return bl(args[0].B.Cmp(args[1].B) <= 0)
+	case smt.OpIntLt:
+		return bl(args[0].B.Cmp(args[1].B) < 0)
+	case smt.OpIntGe:
+		return bl(args[0].B.Cmp(args[1].B) >= 0)
+	case smt.OpIntGt:
+		return bl(args[0].B.Cmp(args[1].B) > 0)
+	default:
+		return Val{}, fmt.Errorf("difftest: oracle: unsupported op %s", t.Op)
+	}
+}
+
+// ModelEnv converts a solver model into an oracle environment covering
+// every free variable of the assertions. Variables the model omits
+// (eliminated by constant folding or equality solving before blasting)
+// are completed with zero/false: every pipeline pass is an equivalence
+// over the same free variables, so if the model omits a variable, the
+// simplified query does not constrain it and any completion must
+// satisfy the original.
+func ModelEnv(b *smt.Builder, asserts []smt.TermID, m *smt.Model) map[string]Val {
+	env := map[string]Val{}
+	for _, v := range FreeVars(b, asserts) {
+		t := b.Term(v)
+		if mv, ok := m.Value(t.Name); ok {
+			if mv.Sort.Kind == smt.KindBool {
+				env[t.Name] = BoolVal(mv.AsBool())
+			} else {
+				env[t.Name] = BVVal(mv.Bits, mv.Sort.Width)
+			}
+			continue
+		}
+		if t.Sort.Kind == smt.KindBool {
+			env[t.Name] = BoolVal(false)
+		} else {
+			env[t.Name] = BVVal(0, t.Sort.Width)
+		}
+	}
+	return env
+}
+
+// HoldsAll reports whether every assertion evaluates to true under env.
+func HoldsAll(b *smt.Builder, asserts []smt.TermID, env map[string]Val) (bool, error) {
+	for _, a := range asserts {
+		v, err := Eval(b, a, env)
+		if err != nil {
+			return false, err
+		}
+		if !v.True() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// BruteResult is the verdict of exhaustive enumeration.
+type BruteResult int
+
+// Enumeration outcomes.
+const (
+	BruteTooBig BruteResult = iota // variable space exceeds MaxBruteBits
+	BruteSat
+	BruteUnsat
+)
+
+// MaxBruteBits bounds the exhaustive ground-truth search: queries whose
+// free variables total at most this many bits are enumerated completely.
+const MaxBruteBits = 14
+
+// BruteStatus exhaustively decides the conjunction of asserts when the
+// combined free-variable space is at most MaxBruteBits bits, yielding a
+// ground truth that is independent of every solver component.
+func BruteStatus(b *smt.Builder, asserts []smt.TermID) BruteResult {
+	vars := FreeVars(b, asserts)
+	total := 0
+	for _, v := range vars {
+		s := b.Term(v).Sort
+		if s.Kind == smt.KindBool {
+			total++
+		} else {
+			total += s.Width
+		}
+		if total > MaxBruteBits {
+			return BruteTooBig
+		}
+	}
+	n := uint64(1) << uint(total)
+	env := map[string]Val{}
+	for i := uint64(0); i < n; i++ {
+		bits := i
+		for _, v := range vars {
+			t := b.Term(v)
+			if t.Sort.Kind == smt.KindBool {
+				env[t.Name] = BoolVal(bits&1 == 1)
+				bits >>= 1
+			} else {
+				w := t.Sort.Width
+				env[t.Name] = BVVal(bits&maskU(w), w)
+				bits >>= uint(w)
+			}
+		}
+		ok, err := HoldsAll(b, asserts, env)
+		if err != nil {
+			panic(err) // generated queries never have unbound variables
+		}
+		if ok {
+			return BruteSat
+		}
+	}
+	return BruteUnsat
+}
+
+func maskU(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}

@@ -1,0 +1,167 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"crocus/internal/smt"
+)
+
+// randEnvs builds sample environments for the free variables of the
+// given terms: structured corner values first (all-zero, all-ones,
+// sign bits), then uniformly random assignments.
+func randEnvs(b *smt.Builder, r *rand.Rand, n int, terms ...smt.TermID) []map[string]Val {
+	vars := FreeVars(b, terms)
+	mk := func(pick func(s smt.Sort) Val) map[string]Val {
+		env := map[string]Val{}
+		for _, v := range vars {
+			t := b.Term(v)
+			env[t.Name] = pick(t.Sort)
+		}
+		return env
+	}
+	envs := []map[string]Val{
+		mk(func(s smt.Sort) Val {
+			if s.Kind == smt.KindBool {
+				return BoolVal(false)
+			}
+			return BVVal(0, s.Width)
+		}),
+		mk(func(s smt.Sort) Val {
+			if s.Kind == smt.KindBool {
+				return BoolVal(true)
+			}
+			return BVVal(^uint64(0), s.Width)
+		}),
+		mk(func(s smt.Sort) Val {
+			if s.Kind == smt.KindBool {
+				return BoolVal(false)
+			}
+			return BVVal(uint64(1)<<uint(s.Width-1), s.Width)
+		}),
+	}
+	for i := 0; i < n; i++ {
+		envs = append(envs, mk(func(s smt.Sort) Val {
+			if s.Kind == smt.KindBool {
+				return BoolVal(r.Intn(2) == 0)
+			}
+			return BVVal(r.Uint64(), s.Width)
+		}))
+	}
+	return envs
+}
+
+// toSMTEnv converts an oracle environment for use with smt.Eval.
+func toSMTEnv(env map[string]Val) smt.Env {
+	out := smt.Env{}
+	for k, v := range env {
+		switch v.Sort.Kind {
+		case smt.KindBool:
+			out[k] = smt.BoolValue(v.True())
+		case smt.KindBV:
+			out[k] = smt.BVValue(v.Uint64(), v.Sort.Width)
+		default:
+			out[k] = smt.IntValue(int64(v.Uint64()))
+		}
+	}
+	return out
+}
+
+// TestOracleAgreesWithEngineEval cross-checks the big-integer oracle
+// against the engine's own evaluator on random terms: the two are
+// written independently, so agreement here means a model check by the
+// oracle is as strong as one by smt.Eval plus the independence.
+func TestOracleAgreesWithEngineEval(t *testing.T) {
+	iters := 3000
+	if testing.Short() {
+		iters = 300
+	}
+	r := rand.New(rand.NewSource(7001))
+	for i := 0; i < iters; i++ {
+		b := smt.NewBuilder()
+		g := NewGen(b, RandSource{R: r})
+		var term smt.TermID
+		if i%2 == 0 {
+			term = g.Bool(3)
+		} else {
+			term = g.BV(Widths[r.Intn(len(Widths))], 3)
+		}
+		for _, env := range randEnvs(b, r, 4, term) {
+			want, err := b.Eval(term, toSMTEnv(env))
+			if err != nil {
+				t.Fatalf("engine eval: %v", err)
+			}
+			got, err := Eval(b, term, env)
+			if err != nil {
+				t.Fatalf("oracle eval: %v", err)
+			}
+			if got.Sort != want.Sort || got.Uint64() != want.Bits {
+				t.Fatalf("iter %d: oracle %v (sort %s) != engine %v (sort %s) for\n%s",
+					i, got.Uint64(), got.Sort, want.Bits, want.Sort, b.String(term))
+			}
+		}
+	}
+}
+
+// TestOracleSMTLIBEdgeCases pins the SMT-LIB total-function semantics
+// the engine must honor, computed by hand from the standard.
+func TestOracleSMTLIBEdgeCases(t *testing.T) {
+	b := smt.NewBuilder()
+	x := b.Var("x", smt.BV(8))
+	y := b.Var("y", smt.BV(8))
+	env := func(xv, yv uint64) map[string]Val {
+		return map[string]Val{"x": BVVal(xv, 8), "y": BVVal(yv, 8)}
+	}
+	cases := []struct {
+		name string
+		term smt.TermID
+		env  map[string]Val
+		want uint64
+	}{
+		{"udiv-by-zero", b.BVUDiv(x, y), env(17, 0), 0xff},
+		{"urem-by-zero", b.BVURem(x, y), env(17, 0), 17},
+		{"sdiv-by-zero-pos", b.BVSDiv(x, y), env(5, 0), 0xff},    // 5 / 0 = -1
+		{"sdiv-by-zero-neg", b.BVSDiv(x, y), env(0xfb, 0), 1},    // -5 / 0 = 1
+		{"srem-by-zero", b.BVSRem(x, y), env(0xfb, 0), 0xfb},     // -5 rem 0 = -5
+		{"sdiv-overflow", b.BVSDiv(x, y), env(0x80, 0xff), 0x80}, // INT_MIN / -1 wraps
+		{"srem-sign", b.BVSRem(x, y), env(0xf9, 3), 0xff},        // -7 rem 3 = -1
+		{"shl-oor", b.BVShl(x, y), env(0xff, 8), 0},
+		{"lshr-oor", b.BVLshr(x, y), env(0xff, 200), 0},
+		{"ashr-clamp", b.BVAshr(x, y), env(0x80, 100), 0xff},
+		{"rotl-mod", b.BVRotl(x, y), env(0x81, 9), 0x03},
+		{"rotr-mod", b.BVRotr(x, y), env(0x81, 9), 0xc0},
+		{"neg-min", b.BVNeg(x), env(0x80, 0), 0x80},
+		{"clz-zero", b.CLZ(x), env(0, 0), 8},
+		{"rev", b.Rev(x), env(0x01, 0), 0x80},
+	}
+	for _, c := range cases {
+		got, err := Eval(b, c.term, c.env)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got.Uint64() != c.want {
+			t.Errorf("%s: got %#x, want %#x", c.name, got.Uint64(), c.want)
+		}
+	}
+}
+
+// TestBruteStatus checks the enumerator on queries with known status.
+func TestBruteStatus(t *testing.T) {
+	b := smt.NewBuilder()
+	x := b.Var("x", smt.BV(4))
+	// x*2 = 1 is unsat at even widths.
+	unsat := b.Eq(b.BVMul(x, b.BVConst(2, 4)), b.BVConst(1, 4))
+	if got := BruteStatus(b, []smt.TermID{unsat}); got != BruteUnsat {
+		t.Fatalf("x*2=1: got %v, want BruteUnsat", got)
+	}
+	sat := b.Eq(b.BVAdd(x, x), b.BVConst(6, 4))
+	if got := BruteStatus(b, []smt.TermID{sat}); got != BruteSat {
+		t.Fatalf("x+x=6: got %v, want BruteSat", got)
+	}
+	big := b.Var("big", smt.BV(64))
+	big2 := b.Var("big2", smt.BV(64))
+	wide := b.Eq(b.BVAdd(big, big2), b.BVConst(1, 64))
+	if got := BruteStatus(b, []smt.TermID{wide}); got != BruteTooBig {
+		t.Fatalf("64-bit var: got %v, want BruteTooBig", got)
+	}
+}

@@ -1,0 +1,336 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"crocus/internal/smt"
+)
+
+// Per-rewrite soundness: each rule in the simplifier's table (see
+// internal/smt/simplify.go) gets a term pattern that makes it fire.
+// The pattern is instantiated with fresh variables and random constants
+// at widths 1/8/16/32/64, simplified, and the input and output are
+// compared under the big-integer oracle on corner-value and random
+// environments. A rule that is an equisatisfiability but not an
+// equivalence — which would silently break model/counterexample
+// extraction — fails here.
+
+type rewriteCase struct {
+	name string
+	// minWidth skips widths where the pattern cannot be formed.
+	minWidth int
+	build    func(b *smt.Builder, w int, r *rand.Rand) smt.TermID
+}
+
+func bvVars(b *smt.Builder, w int) (x, y smt.TermID) {
+	return b.Var("x", smt.BV(w)), b.Var("y", smt.BV(w))
+}
+
+// pow2Const draws a random power of two expressible at width w,
+// excluding 1 so the udiv/urem rules do not fold away first.
+func pow2Const(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+	if w == 1 {
+		return b.BVConst(1, 1)
+	}
+	return b.BVConst(uint64(1)<<uint(1+r.Intn(w-1)), w)
+}
+
+func rewriteCases() []rewriteCase {
+	c := func(name string, minWidth int, build func(b *smt.Builder, w int, r *rand.Rand) smt.TermID) rewriteCase {
+		return rewriteCase{name: name, minWidth: minWidth, build: build}
+	}
+	boolVars := func(b *smt.Builder) (p, q smt.TermID) {
+		return b.Var("p", smt.Bool), b.Var("q", smt.Bool)
+	}
+	return []rewriteCase{
+		c("and-contradiction", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, _ := boolVars(b)
+			return b.And(p, b.Not(p))
+		}),
+		c("or-tautology", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, _ := boolVars(b)
+			return b.Or(b.Not(p), p)
+		}),
+		c("xor-complement", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, _ := boolVars(b)
+			return b.XorB(p, b.Not(p))
+		}),
+		c("commute-and", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, q := boolVars(b)
+			return b.And(q, p) // q interned after p: out of TermID order
+		}),
+		c("commute-bvadd", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, y := bvVars(b, w)
+			return b.Eq(b.BVAdd(y, x), x)
+		}),
+		c("ite-not-cond", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, _ := boolVars(b)
+			x, y := bvVars(b, w)
+			return b.Eq(b.Ite(b.Not(p), x, y), x)
+		}),
+		c("ite-const-then-true", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, q := boolVars(b)
+			return b.Ite(p, b.BoolConst(true), q)
+		}),
+		c("ite-const-then-false", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, q := boolVars(b)
+			return b.Ite(p, b.BoolConst(false), q)
+		}),
+		c("ite-const-else-true", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, q := boolVars(b)
+			return b.Ite(p, q, b.BoolConst(true))
+		}),
+		c("ite-const-else-false", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, q := boolVars(b)
+			return b.Ite(p, q, b.BoolConst(false))
+		}),
+		c("bvand-complement", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.BVAnd(x, b.BVNot(x))
+		}),
+		c("bvor-complement", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.BVOr(b.BVNot(x), x)
+		}),
+		c("bvxor-complement", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.BVXor(x, b.BVNot(x))
+		}),
+		c("urem-pow2", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.BVURem(x, pow2Const(b, w, r))
+		}),
+		c("udiv-pow2", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.BVUDiv(x, pow2Const(b, w, r))
+		}),
+		c("shl-out-of-range", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.BVShl(x, b.BVConst(uint64(w)+uint64(r.Intn(3)), w))
+		}),
+		c("shl-fuse", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			c1 := b.BVConst(uint64(1+r.Intn(w-1)), w)
+			c2 := b.BVConst(uint64(1+r.Intn(w-1)), w)
+			return b.BVShl(b.BVShl(x, c1), c2)
+		}),
+		c("lshr-fuse", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			c1 := b.BVConst(uint64(1+r.Intn(w-1)), w)
+			c2 := b.BVConst(uint64(1+r.Intn(w-1)), w)
+			return b.BVLshr(b.BVLshr(x, c1), c2)
+		}),
+		c("ashr-clamp", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.BVAshr(x, b.BVConst(uint64(w)+uint64(r.Intn(3)), w))
+		}),
+		c("ashr-fuse", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			c1 := b.BVConst(uint64(1+r.Intn(w-1)), w)
+			c2 := b.BVConst(uint64(1+r.Intn(w-1)), w)
+			return b.BVAshr(b.BVAshr(x, c1), c2)
+		}),
+		c("rotl-mod", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.BVRotl(x, b.BVConst(uint64(w+1+r.Intn(w)), w))
+		}),
+		c("rotr-fuse", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			c1 := b.BVConst(uint64(1+r.Intn(w-1)), w)
+			c2 := b.BVConst(uint64(1+r.Intn(w-1)), w)
+			return b.BVRotr(b.BVRotr(x, c1), c2)
+		}),
+		c("extract-of-extract", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			inner := b.Extract(w-2, 1, x)
+			return b.Extract(w-4, 1, inner)
+		}),
+		c("extract-of-concat-low", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, y := bvVars(b, w/2)
+			cc := b.Concat(x, y)
+			return b.Extract(w/2-2, 0, cc)
+		}),
+		c("extract-of-concat-high", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, y := bvVars(b, w/2)
+			cc := b.Concat(x, y)
+			return b.Extract(w-2, w/2+1, cc)
+		}),
+		c("extract-of-concat-straddle", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, y := bvVars(b, w/2)
+			cc := b.Concat(x, y)
+			return b.Extract(w/2+2, w/2-2, cc)
+		}),
+		c("extract-of-zeroext", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x := b.Var("x", smt.BV(w/2))
+			z := b.ZeroExt(w, x)
+			return b.Extract(w-1, 1, z)
+		}),
+		c("extract-of-signext", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x := b.Var("x", smt.BV(w/2))
+			s := b.SignExt(w, x)
+			return b.Extract(w/2-2, 0, s)
+		}),
+		c("extract-of-shl-const", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			sh := b.BVShl(x, b.BVConst(uint64(1+r.Intn(w-2)), w))
+			return b.Extract(w-2, 1, sh)
+		}),
+		c("extract-of-lshr-const", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			sh := b.BVLshr(x, b.BVConst(uint64(1+r.Intn(w-2)), w))
+			return b.Extract(w-2, 1, sh)
+		}),
+		c("zext-of-zext", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x := b.Var("x", smt.BV(w/2))
+			return b.ZeroExt(min2(2*w, 64), b.ZeroExt(w, x))
+		}),
+		c("sext-of-sext", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x := b.Var("x", smt.BV(w/2))
+			return b.SignExt(min2(2*w, 64), b.SignExt(w, x))
+		}),
+		c("sext-of-zext", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x := b.Var("x", smt.BV(w/2))
+			return b.SignExt(min2(2*w, 64), b.ZeroExt(w, x))
+		}),
+		c("eq-ite-shared-else", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, _ := boolVars(b)
+			x, y := bvVars(b, w)
+			return b.Eq(x, b.Ite(p, y, x))
+		}),
+		c("eq-ite-shared-then", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			p, _ := boolVars(b)
+			x, y := bvVars(b, w)
+			return b.Eq(b.Ite(p, x, y), x)
+		}),
+		c("eq-zext-both", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x := b.Var("x", smt.BV(w/2))
+			y := b.Var("y", smt.BV(w/2))
+			return b.Eq(b.ZeroExt(w, x), b.ZeroExt(w, y))
+		}),
+		c("eq-concat-both", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, y := bvVars(b, w/2)
+			z := b.Var("z", smt.BV(w/2))
+			u := b.Var("u", smt.BV(w/2))
+			return b.Eq(b.Concat(x, y), b.Concat(z, u))
+		}),
+		c("eq-bvnot-both", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, y := bvVars(b, w)
+			return b.Eq(b.BVNot(x), b.BVNot(y))
+		}),
+		c("eq-bvneg-both", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, y := bvVars(b, w)
+			return b.Eq(b.BVNeg(x), b.BVNeg(y))
+		}),
+		c("eqconst-add", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.Eq(b.BVAdd(x, b.BVConst(r.Uint64()|1, w)), b.BVConst(r.Uint64(), w))
+		}),
+		c("eqconst-sub-right", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.Eq(b.BVSub(x, b.BVConst(r.Uint64()|1, w)), b.BVConst(r.Uint64(), w))
+		}),
+		c("eqconst-sub-left", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.Eq(b.BVSub(b.BVConst(r.Uint64()|1, w), x), b.BVConst(r.Uint64(), w))
+		}),
+		c("eqconst-sub-zero", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, y := bvVars(b, w)
+			return b.Eq(b.BVSub(x, y), b.BVConst(0, w))
+		}),
+		c("eqconst-xor", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.Eq(b.BVXor(x, b.BVConst(r.Uint64()|1, w)), b.BVConst(r.Uint64(), w))
+		}),
+		c("eqconst-xor-zero", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, y := bvVars(b, w)
+			return b.Eq(b.BVXor(x, y), b.BVConst(0, w))
+		}),
+		c("eqconst-bvnot", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.Eq(b.BVNot(x), b.BVConst(r.Uint64(), w))
+		}),
+		c("eqconst-bvneg", 1, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, _ := bvVars(b, w)
+			return b.Eq(b.BVNeg(x), b.BVConst(r.Uint64(), w))
+		}),
+		c("eqconst-zext-feasible", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x := b.Var("x", smt.BV(w/2))
+			return b.Eq(b.ZeroExt(w, x), b.BVConst(r.Uint64()&maskU(w/2), w))
+		}),
+		c("eqconst-zext-infeasible", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x := b.Var("x", smt.BV(w/2))
+			return b.Eq(b.ZeroExt(w, x), b.BVConst(maskU(w/2)+1+(r.Uint64()&maskU(w/2)), w))
+		}),
+		c("eqconst-sext", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x := b.Var("x", smt.BV(w/2))
+			return b.Eq(b.SignExt(w, x), b.BVConst(r.Uint64(), w))
+		}),
+		c("eqconst-concat", 8, func(b *smt.Builder, w int, r *rand.Rand) smt.TermID {
+			x, y := bvVars(b, w/2)
+			return b.Eq(b.Concat(x, y), b.BVConst(r.Uint64(), w))
+		}),
+	}
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestRewriteSoundness instantiates every rewrite pattern at widths
+// 1/8/16/32/64 with several random draws and checks Simplify preserves
+// semantics under the oracle, on corner and random environments.
+func TestRewriteSoundness(t *testing.T) {
+	draws := 6
+	samples := 24
+	if testing.Short() {
+		draws, samples = 2, 8
+	}
+	for _, tc := range rewriteCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(9200 + len(tc.name))))
+			for _, w := range []int{1, 8, 16, 32, 64} {
+				if w < tc.minWidth {
+					continue
+				}
+				for d := 0; d < draws; d++ {
+					b := smt.NewBuilder()
+					term := tc.build(b, w, r)
+					simp := b.Simplify(term)
+					if b.SortOf(simp) != b.SortOf(term) {
+						t.Fatalf("w=%d: simplify changed sort %s -> %s", w, b.SortOf(term), b.SortOf(simp))
+					}
+					// No new free variables may appear (models of the
+					// simplified term must extend to the original).
+					orig := map[string]bool{}
+					for _, v := range FreeVars(b, []smt.TermID{term}) {
+						orig[b.Term(v).Name] = true
+					}
+					for _, v := range FreeVars(b, []smt.TermID{simp}) {
+						if !orig[b.Term(v).Name] {
+							t.Fatalf("w=%d: simplify invented variable %s", w, b.Term(v).Name)
+						}
+					}
+					for _, env := range randEnvs(b, r, samples, term) {
+						want, err := Eval(b, term, env)
+						if err != nil {
+							t.Fatalf("w=%d: oracle on original: %v", w, err)
+						}
+						got, err := Eval(b, simp, env)
+						if err != nil {
+							t.Fatalf("w=%d: oracle on simplified: %v", w, err)
+						}
+						if want.B.Cmp(got.B) != 0 {
+							t.Fatalf("w=%d: rewrite changed semantics:\n  before: %s\n  after:  %s\n  env value %v vs %v",
+								w, b.String(term), b.String(simp), want.Uint64(), got.Uint64())
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,263 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"crocus/internal/smt"
+)
+
+// Shrink reduces a failing query to a minimal reproducer: it greedily
+// drops whole assertions, then repeatedly replaces subterms with
+// same-sorted children or small constants, keeping any change under
+// which the configuration matrix still disagrees. The result is a new
+// assertion list over the same builder; Format renders it for a bug
+// report.
+//
+// Shrinking assumes the failure reproduces standalone (CheckQuery on
+// the original asserts fails). Failures that only manifest through
+// session history — query N poisoned by queries 1..N-1 — are not
+// shrinkable this way and should be reported with the whole batch.
+func Shrink(b *smt.Builder, asserts []smt.TermID, configs []PipeConfig) []smt.TermID {
+	fails := func(cand []smt.TermID) bool {
+		if len(cand) == 0 {
+			return false
+		}
+		return CheckQuery(b, cand, configs) != nil
+	}
+	if !fails(asserts) {
+		return asserts
+	}
+	cur := append([]smt.TermID(nil), asserts...)
+
+	// Pass 1: drop assertions to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append([]smt.TermID(nil), cur[:i]...), cur[i+1:]...)
+			if fails(cand) {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Pass 2: shrink term structure. Budgeted: each candidate costs a
+	// full matrix solve.
+	budget := 400
+	for changed := true; changed && budget > 0; {
+		changed = false
+	outer:
+		for ai, a := range cur {
+			for _, sub := range subterms(b, a) {
+				for _, repl := range replacements(b, sub) {
+					if budget <= 0 {
+						break outer
+					}
+					budget--
+					na := substitute(b, a, sub, repl)
+					if na == a {
+						continue
+					}
+					cand := append([]smt.TermID(nil), cur...)
+					cand[ai] = na
+					if fails(cand) {
+						cur = cand
+						changed = true
+						continue outer
+					}
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// subterms lists the distinct proper subterms of root, larger first
+// (replacing a big subterm shrinks more at once).
+func subterms(b *smt.Builder, root smt.TermID) []smt.TermID {
+	seen := map[smt.TermID]bool{}
+	var order []smt.TermID
+	var walk func(smt.TermID)
+	walk = func(id smt.TermID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		order = append(order, id)
+		t := b.Term(id)
+		for i := 0; i < t.NArg; i++ {
+			walk(t.Args[i])
+		}
+	}
+	walk(root)
+	return order
+}
+
+// replacements proposes smaller same-sorted terms for sub: its
+// same-sorted children, then trivial constants.
+func replacements(b *smt.Builder, sub smt.TermID) []smt.TermID {
+	t := b.Term(sub)
+	if t.Op == smt.OpVar || t.Op == smt.OpBoolConst || t.Op == smt.OpBVConst || t.Op == smt.OpIntConst {
+		return nil
+	}
+	var out []smt.TermID
+	for i := 0; i < t.NArg; i++ {
+		if b.SortOf(t.Args[i]) == t.Sort {
+			out = append(out, t.Args[i])
+		}
+	}
+	switch t.Sort.Kind {
+	case smt.KindBool:
+		out = append(out, b.BoolConst(false), b.BoolConst(true))
+	case smt.KindBV:
+		out = append(out, b.BVConst(0, t.Sort.Width), b.BVConst(1, t.Sort.Width))
+	case smt.KindInt:
+		out = append(out, b.IntConst(0))
+	}
+	return out
+}
+
+// substitute rebuilds root with every occurrence of from replaced by to
+// (same sort), going through the public constructors so folding and
+// hash-consing apply exactly as they would for a freshly generated term.
+func substitute(b *smt.Builder, root, from, to smt.TermID) smt.TermID {
+	memo := map[smt.TermID]smt.TermID{}
+	var rebuild func(smt.TermID) smt.TermID
+	rebuild = func(id smt.TermID) smt.TermID {
+		if id == from {
+			return to
+		}
+		if r, ok := memo[id]; ok {
+			return r
+		}
+		t := b.Term(id)
+		var a [3]smt.TermID
+		same := true
+		for i := 0; i < t.NArg; i++ {
+			a[i] = rebuild(t.Args[i])
+			if a[i] != t.Args[i] {
+				same = false
+			}
+		}
+		var r smt.TermID
+		if same {
+			r = id
+		} else {
+			r = rebuildNode(b, t, a)
+		}
+		memo[id] = r
+		return r
+	}
+	return rebuild(root)
+}
+
+// rebuildNode re-applies a node's operator to new children via the
+// public constructor API.
+func rebuildNode(b *smt.Builder, t *smt.Term, a [3]smt.TermID) smt.TermID {
+	switch t.Op {
+	case smt.OpNot:
+		return b.Not(a[0])
+	case smt.OpAnd:
+		return b.And(a[0], a[1])
+	case smt.OpOr:
+		return b.Or(a[0], a[1])
+	case smt.OpXorB:
+		return b.XorB(a[0], a[1])
+	case smt.OpImplies:
+		return b.Implies(a[0], a[1])
+	case smt.OpIff:
+		return b.Iff(a[0], a[1])
+	case smt.OpIte:
+		return b.Ite(a[0], a[1], a[2])
+	case smt.OpEq:
+		return b.Eq(a[0], a[1])
+	case smt.OpBVNot:
+		return b.BVNot(a[0])
+	case smt.OpBVNeg:
+		return b.BVNeg(a[0])
+	case smt.OpBVAdd:
+		return b.BVAdd(a[0], a[1])
+	case smt.OpBVSub:
+		return b.BVSub(a[0], a[1])
+	case smt.OpBVMul:
+		return b.BVMul(a[0], a[1])
+	case smt.OpBVUDiv:
+		return b.BVUDiv(a[0], a[1])
+	case smt.OpBVURem:
+		return b.BVURem(a[0], a[1])
+	case smt.OpBVSDiv:
+		return b.BVSDiv(a[0], a[1])
+	case smt.OpBVSRem:
+		return b.BVSRem(a[0], a[1])
+	case smt.OpBVAnd:
+		return b.BVAnd(a[0], a[1])
+	case smt.OpBVOr:
+		return b.BVOr(a[0], a[1])
+	case smt.OpBVXor:
+		return b.BVXor(a[0], a[1])
+	case smt.OpBVShl:
+		return b.BVShl(a[0], a[1])
+	case smt.OpBVLshr:
+		return b.BVLshr(a[0], a[1])
+	case smt.OpBVAshr:
+		return b.BVAshr(a[0], a[1])
+	case smt.OpBVRotl:
+		return b.BVRotl(a[0], a[1])
+	case smt.OpBVRotr:
+		return b.BVRotr(a[0], a[1])
+	case smt.OpBVUlt:
+		return b.BVUlt(a[0], a[1])
+	case smt.OpBVUle:
+		return b.BVUle(a[0], a[1])
+	case smt.OpBVSlt:
+		return b.BVSlt(a[0], a[1])
+	case smt.OpBVSle:
+		return b.BVSle(a[0], a[1])
+	case smt.OpExtract:
+		return b.Extract(int(t.IArg), int(t.JArg), a[0])
+	case smt.OpConcat:
+		return b.Concat(a[0], a[1])
+	case smt.OpZeroExt:
+		return b.ZeroExt(t.Sort.Width, a[0])
+	case smt.OpSignExt:
+		return b.SignExt(t.Sort.Width, a[0])
+	case smt.OpCLZ:
+		return b.CLZ(a[0])
+	case smt.OpPopcnt:
+		return b.Popcnt(a[0])
+	case smt.OpRev:
+		return b.Rev(a[0])
+	case smt.OpIntAdd:
+		return b.IntAdd(a[0], a[1])
+	case smt.OpIntSub:
+		return b.IntSub(a[0], a[1])
+	case smt.OpIntMul:
+		return b.IntMul(a[0], a[1])
+	case smt.OpIntLe:
+		return b.IntLe(a[0], a[1])
+	case smt.OpIntLt:
+		return b.IntLt(a[0], a[1])
+	case smt.OpIntGe:
+		return b.IntGe(a[0], a[1])
+	case smt.OpIntGt:
+		return b.IntGt(a[0], a[1])
+	default:
+		panic(fmt.Sprintf("difftest: rebuildNode: unexpected op %s", t.Op))
+	}
+}
+
+// Format renders a reproducer: each assertion as an SMT-LIB-style
+// S-expression plus the variable declarations it needs.
+func Format(b *smt.Builder, asserts []smt.TermID) string {
+	var sb strings.Builder
+	for _, v := range FreeVars(b, asserts) {
+		t := b.Term(v)
+		fmt.Fprintf(&sb, "(declare-const %s %s)\n", t.Name, t.Sort)
+	}
+	for _, a := range asserts {
+		fmt.Fprintf(&sb, "(assert %s)\n", b.String(a))
+	}
+	return sb.String()
+}

@@ -236,12 +236,17 @@ func (bl *blaster) divremWord(a, b []sat.Lit) (q, r []sat.Lit) {
 	return q, r
 }
 
-// shiftWord implements a barrel shifter. kind: 0 = shl, 1 = lshr, 2 = ashr.
-// Widths are powers of two (8/16/32/64), so amount mod/overflow handling
-// uses the low log2(w) bits plus an any-high-bit-set overflow flag.
+// shiftWord implements a barrel shifter for any width 1..64. kind:
+// 0 = shl, 1 = lshr, 2 = ashr. The low ceil(log2(w)) amount bits drive
+// the shift stages; amounts in [w, 2^k) shift every bit out through the
+// stages themselves, and amounts with a set bit at position >= k are
+// caught by the overflow mux. (An earlier version used TrailingZeros,
+// which is log2 only for power-of-two widths — at width 19 it built no
+// stages at all and treated every nonzero amount as overflow, a
+// soundness bug internal/difftest caught.)
 func (bl *blaster) shiftWord(a, amt []sat.Lit, kind int) []sat.Lit {
 	w := len(a)
-	k := bits.TrailingZeros(uint(w)) // log2(w) for power-of-two widths
+	k := bits.Len(uint(w - 1)) // ceil(log2(w)); 0 for w == 1
 	fill := bl.lf
 	if kind == 2 {
 		fill = a[w-1]
@@ -284,25 +289,31 @@ func (bl *blaster) shiftWord(a, amt []sat.Lit, kind int) []sat.Lit {
 	return bl.iteWord(over, ovWord, cur)
 }
 
-// rotateWord implements symbolic rotation; amount is taken mod w (power of
-// two), so only the low log2(w) bits matter.
+// rotateWord implements symbolic rotation for any width 1..64; the
+// amount is taken mod w. Amount bit s contributes a rotation of
+// 2^s mod w, which is zero — a skippable stage — exactly for the high
+// bits when w is a power of two, but nonzero for arbitrary s at other
+// widths (at width 19, bit 5 rotates by 32 mod 19 = 13), so every
+// amount bit gets a stage unless its contribution vanishes.
 func (bl *blaster) rotateWord(a, amt []sat.Lit, left bool) []sat.Lit {
 	w := len(a)
-	k := bits.TrailingZeros(uint(w))
 	cur := a
-	for s := 0; s < k; s++ {
-		sh := 1 << uint(s)
-		rot := make([]sat.Lit, w)
-		for i := 0; i < w; i++ {
-			var src int
-			if left {
-				src = ((i-sh)%w + w) % w
-			} else {
-				src = (i + sh) % w
+	sh := 1 % w
+	for s := 0; s < len(amt); s++ {
+		if sh != 0 {
+			rot := make([]sat.Lit, w)
+			for i := 0; i < w; i++ {
+				var src int
+				if left {
+					src = ((i-sh)%w + w) % w
+				} else {
+					src = (i + sh) % w
+				}
+				rot[i] = bl.gIte(amt[s], cur[src], cur[i])
 			}
-			rot[i] = bl.gIte(amt[s], cur[src], cur[i])
+			cur = rot
 		}
-		cur = rot
+		sh = sh * 2 % w
 	}
 	return cur
 }

@@ -1,0 +1,108 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+
+	"crocus/internal/sat"
+)
+
+// Regression test for the barrel shifter and rotator at non-power-of-two
+// widths. The original encoding derived its stage count with
+// TrailingZeros, which is log2 only for power-of-two widths: at width 19
+// it built no stages and routed every nonzero amount through the
+// overflow mux, so models assigned shifted values as if the amount were
+// out of range (found by the differential harness in internal/difftest).
+// The corpus only exercises widths 8/16/32/64, hence the dedicated check
+// here across odd and in-between widths.
+func TestSymbolicShiftRotateOddWidths(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	type opCase struct {
+		name string
+		mk   func(b *Builder, x, y TermID) TermID
+		gold func(a, c uint64, w int) uint64
+	}
+	ops := []opCase{
+		{"shl", func(b *Builder, x, y TermID) TermID { return b.BVShl(x, y) }, foldShl},
+		{"lshr", func(b *Builder, x, y TermID) TermID { return b.BVLshr(x, y) }, foldLshr},
+		{"ashr", func(b *Builder, x, y TermID) TermID { return b.BVAshr(x, y) }, foldAshr},
+		{"rotl", func(b *Builder, x, y TermID) TermID { return b.BVRotl(x, y) }, foldRotl},
+		{"rotr", func(b *Builder, x, y TermID) TermID { return b.BVRotr(x, y) }, foldRotr},
+	}
+	for _, w := range []int{1, 2, 3, 5, 7, 12, 19, 33, 63} {
+		for _, op := range ops {
+			// Amounts around every interesting boundary: 0, in-range,
+			// exactly w, beyond w, and a random large pattern whose high
+			// bits matter for rotates.
+			amounts := []uint64{0, 1, uint64(w) - 1, uint64(w), uint64(w) + 1, r.Uint64()}
+			for _, amt := range amounts {
+				xv := r.Uint64() & mask(w)
+				b := NewBuilder()
+				x := b.Var("x", BV(w))
+				y := b.Var("y", BV(w))
+				res := b.Var("res", BV(w))
+				// Pin x and y with equalities (not constants) so the op
+				// keeps symbolic operands and the circuit is exercised;
+				// NoSimplify/NoSolveEqs keep the pipeline from folding
+				// the query away before blasting.
+				asserts := []TermID{
+					b.Eq(x, b.BVConst(xv, w)),
+					b.Eq(y, b.BVConst(amt, w)),
+					b.Eq(res, op.mk(b, x, y)),
+				}
+				cr, err := Check(b, asserts, Config{NoSimplify: true, NoSolveEqs: true})
+				if err != nil {
+					t.Fatalf("w=%d %s amt=%d: %v", w, op.name, amt, err)
+				}
+				if cr.Status != sat.Sat {
+					t.Fatalf("w=%d %s amt=%d: status %v, want Sat", w, op.name, amt, cr.Status)
+				}
+				want := op.gold(xv, amt&mask(w), w) & mask(w)
+				got, ok := cr.Model.Value("res")
+				if !ok {
+					t.Fatalf("w=%d %s amt=%d: model misses res:\n%s", w, op.name, amt, cr.Model)
+				}
+				if got.Bits != want {
+					t.Fatalf("w=%d %s: %#x %s %d = %#x from blaster, want %#x",
+						w, op.name, xv, op.name, amt&mask(w), got.Bits, want)
+				}
+				// The blasted circuit must also refute any other value.
+				wrong := (want + 1) & mask(w)
+				asserts[2] = b.Eq(res, op.mk(b, x, y))
+				neg := append(asserts, b.Eq(res, b.BVConst(wrong, w)))
+				nr, err := Check(b, neg, Config{NoSimplify: true, NoSolveEqs: true})
+				if err != nil {
+					t.Fatalf("w=%d %s amt=%d (neg): %v", w, op.name, amt, err)
+				}
+				if w >= 1 && wrong != want && nr.Status != sat.Unsat {
+					t.Fatalf("w=%d %s amt=%d: circuit admits wrong value %#x (status %v)",
+						w, op.name, amt, wrong, nr.Status)
+				}
+			}
+		}
+	}
+}
+
+// TestShiftWordStageCount pins the ceil(log2) stage derivation the fix
+// relies on, via the public interface: a width-w shift by an in-range
+// amount whose bit pattern needs the top stage.
+func TestShiftWordStageCount(t *testing.T) {
+	for _, w := range []int{17, 19, 31, 33} {
+		b := NewBuilder()
+		x := b.Var("x", BV(w))
+		amt := uint64(w - 1) // needs every stage bit for non-power-of-two w
+		q := b.Eq(b.BVLshr(x, b.Var("y", BV(w))), b.BVConst(0, w))
+		res, err := Check(b, []TermID{
+			b.Eq(b.Var("y", BV(w)), b.BVConst(amt, w)),
+			b.Eq(x, b.BVConst(mask(w), w)),
+			b.Not(q),
+		}, Config{NoSimplify: true, NoSolveEqs: true})
+		if err != nil {
+			t.Fatalf("w=%d: %v", w, err)
+		}
+		// all-ones >> (w-1) = 1, nonzero, so ¬(res = 0) must be Sat.
+		if res.Status != sat.Sat {
+			t.Fatalf("w=%d: lshr by w-1 of all-ones decided %v, want Sat", w, res.Status)
+		}
+	}
+}

@@ -78,7 +78,14 @@ func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 	// here — both sides fold to one hash-consed term, or the negated goal
 	// contradicts an asserted side condition — and are decided without
 	// building a circuit at all.
-	sol, substituted := solveEqs(b, assertions)
+	var sol *eqSolution
+	var substituted []TermID
+	if cfg.NoSolveEqs {
+		sol = &eqSolution{b: b, raw: map[TermID]TermID{}, memo: map[TermID]TermID{}}
+		substituted = assertions
+	} else {
+		sol, substituted = solveEqs(b, assertions)
+	}
 	units := make([]TermID, 0, len(substituted))
 	var addUnit func(TermID)
 	addUnit = func(a TermID) {
@@ -94,7 +101,11 @@ func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 		units = append(units, a)
 	}
 	for _, a := range substituted {
-		addUnit(ss.simp.rewrite(a))
+		if cfg.NoSimplify {
+			addUnit(a)
+		} else {
+			addUnit(ss.simp.rewrite(a))
+		}
 	}
 	unsat := false
 	pos := make(map[TermID]bool, len(units))

@@ -83,6 +83,14 @@ type Config struct {
 	// PropagationBudget bounds SAT propagations (0 = unlimited); useful for
 	// deterministic timeout tests.
 	PropagationBudget int64
+	// NoSimplify skips the word-level rewrite pass before blasting. The
+	// verdict must not change — the differential tests (internal/difftest)
+	// run every query with the pass on and off and assert agreement.
+	NoSimplify bool
+	// NoSolveEqs skips equality solving (the substitution pass that
+	// orients and inlines definitional equalities). As with NoSimplify,
+	// this is a correctness cross-checking knob, not a tuning one.
+	NoSolveEqs bool
 }
 
 // Check decides the conjunction of the given boolean assertions over the

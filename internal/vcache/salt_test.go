@@ -1,0 +1,138 @@
+package vcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSaltBumpOrphansEntries simulates an engine-version bump: entries
+// persisted under the old salt's fingerprints stay physically in the
+// JSONL store but become unreachable — every probe under the new salt's
+// keys is a Miss — and the two generations coexist on disk without
+// clobbering each other.
+func TestSaltBumpOrphansEntries(t *testing.T) {
+	dir := t.TempDir()
+	sections := func(i int) []string {
+		return []string{fmt.Sprintf("(assert (= r%d x))", i), "(goal true)"}
+	}
+	const oldSalt, newSalt = "crocus-engine-1", "crocus-engine-2"
+
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		err := c.Put(Entry{Key: Fingerprint(oldSalt, sections(i)), Outcome: "success", Rule: "r"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopen as the bumped engine would: old keys still load fine...
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != n {
+		t.Fatalf("loaded %d entries, want %d", c2.Len(), n)
+	}
+	// ...but the new salt addresses none of them.
+	for i := 0; i < n; i++ {
+		oldKey := Fingerprint(oldSalt, sections(i))
+		newKey := Fingerprint(newSalt, sections(i))
+		if oldKey == newKey {
+			t.Fatalf("salt bump did not change fingerprint for sections %d", i)
+		}
+		if _, st := c2.Lookup(oldKey, 0); st != Hit {
+			t.Fatalf("old-salt key %d: %v, want hit (entries must survive on disk)", i, st)
+		}
+		if _, st := c2.Lookup(newKey, 0); st != Miss {
+			t.Fatalf("new-salt key %d: %v, want miss (bump must orphan old entries)", i, st)
+		}
+	}
+
+	// The bumped engine re-solves and records under new keys; both
+	// generations then coexist in the store.
+	for i := 0; i < n; i++ {
+		err := c2.Put(Entry{Key: Fingerprint(newSalt, sections(i)), Outcome: "success", Rule: "r"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Len() != 2*n {
+		t.Fatalf("after bump store has %d entries, want %d (old generation clobbered?)", c3.Len(), 2*n)
+	}
+}
+
+// TestTrailingLineCorruptionSelfHeals: only the final append is torn
+// (the kill-9-mid-write shape); every earlier entry survives, the file
+// is compacted to fully valid lines on open, and the next open sees no
+// corruption.
+func TestTrailingLineCorruptionSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(i int) string { return Fingerprint("salt", []string{fmt.Sprintf("%d", i)}) }
+	for i := 0; i < 3; i++ {
+		if err := c.Put(Entry{Key: key(i), Outcome: "success"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, FileName)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final line: drop the trailing newline and half the entry.
+	torn := whole[:len(whole)-len("\n")-20]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open on torn tail: %v", err)
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("loaded %d entries, want the 2 intact ones", c2.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, st := c2.Lookup(key(i), 0); st != Hit {
+			t.Fatalf("intact entry %d lost: %v", i, st)
+		}
+	}
+
+	// Healed: every line on disk is valid JSON again.
+	healed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(healed)), "\n") {
+		var e Entry
+		if err := json.Unmarshal([]byte(line), &e); err != nil || !e.valid() {
+			t.Fatalf("post-heal line invalid: %q", line)
+		}
+	}
+	// And the store keeps working: re-put the torn entry, reopen, all 3.
+	if err := c2.Put(Entry{Key: key(2), Outcome: "success"}); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.Len() != 3 {
+		t.Fatalf("after heal + re-put: %d entries, want 3", c3.Len())
+	}
+}
