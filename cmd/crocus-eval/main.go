@@ -10,32 +10,79 @@
 // The -timeout flag scales the per-query solver budget (the paper used up
 // to 6 hours for hard mul/div/popcnt instances; any budget reproduces the
 // same shape).
+//
+// SIGINT/SIGTERM cancel the running experiment cooperatively: whatever
+// completed is flushed as a clearly-marked PARTIAL report (with -cache-dir,
+// every completed verification unit is already persisted, so the next run
+// resumes from cache hits) and the process exits 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"crocus/internal/eval"
 )
 
+// parseBudgets parses the -retry-budgets value: a comma-separated list
+// of propagation budgets forming the timeout-escalation ladder.
+func parseBudgets(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -retry-budgets entry %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig4, coverage, knownbugs, newbugs, all")
-	timeout := flag.Duration("timeout", 5*time.Second, "per-query solver deadline")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-unit solver deadline")
 	distinct := flag.Bool("distinct", false, "run the distinct-models check during table1")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent rule verification during table1 (1 = sequential)")
 	cacheDir := flag.String("cache-dir", "", "persist verification results under this directory and replay them on re-runs (incremental verification)")
 	fresh := flag.Bool("fresh", false, "use a fresh solver per query instead of one incremental session per rule (reference pipeline)")
+	budget := flag.Int64("propagation-budget", 0, "deterministic SAT propagation budget per unit (0 = unlimited)")
+	retryBudgets := flag.String("retry-budgets", "", "timeout-escalation ladder: comma-separated propagation budgets to retry timed-out units at (ascending; 0 = unlimited final rung)")
 	flag.Parse()
 
-	cfg := eval.Config{Timeout: *timeout, Distinct: *distinct, Parallelism: *parallel, CacheDir: *cacheDir, FreshSolvers: *fresh}
+	ladder, err := parseBudgets(*retryBudgets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crocus-eval:", err)
+		os.Exit(1)
+	}
+	cfg := eval.Config{
+		Timeout:           *timeout,
+		Distinct:          *distinct,
+		Parallelism:       *parallel,
+		CacheDir:          *cacheDir,
+		FreshSolvers:      *fresh,
+		PropagationBudget: *budget,
+		RetryBudgets:      ladder,
+	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "crocus-eval:", err)
 		os.Exit(1)
 	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	interrupted := false
 
 	run := map[string]bool{}
 	if *exp == "all" {
@@ -47,7 +94,7 @@ func main() {
 	}
 
 	if run["table1"] {
-		res, err := eval.Table1(cfg)
+		res, err := eval.Table1Context(ctx, cfg)
 		if err != nil {
 			fail(err)
 		}
@@ -55,25 +102,31 @@ func main() {
 		if res.Cache != nil {
 			fmt.Println(res.Cache)
 		}
+		interrupted = interrupted || res.Interrupted
 	}
-	if run["fig4"] {
-		res, err := eval.Fig4(cfg)
+	if run["fig4"] && !interrupted {
+		res, err := eval.Fig4Context(ctx, cfg)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(res.Render())
+		interrupted = interrupted || res.Interrupted
 	}
-	if run["coverage"] {
+	if run["coverage"] && !interrupted {
 		rs, err := eval.Coverage()
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(eval.RenderCoverage(rs))
 	}
-	if run["knownbugs"] || run["newbugs"] {
-		rs, stats, err := eval.BugsStats(cfg)
-		if err != nil {
+	if (run["knownbugs"] || run["newbugs"]) && !interrupted {
+		rs, stats, err := eval.BugsStatsContext(ctx, cfg)
+		if err != nil && ctx.Err() == nil {
 			fail(err)
+		}
+		if err != nil {
+			interrupted = true
+			fmt.Print(eval.PartialHeader(len(rs), len(rs)+1))
 		}
 		var filtered []*eval.BugResult
 		for _, r := range rs {
@@ -86,5 +139,9 @@ func main() {
 		if stats != nil {
 			fmt.Println(stats)
 		}
+	}
+	if interrupted {
+		fmt.Println("crocus-eval: interrupted — report above is partial; re-run with the same -cache-dir to resume from cached results")
+		os.Exit(130)
 	}
 }

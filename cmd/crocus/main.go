@@ -25,17 +25,39 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"crocus"
 )
 
+// parseBudgets parses the -retry-budgets value: a comma-separated list
+// of propagation budgets forming the timeout-escalation ladder.
+func parseBudgets(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad -retry-budgets entry %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
-	timeout := flag.Duration("timeout", 5*time.Second, "per-query solver deadline")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-unit solver deadline")
 	ruleName := flag.String("rule", "", "verify only the named rule")
 	distinct := flag.Bool("distinct", false, "run the distinct-models check (§3.2.1)")
 	corpusName := flag.String("corpus", "aarch64", "embedded corpus: aarch64, x64, midend, or bug:<id>")
@@ -45,6 +67,9 @@ func main() {
 	stats := flag.Bool("stats", false, "print cumulative SAT statistics (propagations/conflicts/decisions/queries) per rule")
 	cacheDir := flag.String("cache-dir", "", "persist verification results under this directory and replay them on re-runs (incremental verification)")
 	fresh := flag.Bool("fresh", false, "use a fresh solver per query instead of one incremental session per rule (reference pipeline)")
+	budget := flag.Int64("propagation-budget", 0, "deterministic SAT propagation budget per unit (0 = unlimited)")
+	retryBudgets := flag.String("retry-budgets", "", "timeout-escalation ladder: comma-separated propagation budgets to retry timed-out units at (ascending; 0 = unlimited final rung)")
+	injectPanic := flag.String("inject-panic", "", "fault-injection: install a custom VC that panics for the named rule (testing the containment path)")
 	benchJSON := flag.String("bench-json", "", "benchmark the corpus under fresh, incremental, and warm-cache pipelines and write the report to this file")
 	benchEvalBase := flag.Int64("bench-eval-base-ns", 0, "externally measured pre-PR crocus-eval wall time (ns), recorded in the -bench-json report")
 	benchEvalNew := flag.Int64("bench-eval-new-ns", 0, "externally measured this-build crocus-eval wall time (ns), recorded in the -bench-json report")
@@ -55,16 +80,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "crocus:", err)
 		os.Exit(1)
 	}
+	ladder, err := parseBudgets(*retryBudgets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crocus:", err)
+		os.Exit(1)
+	}
 
 	opts := crocus.Options{
-		Timeout:        *timeout,
-		DistinctModels: *distinct,
-		Parallelism:    *parallel,
-		CacheDir:       *cacheDir,
-		FreshSolvers:   *fresh,
+		Timeout:           *timeout,
+		DistinctModels:    *distinct,
+		Parallelism:       *parallel,
+		CacheDir:          *cacheDir,
+		FreshSolvers:      *fresh,
+		PropagationBudget: *budget,
+		RetryBudgets:      ladder,
 	}
 	if *custom {
 		opts.Custom = crocus.CorpusCustomVCs()
+	}
+	if *injectPanic != "" {
+		if opts.Custom == nil {
+			opts.Custom = map[string]*crocus.CustomVC{}
+		}
+		name := *injectPanic
+		opts.Custom[name] = &crocus.CustomVC{
+			Condition: func(_ *crocus.VCContext) (id crocus.TermID, err error) {
+				panic(fmt.Sprintf("injected fault (-inject-panic %s)", name))
+			},
+		}
 	}
 
 	if *benchJSON != "" {
@@ -94,25 +137,44 @@ func main() {
 		os.Exit(code)
 	}
 
+	// SIGINT/SIGTERM cancel the sweep cooperatively: completed results
+	// are flushed as a clearly-marked partial report, the result cache
+	// already holds every finished unit, and the process exits 130.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	exit := 0
-	if *parallel > 1 && *ruleName == "" {
-		// Parallel sweep through the façade: one VerifyAll call, results
-		// kept in source order, printed after the pool drains.
-		rs, err := v.VerifyAll()
-		if err != nil {
+	var counts outcomeCounts
+	interrupted := false
+	if *ruleName == "" {
+		// Sweep through the façade: one VerifyAllContext call, results in
+		// source order, fault-isolated (a rule that panics or errors is
+		// reported as outcome "error" instead of aborting the run).
+		rs, err := v.VerifyAllContext(ctx)
+		if err != nil && ctx.Err() == nil {
 			fmt.Fprintln(os.Stderr, "crocus:", err)
 			os.Exit(1)
 		}
+		interrupted = err != nil
 		for _, rr := range rs {
 			printRule(rr, *stats, &exit)
+			counts.add(rr)
 		}
+		if interrupted {
+			fmt.Printf("*** PARTIAL REPORT: interrupted after %d/%d rules ***\n", len(rs), len(prog.Rules))
+		}
+		fmt.Printf("summary: %d rules — %s\n", counts.total, counts.String())
 	} else {
 		for _, r := range prog.Rules {
-			if *ruleName != "" && r.Name != *ruleName {
+			if r.Name != *ruleName {
 				continue
 			}
-			rr, err := v.VerifyRule(r)
+			rr, err := v.VerifyRuleContext(ctx, r)
 			if err != nil {
+				if ctx.Err() != nil {
+					interrupted = true
+					break
+				}
 				fmt.Fprintf(os.Stderr, "crocus: %s: %v\n", r.Name, err)
 				exit = 1
 				continue
@@ -127,7 +189,36 @@ func main() {
 			fmt.Println(v.CacheStats())
 		}
 	}
+	if interrupted {
+		exit = 130
+	}
 	os.Exit(exit)
+}
+
+// outcomeCounts tallies rule-level outcomes for the sweep summary line.
+type outcomeCounts struct {
+	total, success, failure, timeout, errored, inapplicable int
+}
+
+func (c *outcomeCounts) add(rr *crocus.RuleResult) {
+	c.total++
+	switch rr.Outcome() {
+	case crocus.OutcomeSuccess:
+		c.success++
+	case crocus.OutcomeFailure:
+		c.failure++
+	case crocus.OutcomeTimeout:
+		c.timeout++
+	case crocus.OutcomeError:
+		c.errored++
+	case crocus.OutcomeInapplicable:
+		c.inapplicable++
+	}
+}
+
+func (c *outcomeCounts) String() string {
+	return fmt.Sprintf("success: %d, failure: %d, timeout: %d, error: %d, inapplicable: %d",
+		c.success, c.failure, c.timeout, c.errored, c.inapplicable)
 }
 
 // printRule prints one rule's per-instantiation outcomes (and, under
@@ -151,6 +242,9 @@ func printRule(rr *crocus.RuleResult, stats bool, exit *int) {
 		if io.Cached {
 			s += "*"
 		}
+		if io.Escalations > 0 {
+			s += fmt.Sprintf("^%d", io.Escalations)
+		}
 		if io.DistinctInputs != nil && !*io.DistinctInputs {
 			s += "!single-model"
 		}
@@ -166,6 +260,12 @@ func printRule(rr *crocus.RuleResult, stats bool, exit *int) {
 			fmt.Printf("  counterexample (%s):\n%s\n", io.Sig, indent(io.Counterexample.Rendered))
 			*exit = 2
 		}
+		if io.Outcome == crocus.OutcomeError && io.Err != nil {
+			fmt.Printf("  contained fault: %v\n", io.Err)
+		}
+	}
+	if rr.RetriedFresh {
+		fmt.Printf("  note: incremental pipeline faulted; result from fresh-solver retry\n")
 	}
 }
 

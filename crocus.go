@@ -23,6 +23,7 @@ import (
 	"crocus/internal/corpus"
 	"crocus/internal/interp"
 	"crocus/internal/isle"
+	"crocus/internal/smt"
 	"crocus/internal/vcache"
 )
 
@@ -49,6 +50,9 @@ type (
 	CustomVC = core.CustomVC
 	// VCContext gives custom conditions access to the elaborated rule.
 	VCContext = core.VCContext
+	// TermID identifies an SMT term in a VCContext's builder (the type
+	// custom verification conditions construct and return).
+	TermID = smt.TermID
 	// Bug describes one reproduced defect from the paper's evaluation.
 	Bug = corpus.Bug
 	// Runner executes rules on concrete inputs (interpreter mode, §3.3).
@@ -57,6 +61,9 @@ type (
 	Case = interp.Case
 	// SolverStats are cumulative SAT statistics for a verification unit.
 	SolverStats = core.SolverStats
+	// PanicError is the diagnostics bundle carried by OutcomeError results
+	// when a panic in the solve pipeline was contained.
+	PanicError = core.PanicError
 	// CacheStats are the incremental-verification cache's per-run probe
 	// counters (hits, misses, stale timeouts, solve time saved), returned
 	// by Verifier.CacheStats when Options.CacheDir is set.
@@ -69,6 +76,7 @@ const (
 	OutcomeInapplicable = core.OutcomeInapplicable
 	OutcomeFailure      = core.OutcomeFailure
 	OutcomeTimeout      = core.OutcomeTimeout
+	OutcomeError        = core.OutcomeError
 )
 
 // ParseProgram parses and typechecks a set of ISLE source files (file

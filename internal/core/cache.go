@@ -183,10 +183,13 @@ func (v *Verifier) CacheStats() vcache.Stats {
 	return vcache.Stats{}
 }
 
-// recordOutcome stores a freshly solved unit in the cache. Best-effort:
-// a disk write failure is ignored (the in-memory tier already has the
-// entry).
-func (v *Verifier) recordOutcome(c *vcache.Cache, key string, rule *isle.Rule, sig *isle.Sig, io *InstOutcome, elapsed time.Duration) {
+// recordOutcome stores a freshly solved unit in the cache. budget is the
+// final attempt's propagation budget (after any escalation-ladder
+// retries), recorded on timeout entries so LookupBudget's staleness
+// check compares against what was actually spent, not the base budget.
+// Best-effort: a disk write failure is ignored (the in-memory tier
+// already has the entry).
+func (v *Verifier) recordOutcome(c *vcache.Cache, key string, rule *isle.Rule, sig *isle.Sig, io *InstOutcome, budget int64, elapsed time.Duration) {
 	if c == nil || key == "" {
 		return
 	}
@@ -210,6 +213,7 @@ func (v *Verifier) recordOutcome(c *vcache.Cache, key string, rule *isle.Rule, s
 	}
 	if io.Outcome == OutcomeTimeout {
 		e.TriedTimeoutNS = v.Opts.Timeout.Nanoseconds()
+		e.TriedBudget = budget
 	}
 	if io.DistinctInputs != nil {
 		d := *io.DistinctInputs

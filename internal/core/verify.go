@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,7 +14,8 @@ import (
 )
 
 // Outcome classifies a verification attempt, mirroring §3.2's three
-// outcomes plus resource exhaustion (the paper's §4.1 timeouts).
+// outcomes plus resource exhaustion (the paper's §4.1 timeouts) and
+// contained engine faults.
 type Outcome int
 
 // Verification outcomes.
@@ -22,6 +24,7 @@ const (
 	OutcomeInapplicable                // the rule never matches this instantiation
 	OutcomeFailure                     // counterexample found
 	OutcomeTimeout                     // solver resource limit reached
+	OutcomeError                       // contained engine fault (panic or pipeline error)
 )
 
 func (o Outcome) String() string {
@@ -34,6 +37,8 @@ func (o Outcome) String() string {
 		return "failure"
 	case OutcomeTimeout:
 		return "timeout"
+	case OutcomeError:
+		return "error"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
@@ -68,6 +73,17 @@ type Options struct {
 	// PropagationBudget optionally bounds SAT work deterministically
 	// (useful in tests); 0 = unlimited.
 	PropagationBudget int64
+	// RetryBudgets is the timeout-escalation ladder: a unit that exhausts
+	// the base PropagationBudget (OutcomeTimeout) is re-solved at each
+	// listed budget in turn until it decides or the ladder is exhausted.
+	// Rungs should ascend; a rung not more generous than the previous
+	// attempt's budget is skipped, and a 0 rung means unlimited (final).
+	// Each attempt re-derives a fresh Options.Timeout deadline and its SAT
+	// statistics accumulate into the unit's totals; the final attempt's
+	// deadline and budget are what the vcache entry records, so staleness
+	// logic keeps working across runs. The ladder only engages when the
+	// base PropagationBudget is finite (> 0).
+	RetryBudgets []int64
 	// DistinctModels enables the optional §3.2.1 check that at least two
 	// distinct input assignments match the rule.
 	DistinctModels bool
@@ -175,27 +191,40 @@ type InstOutcome struct {
 	// Cached reports that this outcome was served from the result cache
 	// without solving.
 	Cached bool
+	// Escalations counts the timeout-escalation retries the unit consumed
+	// (0 = decided, or still timed out, at the base budget).
+	Escalations int
+	// Err carries the contained fault for OutcomeError outcomes —
+	// typically a *PanicError diagnostics bundle.
+	Err error
 }
 
 // RuleResult aggregates the per-instantiation outcomes of one rule.
 type RuleResult struct {
 	Rule  *isle.Rule
 	Insts []InstOutcome
+	// RetriedFresh reports that the incremental-session attempt faulted
+	// and this result came from the fresh-solver reference retry.
+	RetriedFresh bool
 }
 
 // Outcome summarizes the rule across instantiations: failure dominates,
-// then timeout, then success; a rule with no applicable instantiation is
-// inapplicable.
+// then contained error, then timeout, then success; a rule with no
+// applicable instantiation is inapplicable.
 func (rr *RuleResult) Outcome() Outcome {
 	agg := OutcomeInapplicable
 	for _, io := range rr.Insts {
 		switch io.Outcome {
 		case OutcomeFailure:
 			return OutcomeFailure
+		case OutcomeError:
+			agg = OutcomeError
 		case OutcomeTimeout:
-			agg = OutcomeTimeout
+			if agg != OutcomeError {
+				agg = OutcomeTimeout
+			}
 		case OutcomeSuccess:
-			if agg != OutcomeTimeout {
+			if agg != OutcomeTimeout && agg != OutcomeError {
 				agg = OutcomeSuccess
 			}
 		}
@@ -208,7 +237,7 @@ func (rr *RuleResult) AllSuccess() bool {
 	any := false
 	for _, io := range rr.Insts {
 		switch io.Outcome {
-		case OutcomeFailure, OutcomeTimeout:
+		case OutcomeFailure, OutcomeTimeout, OutcomeError:
 			return false
 		case OutcomeSuccess:
 			any = true
@@ -254,18 +283,94 @@ func newRuleSession() *ruleSession {
 
 // VerifyRule verifies one rule across all of its type instantiations.
 // The instantiations share one incremental session (unless
-// Options.FreshSolvers).
+// Options.FreshSolvers). Equivalent to VerifyRuleContext with a
+// background context.
 func (v *Verifier) VerifyRule(rule *isle.Rule) (*RuleResult, error) {
-	rr := &RuleResult{Rule: rule}
-	rs := v.newSession()
+	return v.VerifyRuleContext(context.Background(), rule)
+}
+
+// VerifyRuleContext is VerifyRule under a cancellation context, with
+// per-rule fault containment: a panic anywhere in the
+// elaborate/blast/solve pipeline is recovered, the rule is retried once
+// through the fresh-solver reference path (unless it already ran
+// fresh), and a persisting panic is reported as a RuleResult with
+// OutcomeError carrying a *PanicError diagnostics bundle instead of
+// crashing the process. Non-panic errors (malformed corpus, missing
+// annotations) are still returned as errors. A canceled context returns
+// ctx.Err() with no result; nothing partial is cached.
+func (v *Verifier) VerifyRuleContext(ctx context.Context, rule *isle.Rule) (*RuleResult, error) {
+	rr, err := v.verifyRuleAttempt(ctx, rule, v.Opts.FreshSolvers)
+	if err == nil {
+		return rr, nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	fault := err
+	if !v.Opts.FreshSolvers {
+		// Fault under the incremental pipeline: retry once through the
+		// fresh-solver reference path before giving up.
+		rr2, err2 := v.verifyRuleAttempt(ctx, rule, true)
+		if err2 == nil {
+			rr2.RetriedFresh = true
+			return rr2, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		// Keep whichever fault carries panic diagnostics.
+		if !isPanicErr(fault) && isPanicErr(err2) {
+			fault = err2
+		}
+	}
+	if isPanicErr(fault) {
+		return erroredResult(rule, fault), nil
+	}
+	return nil, fault
+}
+
+// verifyRuleAttempt runs one full verification attempt over the rule's
+// instantiations under the given pipeline, converting any panic in the
+// monomorphize/elaborate/blast/solve stack into a *PanicError.
+func (v *Verifier) verifyRuleAttempt(ctx context.Context, rule *isle.Rule, fresh bool) (rr *RuleResult, err error) {
+	var cur *isle.Sig
+	defer func() {
+		if r := recover(); r != nil {
+			rr, err = nil, newPanicError(rule, cur, r, fresh)
+		}
+	}()
+	rr = &RuleResult{Rule: rule}
+	var rs *ruleSession
+	if !fresh {
+		rs = newRuleSession()
+	}
 	for _, sig := range v.Sigs(rule) {
-		io, err := v.verifyInstantiation(rs, rule, sig)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		cur = sig
+		io, err := v.verifyInstantiation(ctx, rs, rule, sig)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", rule, err)
 		}
 		rr.Insts = append(rr.Insts, *io)
 	}
 	return rr, nil
+}
+
+// verifyRuleContained verifies one rule for a sweep: panics AND plain
+// errors degrade to an OutcomeError result so the sweep survives. It
+// returns nil only when the context was canceled before the rule
+// completed.
+func (v *Verifier) verifyRuleContained(ctx context.Context, rule *isle.Rule) *RuleResult {
+	rr, err := v.VerifyRuleContext(ctx, rule)
+	if err == nil {
+		return rr
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+	return erroredResult(rule, err)
 }
 
 // newSession returns the rule-level session for the configured pipeline:
@@ -277,59 +382,97 @@ func (v *Verifier) newSession() *ruleSession {
 	return newRuleSession()
 }
 
-// VerifyAll verifies every rule in the program, in source order. When
-// Options.Parallelism is greater than one, rules are verified
-// concurrently (each query builds its own solver, so rule verification
-// is embarrassingly parallel); results keep source order.
+// VerifyAll verifies every rule in the program, in source order.
+// Equivalent to VerifyAllContext with a background context.
 func (v *Verifier) VerifyAll() ([]*RuleResult, error) {
+	return v.VerifyAllContext(context.Background())
+}
+
+// VerifyAllContext verifies every rule in the program, in source order,
+// under a cancellation context. When Options.Parallelism is greater
+// than one, rules are verified concurrently; results keep source order.
+//
+// The sweep is fault-isolated: a rule whose verification panics or
+// errors yields a RuleResult with OutcomeError (see VerifyRuleContext)
+// instead of aborting the run. On cancellation the completed results
+// are returned — still in source order, incomplete rules omitted —
+// together with ctx.Err(); every completed unit is already flushed to
+// the result cache, so an immediate re-run resumes from cache hits.
+func (v *Verifier) VerifyAllContext(ctx context.Context) ([]*RuleResult, error) {
+	rules := v.Prog.Rules
 	n := v.Opts.Parallelism
+	if n > len(rules) {
+		n = len(rules)
+	}
 	if n <= 1 {
-		var out []*RuleResult
-		for _, r := range v.Prog.Rules {
-			rr, err := v.VerifyRule(r)
-			if err != nil {
-				return nil, err
+		out := make([]*RuleResult, 0, len(rules))
+		for _, r := range rules {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			rr := v.verifyRuleContained(ctx, r)
+			if rr == nil {
+				return out, ctx.Err()
 			}
 			out = append(out, rr)
 		}
 		return out, nil
 	}
 
-	type slot struct {
-		rr  *RuleResult
-		err error
-	}
-	out := make([]slot, len(v.Prog.Rules))
-	work := make(chan int)
-	done := make(chan struct{})
-	for w := 0; w < n; w++ {
-		go func() {
-			defer func() { done <- struct{}{} }()
-			for i := range work {
-				rr, err := v.VerifyRule(v.Prog.Rules[i])
-				out[i] = slot{rr, err}
-			}
-		}()
-	}
-	for i := range v.Prog.Rules {
+	// Dispatch through a pre-filled buffered channel: the producer can
+	// never block on a dead worker (an unbuffered send loop used to
+	// deadlock if a worker died mid-sweep), and indices a dying worker
+	// leaves behind are drained by the survivors.
+	work := make(chan int, len(rules))
+	for i := range rules {
 		work <- i
 	}
 	close(work)
+	out := make([]*RuleResult, len(rules))
+	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
-		<-done
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if ctx.Err() != nil {
+					return
+				}
+				out[i] = v.verifyRuleContained(ctx, rules[i])
+			}
+		}()
 	}
-	results := make([]*RuleResult, len(out))
-	for i, s := range out {
-		if s.err != nil {
-			return nil, s.err
+	wg.Wait()
+	results := make([]*RuleResult, 0, len(rules))
+	for _, rr := range out {
+		if rr != nil {
+			results = append(results, rr)
 		}
-		results[i] = s.rr
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
 	}
 	return results, nil
 }
 
+// solverConfig is the per-query configuration for standalone queries
+// (interpreter and overlap analysis); verification units use
+// unitConfig, which pins one deadline for the whole unit.
 func (v *Verifier) solverConfig() smt.Config {
 	cfg := smt.Config{PropagationBudget: v.Opts.PropagationBudget}
+	if v.Opts.Timeout > 0 {
+		cfg.Deadline = time.Now().Add(v.Opts.Timeout)
+	}
+	return cfg
+}
+
+// unitConfig builds the solver configuration for one verification-unit
+// attempt: a single unit-level deadline derived once (a unit with many
+// assignments no longer accumulates N × Timeout wall clock across its
+// queries), the attempt's propagation budget, and the cancellation
+// context.
+func (v *Verifier) unitConfig(ctx context.Context, budget int64) smt.Config {
+	cfg := smt.Config{Ctx: ctx, PropagationBudget: budget}
 	if v.Opts.Timeout > 0 {
 		cfg.Deadline = time.Now().Add(v.Opts.Timeout)
 	}
@@ -344,14 +487,40 @@ func (v *Verifier) solverConfig() smt.Config {
 // the prepared queries are fingerprinted first and a stored verdict for
 // the same content is replayed instead of solved; fresh verdicts are
 // recorded afterwards. Cached timeouts are retried when the current
-// Options.Timeout is more generous than the one they were tried under.
+// Options.Timeout (or escalation-ladder budget) is more generous than
+// the one they were tried under.
 func (v *Verifier) VerifyInstantiation(rule *isle.Rule, sig *isle.Sig) (*InstOutcome, error) {
-	return v.verifyInstantiation(v.newSession(), rule, sig)
+	return v.VerifyInstantiationContext(context.Background(), rule, sig)
+}
+
+// VerifyInstantiationContext is VerifyInstantiation under a cancellation
+// context.
+func (v *Verifier) VerifyInstantiationContext(ctx context.Context, rule *isle.Rule, sig *isle.Sig) (*InstOutcome, error) {
+	return v.verifyInstantiation(ctx, v.newSession(), rule, sig)
+}
+
+// ladderMaxBudget returns the most generous propagation budget this
+// configuration would spend on a unit: the top of the escalation ladder,
+// or the base budget without one (0 = unlimited).
+func (v *Verifier) ladderMaxBudget() int64 {
+	b := v.Opts.PropagationBudget
+	if b <= 0 {
+		return 0
+	}
+	for _, r := range v.Opts.RetryBudgets {
+		if r == 0 {
+			return 0
+		}
+		if r > b {
+			b = r
+		}
+	}
+	return b
 }
 
 // verifyInstantiation is VerifyInstantiation solving through the given
 // rule session (nil = fresh solver per query).
-func (v *Verifier) verifyInstantiation(rs *ruleSession, rule *isle.Rule, sig *isle.Sig) (*InstOutcome, error) {
+func (v *Verifier) verifyInstantiation(ctx context.Context, rs *ruleSession, rule *isle.Rule, sig *isle.Sig) (*InstOutcome, error) {
 	start := time.Now()
 	io := &InstOutcome{Sig: sig}
 	defer func() { io.Duration = time.Since(start) }()
@@ -385,28 +554,74 @@ func (v *Verifier) verifyInstantiation(rs *ruleSession, rule *isle.Rule, sig *is
 	var key string
 	if cache != nil {
 		key = v.fingerprint(preps)
-		if e, st := cache.Lookup(key, v.Opts.Timeout); st == vcache.Hit {
+		if e, st := cache.LookupBudget(key, v.Opts.Timeout, v.ladderMaxBudget()); st == vcache.Hit {
 			if err := applyEntry(e, io); err == nil {
 				return io, nil
 			}
 			// An undecodable entry degrades to a miss: fall through and
-			// re-solve (the fresh result overwrites it).
+			// re-solve (the fresh result overwrites it). Counted so cache
+			// degradation is observable (`crocus -stats`).
+			cache.NoteDecodeFailure()
 		}
 	}
 
+	// Base attempt, then the timeout-escalation ladder: re-solve the
+	// whole unit at each more generous budget until it decides. Stats
+	// accumulate across attempts; the final attempt's budget is what the
+	// cache entry records.
+	budget := v.Opts.PropagationBudget
+	out, err := v.solveUnit(ctx, rs, preps, io, budget)
+	if err != nil {
+		return nil, err
+	}
+	if out == OutcomeTimeout && budget > 0 {
+		for _, rung := range v.Opts.RetryBudgets {
+			if rung != 0 && rung <= budget {
+				continue // not more generous than the last attempt
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			budget = rung
+			out, err = v.solveUnit(ctx, rs, preps, io, budget)
+			if err != nil {
+				return nil, err
+			}
+			io.Escalations++
+			if out != OutcomeTimeout || budget == 0 {
+				break
+			}
+		}
+	}
+	io.Outcome = out
+
+	// A cancellation that surfaced as Unknown mid-unit must not be
+	// recorded as a timeout verdict.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	v.recordOutcome(cache, key, rule, sig, io, budget, time.Since(start))
+	return io, nil
+}
+
+// solveUnit decides every prepared assignment of one unit at the given
+// propagation budget under a single unit-level deadline, accumulating
+// statistics and the distinct-models verdict into io. On failure it sets
+// io.Counterexample. It returns the unit's aggregate outcome.
+func (v *Verifier) solveUnit(ctx context.Context, rs *ruleSession, preps []*prepared, io *InstOutcome, budget int64) (Outcome, error) {
+	cfg := v.unitConfig(ctx, budget)
 	agg := OutcomeInapplicable
 	for _, p := range preps {
-		out, cex, distinct, err := v.solvePrepared(rs, p, io)
+		out, cex, distinct, err := v.solvePrepared(ctx, rs, p, io, cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		if distinct != nil && (io.DistinctInputs == nil || !*distinct) {
 			io.DistinctInputs = distinct
 		}
 		if out == OutcomeFailure {
-			io.Outcome = OutcomeFailure
 			io.Counterexample = cex
-			break
+			return OutcomeFailure, nil
 		}
 		switch out {
 		case OutcomeTimeout:
@@ -417,24 +632,20 @@ func (v *Verifier) verifyInstantiation(rs *ruleSession, rule *isle.Rule, sig *is
 			}
 		}
 	}
-	if io.Outcome != OutcomeFailure {
-		io.Outcome = agg
-	}
-	v.recordOutcome(cache, key, rule, sig, io, time.Since(start))
-	return io, nil
+	return agg, nil
 }
 
 // solvePrepared decides one prepared assignment, accumulating SAT
 // statistics into io. With a rule session, the three queries run
 // incrementally on the session's solver; otherwise each builds a fresh
 // solver.
-func (v *Verifier) solvePrepared(rs *ruleSession, p *prepared, io *InstOutcome) (Outcome, *Counterexample, *bool, error) {
+func (v *Verifier) solvePrepared(ctx context.Context, rs *ruleSession, p *prepared, io *InstOutcome, cfg smt.Config) (Outcome, *Counterexample, *bool, error) {
 	el, b := p.el, p.el.b
 	check := func(assertions []smt.TermID) (smt.Result, error) {
 		if rs != nil {
-			return rs.sess.Check(assertions, v.solverConfig())
+			return rs.sess.Check(assertions, cfg)
 		}
-		return smt.Check(b, assertions, v.solverConfig())
+		return smt.Check(b, assertions, cfg)
 	}
 
 	// Query 1 (Eq. 1): applicability — P_LHS ∧ R_LHS ∧ P_RHS satisfiable?
@@ -443,6 +654,9 @@ func (v *Verifier) solvePrepared(rs *ruleSession, p *prepared, io *InstOutcome) 
 		return 0, nil, nil, fmt.Errorf("applicability query: %w", err)
 	}
 	io.Stats.addResult(res)
+	if cerr := ctx.Err(); cerr != nil {
+		return 0, nil, nil, cerr
+	}
 	switch res.Status {
 	case smt.UnsatRes:
 		return OutcomeInapplicable, nil, nil, nil

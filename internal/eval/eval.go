@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -45,6 +46,9 @@ type Config struct {
 	// Unlike Timeout it is machine-independent, so budget-capped runs
 	// reproduce bit-identical outcomes; it is part of the cache key.
 	PropagationBudget int64
+	// RetryBudgets is the timeout-escalation ladder applied to
+	// budget-capped runs (see core.Options.RetryBudgets).
+	RetryBudgets []int64
 	// FreshSolvers falls back to the per-query fresh-solver reference
 	// pipeline instead of incremental rule sessions (A/B benchmarking).
 	FreshSolvers bool
@@ -81,12 +85,24 @@ type Table1Result struct {
 	FailureRules       int
 	FailureRulesCustom int // failures remaining WITH custom conditions
 
+	// ErrorRules counts rules whose verification faulted (contained
+	// panic/pipeline error reported as OutcomeError) instead of deciding.
+	ErrorRules int
+
 	// Instantiation-level aggregates.
 	TotalInsts        int
 	SuccessInsts      int
 	TimeoutInsts      int
 	InapplicableInsts int
 	FailureInsts      int
+	ErrorInsts        int
+
+	// Interrupted reports that the sweep was canceled before completing:
+	// the result covers only the rules finished by then (TotalRules <
+	// ProgramRules) and Render marks the report as partial.
+	Interrupted bool
+	// ProgramRules is how many rules the corpus sweep set out to verify.
+	ProgramRules int
 
 	// Cache holds the run's result-cache probe counters when
 	// Config.CacheDir was set (nil otherwise). Deliberately excluded from
@@ -99,6 +115,16 @@ type Table1Result struct {
 // with the corpus's custom verification conditions for the rules that
 // need them (§3.2.2).
 func Table1(cfg Config) (*Table1Result, error) {
+	return Table1Context(context.Background(), cfg)
+}
+
+// Table1Context is Table1 under a cancellation context. On cancellation
+// it returns the partial result aggregated over the rules completed so
+// far (Interrupted set, Render marked PARTIAL) with a nil error, so an
+// interrupted run still flushes a usable report — and, with a cache
+// configured, every completed unit is already persisted for the next
+// run to replay.
+func Table1Context(ctx context.Context, cfg Config) (*Table1Result, error) {
 	prog, err := corpus.LoadAarch64()
 	if err != nil {
 		return nil, err
@@ -131,6 +157,7 @@ func Table1(cfg Config) (*Table1Result, error) {
 		DistinctModels:    cfg.Distinct,
 		Parallelism:       cfg.Parallelism,
 		PropagationBudget: cfg.PropagationBudget,
+		RetryBudgets:      cfg.RetryBudgets,
 		Cache:             cache,
 		FreshSolvers:      cfg.FreshSolvers,
 	})
@@ -138,22 +165,30 @@ func Table1(cfg Config) (*Table1Result, error) {
 		Timeout:           cfg.timeout(),
 		Custom:            corpus.CustomVCs(),
 		PropagationBudget: cfg.PropagationBudget,
+		RetryBudgets:      cfg.RetryBudgets,
 		Cache:             cache,
 		FreshSolvers:      cfg.FreshSolvers,
 	})
 
-	res := &Table1Result{}
+	res := &Table1Result{ProgramRules: len(prog.Rules)}
 	needsCustom := map[string]bool{}
 	for _, n := range corpus.FailingWithoutCustomVC() {
 		needsCustom[n] = true
 	}
 
-	all, err := strict.VerifyAll()
-	if err != nil {
-		return nil, fmt.Errorf("verifying: %w", err)
+	all, verr := strict.VerifyAllContext(ctx)
+	if verr != nil {
+		if ctx.Err() == nil {
+			return nil, fmt.Errorf("verifying: %w", verr)
+		}
+		// Canceled: aggregate what completed and flag the report partial.
+		res.Interrupted = true
 	}
-	for i, r := range prog.Rules {
-		rr := all[i]
+	// Aggregate over the completed results (the full sweep, or the
+	// ordered prefix-with-gaps an interrupted run finished), keyed by
+	// each result's own rule rather than sweep position.
+	for _, rr := range all {
+		r := rr.Rule
 		var dur time.Duration
 		for _, io := range rr.Insts {
 			dur += io.Duration
@@ -162,7 +197,7 @@ func Table1(cfg Config) (*Table1Result, error) {
 		res.Rules = append(res.Rules, row)
 
 		res.TotalRules++
-		anySuccess, anyTimeout, anyFailure := false, false, false
+		anySuccess, anyTimeout, anyFailure, anyError := false, false, false, false
 		allOK := true
 		for _, io := range rr.Insts {
 			res.TotalInsts++
@@ -180,15 +215,27 @@ func Table1(cfg Config) (*Table1Result, error) {
 				res.FailureInsts++
 				anyFailure = true
 				allOK = false
+			case core.OutcomeError:
+				res.ErrorInsts++
+				anyError = true
+				allOK = false
 			}
+		}
+		if anyError {
+			res.ErrorRules++
 		}
 		if anyFailure {
 			res.FailureRules++
 			// Re-verify with the custom conditions (Table 1's note: "the
 			// failures all succeed with custom verification conditions").
 			if needsCustom[r.Name] {
-				rr2, err := custom.VerifyRule(r)
+				rr2, err := custom.VerifyRuleContext(ctx, r)
 				if err != nil {
+					if ctx.Err() != nil {
+						res.Interrupted = true
+						res.FailureRulesCustom++ // unresolved: count conservatively
+						continue
+					}
 					return nil, err
 				}
 				if !rr2.AllSuccess() {
@@ -218,9 +265,20 @@ func Table1(cfg Config) (*Table1Result, error) {
 	return res, nil
 }
 
-// Render prints the result in the paper's Table 1 layout.
+// PartialHeader is the marker line prepended to every report flushed
+// after an interrupt: it states clearly how much of the sweep the
+// numbers below actually cover.
+func PartialHeader(done, total int) string {
+	return fmt.Sprintf("*** PARTIAL REPORT: interrupted after %d/%d rules — totals below cover only completed rules ***\n", done, total)
+}
+
+// Render prints the result in the paper's Table 1 layout. An interrupted
+// run is prefixed with the PARTIAL marker.
 func (t *Table1Result) Render() string {
 	var b strings.Builder
+	if t.Interrupted {
+		b.WriteString(PartialHeader(t.TotalRules, t.ProgramRules))
+	}
 	fmt.Fprintf(&b, "Table 1: verification results (Wasm 1.0 integer ops -> aarch64)\n")
 	fmt.Fprintf(&b, "%-22s %-8s %-32s %-28s %-14s %s\n",
 		"", "Total", "Success", "Timeout", "Inapplicable", "Failure")
@@ -234,6 +292,10 @@ func (t *Table1Result) Render() string {
 		"Type Instantiations", t.TotalInsts, t.SuccessInsts, t.TimeoutInsts,
 		t.InapplicableInsts,
 		fmt.Sprintf("%d (with custom VCs: %d remain)", t.FailureInsts, t.FailureRulesCustom))
+	if t.ErrorRules > 0 || t.ErrorInsts > 0 {
+		fmt.Fprintf(&b, "Errored (contained engine faults): %d rules / %d instantiations\n",
+			t.ErrorRules, t.ErrorInsts)
+	}
 	return b.String()
 }
 
@@ -254,24 +316,43 @@ type Fig4Result struct {
 	Durations []time.Duration
 	TimedOut  int // entries that hit the budget
 	Points    []CDFPoint
+	// Interrupted reports a canceled run: the CDF covers only
+	// MeasuredRules of ProgramRules and Render marks the report partial.
+	Interrupted   bool
+	MeasuredRules int
+	ProgramRules  int
 }
 
 // Fig4 measures per-rule verification time in isolation over the Table 1
 // corpus and computes the cumulative distribution.
 func Fig4(cfg Config) (*Fig4Result, error) {
+	return Fig4Context(context.Background(), cfg)
+}
+
+// Fig4Context is Fig4 under a cancellation context. On cancellation the
+// CDF is computed over the rules measured so far (Interrupted set).
+func Fig4Context(ctx context.Context, cfg Config) (*Fig4Result, error) {
 	prog, err := corpus.LoadAarch64()
 	if err != nil {
 		return nil, err
 	}
 	v := core.New(prog, core.Options{Timeout: cfg.timeout(), Custom: corpus.CustomVCs()})
-	res := &Fig4Result{}
+	res := &Fig4Result{ProgramRules: len(prog.Rules)}
 	for _, r := range prog.Rules {
+		if ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 		var terminating time.Duration
 		var timedOut time.Duration
 		hasTerm, hasTO := false, false
 		for _, sig := range v.Sigs(r) {
-			io, err := v.VerifyInstantiation(r, sig)
+			io, err := v.VerifyInstantiationContext(ctx, r, sig)
 			if err != nil {
+				if ctx.Err() != nil {
+					res.Interrupted = true
+					break
+				}
 				return nil, err
 			}
 			if io.Outcome == core.OutcomeTimeout {
@@ -282,6 +363,11 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 				hasTerm = true
 			}
 		}
+		if res.Interrupted {
+			// Mid-rule cancellation: drop the incomplete rule's partial
+			// timings rather than skew the CDF.
+			break
+		}
 		if hasTerm {
 			res.Durations = append(res.Durations, terminating)
 		}
@@ -289,6 +375,7 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 			res.Durations = append(res.Durations, timedOut)
 			res.TimedOut++
 		}
+		res.MeasuredRules++
 	}
 	sort.Slice(res.Durations, func(i, j int) bool { return res.Durations[i] < res.Durations[j] })
 	n := len(res.Durations)
@@ -304,6 +391,9 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 // Render prints the CDF as a text table plus percentile summary.
 func (f *Fig4Result) Render() string {
 	var b strings.Builder
+	if f.Interrupted {
+		b.WriteString(PartialHeader(f.MeasuredRules, f.ProgramRules))
+	}
 	b.WriteString("Figure 4: CDF of verification times (per rule, in isolation)\n")
 	pct := func(p float64) time.Duration {
 		if len(f.Durations) == 0 {
@@ -425,6 +515,13 @@ func Bugs(cfg Config) ([]*BugResult, error) {
 // BugsStats is Bugs plus the run's result-cache probe counters (nil when
 // Config.CacheDir is unset).
 func BugsStats(cfg Config) ([]*BugResult, *vcache.Stats, error) {
+	return BugsStatsContext(context.Background(), cfg)
+}
+
+// BugsStatsContext is BugsStats under a cancellation context. On
+// cancellation it returns the reproductions completed so far together
+// with ctx.Err().
+func BugsStatsContext(ctx context.Context, cfg Config) ([]*BugResult, *vcache.Stats, error) {
 	var cache *vcache.Cache
 	if cfg.CacheDir != "" {
 		c, err := vcache.Open(cfg.CacheDir)
@@ -435,6 +532,9 @@ func BugsStats(cfg Config) ([]*BugResult, *vcache.Stats, error) {
 	}
 	var out []*BugResult
 	for _, bug := range corpus.Bugs() {
+		if cerr := ctx.Err(); cerr != nil {
+			return out, nil, cerr
+		}
 		start := time.Now()
 		prog, err := corpus.LoadBug(bug)
 		if err != nil {
@@ -444,6 +544,7 @@ func BugsStats(cfg Config) ([]*BugResult, *vcache.Stats, error) {
 			Timeout:           cfg.timeout(),
 			DistinctModels:    bug.DistinctModels,
 			PropagationBudget: cfg.PropagationBudget,
+			RetryBudgets:      cfg.RetryBudgets,
 			Cache:             cache,
 			FreshSolvers:      cfg.FreshSolvers,
 		})
@@ -459,8 +560,11 @@ func BugsStats(cfg Config) ([]*BugResult, *vcache.Stats, error) {
 			if rule == nil {
 				return nil, nil, fmt.Errorf("bug %s: rule %s not found", bug.ID, name)
 			}
-			rr, err := v.VerifyRule(rule)
+			rr, err := v.VerifyRuleContext(ctx, rule)
 			if err != nil {
+				if ctx.Err() != nil {
+					return out, nil, ctx.Err()
+				}
 				return nil, nil, err
 			}
 			got := rr.Outcome()

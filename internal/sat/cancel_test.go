@@ -1,0 +1,82 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSolveCanceledContext(t *testing.T) {
+	s := New()
+	pigeonhole(s, 8, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(ctx)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve = %v, want Unknown on a dead context", got)
+	}
+	if s.LastStopReason() != StopCanceled {
+		t.Fatalf("stop reason = %v, want canceled", s.LastStopReason())
+	}
+	// Detaching the context restores a decidable solver: the instance and
+	// all learned state are intact.
+	s.SetContext(nil)
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve after detach = %v, want Unsat", got)
+	}
+	if s.LastStopReason() != StopNone {
+		t.Fatalf("stop reason after decided solve = %v, want none", s.LastStopReason())
+	}
+}
+
+func TestSolveCancelMidSearch(t *testing.T) {
+	s := New()
+	pigeonhole(s, 10, 9) // hard enough to outlive the cancel below
+	ctx, cancel := context.WithCancel(context.Background())
+	s.SetContext(ctx)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	got := s.Solve()
+	elapsed := time.Since(start)
+	if got == Unknown {
+		if s.LastStopReason() != StopCanceled {
+			t.Fatalf("stop reason = %v, want canceled", s.LastStopReason())
+		}
+		// The cooperative poll runs at conflict/decision cadence; the search
+		// must notice the cancel promptly rather than running to completion.
+		if elapsed > 5*time.Second {
+			t.Fatalf("cancellation took %v to surface", elapsed)
+		}
+	}
+	// A fast machine may legitimately refute PHP(10,9) before the timer
+	// fires; Unsat is then the correct verdict, not a failure.
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	cases := map[StopReason]string{
+		StopNone:     "none",
+		StopBudget:   "budget",
+		StopDeadline: "deadline",
+		StopCanceled: "canceled",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("StopReason(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestBudgetStopReason(t *testing.T) {
+	s := New()
+	pigeonhole(s, 9, 8)
+	s.SetBudget(100)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve = %v, want Unknown under starvation budget", got)
+	}
+	if s.LastStopReason() != StopBudget {
+		t.Fatalf("stop reason = %v, want budget", s.LastStopReason())
+	}
+}

@@ -13,6 +13,7 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"math"
 	"time"
@@ -60,6 +61,32 @@ func (s Status) String() string {
 		return "unsat"
 	default:
 		return "unknown"
+	}
+}
+
+// StopReason explains why a Solve call returned Unknown: which resource
+// limit (or external cancellation) interrupted the search. It is
+// StopNone after a decided (Sat/Unsat) call.
+type StopReason int
+
+// Unknown-result stop reasons.
+const (
+	StopNone     StopReason = iota
+	StopBudget              // propagation budget exhausted
+	StopDeadline            // wall-clock deadline passed
+	StopCanceled            // the configured context was canceled
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopBudget:
+		return "budget"
+	case StopDeadline:
+		return "deadline"
+	case StopCanceled:
+		return "canceled"
+	default:
+		return "none"
 	}
 }
 
@@ -121,6 +148,8 @@ type Solver struct {
 	budgetProps  int64 // 0 = unlimited
 	deadline     time.Time
 	hasDeadline  bool
+	ctx          context.Context // nil = never canceled
+	stop         StopReason      // why the last Solve returned Unknown
 
 	// Counter snapshots taken at the entry of the current/most recent
 	// Solve call; LastStats and the propagation budget work on deltas so
@@ -218,6 +247,16 @@ func (s *Solver) SetDeadline(t time.Time) {
 	s.deadline = t
 	s.hasDeadline = !t.IsZero()
 }
+
+// SetContext installs a cancellation context for subsequent Solve calls:
+// the search polls it periodically (alongside the deadline check) and
+// returns Unknown with StopCanceled once it is done. A nil context
+// disables cancellation.
+func (s *Solver) SetContext(ctx context.Context) { s.ctx = ctx }
+
+// LastStopReason reports why the most recent Solve call returned
+// Unknown (StopNone when it decided the query).
+func (s *Solver) LastStopReason() StopReason { return s.stop }
 
 // ErrNoVar is returned by AddClause when a literal references an
 // unallocated variable.
@@ -630,11 +669,33 @@ func luby(i int64) int64 {
 	}
 }
 
-func (s *Solver) outOfBudget() bool {
-	if s.budgetProps > 0 && s.propagations-s.solveProps > s.budgetProps {
+// pollInterrupt checks the externally-driven stop conditions: context
+// cancellation and the wall-clock deadline. The deterministic
+// propagation budget is deliberately NOT checked here — it is only
+// consulted at conflict boundaries (outOfBudget) so budget-capped runs
+// keep machine-independent, bit-identical verdicts.
+func (s *Solver) pollInterrupt() bool {
+	if s.ctx != nil {
+		select {
+		case <-s.ctx.Done():
+			s.stop = StopCanceled
+			return true
+		default:
+		}
+	}
+	if s.hasDeadline && time.Now().After(s.deadline) {
+		s.stop = StopDeadline
 		return true
 	}
-	if s.hasDeadline && s.conflicts&63 == 0 && time.Now().After(s.deadline) {
+	return false
+}
+
+func (s *Solver) outOfBudget() bool {
+	if s.budgetProps > 0 && s.propagations-s.solveProps > s.budgetProps {
+		s.stop = StopBudget
+		return true
+	}
+	if s.conflicts&63 == 0 && s.pollInterrupt() {
 		return true
 	}
 	return false
@@ -647,11 +708,16 @@ func (s *Solver) outOfBudget() bool {
 // calls over a growing clause set amortize earlier search effort.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.core = nil
+	s.stop = StopNone
 	s.solveProps, s.solveConfl, s.solveDecs = s.propagations, s.conflicts, s.decisions
 	if !s.ok {
 		return Unsat
 	}
 	s.cancelUntil(0)
+	if s.pollInterrupt() {
+		// Canceled (or already past deadline) before any search work.
+		return Unknown
+	}
 
 	restartIdx := int64(1)
 	conflictBudget := luby(restartIdx) * 128
@@ -717,6 +783,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 				s.uncheckedEnqueue(a, nilReason)
 				continue
 			}
+		}
+
+		// Cheap periodic interrupt poll on the decision path too:
+		// conflict-free searches (long satisfying runs) must still notice
+		// cancellation and deadlines.
+		if s.decisions&1023 == 0 && s.pollInterrupt() {
+			s.cancelUntil(0)
+			return Unknown
 		}
 
 		// Pick a branching variable.

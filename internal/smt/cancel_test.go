@@ -1,0 +1,58 @@
+package smt
+
+import (
+	"context"
+	"testing"
+
+	"crocus/internal/sat"
+)
+
+// TestCheckCanceledContext: a dead context short-circuits Check before
+// encoding and surfaces as Unknown with StopCanceled, and the session
+// stays usable for later queries.
+func TestCheckCanceledContext(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(8))
+	y := b.Var("y", BV(8))
+	q := b.Eq(b.BVAdd(x, y), b.BVAdd(y, x))
+	sess := NewSession(b)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sess.Check([]TermID{b.Not(q)}, Config{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unknown || res.Stop != StopCanceled {
+		t.Fatalf("status = %v stop = %v, want Unknown/canceled", res.Status, res.Stop)
+	}
+
+	// The same session decides the query once the context is live again.
+	res, err = sess.Check([]TermID{b.Not(q)}, Config{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unsat {
+		t.Fatalf("status after cancel = %v, want Unsat (x+y = y+x)", res.Status)
+	}
+}
+
+// TestCheckBudgetStopReason: a budget-starved query reports StopBudget,
+// distinguishing deterministic exhaustion from cancellation.
+func TestCheckBudgetStopReason(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x", BV(64))
+	y := b.Var("y", BV(64))
+	// Factoring a 64-bit constant needs real search.
+	q := b.Eq(b.BVMul(x, y), b.BVConst(0xDEADBEEFCAFEF00D, 64))
+	res, err := Check(b, []TermID{q}, Config{PropagationBudget: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != sat.Unknown {
+		t.Skipf("query decided within the starvation budget (status %v)", res.Status)
+	}
+	if res.Stop != StopBudget {
+		t.Fatalf("stop = %v, want budget", res.Stop)
+	}
+}

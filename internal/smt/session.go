@@ -51,6 +51,17 @@ func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 	b, s := ss.b, ss.s
 	s.SetDeadline(cfg.Deadline)
 	s.SetBudget(cfg.PropagationBudget)
+	s.SetContext(cfg.Ctx)
+
+	// An already-canceled context short-circuits before any encoding work
+	// (simplification and blasting are not free on wide units).
+	if cfg.Ctx != nil {
+		select {
+		case <-cfg.Ctx.Done():
+			return Result{Status: Unknown, Stop: StopCanceled, Duration: time.Since(start)}, nil
+		default:
+		}
+	}
 
 	// Collect variables from the original assertions: simplification may
 	// eliminate some entirely, but the model must still cover them (any
@@ -172,6 +183,9 @@ func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 		SATClauses: s.NumClauses(),
 	}
 	res.Status = s.Solve(act)
+	if res.Status == sat.Unknown {
+		res.Stop = s.LastStopReason()
+	}
 	res.Propagations, res.Conflicts, res.Decisions = s.LastStats()
 	ss.queries++
 

@@ -1,6 +1,7 @@
 package smt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,18 @@ const (
 	Unknown  = sat.Unknown
 	SatRes   = sat.Sat
 	UnsatRes = sat.Unsat
+)
+
+// StopReason explains why an Unknown result stopped (budget, deadline,
+// or cancellation).
+type StopReason = sat.StopReason
+
+// Re-exported stop reasons.
+const (
+	StopNone     = sat.StopNone
+	StopBudget   = sat.StopBudget
+	StopDeadline = sat.StopDeadline
+	StopCanceled = sat.StopCanceled
 )
 
 // Model maps variable names to concrete values for a satisfiable query.
@@ -62,6 +75,9 @@ func (m *Model) String() string {
 type Result struct {
 	Status Status
 	Model  *Model // non-nil iff Status == Sat
+	// Stop explains an Unknown status: which resource limit or
+	// cancellation interrupted the search (StopNone on decided queries).
+	Stop StopReason
 
 	// Stats
 	SATVars    int
@@ -77,6 +93,10 @@ type Result struct {
 
 // Config controls solving resources.
 type Config struct {
+	// Ctx cancels the query cooperatively: the SAT search polls it
+	// periodically and returns Unknown with StopCanceled once it is done.
+	// Nil means the query is never canceled.
+	Ctx context.Context
 	// Deadline aborts the query (Status = Unknown) when passed. Zero means
 	// no deadline.
 	Deadline time.Time

@@ -1,0 +1,90 @@
+package vcache
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLookupBudgetStaleness: a cached timeout tried under a finite
+// propagation budget goes stale when the caller's ladder tops out above
+// it (or is unlimited), and stays fresh otherwise.
+func TestLookupBudgetStaleness(t *testing.T) {
+	c := NewMemory()
+	e := Entry{Key: testKey(1), Outcome: "timeout", TriedBudget: 1000}
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		budget int64
+		want   LookupStatus
+	}{
+		{1000, Hit},   // same spend: replay
+		{500, Hit},    // stingier caller: replay
+		{2000, Stale}, // more generous ladder: re-solve
+		{0, Stale},    // unlimited: re-solve
+	}
+	for _, tc := range cases {
+		if _, st := c.LookupBudget(testKey(1), 0, tc.budget); st != tc.want {
+			t.Errorf("LookupBudget(budget=%d) = %v, want %v", tc.budget, st, tc.want)
+		}
+	}
+
+	// A timeout with no recorded budget (wall-clock only) ignores the
+	// budget axis entirely.
+	e2 := Entry{Key: testKey(2), Outcome: "timeout", TriedTimeoutNS: int64(time.Second)}
+	if err := c.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	if _, st := c.LookupBudget(testKey(2), time.Second, 0); st != Hit {
+		t.Errorf("budget-less timeout entry = %v, want Hit", st)
+	}
+	if _, st := c.LookupBudget(testKey(2), 2*time.Second, 0); st != Stale {
+		t.Errorf("longer deadline = %v, want Stale", st)
+	}
+
+	// Decided entries never go stale on the budget axis.
+	e3 := Entry{Key: testKey(3), Outcome: "success", TriedBudget: 10}
+	if err := c.Put(e3); err != nil {
+		t.Fatal(err)
+	}
+	if _, st := c.LookupBudget(testKey(3), 0, 0); st != Hit {
+		t.Errorf("decided entry = %v, want Hit", st)
+	}
+}
+
+// TestLookupDelegatesToUnlimitedBudget: the legacy two-argument probe
+// treats the caller as unlimited-budget, so budget-capped timeouts it
+// finds are stale.
+func TestLookupDelegatesToUnlimitedBudget(t *testing.T) {
+	c := NewMemory()
+	if err := c.Put(Entry{Key: testKey(1), Outcome: "timeout", TriedBudget: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, st := c.Lookup(testKey(1), 0); st != Stale {
+		t.Errorf("Lookup = %v, want Stale for a budget-capped timeout", st)
+	}
+}
+
+// TestDecodeFailureStats: undecodable-entry fallbacks are observable in
+// the stats line.
+func TestDecodeFailureStats(t *testing.T) {
+	c := NewMemory()
+	if got := c.Stats().DecodeFailures; got != 0 {
+		t.Fatalf("initial DecodeFailures = %d", got)
+	}
+	if s := c.Stats().String(); s != "cache: 0 hits, 0 misses, 0 stale (0% hit rate, saved 0s)" {
+		t.Fatalf("clean stats line = %q", s)
+	}
+	c.NoteDecodeFailure()
+	c.NoteDecodeFailure()
+	st := c.Stats()
+	if st.DecodeFailures != 2 {
+		t.Fatalf("DecodeFailures = %d, want 2", st.DecodeFailures)
+	}
+	line := st.String()
+	if want := "2 undecodable entries re-solved"; !strings.Contains(line, want) {
+		t.Fatalf("stats line %q missing %q", line, want)
+	}
+}

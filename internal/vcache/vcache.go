@@ -84,6 +84,11 @@ type Entry struct {
 	// (0 = unlimited). Timeout entries become stale when a more generous
 	// deadline is requested.
 	TriedTimeoutNS int64 `json:"timeout_ns,omitempty"`
+	// TriedBudget is the SAT propagation budget of the final solve attempt
+	// for timeout entries (0 = unlimited) — with a timeout-escalation
+	// ladder, the last rung tried. A cached timeout becomes stale when the
+	// caller is prepared to spend a larger budget.
+	TriedBudget int64 `json:"budget,omitempty"`
 	// ElapsedNS is the original solve time (what a hit saves).
 	ElapsedNS int64 `json:"elapsed_ns"`
 	// Assignments is how many type assignments monomorphization produced.
@@ -129,6 +134,11 @@ func (s LookupStatus) String() string {
 // Stats counts cache probes and the solve time hits avoided.
 type Stats struct {
 	Hits, Misses, Stale uint64
+	// DecodeFailures counts hits whose entry could not be replayed
+	// (undecodable payload) and therefore degraded to a re-solve. A
+	// nonzero count signals cache corruption or a schema drift that the
+	// engine-version salt did not capture.
+	DecodeFailures uint64
 	// SavedNS sums the recorded solve time of every hit.
 	SavedNS int64
 }
@@ -143,11 +153,16 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// String renders the per-run stats line.
+// String renders the per-run stats line, including the degradation
+// counters (undecodable-entry fallbacks) when any occurred.
 func (s Stats) String() string {
-	return fmt.Sprintf("cache: %d hits, %d misses, %d stale (%.0f%% hit rate, saved %v)",
+	line := fmt.Sprintf("cache: %d hits, %d misses, %d stale (%.0f%% hit rate, saved %v)",
 		s.Hits, s.Misses, s.Stale, 100*s.HitRate(),
 		time.Duration(s.SavedNS).Round(time.Millisecond))
+	if s.DecodeFailures > 0 {
+		line += fmt.Sprintf(", %d undecodable entries re-solved", s.DecodeFailures)
+	}
+	return line
 }
 
 // Cache is the two-tier store. All methods are safe for concurrent use.
@@ -157,6 +172,7 @@ type Cache struct {
 	path string // "" = memory-only
 
 	hits, misses, stale atomic.Uint64
+	decodeFailures      atomic.Uint64
 	savedNS             atomic.Int64
 }
 
@@ -263,7 +279,18 @@ func (c *Cache) compact() error {
 // budget (0 = unlimited). A cached timeout tried under a smaller budget
 // than the one now requested is reported Stale so the caller re-solves
 // with the longer deadline; every other present entry is a Hit.
+// Equivalent to LookupBudget with an unlimited propagation budget.
 func (c *Cache) Lookup(key string, timeout time.Duration) (Entry, LookupStatus) {
+	return c.LookupBudget(key, timeout, 0)
+}
+
+// LookupBudget is Lookup with propagation-budget staleness: budget is
+// the most generous SAT propagation budget the caller is prepared to
+// spend on the unit this run (the last rung of its timeout-escalation
+// ladder; 0 = unlimited). A cached timeout whose final attempt ran under
+// a smaller budget than that is reported Stale so the caller re-solves
+// at the longer ladder.
+func (c *Cache) LookupBudget(key string, timeout time.Duration, budget int64) (Entry, LookupStatus) {
 	c.mu.Lock()
 	e, ok := c.mem[key]
 	c.mu.Unlock()
@@ -271,15 +298,24 @@ func (c *Cache) Lookup(key string, timeout time.Duration) (Entry, LookupStatus) 
 		c.misses.Add(1)
 		return Entry{}, Miss
 	}
-	if e.Outcome == "timeout" && e.TriedTimeoutNS != 0 &&
-		(timeout == 0 || timeout.Nanoseconds() > e.TriedTimeoutNS) {
-		c.stale.Add(1)
-		return e, Stale
+	if e.Outcome == "timeout" {
+		if e.TriedTimeoutNS != 0 && (timeout == 0 || timeout.Nanoseconds() > e.TriedTimeoutNS) {
+			c.stale.Add(1)
+			return e, Stale
+		}
+		if e.TriedBudget != 0 && (budget == 0 || budget > e.TriedBudget) {
+			c.stale.Add(1)
+			return e, Stale
+		}
 	}
 	c.hits.Add(1)
 	c.savedNS.Add(e.ElapsedNS)
 	return e, Hit
 }
+
+// NoteDecodeFailure records that a hit entry could not be replayed and
+// the caller degraded to a re-solve (surfaced in Stats.DecodeFailures).
+func (c *Cache) NoteDecodeFailure() { c.decodeFailures.Add(1) }
 
 // Put records an entry in memory and appends it to the disk store. Each
 // entry is one line written with a single write call; a reader never
@@ -322,9 +358,10 @@ func (c *Cache) Path() string { return c.path }
 // Stats returns the probe counters accumulated since Open.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Stale:   c.stale.Load(),
-		SavedNS: c.savedNS.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Stale:          c.stale.Load(),
+		DecodeFailures: c.decodeFailures.Load(),
+		SavedNS:        c.savedNS.Load(),
 	}
 }
