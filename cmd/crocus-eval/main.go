@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"crocus/internal/eval"
+	"crocus/internal/obs"
 )
 
 // parseBudgets parses the -retry-budgets value: a comma-separated list
@@ -59,6 +60,8 @@ func main() {
 	fresh := flag.Bool("fresh", false, "use a fresh solver per query instead of one incremental session per rule (reference pipeline)")
 	budget := flag.Int64("propagation-budget", 0, "deterministic SAT propagation budget per unit (0 = unlimited)")
 	retryBudgets := flag.String("retry-budgets", "", "timeout-escalation ladder: comma-separated propagation budgets to retry timed-out units at (ascending; 0 = unlimited final rung)")
+	traceDir := flag.String("trace-dir", "", "write one Chrome trace-event JSON artifact per experiment (TRACE_<exp>.json) under this directory")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	ladder, err := parseBudgets(*retryBudgets)
@@ -84,6 +87,30 @@ func main() {
 	defer cancel()
 	interrupted := false
 
+	var debugReg = obs.NewRegistry()
+	if *pprofAddr != "" {
+		if addr, err := obs.ServeDebug(*pprofAddr, debugReg); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus-eval: warning: pprof server:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "crocus-eval: pprof/expvar on http://"+addr+"/debug/pprof/")
+		}
+	}
+	// traced runs one experiment under its own tracer and exports its
+	// trace artifact. Export failures are warnings — observability never
+	// changes experiment output or exit codes.
+	traced := func(name string, run func(ctx context.Context)) {
+		if *traceDir == "" {
+			run(ctx)
+			return
+		}
+		tr := obs.New()
+		run(obs.WithTracer(ctx, tr))
+		path := fmt.Sprintf("%s/TRACE_%s.json", strings.TrimRight(*traceDir, "/"), name)
+		if err := tr.ExportChromeFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus-eval: warning: trace export:", err)
+		}
+	}
+
 	run := map[string]bool{}
 	if *exp == "all" {
 		for _, e := range []string{"table1", "fig4", "coverage", "knownbugs", "newbugs"} {
@@ -94,23 +121,27 @@ func main() {
 	}
 
 	if run["table1"] {
-		res, err := eval.Table1Context(ctx, cfg)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(res.Render())
-		if res.Cache != nil {
-			fmt.Println(res.Cache)
-		}
-		interrupted = interrupted || res.Interrupted
+		traced("table1", func(ctx context.Context) {
+			res, err := eval.Table1Context(ctx, cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res.Render())
+			if res.Cache != nil {
+				fmt.Println(res.Cache)
+			}
+			interrupted = interrupted || res.Interrupted
+		})
 	}
 	if run["fig4"] && !interrupted {
-		res, err := eval.Fig4Context(ctx, cfg)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println(res.Render())
-		interrupted = interrupted || res.Interrupted
+		traced("fig4", func(ctx context.Context) {
+			res, err := eval.Fig4Context(ctx, cfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(res.Render())
+			interrupted = interrupted || res.Interrupted
+		})
 	}
 	if run["coverage"] && !interrupted {
 		rs, err := eval.Coverage()
@@ -120,25 +151,27 @@ func main() {
 		fmt.Println(eval.RenderCoverage(rs))
 	}
 	if (run["knownbugs"] || run["newbugs"]) && !interrupted {
-		rs, stats, err := eval.BugsStatsContext(ctx, cfg)
-		if err != nil && ctx.Err() == nil {
-			fail(err)
-		}
-		if err != nil {
-			interrupted = true
-			fmt.Print(eval.PartialHeader(len(rs), len(rs)+1))
-		}
-		var filtered []*eval.BugResult
-		for _, r := range rs {
-			known := r.Bug.Section < "4.4"
-			if known && run["knownbugs"] || !known && run["newbugs"] {
-				filtered = append(filtered, r)
+		traced("bugs", func(ctx context.Context) {
+			rs, stats, err := eval.BugsStatsContext(ctx, cfg)
+			if err != nil && ctx.Err() == nil {
+				fail(err)
 			}
-		}
-		fmt.Println(eval.RenderBugs(filtered))
-		if stats != nil {
-			fmt.Println(stats)
-		}
+			if err != nil {
+				interrupted = true
+				fmt.Print(eval.PartialHeader(len(rs), len(rs)+1))
+			}
+			var filtered []*eval.BugResult
+			for _, r := range rs {
+				known := r.Bug.Section < "4.4"
+				if known && run["knownbugs"] || !known && run["newbugs"] {
+					filtered = append(filtered, r)
+				}
+			}
+			fmt.Println(eval.RenderBugs(filtered))
+			if stats != nil {
+				fmt.Println(stats)
+			}
+		})
 	}
 	if interrupted {
 		fmt.Println("crocus-eval: interrupted — report above is partial; re-run with the same -cache-dir to resume from cached results")

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"crocus"
+	"crocus/internal/obs"
 )
 
 // benchPhase summarizes one full-corpus verification sweep.
@@ -24,10 +27,25 @@ type benchPhase struct {
 	Queries      int64 `json:"queries"`
 }
 
-// benchReport is the schema of the -bench-json artifact (BENCH_pr2.json):
+// benchObs is the report's observability section, collected by tracing
+// the incremental cold sweep: where the pipeline's time goes by phase,
+// and which simplify rules carry the load.
+type benchObs struct {
+	// PhaseTotalsNS sums span wall time per phase name across the sweep.
+	PhaseTotalsNS map[string]int64 `json:"phase_totals_ns"`
+	// SimplifyRuleHits counts rewrite-rule firings ("simplify.rule.*"
+	// counters, trimmed of the prefix).
+	SimplifyRuleHits map[string]int64 `json:"simplify_rule_hits"`
+	// Counters is the rest of the metrics registry (cache probes, blast
+	// sizes, SAT search totals).
+	Counters map[string]int64 `json:"counters"`
+}
+
+// benchReport is the schema of the -bench-json artifact (BENCH_pr5.json):
 // the same corpus swept three ways — per-query fresh solvers (the
 // reference pipeline), the incremental session pipeline cold, and a warm
-// vcache replay over the cold run's store.
+// vcache replay over the cold run's store — plus the cold sweep's
+// observability breakdown.
 type benchReport struct {
 	Corpus             string     `json:"corpus"`
 	TimeoutNS          int64      `json:"timeout_ns"`
@@ -52,6 +70,9 @@ type benchReport struct {
 	EvalBaselineWallNS int64   `json:"eval_pre_pr_wall_ns,omitempty"`
 	EvalNewWallNS      int64   `json:"eval_this_pr_wall_ns,omitempty"`
 	EvalImprovement    float64 `json:"eval_improvement,omitempty"`
+	// Obs is the incremental cold sweep's phase/rule breakdown (the same
+	// data `crocus -metrics` prints, in machine-readable form).
+	Obs benchObs `json:"obs"`
 }
 
 // runBenchJSON sweeps the corpus under the three pipelines and writes the
@@ -65,10 +86,11 @@ func runBenchJSON(path string, prog *crocus.Program, base crocus.Options, corpus
 	}
 	defer os.RemoveAll(cacheDir)
 
-	sweep := func(opts crocus.Options) (benchPhase, []string, error) {
+	sweep := func(opts crocus.Options, tr *obs.Tracer) (benchPhase, []string, error) {
 		v := crocus.NewVerifier(prog, opts)
+		ctx := obs.WithTracer(context.Background(), tr)
 		start := time.Now()
-		rs, err := v.VerifyAll()
+		rs, err := v.VerifyAllContext(ctx)
 		wall := time.Since(start)
 		if err != nil {
 			return benchPhase{}, nil, err
@@ -102,24 +124,30 @@ func runBenchJSON(path string, prog *crocus.Program, base crocus.Options, corpus
 	fresh := base
 	fresh.FreshSolvers = true
 	fresh.CacheDir = ""
-	freshPh, freshV, err := sweep(fresh)
+	freshPh, freshV, err := sweep(fresh, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crocus: fresh sweep:", err)
 		return 1
 	}
 	report.Fresh = freshPh
 
+	// The cold incremental sweep — the pipeline the repo actually ships —
+	// runs traced, feeding the report's obs section. The overhead is part
+	// of its measured wall time, which is fair: the artifact documents
+	// what a traced run costs.
 	cold := base
 	cold.FreshSolvers = false
 	cold.CacheDir = cacheDir
-	coldPh, coldV, err := sweep(cold)
+	tr := obs.New()
+	coldPh, coldV, err := sweep(cold, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crocus: incremental sweep:", err)
 		return 1
 	}
 	report.IncrementalCold = coldPh
+	report.Obs = collectObs(tr)
 
-	warmPh, warmV, err := sweep(cold)
+	warmPh, warmV, err := sweep(cold, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crocus: warm sweep:", err)
 		return 1
@@ -157,6 +185,29 @@ func runBenchJSON(path string, prog *crocus.Program, base crocus.Options, corpus
 		return 2
 	}
 	return 0
+}
+
+// collectObs flattens a traced sweep's tracer into the report's obs
+// section: per-phase wall-time totals, simplify-rule hit counts, and the
+// remaining counters.
+func collectObs(tr *obs.Tracer) benchObs {
+	out := benchObs{
+		PhaseTotalsNS:    map[string]int64{},
+		SimplifyRuleHits: map[string]int64{},
+		Counters:         map[string]int64{},
+	}
+	for phase, d := range tr.PhaseBreakdown().PhaseTotals() {
+		out.PhaseTotalsNS[phase] = d.Nanoseconds()
+	}
+	const rulePrefix = "simplify.rule."
+	for name, v := range tr.Registry().Counters() {
+		if rule, ok := strings.CutPrefix(name, rulePrefix); ok {
+			out.SimplifyRuleHits[rule] = v
+		} else {
+			out.Counters[name] = v
+		}
+	}
+	return out
 }
 
 // compatibleVerdicts compares per-instantiation outcome sequences.

@@ -7,6 +7,7 @@
 //
 //	crocus [-timeout 5s] [-rule name] [-distinct] [-parallel N] [-stats]
 //	       [-cache-dir DIR] [-fresh] [-bench-json FILE]
+//	       [-trace FILE] [-trace-jsonl FILE] [-metrics] [-pprof-addr ADDR]
 //	       [-corpus aarch64|x64|midend|bug:<id>] [file.isle ...]
 //
 // With file arguments, the named ISLE files are parsed (in order) and
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"crocus"
+	"crocus/internal/obs"
 )
 
 // parseBudgets parses the -retry-budgets value: a comma-separated list
@@ -73,9 +75,29 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "benchmark the corpus under fresh, incremental, and warm-cache pipelines and write the report to this file")
 	benchEvalBase := flag.Int64("bench-eval-base-ns", 0, "externally measured pre-PR crocus-eval wall time (ns), recorded in the -bench-json report")
 	benchEvalNew := flag.Int64("bench-eval-new-ns", 0, "externally measured this-build crocus-eval wall time (ns), recorded in the -bench-json report")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's pipeline spans (load in Perfetto or chrome://tracing)")
+	traceJSONL := flag.String("trace-jsonl", "", "write the run's pipeline spans as a JSONL event stream")
+	metrics := flag.Bool("metrics", false, "print the metrics registry and the per-rule phase-breakdown table after the run")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	// Any observability flag turns the tracer on; without one every span
+	// and counter call in the pipeline is a no-op.
+	var tracer *obs.Tracer
+	if *traceFile != "" || *traceJSONL != "" || *metrics || *pprofAddr != "" {
+		tracer = obs.New()
+	}
+	if *pprofAddr != "" {
+		if addr, err := obs.ServeDebug(*pprofAddr, tracer.Registry()); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus: warning: pprof server:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "crocus: pprof/expvar on http://"+addr+"/debug/pprof/")
+		}
+	}
+
+	spParse := tracer.StartSpan(obs.PhaseParse, obs.Str("corpus", *corpusName))
 	prog, err := loadProgram(*corpusName, flag.Args())
+	spParse.End()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crocus:", err)
 		os.Exit(1)
@@ -134,6 +156,7 @@ func main() {
 			}
 		}
 		fmt.Printf("%d overlapping pairs\n", len(out))
+		exportObs(tracer, *traceFile, *traceJSONL, *metrics)
 		os.Exit(code)
 	}
 
@@ -142,6 +165,7 @@ func main() {
 	// already holds every finished unit, and the process exits 130.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	ctx = obs.WithTracer(ctx, tracer)
 
 	exit := 0
 	var counts outcomeCounts
@@ -192,7 +216,38 @@ func main() {
 	if interrupted {
 		exit = 130
 	}
+	exportObs(tracer, *traceFile, *traceJSONL, *metrics)
 	os.Exit(exit)
+}
+
+// exportObs writes the requested trace artifacts and prints the metrics
+// report. Export failures are warnings: observability output must never
+// change the process's verdicts or exit code.
+func exportObs(tracer *obs.Tracer, traceFile, traceJSONL string, metrics bool) {
+	if tracer == nil {
+		return
+	}
+	if traceFile != "" {
+		if err := tracer.ExportChromeFile(traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus: warning: trace export:", err)
+		}
+	}
+	if traceJSONL != "" {
+		if err := tracer.ExportJSONLFile(traceJSONL); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus: warning: trace export:", err)
+		}
+	}
+	if metrics {
+		fmt.Println()
+		fmt.Println("=== metrics ===")
+		fmt.Print(tracer.Registry().Render())
+		fmt.Println()
+		fmt.Println("=== phase breakdown ===")
+		fmt.Print(tracer.PhaseBreakdown().Render(40))
+	}
+	if d := tracer.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "crocus: warning: %d trace spans dropped (event cap)\n", d)
+	}
 }
 
 // outcomeCounts tallies rule-level outcomes for the sweep summary line.

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"crocus/internal/obs"
+	"crocus/internal/smt"
+)
+
+// obsTestRules mixes outcomes: a correct rule and the paper's broken
+// 64-bit-only rotate (fails at narrow widths).
+const obsTestRules = `
+	(rule iadd_base
+		(lower (has_type ty (iadd x y)))
+		(a64_add ty x y))
+	(rule broken_rotr
+		(lower (has_type ty (rotr x y)))
+		(a64_rotr_64 x y))`
+
+// TestTracedVerdictsUnchanged is the observability safety contract: the
+// same sweep run with and without a tracer must produce identical
+// verdicts, and the traced run must cover the pipeline's span taxonomy.
+func TestTracedVerdictsUnchanged(t *testing.T) {
+	collect := func(ctx context.Context) [][]Outcome {
+		v := buildVerifier(t, obsTestRules, Options{})
+		rs, err := v.VerifyAllContext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]Outcome, len(rs))
+		for i, rr := range rs {
+			out[i] = outcomes(rr)
+		}
+		return out
+	}
+
+	plain := collect(context.Background())
+	tr := obs.New()
+	traced := collect(obs.WithTracer(context.Background(), tr))
+
+	if len(plain) != len(traced) {
+		t.Fatalf("rule counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if len(plain[i]) != len(traced[i]) {
+			t.Fatalf("rule %d: instantiation counts differ", i)
+		}
+		for j := range plain[i] {
+			if plain[i][j] != traced[i][j] {
+				t.Errorf("rule %d inst %d: verdict %v with tracer, %v without",
+					i, j, traced[i][j], plain[i][j])
+			}
+		}
+	}
+
+	phases := map[string]int{}
+	for _, ev := range tr.Events() {
+		phases[ev.Name]++
+	}
+	for _, want := range []string{
+		obs.PhaseRule, obs.PhaseMonomorphize, obs.PhaseElaborate,
+		obs.PhaseAttempt, obs.PhaseQueryApp, obs.PhaseQueryEquiv,
+		obs.PhaseSolveEqs, obs.PhaseSimplify, obs.PhaseUnits,
+		obs.PhaseBlast, obs.PhaseSolve,
+	} {
+		if phases[want] == 0 {
+			t.Errorf("no %s span recorded (phases: %v)", want, phases)
+		}
+	}
+	// Spans must be scoped to the rules they verified.
+	scopes := map[string]bool{}
+	for _, ev := range tr.Events() {
+		scopes[ev.Scope] = true
+	}
+	if !scopes["iadd_base"] || !scopes["broken_rotr"] {
+		t.Errorf("rule scopes missing: %v", scopes)
+	}
+}
+
+// TestCacheProbeMetrics checks the vcache probe span/counters: a cold
+// run records misses, a warm re-run records hits.
+func TestCacheProbeMetrics(t *testing.T) {
+	dir := t.TempDir()
+	run := func() *obs.Tracer {
+		tr := obs.New()
+		v := buildVerifier(t, `
+			(rule iadd_base
+				(lower (has_type ty (iadd x y)))
+				(a64_add ty x y))`, Options{CacheDir: dir})
+		if _, err := v.VerifyAllContext(obs.WithTracer(context.Background(), tr)); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	cold := run().Registry().Counters()
+	if cold["vcache.miss"] == 0 || cold["vcache.hit"] != 0 {
+		t.Errorf("cold run counters = %v, want misses only", cold)
+	}
+	warm := run().Registry().Counters()
+	if warm["vcache.hit"] == 0 || warm["vcache.miss"] != 0 {
+		t.Errorf("warm run counters = %v, want hits only", warm)
+	}
+}
+
+// TestEscalationSpans checks that ladder retries emit solve.escalation
+// spans and the escalation counter.
+func TestEscalationSpans(t *testing.T) {
+	tr := obs.New()
+	v := buildVerifier(t, `
+		(rule iadd_base
+			(lower (has_type ty (iadd x y)))
+			(a64_add ty x y))`,
+		Options{PropagationBudget: 1, RetryBudgets: []int64{0}})
+	if _, err := v.VerifyAllContext(obs.WithTracer(context.Background(), tr)); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ev := range tr.Events() {
+		if ev.Name == obs.PhaseEscalation {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Error("no solve.escalation spans recorded")
+	}
+	if tr.Registry().Counter("escalation.attempts").Value() == 0 {
+		t.Error("escalation.attempts counter not incremented")
+	}
+}
+
+func TestSolverStatsAddAndString(t *testing.T) {
+	var s SolverStats
+	s.Add(SolverStats{Propagations: 10, Conflicts: 2, Decisions: 5, Queries: 1})
+	s.Add(SolverStats{Propagations: 5, Conflicts: 1, Decisions: 3, Queries: 2})
+	want := SolverStats{Propagations: 15, Conflicts: 3, Decisions: 8, Queries: 3}
+	if s != want {
+		t.Errorf("Add: got %+v, want %+v", s, want)
+	}
+
+	s.addResult(smt.Result{Propagations: 100, Conflicts: 10, Decisions: 20})
+	if s.Propagations != 115 || s.Conflicts != 13 || s.Decisions != 28 || s.Queries != 4 {
+		t.Errorf("addResult: got %+v", s)
+	}
+
+	line := s.String()
+	if !strings.Contains(line, "props=115") || !strings.Contains(line, "conflicts=13") ||
+		!strings.Contains(line, "decisions=28") || !strings.Contains(line, "queries=4") {
+		t.Errorf("String() = %q", line)
+	}
+}

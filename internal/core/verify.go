@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"crocus/internal/isle"
+	"crocus/internal/obs"
 	"crocus/internal/smt"
 	"crocus/internal/vcache"
 )
@@ -299,6 +300,13 @@ func (v *Verifier) VerifyRule(rule *isle.Rule) (*RuleResult, error) {
 // annotations) are still returned as errors. A canceled context returns
 // ctx.Err() with no result; nothing partial is cached.
 func (v *Verifier) VerifyRuleContext(ctx context.Context, rule *isle.Rule) (*RuleResult, error) {
+	if sc := obs.Get(ctx); sc != nil {
+		// Scope every span under this rule's name so the phase-breakdown
+		// table attributes pipeline time per rule.
+		ctx = obs.WithScope(ctx, rule.Name)
+		sp := obs.Start(ctx, obs.PhaseRule)
+		defer sp.End()
+	}
 	rr, err := v.verifyRuleAttempt(ctx, rule, v.Opts.FreshSolvers)
 	if err == nil {
 		return rr, nil
@@ -432,15 +440,18 @@ func (v *Verifier) VerifyAllContext(ctx context.Context) ([]*RuleResult, error) 
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker gets its own logical trace thread so its spans
+			// render as one lane instead of interleaving on tid 0.
+			wctx := obs.WithThread(ctx, fmt.Sprintf("worker-%d", w))
 			for i := range work {
 				if ctx.Err() != nil {
 					return
 				}
-				out[i] = v.verifyRuleContained(ctx, rules[i])
+				out[i] = v.verifyRuleContained(wctx, rules[i])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	results := make([]*RuleResult, 0, len(rules))
@@ -524,8 +535,12 @@ func (v *Verifier) verifyInstantiation(ctx context.Context, rs *ruleSession, rul
 	start := time.Now()
 	io := &InstOutcome{Sig: sig}
 	defer func() { io.Duration = time.Since(start) }()
+	sc := obs.Get(ctx)
 
+	spM := sc.Start(obs.PhaseMonomorphize)
 	ra, assigns, err := v.monomorphize(rule, sig)
+	spM.SetAttr(obs.Int("assignments", int64(len(assigns))))
+	spM.End()
 	if err != nil {
 		return nil, err
 	}
@@ -543,18 +558,26 @@ func (v *Verifier) verifyInstantiation(ctx context.Context, rs *ruleSession, rul
 	if rs != nil {
 		shared = rs.b
 	}
+	spE := sc.Start(obs.PhaseElaborate, obs.Int("assignments", int64(len(assigns))))
 	preps := make([]*prepared, len(assigns))
 	for i, a := range assigns {
 		if preps[i], err = v.prepareAssignment(ra, a, shared, unitScope(sig, i)); err != nil {
+			spE.End()
 			return nil, err
 		}
 	}
+	spE.End()
 
 	cache := v.cacheStore()
 	var key string
 	if cache != nil {
+		spC := sc.Start(obs.PhaseCacheProbe)
 		key = v.fingerprint(preps)
-		if e, st := cache.LookupBudget(key, v.Opts.Timeout, v.ladderMaxBudget()); st == vcache.Hit {
+		e, st := cache.LookupBudget(key, v.Opts.Timeout, v.ladderMaxBudget())
+		spC.SetAttr(obs.Str("status", st.String()))
+		spC.End()
+		sc.Registry().Counter("vcache." + st.String()).Inc()
+		if st == vcache.Hit {
 			if err := applyEntry(e, io); err == nil {
 				return io, nil
 			}
@@ -562,6 +585,7 @@ func (v *Verifier) verifyInstantiation(ctx context.Context, rs *ruleSession, rul
 			// re-solve (the fresh result overwrites it). Counted so cache
 			// degradation is observable (`crocus -stats`).
 			cache.NoteDecodeFailure()
+			sc.Registry().Counter("vcache.decode_failure").Inc()
 		}
 	}
 
@@ -570,7 +594,10 @@ func (v *Verifier) verifyInstantiation(ctx context.Context, rs *ruleSession, rul
 	// accumulate across attempts; the final attempt's budget is what the
 	// cache entry records.
 	budget := v.Opts.PropagationBudget
+	spA := sc.Start(obs.PhaseAttempt, obs.Int("budget", budget))
 	out, err := v.solveUnit(ctx, rs, preps, io, budget)
+	spA.SetAttr(obs.Str("outcome", out.String()))
+	spA.End()
 	if err != nil {
 		return nil, err
 	}
@@ -583,11 +610,16 @@ func (v *Verifier) verifyInstantiation(ctx context.Context, rs *ruleSession, rul
 				return nil, cerr
 			}
 			budget = rung
+			spR := sc.Start(obs.PhaseEscalation,
+				obs.Int("budget", budget), obs.Int("rung", int64(io.Escalations+1)))
 			out, err = v.solveUnit(ctx, rs, preps, io, budget)
+			spR.SetAttr(obs.Str("outcome", out.String()))
+			spR.End()
 			if err != nil {
 				return nil, err
 			}
 			io.Escalations++
+			sc.Registry().Counter("escalation.attempts").Inc()
 			if out != OutcomeTimeout || budget == 0 {
 				break
 			}
@@ -641,15 +673,27 @@ func (v *Verifier) solveUnit(ctx context.Context, rs *ruleSession, preps []*prep
 // solver.
 func (v *Verifier) solvePrepared(ctx context.Context, rs *ruleSession, p *prepared, io *InstOutcome, cfg smt.Config) (Outcome, *Counterexample, *bool, error) {
 	el, b := p.el, p.el.b
+	sc := obs.Get(ctx)
 	check := func(assertions []smt.TermID) (smt.Result, error) {
 		if rs != nil {
 			return rs.sess.Check(assertions, cfg)
 		}
 		return smt.Check(b, assertions, cfg)
 	}
+	// query wraps one of the unit's three SMT queries in its named span,
+	// tagging the result status.
+	query := func(phase string, assertions []smt.TermID) (smt.Result, error) {
+		sp := sc.Start(phase)
+		res, err := check(assertions)
+		if err == nil {
+			sp.SetAttr(obs.Str("status", res.Status.String()))
+		}
+		sp.End()
+		return res, err
+	}
 
 	// Query 1 (Eq. 1): applicability — P_LHS ∧ R_LHS ∧ P_RHS satisfiable?
-	res, err := check(p.base)
+	res, err := query(obs.PhaseQueryApp, p.base)
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("applicability query: %w", err)
 	}
@@ -678,7 +722,7 @@ func (v *Verifier) solvePrepared(ctx context.Context, rs *ruleSession, p *prepar
 		}
 		if len(diffs) > 0 {
 			q := append(append([]smt.TermID{}, p.base...), b.And(diffs...))
-			dres, err := check(q)
+			dres, err := query(obs.PhaseQueryDist, q)
 			if err != nil {
 				return 0, nil, nil, fmt.Errorf("distinctness query: %w", err)
 			}
@@ -693,7 +737,7 @@ func (v *Verifier) solvePrepared(ctx context.Context, rs *ruleSession, p *prepar
 	// Query 2 (Eq. 2/3): equivalence — search for a counterexample where
 	// the preconditions hold but the condition or an RHS require fails.
 	q2 := append(append([]smt.TermID{}, p.base...), b.Not(p.goal))
-	res2, err := check(q2)
+	res2, err := query(obs.PhaseQueryEquiv, q2)
 	if err != nil {
 		return 0, nil, nil, fmt.Errorf("equivalence query: %w", err)
 	}

@@ -17,6 +17,7 @@ import (
 	"crocus/internal/corpus"
 	"crocus/internal/isle"
 	"crocus/internal/lower"
+	"crocus/internal/obs"
 	"crocus/internal/vcache"
 	"crocus/internal/wasm"
 )
@@ -125,7 +126,9 @@ func Table1(cfg Config) (*Table1Result, error) {
 // configured, every completed unit is already persisted for the next
 // run to replay.
 func Table1Context(ctx context.Context, cfg Config) (*Table1Result, error) {
+	sp := obs.Start(ctx, obs.PhaseParse, obs.Str("corpus", "aarch64"))
 	prog, err := corpus.LoadAarch64()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -332,7 +335,9 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 // Fig4Context is Fig4 under a cancellation context. On cancellation the
 // CDF is computed over the rules measured so far (Interrupted set).
 func Fig4Context(ctx context.Context, cfg Config) (*Fig4Result, error) {
+	sp := obs.Start(ctx, obs.PhaseParse, obs.Str("corpus", "aarch64"))
 	prog, err := corpus.LoadAarch64()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -536,7 +541,9 @@ func BugsStatsContext(ctx context.Context, cfg Config) ([]*BugResult, *vcache.St
 			return out, nil, cerr
 		}
 		start := time.Now()
+		sp := obs.Start(ctx, obs.PhaseParse, obs.Str("corpus", bug.ID))
 		prog, err := corpus.LoadBug(bug)
+		sp.End()
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// sortEvents orders events by start time (then duration descending, so
+// an enclosing span sorts before the spans it contains, which is what
+// trace viewers expect for same-timestamp nesting).
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		return evs[i].Dur > evs[j].Dur
+	})
+}
+
+// chromeEvent is one entry of the Chrome trace-event JSON array
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// "X" complete events carry ts+dur in microseconds; "M" metadata events
+// name the threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object format (preferred over the
+// bare array because it round-trips through strict parsers).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func (ev *Event) args() map[string]any {
+	if ev.Scope == "" && len(ev.Attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(ev.Attrs)+1)
+	if ev.Scope != "" {
+		m["scope"] = ev.Scope
+	}
+	for _, a := range ev.Attrs {
+		if a.IsStr {
+			m[a.Key] = a.Str
+		} else {
+			m[a.Key] = a.Int
+		}
+	}
+	return m
+}
+
+// WriteChromeTrace writes the recorded spans as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Events are
+// emitted in monotonic timestamp order.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: no tracer")
+	}
+	evs := t.Events()
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(evs)+4)}
+
+	// Thread-name metadata first (ts 0 sorts them ahead of all spans).
+	names := t.threadNames()
+	tids := make([]int64, 0, len(names))
+	for tid := range names {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": names[tid]},
+		})
+	}
+	for i := range evs {
+		ev := &evs[i]
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: ev.Name,
+			Cat:  "crocus",
+			Ph:   "X",
+			TS:   float64(ev.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(ev.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  ev.TID,
+			Args: ev.args(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&trace)
+}
+
+// jsonlEvent is the JSONL export schema: one event per line, stable
+// field order (encoding/json emits struct fields in declaration order),
+// durations in integral nanoseconds — made for textual diffing across
+// runs.
+type jsonlEvent struct {
+	Name    string         `json:"name"`
+	Scope   string         `json:"scope,omitempty"`
+	TID     int64          `json:"tid"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns"`
+	Args    map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSONL writes the recorded spans as a JSON-lines event stream in
+// monotonic start order.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("obs: no tracer")
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		if err := enc.Encode(jsonlEvent{
+			Name:    ev.Name,
+			Scope:   ev.Scope,
+			TID:     ev.TID,
+			StartNS: ev.Start.Nanoseconds(),
+			DurNS:   ev.Dur.Nanoseconds(),
+			Args:    ev.args(),
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeFile writes via the given exporter through a temp file + rename,
+// so a crash mid-export never leaves a truncated artifact behind.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.CreateTemp(dirOf(path), ".obs-export-*")
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	defer os.Remove(f.Name())
+	if err := write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// ExportChromeFile writes the Chrome trace to path (atomically).
+// Callers must treat a returned error as a warning, never as a reason
+// to change a verdict or abort a sweep.
+func (t *Tracer) ExportChromeFile(path string) error {
+	if t == nil {
+		return fmt.Errorf("obs: no tracer")
+	}
+	return writeFile(path, t.WriteChromeTrace)
+}
+
+// ExportJSONLFile writes the JSONL event stream to path (atomically).
+// Same degradation contract as ExportChromeFile.
+func (t *Tracer) ExportJSONLFile(path string) error {
+	if t == nil {
+		return fmt.Errorf("obs: no tracer")
+	}
+	return writeFile(path, t.WriteJSONL)
+}

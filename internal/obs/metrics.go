@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe name -> metric table. Metric handles
+// are get-or-create and stable, so hot paths look a handle up once and
+// then touch only an atomic. All methods on a nil *Registry are no-ops
+// returning nil handles, whose methods are in turn no-ops — the
+// disabled pipeline never branches on whether metrics are on.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter
+// is a valid no-op.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Histogram is a power-of-two-bucketed distribution (bucket i counts
+// observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i),
+// plus exact count/sum so means stay precise. A nil *Histogram is a
+// valid no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [65]atomic.Int64
+}
+
+// Observe records one sample (negative samples clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// HistSnapshot is a point-in-time histogram reading.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [65]int64
+}
+
+// Mean returns the exact mean of the observed samples (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]) from
+// the power-of-two buckets: the top of the bucket the quantile falls in.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen int64
+	for i, b := range s.Buckets {
+		seen += b
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return math.MaxInt64
+			}
+			return 1<<uint(i) - 1
+		}
+	}
+	return math.MaxInt64
+}
+
+// Snapshot reads the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counters returns a sorted-key snapshot of every counter value.
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters))
+	for k, c := range r.counters {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// Histograms returns a snapshot of every histogram.
+func (r *Registry) Histograms() map[string]HistSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]HistSnapshot, len(r.hists))
+	for k, h := range r.hists {
+		out[k] = h.Snapshot()
+	}
+	return out
+}
+
+// Render prints the registry as sorted "name value" lines, histograms
+// as count/mean/p50/p99 summaries. Stable output for diffing runs.
+func (r *Registry) Render() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	cs := r.Counters()
+	names := make([]string, 0, len(cs))
+	for k := range cs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&sb, "%-44s %d\n", k, cs[k])
+	}
+	hs := r.Histograms()
+	hnames := make([]string, 0, len(hs))
+	for k := range hs {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, k := range hnames {
+		s := hs[k]
+		fmt.Fprintf(&sb, "%-44s count=%d mean=%.1f p50<=%d p99<=%d\n",
+			k, s.Count, s.Mean(), s.Quantile(0.50), s.Quantile(0.99))
+	}
+	return sb.String()
+}

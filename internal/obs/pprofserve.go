@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar namespace is process-global and Publish panics on
+// duplicates, so the exported registry is held in an atomic pointer
+// published exactly once.
+var (
+	publishOnce sync.Once
+	debugReg    atomic.Pointer[Registry]
+)
+
+// ServeDebug starts an HTTP server on addr exposing net/http/pprof
+// (/debug/pprof/) and expvar (/debug/vars, including the given metrics
+// registry under "crocus_metrics") for live profiling of long sweeps.
+// It returns the bound address (useful with ":0") and never blocks;
+// the server lives until the process exits. Best-effort observability:
+// callers should warn on error, not abort.
+func ServeDebug(addr string, reg *Registry) (string, error) {
+	debugReg.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("crocus_metrics", expvar.Func(func() any {
+			r := debugReg.Load()
+			if r == nil {
+				return map[string]int64{}
+			}
+			return r.Counters()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		// Errors after listen succeed only at shutdown; nothing to do.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

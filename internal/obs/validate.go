@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// TraceStats summarizes a validated Chrome trace.
+type TraceStats struct {
+	// Spans counts the "X" (complete) events.
+	Spans int
+	// Phases counts spans per name.
+	Phases map[string]int
+}
+
+// ValidateChromeTrace parses data as Chrome trace-event JSON and checks
+// the structural invariants the exporter guarantees: a traceEvents
+// array of well-formed events, non-negative microsecond timestamps and
+// durations, and "X" events in monotonically non-decreasing timestamp
+// order. Every name in required must appear on at least one span. Used
+// by the CI trace checker (internal/obs/tracecheck) and the exporter
+// tests.
+func ValidateChromeTrace(data []byte, required []string) (*TraceStats, error) {
+	var trace struct {
+		TraceEvents []struct {
+			Name *string  `json:"name"`
+			Ph   *string  `json:"ph"`
+			TS   *float64 `json:"ts"`
+			Dur  float64  `json:"dur"`
+			PID  *int64   `json:"pid"`
+			TID  *int64   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		return nil, fmt.Errorf("trace is not valid JSON: %w", err)
+	}
+	if trace.TraceEvents == nil {
+		return nil, fmt.Errorf("trace has no traceEvents array")
+	}
+	st := &TraceStats{Phases: map[string]int{}}
+	lastTS := -1.0
+	for i, ev := range trace.TraceEvents {
+		if ev.Name == nil || ev.Ph == nil || ev.PID == nil || ev.TID == nil {
+			return nil, fmt.Errorf("event %d: missing name/ph/pid/tid", i)
+		}
+		switch *ev.Ph {
+		case "M":
+			continue // metadata events carry no timestamp contract
+		case "X":
+		default:
+			return nil, fmt.Errorf("event %d (%s): unexpected phase type %q", i, *ev.Name, *ev.Ph)
+		}
+		if ev.TS == nil {
+			return nil, fmt.Errorf("event %d (%s): missing ts", i, *ev.Name)
+		}
+		if *ev.TS < 0 || ev.Dur < 0 {
+			return nil, fmt.Errorf("event %d (%s): negative ts/dur (%f/%f)", i, *ev.Name, *ev.TS, ev.Dur)
+		}
+		if *ev.TS < lastTS {
+			return nil, fmt.Errorf("event %d (%s): timestamps not monotonic (%f after %f)", i, *ev.Name, *ev.TS, lastTS)
+		}
+		lastTS = *ev.TS
+		st.Spans++
+		st.Phases[*ev.Name]++
+	}
+	if st.Spans == 0 {
+		return nil, fmt.Errorf("trace contains no spans")
+	}
+	for _, name := range required {
+		if st.Phases[name] == 0 {
+			return nil, fmt.Errorf("required phase %q has no spans", name)
+		}
+	}
+	return st, nil
+}

@@ -145,6 +145,7 @@ type Solver struct {
 	propagations int64
 	conflicts    int64
 	decisions    int64
+	restarts     int64
 	budgetProps  int64 // 0 = unlimited
 	deadline     time.Time
 	hasDeadline  bool
@@ -154,9 +155,10 @@ type Solver struct {
 	// Counter snapshots taken at the entry of the current/most recent
 	// Solve call; LastStats and the propagation budget work on deltas so
 	// an incremental session gets a fresh budget per query.
-	solveProps int64
-	solveConfl int64
-	solveDecs  int64
+	solveProps    int64
+	solveConfl    int64
+	solveDecs     int64
+	solveRestarts int64
 
 	core []Lit // final conflict of the last assumption-failed Solve
 
@@ -200,6 +202,14 @@ func (s *Solver) Stats() (propagations, conflicts, decisions int64) {
 func (s *Solver) LastStats() (propagations, conflicts, decisions int64) {
 	return s.propagations - s.solveProps, s.conflicts - s.solveConfl, s.decisions - s.solveDecs
 }
+
+// Restarts reports the cumulative CDCL restart count across the
+// solver's lifetime.
+func (s *Solver) Restarts() int64 { return s.restarts }
+
+// LastRestarts reports the restarts taken by the most recent Solve call
+// alone (zero before the first call).
+func (s *Solver) LastRestarts() int64 { return s.restarts - s.solveRestarts }
 
 // FinalConflict returns the subset of the last Solve call's assumptions
 // that the solver found jointly unsatisfiable with the clause set, or nil
@@ -710,6 +720,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.core = nil
 	s.stop = StopNone
 	s.solveProps, s.solveConfl, s.solveDecs = s.propagations, s.conflicts, s.decisions
+	s.solveRestarts = s.restarts
 	if !s.ok {
 		return Unsat
 	}
@@ -758,6 +769,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 		if conflictsThisRestart >= conflictBudget && s.decisionLevel() > len(assumptions) {
 			restartIdx++
+			s.restarts++
 			conflictBudget = luby(restartIdx) * 128
 			conflictsThisRestart = 0
 			s.cancelUntil(len(assumptions))

@@ -1,0 +1,115 @@
+package smt
+
+import (
+	"context"
+	"testing"
+
+	"crocus/internal/obs"
+)
+
+// TestSessionObsSpansAndMetrics runs traced queries through a session
+// and checks the per-stage spans and the metrics they feed.
+func TestSessionObsSpansAndMetrics(t *testing.T) {
+	tr := obs.New()
+	ctx := obs.WithTracer(context.Background(), tr)
+	b := NewBuilder()
+	ss := NewSession(b)
+	x := b.Var("x", BV(16))
+	y := b.Var("y", BV(16))
+
+	// Q1 decides through the SAT solver.
+	res, err := ss.Check([]TermID{
+		b.Eq(b.BVAdd(x, y), b.BVConst(10, 16)),
+	}, Config{Ctx: ctx})
+	if err != nil || res.Status != SatRes {
+		t.Fatalf("q1 = %v, %v", res.Status, err)
+	}
+	// Q2 is decided pre-blast (x=3 substituted into x≠3 folds to false).
+	res, err = ss.Check([]TermID{
+		b.Eq(x, b.BVConst(3, 16)),
+		b.Distinct(x, b.BVConst(3, 16)),
+	}, Config{Ctx: ctx})
+	if err != nil || res.Status != UnsatRes {
+		t.Fatalf("q2 = %v, %v", res.Status, err)
+	}
+
+	phases := map[string]int{}
+	for _, ev := range tr.Events() {
+		phases[ev.Name]++
+	}
+	for _, want := range []string{
+		obs.PhaseSolveEqs, obs.PhaseSimplify, obs.PhaseUnits,
+		obs.PhaseBlast, obs.PhaseSolve,
+	} {
+		if phases[want] == 0 {
+			t.Errorf("no %s span (phases: %v)", want, phases)
+		}
+	}
+	// Q2 never reached blast/solve, so those phases ran once, the word
+	// stages twice.
+	if phases[obs.PhaseSolve] != 1 || phases[obs.PhaseSolveEqs] != 2 {
+		t.Errorf("span counts: %v", phases)
+	}
+
+	cs := tr.Registry().Counters()
+	if cs["session.queries"] != 2 || cs["session.reused_queries"] != 1 {
+		t.Errorf("session counters = %v", cs)
+	}
+	if cs["session.decided_preblast"] != 1 {
+		t.Errorf("decided_preblast = %d, want 1", cs["session.decided_preblast"])
+	}
+	if cs["blast.vars"] == 0 || cs["blast.clauses"] == 0 {
+		t.Errorf("blast counters = %v", cs)
+	}
+	if cs["simplify.terms_in"] == 0 || cs["simplify.terms_out"] == 0 {
+		t.Errorf("simplify counters = %v", cs)
+	}
+}
+
+// TestSessionUntracedUnaffected: queries without a tracer behave
+// identically (the instrumentation is nil-guarded everywhere).
+func TestSessionUntracedUnaffected(t *testing.T) {
+	b := NewBuilder()
+	ss := NewSession(b)
+	x := b.Var("x", BV(8))
+	res, err := ss.Check([]TermID{b.Eq(b.BVMul(x, x), b.BVConst(4, 8))}, Config{})
+	if err != nil || res.Status != SatRes {
+		t.Fatalf("untraced check = %v, %v", res.Status, err)
+	}
+}
+
+// TestSimplifierRuleHitCounters: rewrites must account per-rule when a
+// registry is attached, and skip accounting cleanly when not.
+func TestSimplifierRuleHitCounters(t *testing.T) {
+	b := NewBuilder()
+	sp := newSimplifier(b)
+	reg := obs.NewRegistry()
+	sp.setRegistry(reg)
+
+	x := b.Var("x", BV(32))
+	// x urem 8 rewrites to x & 7 (urem-pow2).
+	sp.rewrite(b.BVURem(x, b.BVConst(8, 32)))
+	if got := reg.Counter("simplify.rule.urem-pow2").Value(); got != 1 {
+		t.Errorf("urem-pow2 hits = %d, want 1", got)
+	}
+
+	// Registry swap drops the handle cache but keeps counting.
+	reg2 := obs.NewRegistry()
+	sp.setRegistry(reg2)
+	y := b.Var("y", BV(32))
+	sp.rewrite(b.BVUDiv(y, b.BVConst(16, 32)))
+	if got := reg2.Counter("simplify.rule.udiv-pow2").Value(); got != 1 {
+		t.Errorf("udiv-pow2 hits = %d, want 1", got)
+	}
+	if got := reg.Counter("simplify.rule.udiv-pow2").Value(); got != 0 {
+		t.Errorf("old registry received hits after swap: %d", got)
+	}
+
+	// No registry: the same rewrites still fire, silently.
+	sp2 := newSimplifier(b)
+	z := b.Var("z", BV(32))
+	out := sp2.rewrite(b.BVURem(z, b.BVConst(8, 32)))
+	if b.Term(out).Op != OpBVAnd {
+		t.Errorf("rewrite without registry produced %v", b.Term(out).Op)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"crocus/internal/obs"
 	"crocus/internal/sat"
 )
 
@@ -41,17 +42,58 @@ func NewSession(b *Builder) *Session {
 // Queries returns the number of Check calls issued on the session.
 func (ss *Session) Queries() int { return ss.queries }
 
+// countNodes returns the number of distinct term nodes reachable from
+// roots (the terms-in/terms-out metric of the simplify pass). Only
+// called when tracing is enabled.
+func countNodes(b *Builder, roots []TermID) int64 {
+	seen := map[TermID]bool{}
+	var n int64
+	var walk func(TermID)
+	walk = func(id TermID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		n++
+		t := b.Term(id)
+		for i := 0; i < t.NArg; i++ {
+			walk(t.Args[i])
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return n
+}
+
 // Check decides the conjunction of the given boolean assertions under
 // the session's resource configuration, reusing all encoding and search
 // state accumulated by earlier calls. Deadline and budget are applied
 // per call. On Sat, the model assigns every free variable appearing in
 // the original (pre-simplification) assertions.
+//
+// When cfg.Ctx carries an obs tracer, Check emits one span per pipeline
+// stage (solveEqs, simplify, unit flattening, blast, CDCL solve) and
+// feeds the metrics registry; with tracing off the instrumentation is a
+// handful of nil checks.
 func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 	start := time.Now()
 	b, s := ss.b, ss.s
 	s.SetDeadline(cfg.Deadline)
 	s.SetBudget(cfg.PropagationBudget)
 	s.SetContext(cfg.Ctx)
+
+	sc := obs.Get(cfg.Ctx)
+	reg := sc.Registry()
+	ss.simp.setRegistry(reg)
+	if sc != nil {
+		reg.Counter("session.queries").Inc()
+		if ss.queries > 0 {
+			// This Check reuses encodings and learned clauses added by the
+			// session's earlier queries behind retired activation literals.
+			reg.Counter("session.reused_queries").Inc()
+		}
+	}
 
 	// An already-canceled context short-circuits before any encoding work
 	// (simplification and blasting are not free on wide units).
@@ -95,9 +137,40 @@ func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 		sol = &eqSolution{b: b, raw: map[TermID]TermID{}, memo: map[TermID]TermID{}}
 		substituted = assertions
 	} else {
+		sp := sc.Start(obs.PhaseSolveEqs)
 		sol, substituted = solveEqs(b, assertions)
+		sp.SetAttr(obs.Int("solved_vars", int64(len(sol.order))))
+		sp.End()
 	}
-	units := make([]TermID, 0, len(substituted))
+
+	// The named simplify pass: every substituted assertion is rewritten
+	// through the word-level rule table (terms-in/terms-out recorded when
+	// tracing).
+	simplified := substituted
+	if !cfg.NoSimplify {
+		sp := sc.Start(obs.PhaseSimplify)
+		var termsIn int64
+		if sc != nil {
+			termsIn = countNodes(b, substituted)
+		}
+		simplified = make([]TermID, len(substituted))
+		for i, a := range substituted {
+			simplified[i] = ss.simp.rewrite(a)
+		}
+		if sc != nil {
+			termsOut := countNodes(b, simplified)
+			reg.Counter("simplify.terms_in").Add(termsIn)
+			reg.Counter("simplify.terms_out").Add(termsOut)
+			sp.SetAttr(obs.Int("terms_in", termsIn), obs.Int("terms_out", termsOut))
+		}
+		sp.End()
+	}
+
+	// Flatten conjunctions into unit assertions and run the propositional
+	// contradiction check: a pair {u, ¬u} (or a constant false unit)
+	// decides the query before any circuit is built.
+	spU := sc.Start(obs.PhaseUnits)
+	units := make([]TermID, 0, len(simplified))
 	var addUnit func(TermID)
 	addUnit = func(a TermID) {
 		t := b.Term(a)
@@ -111,12 +184,8 @@ func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 		}
 		units = append(units, a)
 	}
-	for _, a := range substituted {
-		if cfg.NoSimplify {
-			addUnit(a)
-		} else {
-			addUnit(ss.simp.rewrite(a))
-		}
+	for _, a := range simplified {
+		addUnit(a)
 	}
 	unsat := false
 	pos := make(map[TermID]bool, len(units))
@@ -135,8 +204,13 @@ func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 			}
 		}
 	}
+	spU.SetAttr(obs.Int("units", int64(len(units))))
+	spU.End()
 	if unsat {
 		ss.queries++
+		if sc != nil {
+			reg.Counter("session.decided_preblast").Inc()
+		}
 		return Result{
 			Status:     sat.Unsat,
 			SATVars:    s.NumVars(),
@@ -145,6 +219,11 @@ func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 		}, nil
 	}
 
+	spB := sc.Start(obs.PhaseBlast)
+	var varsBefore, clausesBefore int
+	if sc != nil {
+		varsBefore, clausesBefore = s.NumVars(), s.NumClauses()
+	}
 	firstNew := sat.Var(s.NumVars())
 	act := sat.MkLit(s.NewVar(), false)
 	for _, u := range units {
@@ -172,6 +251,14 @@ func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 			return Result{}, err
 		}
 	}
+	if sc != nil {
+		newVars := int64(s.NumVars() - varsBefore)
+		newClauses := int64(s.NumClauses() - clausesBefore)
+		reg.Counter("blast.vars").Add(newVars)
+		reg.Counter("blast.clauses").Add(newClauses)
+		spB.SetAttr(obs.Int("new_vars", newVars), obs.Int("new_clauses", newClauses))
+	}
+	spB.End()
 
 	// Steer branching into this query's newly encoded cone: stale activity
 	// from earlier queries would otherwise send every restart through
@@ -182,11 +269,28 @@ func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
 		SATVars:    s.NumVars(),
 		SATClauses: s.NumClauses(),
 	}
+	spS := sc.Start(obs.PhaseSolve)
 	res.Status = s.Solve(act)
 	if res.Status == sat.Unknown {
 		res.Stop = s.LastStopReason()
 	}
 	res.Propagations, res.Conflicts, res.Decisions = s.LastStats()
+	res.Restarts = s.LastRestarts()
+	if sc != nil {
+		spS.SetAttr(
+			obs.Str("status", res.Status.String()),
+			obs.Int("propagations", res.Propagations),
+			obs.Int("conflicts", res.Conflicts),
+			obs.Int("decisions", res.Decisions),
+			obs.Int("restarts", res.Restarts),
+		)
+		reg.Counter("sat.propagations").Add(res.Propagations)
+		reg.Counter("sat.conflicts").Add(res.Conflicts)
+		reg.Counter("sat.decisions").Add(res.Decisions)
+		reg.Counter("sat.restarts").Add(res.Restarts)
+		reg.Histogram("sat.query_propagations").Observe(res.Propagations)
+	}
+	spS.End()
 	ss.queries++
 
 	if res.Status == sat.Sat {

@@ -1,6 +1,10 @@
 package smt
 
-import "math/bits"
+import (
+	"math/bits"
+
+	"crocus/internal/obs"
+)
 
 // Word-level pre-blast simplification.
 //
@@ -24,10 +28,50 @@ import "math/bits"
 type simplifier struct {
 	b    *Builder
 	memo map[TermID]TermID
+
+	// reg, when non-nil, receives per-rule hit counts under
+	// "simplify.rule.<name>". hitCounters caches the counter handles so a
+	// firing rule touches one map and one atomic.
+	reg         *obs.Registry
+	hitCounters map[string]*obs.Counter
 }
 
 func newSimplifier(b *Builder) *simplifier {
 	return &simplifier{b: b, memo: make(map[TermID]TermID)}
+}
+
+// setRegistry points rule-hit accounting at reg (nil disables it). The
+// counter cache is dropped when the registry changes so handles never
+// leak across runs.
+func (sp *simplifier) setRegistry(reg *obs.Registry) {
+	if sp.reg != reg {
+		sp.reg = reg
+		sp.hitCounters = nil
+	}
+}
+
+// hit counts one firing of the named rewrite rule. A single nil check
+// when metrics are off.
+func (sp *simplifier) hit(rule string) {
+	if sp.reg == nil {
+		return
+	}
+	c := sp.hitCounters[rule]
+	if c == nil {
+		if sp.hitCounters == nil {
+			sp.hitCounters = map[string]*obs.Counter{}
+		}
+		c = sp.reg.Counter("simplify.rule." + rule)
+		sp.hitCounters[rule] = c
+	}
+	c.Inc()
+}
+
+// fired records a rule hit and passes the rewritten term through —
+// sugar for instrumented return sites.
+func (sp *simplifier) fired(rule string, out TermID) TermID {
+	sp.hit(rule)
+	return out
 }
 
 // Simplify returns a term equivalent to id, typically smaller. The
@@ -187,7 +231,7 @@ func (sp *simplifier) orderCommutative(id TermID, t *Term) TermID {
 	if t.Args[0] <= t.Args[1] {
 		return id
 	}
-	return rebuildNode(sp.b, id, t, [3]TermID{t.Args[1], t.Args[0], NoTerm})
+	return sp.fired("commute", rebuildNode(sp.b, id, t, [3]TermID{t.Args[1], t.Args[0], NoTerm}))
 }
 
 // rules applies one step of root-level rewriting; it returns id when no
@@ -198,12 +242,12 @@ func (sp *simplifier) rules(id TermID) TermID {
 	switch t.Op {
 	case OpAnd:
 		if sp.isNotOf(OpNot, t.Args[0], t.Args[1]) || sp.isNotOf(OpNot, t.Args[1], t.Args[0]) {
-			return b.BoolConst(false)
+			return sp.fired("and-contradiction", b.BoolConst(false))
 		}
 		return sp.orderCommutative(id, t)
 	case OpOr, OpXorB:
 		if sp.isNotOf(OpNot, t.Args[0], t.Args[1]) || sp.isNotOf(OpNot, t.Args[1], t.Args[0]) {
-			return b.BoolConst(true)
+			return sp.fired("or-xor-tautology", b.BoolConst(true))
 		}
 		return sp.orderCommutative(id, t)
 	case OpBVAdd, OpBVMul:
@@ -211,32 +255,32 @@ func (sp *simplifier) rules(id TermID) TermID {
 	case OpIte:
 		c, th, el := t.Args[0], t.Args[1], t.Args[2]
 		if ct := b.Term(c); ct.Op == OpNot {
-			return b.Ite(ct.Args[0], el, th)
+			return sp.fired("ite-not-cond", b.Ite(ct.Args[0], el, th))
 		}
 		if t.Sort.Kind == KindBool {
 			// A constant branch turns the ite into plain and/or structure,
 			// which blasts to fewer gates than a 3-input mux.
 			if tv, ok := b.BoolVal(th); ok {
 				if tv {
-					return b.Or(c, el)
+					return sp.fired("ite-const-arm", b.Or(c, el))
 				}
-				return b.And(b.Not(c), el)
+				return sp.fired("ite-const-arm", b.And(b.Not(c), el))
 			}
 			if ev, ok := b.BoolVal(el); ok {
 				if ev {
-					return b.Or(b.Not(c), th)
+					return sp.fired("ite-const-arm", b.Or(b.Not(c), th))
 				}
-				return b.And(c, th)
+				return sp.fired("ite-const-arm", b.And(c, th))
 			}
 		}
 	case OpBVAnd:
 		if sp.isNotOf(OpBVNot, t.Args[0], t.Args[1]) || sp.isNotOf(OpBVNot, t.Args[1], t.Args[0]) {
-			return b.BVConst(0, t.Sort.Width)
+			return sp.fired("bvand-contradiction", b.BVConst(0, t.Sort.Width))
 		}
 		return sp.orderCommutative(id, t)
 	case OpBVOr, OpBVXor:
 		if sp.isNotOf(OpBVNot, t.Args[0], t.Args[1]) || sp.isNotOf(OpBVNot, t.Args[1], t.Args[0]) {
-			return b.BVConst(mask(t.Sort.Width), t.Sort.Width)
+			return sp.fired("bvor-xor-tautology", b.BVConst(mask(t.Sort.Width), t.Sort.Width))
 		}
 		return sp.orderCommutative(id, t)
 	case OpBVURem:
@@ -244,11 +288,11 @@ func (sp *simplifier) rules(id TermID) TermID {
 		// shift amounts with urem, the instruction specs with a mask; this
 		// makes the two spellings identical.
 		if c, ok := b.BVVal(t.Args[1]); ok && c != 0 && c&(c-1) == 0 {
-			return b.BVAnd(t.Args[0], b.BVConst(c-1, t.Sort.Width))
+			return sp.fired("urem-pow2", b.BVAnd(t.Args[0], b.BVConst(c-1, t.Sort.Width)))
 		}
 	case OpBVUDiv:
 		if c, ok := b.BVVal(t.Args[1]); ok && c != 0 && c&(c-1) == 0 {
-			return b.BVLshr(t.Args[0], b.BVConst(uint64(bits.TrailingZeros64(c)), t.Sort.Width))
+			return sp.fired("udiv-pow2", b.BVLshr(t.Args[0], b.BVConst(uint64(bits.TrailingZeros64(c)), t.Sort.Width)))
 		}
 	case OpBVShl, OpBVLshr:
 		return sp.logicalShift(id, t)
@@ -260,18 +304,18 @@ func (sp *simplifier) rules(id TermID) TermID {
 		return sp.extract(id, t)
 	case OpZeroExt:
 		if inner := b.Term(t.Args[0]); inner.Op == OpZeroExt {
-			return b.ZeroExt(t.Sort.Width, inner.Args[0])
+			return sp.fired("zext-zext", b.ZeroExt(t.Sort.Width, inner.Args[0]))
 		}
 	case OpSignExt:
 		inner := b.Term(t.Args[0])
 		if inner.Op == OpSignExt {
-			return b.SignExt(t.Sort.Width, inner.Args[0])
+			return sp.fired("sext-sext", b.SignExt(t.Sort.Width, inner.Args[0]))
 		}
 		if inner.Op == OpZeroExt {
 			// A zero-extension is strict (the builder folds the identity
 			// case), so the extended value's top bit is 0 and sign- and
 			// zero-extension coincide.
-			return b.ZeroExt(t.Sort.Width, inner.Args[0])
+			return sp.fired("sext-zext", b.ZeroExt(t.Sort.Width, inner.Args[0]))
 		}
 	case OpEq:
 		return sp.equality(id, t)
@@ -289,7 +333,7 @@ func (sp *simplifier) logicalShift(id TermID, t *Term) TermID {
 		return id
 	}
 	if c >= uint64(w) {
-		return b.BVConst(0, w)
+		return sp.fired("shift-oob", b.BVConst(0, w))
 	}
 	x := b.Term(t.Args[0])
 	if x.Op != t.Op {
@@ -302,13 +346,13 @@ func (sp *simplifier) logicalShift(id TermID, t *Term) TermID {
 	// The inner amount is already canonical, so c2 < w and c+c2 cannot
 	// overflow.
 	if c+c2 >= uint64(w) {
-		return b.BVConst(0, w)
+		return sp.fired("shift-fuse", b.BVConst(0, w))
 	}
 	mk := b.BVShl
 	if t.Op == OpBVLshr {
 		mk = b.BVLshr
 	}
-	return mk(x.Args[0], b.BVConst(c+c2, w))
+	return sp.fired("shift-fuse", mk(x.Args[0], b.BVConst(c+c2, w)))
 }
 
 // arithShift clamps constant ashr amounts at width-1 and fuses stacked
@@ -321,7 +365,7 @@ func (sp *simplifier) arithShift(id TermID, t *Term) TermID {
 		return id
 	}
 	if c >= uint64(w) {
-		return b.BVAshr(t.Args[0], b.BVConst(uint64(w-1), w))
+		return sp.fired("ashr-clamp", b.BVAshr(t.Args[0], b.BVConst(uint64(w-1), w)))
 	}
 	x := b.Term(t.Args[0])
 	if x.Op != OpBVAshr {
@@ -335,7 +379,7 @@ func (sp *simplifier) arithShift(id TermID, t *Term) TermID {
 	if sum > uint64(w-1) {
 		sum = uint64(w - 1)
 	}
-	return b.BVAshr(x.Args[0], b.BVConst(sum, w))
+	return sp.fired("ashr-fuse", b.BVAshr(x.Args[0], b.BVConst(sum, w)))
 }
 
 // rotate reduces constant rotate amounts mod the width and fuses stacked
@@ -352,7 +396,7 @@ func (sp *simplifier) rotate(id TermID, t *Term) TermID {
 		mk = b.BVRotr
 	}
 	if r := c % uint64(w); r != c {
-		return mk(t.Args[0], b.BVConst(r, w))
+		return sp.fired("rotate-mod", mk(t.Args[0], b.BVConst(r, w)))
 	}
 	x := b.Term(t.Args[0])
 	if x.Op != t.Op {
@@ -362,7 +406,7 @@ func (sp *simplifier) rotate(id TermID, t *Term) TermID {
 	if !ok {
 		return id
 	}
-	return mk(x.Args[0], b.BVConst((c+c2)%uint64(w), w))
+	return sp.fired("rotate-fuse", mk(x.Args[0], b.BVConst((c+c2)%uint64(w), w)))
 }
 
 // extract pushes extraction through concat, nested extracts, and
@@ -373,10 +417,11 @@ func (sp *simplifier) extract(id TermID, t *Term) TermID {
 	x := b.Term(t.Args[0])
 	switch x.Op {
 	case OpExtract:
-		return b.Extract(int(x.JArg)+hi, int(x.JArg)+lo, x.Args[0])
+		return sp.fired("extract-extract", b.Extract(int(x.JArg)+hi, int(x.JArg)+lo, x.Args[0]))
 	case OpConcat:
 		hiP, loP := x.Args[0], x.Args[1]
 		wl := b.SortOf(loP).Width
+		sp.hit("extract-concat")
 		switch {
 		case hi < wl:
 			return sp.top(b.Extract(hi, lo, loP))
@@ -388,6 +433,7 @@ func (sp *simplifier) extract(id TermID, t *Term) TermID {
 	case OpZeroExt:
 		inner := x.Args[0]
 		wx := b.SortOf(inner).Width
+		sp.hit("extract-zext")
 		switch {
 		case hi < wx:
 			return sp.top(b.Extract(hi, lo, inner))
@@ -400,7 +446,7 @@ func (sp *simplifier) extract(id TermID, t *Term) TermID {
 		inner := x.Args[0]
 		wx := b.SortOf(inner).Width
 		if hi < wx {
-			return sp.top(b.Extract(hi, lo, inner))
+			return sp.fired("extract-sext", sp.top(b.Extract(hi, lo, inner)))
 		}
 	case OpBVShl, OpBVLshr:
 		// Push extraction through a constant shift: bit i of (shl y c) is
@@ -415,6 +461,7 @@ func (sp *simplifier) extract(id TermID, t *Term) TermID {
 			// rules before extraction sees them; this is defensive.
 			return id
 		}
+		sp.hit("extract-shift")
 		ci := int(c)
 		if x.Op == OpBVShl {
 			switch {
@@ -458,18 +505,18 @@ func (sp *simplifier) equality(id TermID, t *Term) TermID {
 	// constrained through this equality.
 	if rt.Op == OpIte {
 		if rt.Args[2] == l {
-			return sp.top(b.Or(b.Not(rt.Args[0]), sp.top(b.Eq(l, rt.Args[1]))))
+			return sp.fired("eq-ite-arm", sp.top(b.Or(b.Not(rt.Args[0]), sp.top(b.Eq(l, rt.Args[1])))))
 		}
 		if rt.Args[1] == l {
-			return sp.top(b.Or(rt.Args[0], sp.top(b.Eq(l, rt.Args[2]))))
+			return sp.fired("eq-ite-arm", sp.top(b.Or(rt.Args[0], sp.top(b.Eq(l, rt.Args[2])))))
 		}
 	}
 	if lt.Op == OpIte {
 		if lt.Args[2] == r {
-			return sp.top(b.Or(b.Not(lt.Args[0]), sp.top(b.Eq(r, lt.Args[1]))))
+			return sp.fired("eq-ite-arm", sp.top(b.Or(b.Not(lt.Args[0]), sp.top(b.Eq(r, lt.Args[1])))))
 		}
 		if lt.Args[1] == r {
-			return sp.top(b.Or(lt.Args[0], sp.top(b.Eq(r, lt.Args[2]))))
+			return sp.fired("eq-ite-arm", sp.top(b.Or(lt.Args[0], sp.top(b.Eq(r, lt.Args[2])))))
 		}
 	}
 	if lt.Op != rt.Op {
@@ -478,14 +525,14 @@ func (sp *simplifier) equality(id TermID, t *Term) TermID {
 	switch lt.Op {
 	case OpZeroExt, OpSignExt:
 		if b.SortOf(lt.Args[0]).Width == b.SortOf(rt.Args[0]).Width {
-			return sp.top(b.Eq(lt.Args[0], rt.Args[0]))
+			return sp.fired("eq-ext-cancel", sp.top(b.Eq(lt.Args[0], rt.Args[0])))
 		}
 	case OpConcat:
 		if b.SortOf(lt.Args[0]).Width == b.SortOf(rt.Args[0]).Width {
-			return b.And(sp.top(b.Eq(lt.Args[0], rt.Args[0])), sp.top(b.Eq(lt.Args[1], rt.Args[1])))
+			return sp.fired("eq-concat-split", b.And(sp.top(b.Eq(lt.Args[0], rt.Args[0])), sp.top(b.Eq(lt.Args[1], rt.Args[1]))))
 		}
 	case OpBVNot, OpBVNeg:
-		return sp.top(b.Eq(lt.Args[0], rt.Args[0]))
+		return sp.fired("eq-invert", sp.top(b.Eq(lt.Args[0], rt.Args[0])))
 	}
 	return sp.orderCommutative(id, b.Term(id))
 }
@@ -507,50 +554,50 @@ func (sp *simplifier) eqConst(id, l TermID, c uint64) TermID {
 	switch lt.Op {
 	case OpBVAdd:
 		if x, c1, ok := constArg(); ok {
-			return sp.top(b.Eq(x, b.BVConst(c-c1, w)))
+			return sp.fired("eq-const-add", sp.top(b.Eq(x, b.BVConst(c-c1, w))))
 		}
 	case OpBVSub:
 		if c1, ok := b.BVVal(lt.Args[1]); ok { // x - c1 = c  ⇒  x = c + c1
-			return sp.top(b.Eq(lt.Args[0], b.BVConst(c+c1, w)))
+			return sp.fired("eq-const-sub", sp.top(b.Eq(lt.Args[0], b.BVConst(c+c1, w))))
 		}
 		if c1, ok := b.BVVal(lt.Args[0]); ok { // c1 - y = c  ⇒  y = c1 - c
-			return sp.top(b.Eq(lt.Args[1], b.BVConst(c1-c, w)))
+			return sp.fired("eq-const-sub", sp.top(b.Eq(lt.Args[1], b.BVConst(c1-c, w))))
 		}
 		if c == 0 { // x - y = 0  ⇒  x = y
-			return sp.top(b.Eq(lt.Args[0], lt.Args[1]))
+			return sp.fired("eq-const-sub", sp.top(b.Eq(lt.Args[0], lt.Args[1])))
 		}
 	case OpBVXor:
 		if x, c1, ok := constArg(); ok {
-			return sp.top(b.Eq(x, b.BVConst(c^c1, w)))
+			return sp.fired("eq-const-xor", sp.top(b.Eq(x, b.BVConst(c^c1, w))))
 		}
 		if c == 0 { // x ^ y = 0  ⇒  x = y
-			return sp.top(b.Eq(lt.Args[0], lt.Args[1]))
+			return sp.fired("eq-const-xor", sp.top(b.Eq(lt.Args[0], lt.Args[1])))
 		}
 	case OpBVNot:
-		return sp.top(b.Eq(lt.Args[0], b.BVConst(^c, w)))
+		return sp.fired("eq-const-not", sp.top(b.Eq(lt.Args[0], b.BVConst(^c, w))))
 	case OpBVNeg:
-		return sp.top(b.Eq(lt.Args[0], b.BVConst(-c, w)))
+		return sp.fired("eq-const-neg", sp.top(b.Eq(lt.Args[0], b.BVConst(-c, w))))
 	case OpZeroExt:
 		inner := lt.Args[0]
 		wx := b.SortOf(inner).Width
 		if c>>uint(wx) != 0 {
-			return b.BoolConst(false)
+			return sp.fired("eq-const-zext", b.BoolConst(false))
 		}
-		return sp.top(b.Eq(inner, b.BVConst(c, wx)))
+		return sp.fired("eq-const-zext", sp.top(b.Eq(inner, b.BVConst(c, wx))))
 	case OpSignExt:
 		inner := lt.Args[0]
 		wx := b.SortOf(inner).Width
 		trunc := c & mask(wx)
 		if uint64(sext(trunc, wx))&mask(w) != c {
-			return b.BoolConst(false)
+			return sp.fired("eq-const-sext", b.BoolConst(false))
 		}
-		return sp.top(b.Eq(inner, b.BVConst(trunc, wx)))
+		return sp.fired("eq-const-sext", sp.top(b.Eq(inner, b.BVConst(trunc, wx))))
 	case OpConcat:
 		hiP, loP := lt.Args[0], lt.Args[1]
 		wl := b.SortOf(loP).Width
-		return b.And(
+		return sp.fired("eq-const-concat", b.And(
 			sp.top(b.Eq(hiP, b.BVConst(c>>uint(wl), b.SortOf(hiP).Width))),
-			sp.top(b.Eq(loP, b.BVConst(c&mask(wl), wl))))
+			sp.top(b.Eq(loP, b.BVConst(c&mask(wl), wl)))))
 	}
 	return id
 }

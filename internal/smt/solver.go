@@ -89,6 +89,7 @@ type Result struct {
 	Propagations int64
 	Conflicts    int64
 	Decisions    int64
+	Restarts     int64
 }
 
 // Config controls solving resources.

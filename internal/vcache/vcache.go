@@ -143,8 +143,7 @@ type Stats struct {
 	SavedNS int64
 }
 
-// HitRate returns hits / probes in [0,1] (1 for zero probes on a warm
-// no-op run guard-free).
+// HitRate returns hits / probes in [0,1] (0 for zero probes).
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses + s.Stale
 	if total == 0 {

@@ -239,3 +239,32 @@ func TestConcurrentPutLookup(t *testing.T) {
 		t.Fatalf("persisted entries = %d, want 20", c2.Len())
 	}
 }
+
+func TestHitRateZeroProbes(t *testing.T) {
+	// Guard for the documented contract: no probes means a 0 hit rate,
+	// not NaN and not 1.
+	var s Stats
+	if got := s.HitRate(); got != 0 {
+		t.Fatalf("HitRate() with zero probes = %v, want 0", got)
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if got := s.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate() = %v, want 0.75", got)
+	}
+}
+
+func TestStatsStringDegradationLine(t *testing.T) {
+	s := Stats{Hits: 2, Misses: 1, Stale: 1, SavedNS: int64(3 * time.Second)}
+	line := s.String()
+	if strings.Contains(line, "undecodable") {
+		t.Fatalf("clean stats should not mention degradation: %q", line)
+	}
+	if !strings.Contains(line, "2 hits, 1 misses, 1 stale") || !strings.Contains(line, "50% hit rate") {
+		t.Fatalf("stats line = %q", line)
+	}
+	s.DecodeFailures = 3
+	line = s.String()
+	if !strings.Contains(line, "3 undecodable entries re-solved") {
+		t.Fatalf("degraded stats line missing suffix: %q", line)
+	}
+}
