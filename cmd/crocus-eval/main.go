@@ -89,10 +89,8 @@ func main() {
 
 	var debugReg = obs.NewRegistry()
 	if *pprofAddr != "" {
-		if addr, err := obs.ServeDebug(*pprofAddr, debugReg); err != nil {
-			fmt.Fprintln(os.Stderr, "crocus-eval: warning: pprof server:", err)
-		} else {
-			fmt.Fprintln(os.Stderr, "crocus-eval: pprof/expvar on http://"+addr+"/debug/pprof/")
+		if _, err := obs.ServeDebugAnnounce("crocus-eval", *pprofAddr, debugReg); err != nil {
+			fail(err)
 		}
 	}
 	// traced runs one experiment under its own tracer and exports its

@@ -1,0 +1,105 @@
+// Command crocus-serve is the resident verification daemon: it keeps
+// parsed corpora, the in-memory vcache tier, and solver infrastructure
+// warm and answers rule-verification requests over HTTP/JSON.
+//
+// Usage:
+//
+//	crocus-serve [-addr localhost:8742] [-corpora aarch64,x64,midend]
+//	             [-cache-dir DIR] [-max-inflight N] [-queue-timeout 30s]
+//	             [-drain-timeout 30s] [-timeout 5s] [-max-timeout 10m]
+//	             [-pprof-addr ADDR]
+//
+// Endpoints: POST /v1/verify, POST /v1/verify/batch, GET /v1/healthz,
+// GET /v1/statusz. On SIGTERM (or SIGINT) the daemon drains: it stops
+// accepting work, lets in-flight requests finish (or cancels them after
+// -drain-timeout), flushes the JSONL cache tier, and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"crocus/internal/obs"
+	"crocus/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8742", "listen address")
+	corpora := flag.String("corpora", "aarch64,x64,midend", "comma-separated resident corpora to load at startup")
+	cacheDir := flag.String("cache-dir", "", "persist verification results under this directory (JSONL tier); empty keeps the cache in memory only")
+	maxInflight := flag.Int("max-inflight", 0, "bound on concurrently solving requests (0 = GOMAXPROCS)")
+	queueTimeout := flag.Duration("queue-timeout", 30*time.Second, "max wait for a worker slot before replying 429")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max graceful drain before in-flight requests are canceled")
+	timeout := flag.Duration("timeout", 5*time.Second, "default per-unit solver deadline")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "ceiling for request-supplied solver deadlines")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar metrics on this address")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "crocus-serve:", err)
+		os.Exit(1)
+	}
+
+	// The daemon traces for counters and request timing, but retains no
+	// span events: its lifetime is unbounded, a batch exporter's event
+	// buffer is not.
+	tracer := obs.New()
+	tracer.SetEventCap(0)
+	if *pprofAddr != "" {
+		if _, err := obs.ServeDebugAnnounce("crocus-serve", *pprofAddr, tracer.Registry()); err != nil {
+			fail(err)
+		}
+	}
+
+	var names []string
+	for _, c := range strings.Split(*corpora, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			names = append(names, c)
+		}
+	}
+	s, err := serve.New(serve.Config{
+		Corpora:      names,
+		CacheDir:     *cacheDir,
+		MaxInflight:  *maxInflight,
+		QueueTimeout: *queueTimeout,
+		DrainTimeout: *drainTimeout,
+		Timeout:      *timeout,
+		MaxTimeout:   *maxTimeout,
+		Tracer:       tracer,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "crocus-serve: listening on http://%s (corpora: %s)\n",
+		ln.Addr(), strings.Join(names, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "crocus-serve: draining")
+		drained <- s.Drain()
+	}()
+
+	if err := s.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fail(err)
+	}
+	if err := <-drained; err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "crocus-serve: drained cleanly")
+}

@@ -92,6 +92,9 @@ func runBenchJSON(path string, prog *crocus.Program, base crocus.Options, corpus
 		start := time.Now()
 		rs, err := v.VerifyAllContext(ctx)
 		wall := time.Since(start)
+		if cerr := v.CloseCache(); cerr != nil && err == nil {
+			err = fmt.Errorf("cache flush: %w", cerr)
+		}
 		if err != nil {
 			return benchPhase{}, nil, err
 		}

@@ -79,7 +79,29 @@ func main() {
 	traceJSONL := flag.String("trace-jsonl", "", "write the run's pipeline spans as a JSONL event stream")
 	metrics := flag.Bool("metrics", false, "print the metrics registry and the per-rule phase-breakdown table after the run")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+	server := flag.String("server", "", "submit the run to a crocus-serve daemon at this base URL (e.g. http://localhost:8742) instead of verifying locally")
 	flag.Parse()
+
+	if *server != "" {
+		ladder, err := parseBudgets(*retryBudgets)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crocus:", err)
+			os.Exit(1)
+		}
+		os.Exit(runClient(clientConfig{
+			server:     strings.TrimRight(*server, "/"),
+			corpusName: *corpusName,
+			files:      flag.Args(),
+			ruleName:   *ruleName,
+			timeout:    *timeout,
+			distinct:   *distinct,
+			custom:     *custom,
+			fresh:      *fresh,
+			stats:      *stats,
+			budget:     *budget,
+			ladder:     ladder,
+		}))
+	}
 
 	// Any observability flag turns the tracer on; without one every span
 	// and counter call in the pipeline is a no-op.
@@ -88,10 +110,9 @@ func main() {
 		tracer = obs.New()
 	}
 	if *pprofAddr != "" {
-		if addr, err := obs.ServeDebug(*pprofAddr, tracer.Registry()); err != nil {
-			fmt.Fprintln(os.Stderr, "crocus: warning: pprof server:", err)
-		} else {
-			fmt.Fprintln(os.Stderr, "crocus: pprof/expvar on http://"+addr+"/debug/pprof/")
+		if _, err := obs.ServeDebugAnnounce("crocus", *pprofAddr, tracer.Registry()); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus:", err)
+			os.Exit(1)
 		}
 	}
 
@@ -212,6 +233,12 @@ func main() {
 		} else {
 			fmt.Println(v.CacheStats())
 		}
+		if err := v.CloseCache(); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus: cache flush:", err)
+			if exit == 0 {
+				exit = 1
+			}
+		}
 	}
 	if interrupted {
 		exit = 130
@@ -256,17 +283,23 @@ type outcomeCounts struct {
 }
 
 func (c *outcomeCounts) add(rr *crocus.RuleResult) {
+	c.addOutcome(rr.Outcome().String())
+}
+
+// addOutcome tallies by outcome name, shared with server verdicts (which
+// arrive as strings on the wire).
+func (c *outcomeCounts) addOutcome(outcome string) {
 	c.total++
-	switch rr.Outcome() {
-	case crocus.OutcomeSuccess:
+	switch outcome {
+	case crocus.OutcomeSuccess.String():
 		c.success++
-	case crocus.OutcomeFailure:
+	case crocus.OutcomeFailure.String():
 		c.failure++
-	case crocus.OutcomeTimeout:
+	case crocus.OutcomeTimeout.String():
 		c.timeout++
-	case crocus.OutcomeError:
+	case crocus.OutcomeError.String():
 		c.errored++
-	case crocus.OutcomeInapplicable:
+	case crocus.OutcomeInapplicable.String():
 		c.inapplicable++
 	}
 }
@@ -278,50 +311,11 @@ func (c *outcomeCounts) String() string {
 
 // printRule prints one rule's per-instantiation outcomes (and, under
 // -stats, its cumulative SAT statistics), updating the exit code on
-// counterexamples.
+// counterexamples. Local results and server verdicts render through the
+// same display path (client.go) so the two pipelines' outputs are
+// byte-comparable.
 func printRule(rr *crocus.RuleResult, stats bool, exit *int) {
-	var dur time.Duration
-	var agg crocus.SolverStats
-	cached := 0
-	var outs []string
-	for _, io := range rr.Insts {
-		dur += io.Duration
-		agg.Add(io.Stats)
-		if io.Cached {
-			cached++
-		}
-		s := io.Outcome.String()
-		if io.Sig != nil {
-			s = fmt.Sprintf("%s:%s", io.Sig.Ret, io.Outcome)
-		}
-		if io.Cached {
-			s += "*"
-		}
-		if io.Escalations > 0 {
-			s += fmt.Sprintf("^%d", io.Escalations)
-		}
-		if io.DistinctInputs != nil && !*io.DistinctInputs {
-			s += "!single-model"
-		}
-		outs = append(outs, s)
-	}
-	fmt.Printf("%-30s %-12s %8.2fs  [%s]\n",
-		rr.Rule.Name, rr.Outcome(), dur.Seconds(), strings.Join(outs, " "))
-	if stats {
-		fmt.Printf("    stats: %s  cached=%d/%d\n", agg, cached, len(rr.Insts))
-	}
-	for _, io := range rr.Insts {
-		if io.Counterexample != nil {
-			fmt.Printf("  counterexample (%s):\n%s\n", io.Sig, indent(io.Counterexample.Rendered))
-			*exit = 2
-		}
-		if io.Outcome == crocus.OutcomeError && io.Err != nil {
-			fmt.Printf("  contained fault: %v\n", io.Err)
-		}
-	}
-	if rr.RetriedFresh {
-		fmt.Printf("  note: incremental pipeline faulted; result from fresh-solver retry\n")
-	}
+	printRuleDisplay(displayFromResult(rr), stats, exit)
 }
 
 func loadProgram(corpusName string, files []string) (*crocus.Program, error) {

@@ -174,6 +174,18 @@ func (v *Verifier) cacheStore() *vcache.Cache {
 // disabled for the run).
 func (v *Verifier) CacheErr() error { return v.cacheErr }
 
+// CloseCache flushes and closes the result cache this verifier opened
+// from Options.CacheDir, returning the flush error instead of dropping
+// it (the shutdown path of both CLIs and the crocus-serve drain call
+// it). An injected Options.Cache is left open — its owner controls its
+// lifetime — and a verifier that never opened a cache returns nil.
+func (v *Verifier) CloseCache() error {
+	if v.Opts.Cache != nil || v.cache == nil {
+		return nil
+	}
+	return v.cache.Close()
+}
+
 // CacheStats returns the run's cache probe counters (zero when caching is
 // disabled).
 func (v *Verifier) CacheStats() vcache.Stats {

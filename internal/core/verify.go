@@ -366,6 +366,16 @@ func (v *Verifier) verifyRuleAttempt(ctx context.Context, rule *isle.Rule, fresh
 	return rr, nil
 }
 
+// VerifyRuleContained verifies one rule with sweep-grade fault
+// isolation: panics AND plain errors degrade to a RuleResult with
+// OutcomeError so the caller's loop survives poisoned inputs. It
+// returns nil only when the context was canceled before the rule
+// completed. Exported for long-running hosts (crocus-serve) that keep a
+// resident Verifier and dispatch individual rules per request.
+func (v *Verifier) VerifyRuleContained(ctx context.Context, rule *isle.Rule) *RuleResult {
+	return v.verifyRuleContained(ctx, rule)
+}
+
 // verifyRuleContained verifies one rule for a sweep: panics AND plain
 // errors degrade to an OutcomeError result so the sweep survives. It
 // returns nil only when the context was canceled before the rule

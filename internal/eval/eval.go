@@ -125,7 +125,7 @@ func Table1(cfg Config) (*Table1Result, error) {
 // interrupted run still flushes a usable report — and, with a cache
 // configured, every completed unit is already persisted for the next
 // run to replay.
-func Table1Context(ctx context.Context, cfg Config) (*Table1Result, error) {
+func Table1Context(ctx context.Context, cfg Config) (_ *Table1Result, retErr error) {
 	sp := obs.Start(ctx, obs.PhaseParse, obs.Str("corpus", "aarch64"))
 	prog, err := corpus.LoadAarch64()
 	sp.End()
@@ -154,6 +154,13 @@ func Table1Context(ctx context.Context, cfg Config) (*Table1Result, error) {
 		if cache, err = vcache.Open(cfg.CacheDir); err != nil {
 			return nil, err
 		}
+		// The probe counters are copied into the result before this
+		// runs, so closing here never races the caller's reads.
+		defer func() {
+			if cerr := cache.Close(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("closing result cache: %w", cerr)
+			}
+		}()
 	}
 	strict := core.New(prog, core.Options{
 		Timeout:           cfg.timeout(),
@@ -526,7 +533,7 @@ func BugsStats(cfg Config) ([]*BugResult, *vcache.Stats, error) {
 // BugsStatsContext is BugsStats under a cancellation context. On
 // cancellation it returns the reproductions completed so far together
 // with ctx.Err().
-func BugsStatsContext(ctx context.Context, cfg Config) ([]*BugResult, *vcache.Stats, error) {
+func BugsStatsContext(ctx context.Context, cfg Config) (_ []*BugResult, _ *vcache.Stats, retErr error) {
 	var cache *vcache.Cache
 	if cfg.CacheDir != "" {
 		c, err := vcache.Open(cfg.CacheDir)
@@ -534,6 +541,11 @@ func BugsStatsContext(ctx context.Context, cfg Config) ([]*BugResult, *vcache.St
 			return nil, nil, err
 		}
 		cache = c
+		defer func() {
+			if cerr := cache.Close(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("closing result cache: %w", cerr)
+			}
+		}()
 	}
 	var out []*BugResult
 	for _, bug := range corpus.Bugs() {

@@ -48,6 +48,12 @@ const (
 	PhaseUnits        = "smt.units"    // flatten + contradiction check
 	PhaseBlast        = "smt.blast"    // Tseitin bit-blasting
 	PhaseSolve        = "sat.solve"    // one CDCL Solve call
+
+	// Request phases for the crocus-serve daemon (internal/serve).
+	PhaseServeRequest = "serve.request" // one HTTP request, admission to response
+	PhaseServeQueue   = "serve.queue"   // waiting for a worker-pool slot
+	PhaseServeParse   = "serve.parse"   // request program parse/typecheck (or resident-corpus reuse)
+	PhaseServeVerify  = "serve.verify"  // the verification call itself
 )
 
 // Attr is one span attribute. Attributes are integers or strings;
@@ -78,6 +84,7 @@ type Event struct {
 // maxEvents bounds the tracer's memory; a full-corpus sweep records on
 // the order of 10^4 events, so the cap only engages on runaway loops.
 // Overflow drops events (counted in Dropped) rather than failing.
+// Long-running hosts can lower the cap with SetEventCap.
 const maxEvents = 1 << 21
 
 // Tracer records spans and owns the metrics registry of one run. All
@@ -87,9 +94,10 @@ type Tracer struct {
 	epoch time.Time
 	reg   *Registry
 
-	mu      sync.Mutex
-	events  []Event
-	threads map[int64]string
+	mu       sync.Mutex
+	events   []Event
+	threads  map[int64]string
+	eventCap int // span retention bound; 0 disables span storage
 
 	nextTID atomic.Int64
 	dropped atomic.Int64
@@ -98,10 +106,25 @@ type Tracer struct {
 // New creates an enabled tracer with a fresh metrics registry.
 func New() *Tracer {
 	return &Tracer{
-		epoch:   time.Now(),
-		reg:     NewRegistry(),
-		threads: map[int64]string{0: "main"},
+		epoch:    time.Now(),
+		reg:      NewRegistry(),
+		threads:  map[int64]string{0: "main"},
+		eventCap: maxEvents,
 	}
+}
+
+// SetEventCap bounds how many completed spans the tracer retains. A
+// batch run keeps the default (large enough for a full corpus sweep and
+// its exporters); a daemon with an unbounded lifetime sets 0 so spans
+// still time requests (and feed counters) but are never accumulated.
+// Spans beyond the cap are dropped and counted in Dropped.
+func (t *Tracer) SetEventCap(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.eventCap = n
+	t.mu.Unlock()
 }
 
 // Registry returns the tracer's metrics registry (nil for a nil tracer).
@@ -132,7 +155,7 @@ func (t *Tracer) newTID(name string) int64 {
 // record appends a completed span.
 func (t *Tracer) record(ev Event) {
 	t.mu.Lock()
-	if len(t.events) >= maxEvents {
+	if len(t.events) >= t.eventCap {
 		t.mu.Unlock()
 		t.dropped.Add(1)
 		return

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -43,4 +45,19 @@ func ServeDebug(addr string, reg *Registry) (string, error) {
 		_ = http.Serve(ln, nil)
 	}()
 	return ln.Addr().String(), nil
+}
+
+// ServeDebugAnnounce is ServeDebug plus the standard stderr announcement
+// every binary used to hand-roll: on success it prints the bound
+// address under the program's name and returns it; on failure it
+// returns the bind error for the caller to decide on (the CLIs exit
+// non-zero — a requested debug listener that cannot bind should not be
+// silently absent).
+func ServeDebugAnnounce(prog, addr string, reg *Registry) (string, error) {
+	bound, err := ServeDebug(addr, reg)
+	if err != nil {
+		return "", fmt.Errorf("pprof server: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: pprof/expvar on http://%s/debug/pprof/\n", prog, bound)
+	return bound, nil
 }

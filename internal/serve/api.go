@@ -1,0 +1,209 @@
+// Package serve is the crocus verification daemon: a long-running
+// HTTP/JSON front end that keeps parsed corpora, the in-memory vcache
+// tier, and solver infrastructure resident across requests.
+//
+// Endpoints:
+//
+//	POST /v1/verify        verify one rule (JSON in/out, per-request deadline)
+//	POST /v1/verify/batch  verify many rules concurrently in one call
+//	GET  /v1/healthz       liveness (503 while draining)
+//	GET  /v1/statusz       obs counters, histogram summaries, cache stats
+//
+// Identical in-flight requests are coalesced: a request's verification
+// units are fingerprinted exactly as the vcache would key them, and
+// requests whose fingerprint set matches one already being solved wait
+// for that flight instead of solving again (singleflight semantics; the
+// flight's result also lands in the shared vcache, so later requests
+// replay it without coalescing at all). On SIGTERM the daemon drains
+// gracefully: it stops accepting work, finishes or cancels in-flight
+// requests within the drain timeout, flushes the JSONL cache tier, and
+// exits 0.
+package serve
+
+import (
+	"time"
+
+	"crocus/internal/core"
+)
+
+// SourceFile is one ISLE source shipped inline with a request.
+type SourceFile struct {
+	Name string `json:"name"`
+	Src  string `json:"src"`
+}
+
+// VerifyRequest asks the daemon to verify one rule. The program comes
+// either from a resident corpus (Corpus: "aarch64", "x64", "midend") or
+// from inline ISLE sources (Files), parsed server-side and cached by
+// content. Exactly one of Corpus/Files must be set.
+type VerifyRequest struct {
+	Corpus string       `json:"corpus,omitempty"`
+	Files  []SourceFile `json:"files,omitempty"`
+
+	// Rule names the rule to verify (required).
+	Rule string `json:"rule"`
+
+	// TimeoutMS is the per-unit solver deadline in milliseconds.
+	// 0 means the server default; negative means unlimited (clamped to
+	// the server's -max-timeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// DeadlineMS bounds the whole request (queue wait + solving) in
+	// milliseconds; 0 means no request deadline beyond the server's.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+
+	Distinct          bool    `json:"distinct,omitempty"`
+	CustomVC          bool    `json:"custom_vc,omitempty"`
+	Fresh             bool    `json:"fresh,omitempty"`
+	PropagationBudget int64   `json:"propagation_budget,omitempty"`
+	RetryBudgets      []int64 `json:"retry_budgets,omitempty"`
+}
+
+// SolverStats mirrors core.SolverStats on the wire.
+type SolverStats struct {
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Queries      int64 `json:"queries"`
+}
+
+// Counterexample is the wire form of a verification counterexample.
+type Counterexample struct {
+	Inputs   map[string]string `json:"inputs,omitempty"`
+	LHS      string            `json:"lhs"`
+	RHS      string            `json:"rhs"`
+	Rendered string            `json:"rendered"`
+}
+
+// InstVerdict is one (rule, type instantiation) outcome.
+type InstVerdict struct {
+	Sig            string          `json:"sig,omitempty"`     // full signature, e.g. "(bv 8) -> (bv 64)"
+	SigRet         string          `json:"sig_ret,omitempty"` // return sort alone, e.g. "(bv 64)"
+	Outcome        string          `json:"outcome"`
+	Cached         bool            `json:"cached,omitempty"`
+	Escalations    int             `json:"escalations,omitempty"`
+	DistinctInputs *bool           `json:"distinct_inputs,omitempty"`
+	Assignments    int             `json:"assignments,omitempty"`
+	DurationNS     int64           `json:"duration_ns"`
+	Stats          SolverStats     `json:"stats"`
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+	Error          string          `json:"error,omitempty"`
+}
+
+// RuleVerdict is the complete verdict for one rule.
+type RuleVerdict struct {
+	Rule         string        `json:"rule"`
+	Outcome      string        `json:"outcome"`
+	RetriedFresh bool          `json:"retried_fresh,omitempty"`
+	Coalesced    bool          `json:"coalesced,omitempty"` // served by another request's in-flight solve
+	Insts        []InstVerdict `json:"insts"`
+}
+
+// RequestStats is the serving-side metadata attached to each response.
+type RequestStats struct {
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	TotalNS     int64 `json:"total_ns"`
+}
+
+// VerifyResponse is the /v1/verify reply.
+type VerifyResponse struct {
+	Verdict RuleVerdict  `json:"verdict"`
+	Stats   RequestStats `json:"stats"`
+}
+
+// BatchRequest is the /v1/verify/batch payload.
+type BatchRequest struct {
+	Requests []VerifyRequest `json:"requests"`
+}
+
+// BatchItem pairs one batch entry's verdict with its per-item status:
+// "ok", or "error" with the message (an item failing — unknown rule,
+// parse error, contained panic — never fails the batch).
+type BatchItem struct {
+	Status   string       `json:"status"`
+	Error    string       `json:"error,omitempty"`
+	Verdict  *RuleVerdict `json:"verdict,omitempty"`
+	ReqStats RequestStats `json:"stats"`
+}
+
+// BatchResponse is the /v1/verify/batch reply, item i answering
+// request i.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewRuleVerdict converts a core result to its wire form.
+func NewRuleVerdict(rr *core.RuleResult) RuleVerdict {
+	v := RuleVerdict{
+		Rule:         rr.Rule.Name,
+		Outcome:      rr.Outcome().String(),
+		RetriedFresh: rr.RetriedFresh,
+		Insts:        make([]InstVerdict, 0, len(rr.Insts)),
+	}
+	for i := range rr.Insts {
+		v.Insts = append(v.Insts, newInstVerdict(&rr.Insts[i]))
+	}
+	return v
+}
+
+func newInstVerdict(io *core.InstOutcome) InstVerdict {
+	iv := InstVerdict{
+		Outcome:     io.Outcome.String(),
+		Cached:      io.Cached,
+		Escalations: io.Escalations,
+		Assignments: io.Assignments,
+		DurationNS:  io.Duration.Nanoseconds(),
+		Stats: SolverStats{
+			Propagations: io.Stats.Propagations,
+			Conflicts:    io.Stats.Conflicts,
+			Decisions:    io.Stats.Decisions,
+			Queries:      io.Stats.Queries,
+		},
+	}
+	if io.Sig != nil {
+		iv.Sig = io.Sig.String()
+		iv.SigRet = io.Sig.Ret.String()
+	}
+	if io.DistinctInputs != nil {
+		d := *io.DistinctInputs
+		iv.DistinctInputs = &d
+	}
+	if cex := io.Counterexample; cex != nil {
+		wc := &Counterexample{
+			Inputs:   map[string]string{},
+			LHS:      cex.LHSValue.String(),
+			RHS:      cex.RHSValue.String(),
+			Rendered: cex.Rendered,
+		}
+		for k, val := range cex.Inputs {
+			wc.Inputs[k] = val.String()
+		}
+		iv.Counterexample = wc
+	}
+	if io.Err != nil {
+		iv.Error = io.Err.Error()
+	}
+	return iv
+}
+
+// timeoutFromMS resolves a request's TimeoutMS against the server's
+// default and ceiling.
+func timeoutFromMS(ms int64, def, max time.Duration) time.Duration {
+	switch {
+	case ms == 0:
+		return def
+	case ms < 0:
+		return max
+	default:
+		d := time.Duration(ms) * time.Millisecond
+		if d > max {
+			return max
+		}
+		return d
+	}
+}

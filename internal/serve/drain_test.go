@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+
+	"crocus/internal/vcache"
+)
+
+func testCacheEntry() vcache.Entry {
+	return vcache.Entry{
+		Key:     vcache.Fingerprint("drain-test", []string{"probe"}),
+		Rule:    "probe",
+		Outcome: "success",
+	}
+}
+
+func openCacheDir(dir string) (*vcache.Cache, error) { return vcache.Open(dir) }
+
+func contextWithSigterm(t *testing.T) (context.Context, context.CancelFunc) {
+	t.Helper()
+	return signal.NotifyContext(context.Background(), syscall.SIGTERM)
+}
+
+// startServing runs the server on a real listener (httptest would bypass
+// s.httpSrv, so Drain's Shutdown would have nothing to act on) and
+// returns its base URL plus the Serve result channel.
+func startServing(t *testing.T, s *Server) (string, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+	return "http://" + ln.Addr().String(), served
+}
+
+// TestDrainCompletesInFlight is the graceful half of the drain contract:
+// a request in flight when drain starts completes with its real verdict,
+// the listener stops accepting, and the shared cache is flushed closed.
+func TestDrainCompletesInFlight(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{MaxInflight: 2, CacheDir: dir, DrainTimeout: 30 * time.Second})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.solveGate = func(ctx context.Context, rule string) {
+		close(entered)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	url, served := startServing(t, s)
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		body, _ := json.Marshal(&VerifyRequest{Files: testFiles(), Rule: "iadd_base"})
+		resp, err := http.Post(url+"/v1/verify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		done <- result{status: resp.StatusCode, body: buf.Bytes()}
+	}()
+	<-entered
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain() }()
+
+	// New connections stop being accepted once Shutdown closes the
+	// listener; in-flight work is still running.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := http.Get(url + "/v1/healthz")
+		if err != nil {
+			break // listener closed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting 10s into drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Let the in-flight request finish: it must deliver its verdict.
+	close(release)
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request status %d: %s", r.status, r.body)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(r.body, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Verdict.Outcome != "success" {
+		t.Fatalf("in-flight verdict = %s, want success", vr.Verdict.Outcome)
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	// The cache is sealed: the JSONL tier flushed, further writes refused.
+	if err := s.cache.Put(testCacheEntry()); err == nil {
+		t.Fatal("cache accepts writes after drain")
+	}
+	// And a reopen sees the completed unit results (4 instantiations).
+	re, err := openCacheDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() == 0 {
+		t.Fatal("drained cache tier is empty on reopen; expected the in-flight rule's unit entries")
+	}
+}
+
+// TestDrainForceCancelsStragglers is the forced half: a request that
+// outlives the drain window is canceled (the client gets an error
+// response or a dropped connection, not a hang) and drain still
+// completes cleanly.
+func TestDrainForceCancelsStragglers(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 2, DrainTimeout: 100 * time.Millisecond})
+	entered := make(chan struct{})
+	s.solveGate = func(ctx context.Context, rule string) {
+		close(entered)
+		<-ctx.Done() // never finishes voluntarily
+	}
+	url, served := startServing(t, s)
+
+	done := make(chan error, 1)
+	go func() {
+		body, _ := json.Marshal(&VerifyRequest{Files: testFiles(), Rule: "iadd_base"})
+		resp, err := http.Post(url+"/v1/verify", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- nil // connection force-closed: acceptable cancellation
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			done <- errors.New("canceled request reported 200")
+			return
+		}
+		done <- nil
+	}()
+	<-entered
+
+	start := time.Now()
+	if err := s.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("forced drain took %s", elapsed)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}
+
+// TestDrainRejectsNewWork: once draining, healthz flips to 503 and
+// verify requests on existing connections are refused.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1})
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	req := VerifyRequest{Files: testFiles(), Rule: "iadd_base"}
+	_, status, err := s.verifyOne(context.Background(), &req)
+	if err == nil || status != http.StatusServiceUnavailable {
+		t.Fatalf("verify while draining: status %d err %v, want 503", status, err)
+	}
+	if got := s.Registry().Counter("serve.rejected.draining").Value(); got == 0 {
+		t.Fatal("rejected.draining counter not incremented")
+	}
+}
+
+// TestSIGTERMSignalPath exercises the same signal wiring cmd/crocus-serve
+// uses: SIGTERM on the process triggers Drain via signal.NotifyContext.
+func TestSIGTERMSignalPath(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1, DrainTimeout: 5 * time.Second})
+	_, served := startServing(t, s)
+
+	ctx, stop := contextWithSigterm(t)
+	defer stop()
+	drained := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		drained <- s.Drain()
+	}()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SIGTERM did not drain within 10s")
+	}
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}

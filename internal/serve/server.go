@@ -1,0 +1,533 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crocus/internal/core"
+	"crocus/internal/corpus"
+	"crocus/internal/isle"
+	"crocus/internal/obs"
+	"crocus/internal/vcache"
+)
+
+// Config configures a verification daemon.
+type Config struct {
+	// Corpora names the embedded corpora to parse at startup and keep
+	// resident ("aarch64", "x64", "midend"). Empty loads all three.
+	Corpora []string
+
+	// CacheDir backs the shared vcache with a JSONL tier persisted under
+	// this directory; empty keeps results in memory only.
+	CacheDir string
+
+	// MaxInflight bounds concurrently solving requests; further requests
+	// queue. 0 means GOMAXPROCS.
+	MaxInflight int
+
+	// QueueTimeout bounds how long a request waits for a worker slot
+	// before a 429. 0 means 30s.
+	QueueTimeout time.Duration
+
+	// DrainTimeout bounds graceful drain: in-flight requests past it are
+	// canceled. 0 means 30s.
+	DrainTimeout time.Duration
+
+	// Timeout is the default per-unit solver deadline (requests may set
+	// their own, up to MaxTimeout). 0 means 5s.
+	Timeout time.Duration
+
+	// MaxTimeout ceils request-supplied solver deadlines. 0 means 10m.
+	MaxTimeout time.Duration
+
+	// Tracer carries request spans and, when set, its registry receives
+	// the serve counters. Nil still counts (into a private registry) but
+	// records no spans.
+	Tracer *obs.Tracer
+}
+
+// maxRequestBytes bounds a request body; inline ISLE sources are at most
+// a few hundred KB, so 32 MiB is generous.
+const maxRequestBytes = 32 << 20
+
+// maxParsedPrograms bounds the content-keyed cache of programs parsed
+// from inline request sources. The map is reset (not LRU-evicted) when
+// full: resident corpora dominate real traffic, so this only guards
+// against an adversarial stream of distinct sources.
+const maxParsedPrograms = 128
+
+var errDraining = errors.New("server is draining")
+
+// Server is the resident verification daemon. Create with New, expose
+// with Handler or Serve, stop with Drain.
+type Server struct {
+	cfg      Config
+	programs map[string]*isle.Program
+	cache    *vcache.Cache
+	reg      *obs.Registry
+
+	// baseCtx is the lifetime of shared (coalesced) work: flights solve
+	// under it, not under any single request's context, so a client
+	// disconnect never cancels a solve other waiters depend on. Drain
+	// cancels it after the drain window.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	slots chan struct{} // worker-pool semaphore
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	parsed  map[string]*isle.Program
+
+	httpSrv *http.Server
+
+	// solveGate, when set (tests only), is invoked just before each
+	// underlying solve, letting tests hold flights open deterministically.
+	// It must respect ctx cancellation.
+	solveGate func(ctx context.Context, rule string)
+}
+
+// New parses the configured corpora, opens the shared result cache, and
+// returns a ready (but not yet listening) server.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 30 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 10 * time.Minute
+	}
+	if len(cfg.Corpora) == 0 {
+		cfg.Corpora = []string{"aarch64", "x64", "midend"}
+	}
+
+	loaders := map[string]func() (*isle.Program, error){
+		"aarch64": corpus.LoadAarch64,
+		"x64":     corpus.LoadX64,
+		"midend":  corpus.LoadMidend,
+	}
+	programs := make(map[string]*isle.Program, len(cfg.Corpora))
+	for _, name := range cfg.Corpora {
+		load, ok := loaders[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown corpus %q (resident corpora: aarch64, x64, midend)", name)
+		}
+		p, err := load()
+		if err != nil {
+			return nil, fmt.Errorf("loading corpus %s: %w", name, err)
+		}
+		programs[name] = p
+	}
+
+	var cache *vcache.Cache
+	if cfg.CacheDir != "" {
+		c, err := vcache.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		cache = c
+	} else {
+		cache = vcache.NewMemory()
+	}
+
+	reg := cfg.Tracer.Registry()
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+
+	baseCtx, cancel := context.WithCancel(obs.WithTracer(context.Background(), cfg.Tracer))
+	s := &Server{
+		cfg:        cfg,
+		programs:   programs,
+		cache:      cache,
+		reg:        reg,
+		baseCtx:    baseCtx,
+		cancelBase: cancel,
+		slots:      make(chan struct{}, cfg.MaxInflight),
+		flights:    map[string]*flight{},
+		parsed:     map[string]*isle.Program{},
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	return s, nil
+}
+
+// Registry returns the registry the serve counters land in.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/verify", s.handleVerify)
+	mux.HandleFunc("/v1/verify/batch", s.handleBatch)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/statusz", s.handleStatusz)
+	return mux
+}
+
+// Serve accepts connections on ln until Drain (or a fatal listener
+// error). It returns http.ErrServerClosed after a drain, like
+// net/http.Server.Serve.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.httpSrv.Serve(ln)
+}
+
+// Drain gracefully shuts the server down: stop admitting work (healthz
+// flips to 503, verify requests are rejected), wait up to DrainTimeout
+// for in-flight requests, cancel whatever remains, then flush and close
+// the shared cache. A forced cancel is still a clean drain (nil error);
+// only a cache flush failure is reported.
+func (s *Server) Drain() error {
+	var derr error
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			// Window expired with requests still in flight: cancel their
+			// solves and force-close the connections.
+			s.cancelBase()
+			_ = s.httpSrv.Close()
+		}
+		s.cancelBase()
+		if err := s.cache.Close(); err != nil {
+			derr = fmt.Errorf("cache flush: %w", err)
+		}
+	})
+	return derr
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	defer s.contain(w)
+	s.reg.Counter("serve.requests.verify").Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	ctx := obs.WithTracer(r.Context(), s.cfg.Tracer)
+	sp := obs.Start(ctx, obs.PhaseServeRequest, obs.Str("endpoint", "verify"))
+	defer sp.End()
+
+	var req VerifyRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, status, err := s.verifyOne(ctx, &req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	defer s.contain(w)
+	s.reg.Counter("serve.requests.batch").Inc()
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	ctx := obs.WithTracer(r.Context(), s.cfg.Tracer)
+	sp := obs.Start(ctx, obs.PhaseServeRequest, obs.Str("endpoint", "batch"))
+	defer sp.End()
+
+	var breq BatchRequest
+	if err := decodeJSON(w, r, &breq); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	items := make([]BatchItem, len(breq.Requests))
+	var wg sync.WaitGroup
+	for i := range breq.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// A poisoned item degrades to its own error entry; the rest
+			// of the batch is unaffected.
+			defer func() {
+				if p := recover(); p != nil {
+					s.reg.Counter("serve.panics").Inc()
+					items[i] = BatchItem{Status: "error", Error: fmt.Sprintf("contained panic: %v", p)}
+				}
+			}()
+			resp, _, err := s.verifyOne(ctx, &breq.Requests[i])
+			if err != nil {
+				items[i] = BatchItem{Status: "error", Error: err.Error()}
+				return
+			}
+			items[i] = BatchItem{Status: "ok", Verdict: &resp.Verdict, ReqStats: resp.Stats}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, &BatchResponse{Items: items})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// HistogramSummary is the wire digest of one obs histogram.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+}
+
+// StatusReport is the /v1/statusz body.
+type StatusReport struct {
+	Draining    bool                        `json:"draining"`
+	Inflight    int                         `json:"inflight"`
+	MaxInflight int                         `json:"max_inflight"`
+	Corpora     []string                    `json:"corpora"`
+	Counters    map[string]int64            `json:"counters"`
+	Histograms  map[string]HistogramSummary `json:"histograms"`
+	CacheLen    int                         `json:"cache_len"`
+	Cache       vcache.Stats                `json:"cache"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	defer s.contain(w)
+	rep := StatusReport{
+		Draining:    s.draining.Load(),
+		Inflight:    len(s.slots),
+		MaxInflight: s.cfg.MaxInflight,
+		Counters:    s.reg.Counters(),
+		Histograms:  map[string]HistogramSummary{},
+		CacheLen:    s.cache.Len(),
+		Cache:       s.cache.Stats(),
+	}
+	for name := range s.programs {
+		rep.Corpora = append(rep.Corpora, name)
+	}
+	sort.Strings(rep.Corpora)
+	for name, snap := range s.reg.Histograms() {
+		rep.Histograms[name] = HistogramSummary{
+			Count: snap.Count,
+			Mean:  snap.Mean(),
+			P50:   snap.Quantile(0.50),
+			P95:   snap.Quantile(0.95),
+			P99:   snap.Quantile(0.99),
+		}
+	}
+	writeJSON(w, http.StatusOK, &rep)
+}
+
+// verifyOne runs one verification request end to end: admission, program
+// resolution, queueing, coalesced solve, wire conversion. On error it
+// returns the HTTP status the caller should write.
+func (s *Server) verifyOne(ctx context.Context, req *VerifyRequest) (*VerifyResponse, int, error) {
+	start := time.Now()
+	if s.draining.Load() {
+		s.reg.Counter("serve.rejected.draining").Inc()
+		return nil, http.StatusServiceUnavailable, errDraining
+	}
+	if req.Rule == "" {
+		return nil, http.StatusBadRequest, errors.New("missing rule name")
+	}
+	prog, custom, err := s.program(ctx, req)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	var rule *isle.Rule
+	for _, r := range prog.Rules {
+		if r.Name == req.Rule {
+			rule = r
+			break
+		}
+	}
+	if rule == nil {
+		return nil, http.StatusNotFound, fmt.Errorf("rule %q not found", req.Rule)
+	}
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	v := core.New(prog, core.Options{
+		Timeout:           timeoutFromMS(req.TimeoutMS, s.cfg.Timeout, s.cfg.MaxTimeout),
+		DistinctModels:    req.Distinct,
+		PropagationBudget: req.PropagationBudget,
+		RetryBudgets:      req.RetryBudgets,
+		Custom:            custom,
+		Cache:             s.cache,
+		FreshSolvers:      req.Fresh,
+	})
+	rr, coalesced, queueWait, status, err := s.verifyRuleCoalesced(ctx, v, rule)
+	if err != nil {
+		switch {
+		case status != 0:
+			return nil, status, err
+		case errors.Is(err, errDraining):
+			s.reg.Counter("serve.rejected.draining").Inc()
+			return nil, http.StatusServiceUnavailable, err
+		case errors.Is(err, context.DeadlineExceeded):
+			return nil, http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded")
+		default:
+			return nil, http.StatusServiceUnavailable, err
+		}
+	}
+
+	verdict := NewRuleVerdict(rr)
+	verdict.Coalesced = coalesced
+	return &VerifyResponse{
+		Verdict: verdict,
+		Stats: RequestStats{
+			QueueWaitNS: queueWait.Nanoseconds(),
+			TotalNS:     time.Since(start).Nanoseconds(),
+		},
+	}, 0, nil
+}
+
+// acquire claims a worker-pool slot, waiting at most QueueTimeout.
+func (s *Server) acquire(ctx context.Context) (time.Duration, int, error) {
+	sp := obs.Start(ctx, obs.PhaseServeQueue)
+	defer sp.End()
+	start := time.Now()
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		wait := time.Since(start)
+		s.reg.Histogram("serve.queue_wait_ns").Observe(wait.Nanoseconds())
+		return wait, 0, nil
+	case <-timer.C:
+		s.reg.Counter("serve.rejected.queue_timeout").Inc()
+		return 0, http.StatusTooManyRequests,
+			fmt.Errorf("no worker slot within %s (server at -max-inflight)", s.cfg.QueueTimeout)
+	case <-ctx.Done():
+		return 0, http.StatusServiceUnavailable, ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// program resolves the request's program: a resident corpus or inline
+// sources (parsed once per distinct content).
+func (s *Server) program(ctx context.Context, req *VerifyRequest) (*isle.Program, map[string]*core.CustomVC, error) {
+	sp := obs.Start(ctx, obs.PhaseServeParse)
+	defer sp.End()
+	var prog *isle.Program
+	switch {
+	case req.Corpus != "" && len(req.Files) > 0:
+		return nil, nil, errors.New("set exactly one of corpus or files")
+	case req.Corpus != "":
+		p, ok := s.programs[req.Corpus]
+		if !ok {
+			return nil, nil, fmt.Errorf("corpus %q is not resident", req.Corpus)
+		}
+		s.reg.Counter("serve.parse.resident").Inc()
+		prog = p
+	case len(req.Files) > 0:
+		p, err := s.parseFiles(req.Files)
+		if err != nil {
+			return nil, nil, err
+		}
+		prog = p
+	default:
+		return nil, nil, errors.New("missing corpus or files")
+	}
+	var custom map[string]*core.CustomVC
+	if req.CustomVC {
+		custom = corpus.CustomVCs()
+	}
+	return prog, custom, nil
+}
+
+// parseFiles parses inline sources, memoized on a content fingerprint so
+// a client resubmitting the same files (the common smoke-test loop) hits
+// the resident parse.
+func (s *Server) parseFiles(files []SourceFile) (*isle.Program, error) {
+	sections := make([]string, 0, 2*len(files))
+	for _, f := range files {
+		sections = append(sections, f.Name, f.Src)
+	}
+	key := vcache.Fingerprint("serve-prog-1", sections)
+
+	s.mu.Lock()
+	if p, ok := s.parsed[key]; ok {
+		s.mu.Unlock()
+		s.reg.Counter("serve.parse.resident").Inc()
+		return p, nil
+	}
+	s.mu.Unlock()
+
+	s.reg.Counter("serve.parse.miss").Inc()
+	p := isle.NewProgram()
+	for _, f := range files {
+		if err := p.ParseFile(f.Name, f.Src); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Typecheck(); err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if len(s.parsed) >= maxParsedPrograms {
+		s.parsed = map[string]*isle.Program{}
+	}
+	s.parsed[key] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// contain is the handler-level backstop of PR 4's panic containment:
+// anything that slips past VerifyRuleContained becomes a 500, never a
+// dead process.
+func (s *Server) contain(w http.ResponseWriter) {
+	if p := recover(); p != nil {
+		s.reg.Counter("serve.panics").Inc()
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("contained panic: %v", p))
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The header is out; an encode/write failure (client gone) has no
+	// recovery beyond abandoning the response.
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, &ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,164 @@
+package vcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testEntry(i int) Entry {
+	return Entry{
+		Key:         Fingerprint("flush-test", []string{fmt.Sprint(i)}),
+		Rule:        fmt.Sprintf("rule_%d", i),
+		Outcome:     "success",
+		ElapsedNS:   int64(i) * 1000,
+		Assignments: 1,
+		Stats:       SolverStats{Propagations: int64(i), Queries: 1},
+	}
+}
+
+// TestKilledStoreLosesNoCompletedEntries is the durability contract: a
+// store that is abandoned without Close — the in-process equivalent of a
+// killed process, since every Put is a single write-through on the
+// persistent handle — must expose every completed entry to the next
+// Open.
+func TestKilledStoreLosesNoCompletedEntries(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := c.Put(testEntry(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// Simulate the kill: no Flush, no Close — just reopen the directory.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != n {
+		t.Fatalf("restarted store has %d entries, want %d", re.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		want := testEntry(i)
+		got, st := re.Lookup(want.Key, time.Second)
+		if st != Hit {
+			t.Fatalf("entry %d: lookup status %v, want hit", i, st)
+		}
+		if got != want {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestCloseFlushesAndSeals: Close succeeds, survives a double call, and
+// rejects writes afterwards while lookups keep serving the memory tier.
+func TestCloseFlushesAndSeals(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(1)
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := c.Put(testEntry(2)); err == nil {
+		t.Fatal("Put after Close succeeded, want error")
+	}
+	if _, st := c.Lookup(e.Key, time.Second); st != Hit {
+		t.Fatalf("lookup after Close: status %v, want hit (memory tier stays readable)", st)
+	}
+	// Flush after Close is a no-op, not a failure.
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush after Close: %v", err)
+	}
+	// And the entry made it to disk.
+	b, err := os.ReadFile(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), e.Key) {
+		t.Fatalf("closed store's file does not contain the entry key")
+	}
+}
+
+// TestMemoryOnlyFlushClose: the memory-only tier trivially satisfies the
+// flush contract.
+func TestMemoryOnlyFlushClose(t *testing.T) {
+	c := NewMemory()
+	if err := c.Put(testEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Put(testEntry(2)); err == nil {
+		t.Fatal("Put after Close succeeded, want error")
+	}
+}
+
+// TestSelfHealKeepsHandleFresh: a corrupt store compacts on Open; writes
+// through the post-compaction handle must land in the compacted file,
+// not the replaced inode.
+func TestSelfHealKeepsHandleFresh(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the tail so the next Open compacts.
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{torn"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Put(testEntry(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	if final.Len() != 2 {
+		t.Fatalf("store has %d entries after compaction + write, want 2", final.Len())
+	}
+}

@@ -12,10 +12,18 @@
 //
 // The store is two-tier: an in-memory map in front of an optional
 // disk-persisted JSON-lines file under a configurable cache directory.
-// Disk writes are atomic (whole-line appends; compaction goes through a
-// temp file and rename) and loading is corruption-tolerant: a truncated
-// or garbled line is skipped, never fatal, and a dirty file self-heals by
-// compaction on open.
+// Disk writes are atomic (whole-line appends on a persistent handle;
+// compaction goes through a temp file and rename) and loading is
+// corruption-tolerant: a truncated or garbled line is skipped, never
+// fatal, and a dirty file self-heals by compaction on open.
+//
+// Durability contract: every Put is written through to the JSONL tier in
+// a single write call before it returns, so a process killed between
+// Puts loses at most the entry being written (a torn tail the next Open
+// tolerates), never a completed one. Flush fsyncs the append handle and
+// Close flushes and releases it, both with error returns — long-lived
+// hosts (the CLIs at exit, crocus-serve on drain) call Close so disk
+// failures surface instead of vanishing with the process.
 package vcache
 
 import (
@@ -166,9 +174,11 @@ func (s Stats) String() string {
 
 // Cache is the two-tier store. All methods are safe for concurrent use.
 type Cache struct {
-	mu   sync.Mutex
-	mem  map[string]Entry
-	path string // "" = memory-only
+	mu     sync.Mutex
+	mem    map[string]Entry
+	path   string   // "" = memory-only
+	f      *os.File // persistent append handle (nil: memory-only or closed)
+	closed bool
 
 	hits, misses, stale atomic.Uint64
 	decodeFailures      atomic.Uint64
@@ -206,7 +216,22 @@ func Open(dir string) (*Cache, error) {
 			return nil, err
 		}
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.openHandleLocked(); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// openHandleLocked (re)opens the persistent append handle. Caller holds mu.
+func (c *Cache) openHandleLocked() error {
+	f, err := os.OpenFile(c.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	c.f = f
+	return nil
 }
 
 // load reads the JSONL file into memory, returning how many lines were
@@ -271,6 +296,12 @@ func (c *Cache) compact() error {
 	if err := os.Rename(tmp.Name(), c.path); err != nil {
 		return fmt.Errorf("vcache: %w", err)
 	}
+	// An open append handle still points at the replaced inode; writes
+	// there would be lost. Re-point it at the compacted file.
+	if c.f != nil {
+		c.f.Close()
+		return c.openHandleLocked()
+	}
 	return nil
 }
 
@@ -316,29 +347,69 @@ func (c *Cache) LookupBudget(key string, timeout time.Duration, budget int64) (E
 // the caller degraded to a re-solve (surfaced in Stats.DecodeFailures).
 func (c *Cache) NoteDecodeFailure() { c.decodeFailures.Add(1) }
 
-// Put records an entry in memory and appends it to the disk store. Each
-// entry is one line written with a single write call; a reader never
-// observes a half-line except at the file tail, which load tolerates.
+// Put records an entry in memory and writes it through to the disk
+// store. Each entry is one line written with a single write call on the
+// persistent append handle; a reader never observes a half-line except
+// at the file tail, which load tolerates, and a completed Put survives
+// even an immediate process kill. Put fails once the store is Closed.
 func (c *Cache) Put(e Entry) error {
 	if !e.valid() {
 		return fmt.Errorf("vcache: invalid entry (key %q, outcome %q)", e.Key, e.Outcome)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("vcache: store is closed")
+	}
 	c.mem[e.Key] = e
-	if c.path == "" {
+	if c.f == nil {
 		return nil
 	}
 	b, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("vcache: %w", err)
 	}
-	f, err := os.OpenFile(c.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
-	if err != nil {
+	if _, err := c.f.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("vcache: %w", err)
 	}
-	defer f.Close()
-	if _, err := f.Write(append(b, '\n')); err != nil {
+	return nil
+}
+
+// Flush forces the JSONL tier to stable storage. Entries are written
+// through on every Put, so this reduces to fsyncing the append handle;
+// memory-only (and already-closed) stores trivially succeed.
+func (c *Cache) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	return nil
+}
+
+// Close flushes the JSONL tier to stable storage and releases the append
+// handle, returning the flush error instead of dropping it. After Close,
+// Put fails and lookups keep serving the in-memory tier. Closing twice
+// is a no-op.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Sync()
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
+	c.f = nil
+	if err != nil {
 		return fmt.Errorf("vcache: %w", err)
 	}
 	return nil
