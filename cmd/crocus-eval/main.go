@@ -55,7 +55,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig4, coverage, knownbugs, newbugs, all")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-unit solver deadline")
 	distinct := flag.Bool("distinct", false, "run the distinct-models check during table1")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent rule verification during table1 (1 = sequential)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent verification workers during table1 (1 = sequential, <= 0 = all CPUs)")
 	cacheDir := flag.String("cache-dir", "", "persist verification results under this directory and replay them on re-runs (incremental verification)")
 	fresh := flag.Bool("fresh", false, "use a fresh solver per query instead of one incremental session per rule (reference pipeline)")
 	budget := flag.Int64("propagation-budget", 0, "deterministic SAT propagation budget per unit (0 = unlimited)")
@@ -68,6 +68,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crocus-eval:", err)
 		os.Exit(1)
+	}
+	if *parallel <= 0 {
+		// A zero/negative worker count means "use the machine", never
+		// "silently serialize".
+		*parallel = runtime.NumCPU()
 	}
 	cfg := eval.Config{
 		Timeout:           *timeout,

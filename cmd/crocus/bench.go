@@ -70,6 +70,14 @@ type benchReport struct {
 	EvalBaselineWallNS int64   `json:"eval_pre_pr_wall_ns,omitempty"`
 	EvalNewWallNS      int64   `json:"eval_this_pr_wall_ns,omitempty"`
 	EvalImprovement    float64 `json:"eval_improvement,omitempty"`
+	// The sched_* fields record the unit-scheduler acceptance measurement:
+	// cold full-corpus wall time at the same -parallel under the pre-PR
+	// rule-partitioned scheduler, externally timed with the pre-PR binary
+	// and injected via -bench-sched-base-ns. The comparison point is this
+	// report's own incremental_cold sweep (the unit-level work-stealing
+	// scheduler), so only the baseline needs external timing.
+	SchedBaselineColdNS int64   `json:"sched_pre_pr_cold_wall_ns,omitempty"`
+	SchedImprovement    float64 `json:"sched_improvement,omitempty"`
 	// Obs is the incremental cold sweep's phase/rule breakdown (the same
 	// data `crocus -metrics` prints, in machine-readable form).
 	Obs benchObs `json:"obs"`
@@ -78,7 +86,7 @@ type benchReport struct {
 // runBenchJSON sweeps the corpus under the three pipelines and writes the
 // JSON report to path. Exit status 1 signals an error, 2 a verdict
 // mismatch between pipelines.
-func runBenchJSON(path string, prog *crocus.Program, base crocus.Options, corpusName string, evalBaseNS, evalNewNS int64) int {
+func runBenchJSON(path string, prog *crocus.Program, base crocus.Options, corpusName string, evalBaseNS, evalNewNS, schedBaseNS int64) int {
 	cacheDir, err := os.MkdirTemp("", "crocus-bench-cache-")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crocus:", err)
@@ -162,6 +170,10 @@ func runBenchJSON(path string, prog *crocus.Program, base crocus.Options, corpus
 		report.EvalBaselineWallNS = evalBaseNS
 		report.EvalNewWallNS = evalNewNS
 		report.EvalImprovement = 1 - float64(evalNewNS)/float64(evalBaseNS)
+	}
+	if schedBaseNS > 0 && coldPh.WallNS > 0 {
+		report.SchedBaselineColdNS = schedBaseNS
+		report.SchedImprovement = 1 - float64(coldPh.WallNS)/float64(schedBaseNS)
 	}
 	if coldPh.WallNS > 0 {
 		report.SpeedupColdVsFresh = float64(freshPh.WallNS) / float64(coldPh.WallNS)

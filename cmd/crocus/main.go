@@ -7,6 +7,7 @@
 //
 //	crocus [-timeout 5s] [-rule name] [-distinct] [-parallel N] [-stats]
 //	       [-cache-dir DIR] [-fresh] [-bench-json FILE]
+//	       [-shard i/n] [-cache-merge DIR,DIR...]
 //	       [-trace FILE] [-trace-jsonl FILE] [-metrics] [-pprof-addr ADDR]
 //	       [-corpus aarch64|x64|midend|bug:<id>] [file.isle ...]
 //
@@ -31,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -38,6 +40,7 @@ import (
 
 	"crocus"
 	"crocus/internal/obs"
+	"crocus/internal/vcache"
 )
 
 // parseBudgets parses the -retry-budgets value: a comma-separated list
@@ -58,6 +61,52 @@ func parseBudgets(s string) ([]int64, error) {
 	return out, nil
 }
 
+// parseShard parses the -shard value "i/n" into (index, count).
+// An empty value disables sharding (0, 0).
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	idxStr, cntStr, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/2)", s)
+	}
+	idx, err1 := strconv.Atoi(strings.TrimSpace(idxStr))
+	cnt, err2 := strconv.Atoi(strings.TrimSpace(cntStr))
+	if err1 != nil || err2 != nil || cnt < 1 || idx < 0 || idx >= cnt {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n with 0 <= i < n)", s)
+	}
+	return idx, cnt, nil
+}
+
+// runCacheMerge is the -cache-merge mode: union the source stores into
+// the destination directory and report. Conflicting decided verdicts
+// (the same unit fingerprint with different outcomes) keep the
+// destination's entry, are listed on stderr, and fail the merge with
+// exit 1 — they indicate engine nondeterminism or store corruption.
+func runCacheMerge(dstDir, srcList string) int {
+	if dstDir == "" {
+		fmt.Fprintln(os.Stderr, "crocus: -cache-merge needs -cache-dir (the destination store)")
+		return 1
+	}
+	srcs := strings.Split(srcList, ",")
+	for i := range srcs {
+		srcs[i] = strings.TrimSpace(srcs[i])
+	}
+	stats, err := vcache.Merge(dstDir, srcs...)
+	if stats != nil {
+		fmt.Println(stats)
+		for _, c := range stats.Conflicts {
+			fmt.Fprintln(os.Stderr, "crocus: conflict:", c)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crocus:", err)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-unit solver deadline")
 	ruleName := flag.String("rule", "", "verify only the named rule")
@@ -65,7 +114,7 @@ func main() {
 	corpusName := flag.String("corpus", "aarch64", "embedded corpus: aarch64, x64, midend, or bug:<id>")
 	custom := flag.Bool("custom-vc", false, "apply the corpus's custom verification conditions")
 	overlap := flag.Bool("overlap", false, "run the multi-rule overlap/priority analysis instead of verification")
-	parallel := flag.Int("parallel", 1, "concurrent rule verification (1 = sequential)")
+	parallel := flag.Int("parallel", 1, "concurrent verification workers scheduling (rule, instantiation) units work-stealingly (1 = sequential, <= 0 = all CPUs)")
 	stats := flag.Bool("stats", false, "print cumulative SAT statistics (propagations/conflicts/decisions/queries) per rule")
 	cacheDir := flag.String("cache-dir", "", "persist verification results under this directory and replay them on re-runs (incremental verification)")
 	fresh := flag.Bool("fresh", false, "use a fresh solver per query instead of one incremental session per rule (reference pipeline)")
@@ -75,14 +124,36 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "benchmark the corpus under fresh, incremental, and warm-cache pipelines and write the report to this file")
 	benchEvalBase := flag.Int64("bench-eval-base-ns", 0, "externally measured pre-PR crocus-eval wall time (ns), recorded in the -bench-json report")
 	benchEvalNew := flag.Int64("bench-eval-new-ns", 0, "externally measured this-build crocus-eval wall time (ns), recorded in the -bench-json report")
+	benchSchedBase := flag.Int64("bench-sched-base-ns", 0, "externally measured pre-PR cold sweep wall time at the same -parallel (ns), recorded in the -bench-json report")
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file of the run's pipeline spans (load in Perfetto or chrome://tracing)")
 	traceJSONL := flag.String("trace-jsonl", "", "write the run's pipeline spans as a JSONL event stream")
 	metrics := flag.Bool("metrics", false, "print the metrics registry and the per-rule phase-breakdown table after the run")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	server := flag.String("server", "", "submit the run to a crocus-serve daemon at this base URL (e.g. http://localhost:8742) instead of verifying locally")
+	shard := flag.String("shard", "", "verify only one shard of the corpus's verification units, as i/n (e.g. 0/2): units are partitioned by content fingerprint, so n processes with distinct i cover the corpus exactly once; combine with per-shard -cache-dir and -cache-merge")
+	cacheMerge := flag.String("cache-merge", "", "merge mode: union the comma-separated source cache directories into -cache-dir (conflict-checked) and exit without verifying")
 	flag.Parse()
 
+	if *parallel <= 0 {
+		// A zero/negative worker count means "use the machine", never
+		// "silently serialize".
+		*parallel = runtime.NumCPU()
+	}
+	shardIdx, shardCnt, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crocus:", err)
+		os.Exit(1)
+	}
+
+	if *cacheMerge != "" {
+		os.Exit(runCacheMerge(*cacheDir, *cacheMerge))
+	}
+
 	if *server != "" {
+		if shardCnt > 1 {
+			fmt.Fprintln(os.Stderr, "crocus: -shard applies to local sweeps, not -server runs")
+			os.Exit(1)
+		}
 		ladder, err := parseBudgets(*retryBudgets)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "crocus:", err)
@@ -137,6 +208,8 @@ func main() {
 		FreshSolvers:      *fresh,
 		PropagationBudget: *budget,
 		RetryBudgets:      ladder,
+		ShardIndex:        shardIdx,
+		ShardCount:        shardCnt,
 	}
 	if *custom {
 		opts.Custom = crocus.CorpusCustomVCs()
@@ -154,7 +227,7 @@ func main() {
 	}
 
 	if *benchJSON != "" {
-		os.Exit(runBenchJSON(*benchJSON, prog, opts, *corpusName, *benchEvalBase, *benchEvalNew))
+		os.Exit(runBenchJSON(*benchJSON, prog, opts, *corpusName, *benchEvalBase, *benchEvalNew, *benchSchedBase))
 	}
 
 	v := crocus.NewVerifier(prog, opts)

@@ -1,0 +1,95 @@
+package core_test
+
+// Differential tests for the unit-scheduled sweep (ISSUE 7 acceptance):
+// on the embedded corpora, unit-scheduled verdicts must be byte-identical
+// to the serial pipeline under both the fresh-solver and the incremental
+// session configuration.
+//
+// Comparison semantics follow the repo convention (see
+// incremental_test.go): outcome, unit identity, distinct-models verdict,
+// and counterexample presence are compared exactly. Rendered
+// counterexample bytes are additionally compared under fresh solvers,
+// where the model found is a deterministic function of the query alone.
+// Under the session configuration the serial pipeline and each scheduled
+// worker accumulate different clause databases, so a failing query may
+// legitimately surface a different model — verdicts still agree.
+
+import (
+	"testing"
+
+	"crocus/internal/core"
+	"crocus/internal/corpus"
+	"crocus/internal/isle"
+)
+
+// renderedCexes collects the rendered counterexample per unit, aligned
+// with flattenResults order.
+func renderedCexes(rs []*core.RuleResult) []string {
+	var out []string
+	for _, rr := range rs {
+		for _, io := range rr.Insts {
+			if io.Counterexample != nil {
+				out = append(out, io.Counterexample.Rendered)
+			} else {
+				out = append(out, "")
+			}
+		}
+	}
+	return out
+}
+
+// diffScheduledSerial sweeps prog serially (Parallelism 1) and
+// unit-scheduled (Parallelism 4) with otherwise identical options and
+// requires identical verdicts; under fresh it also requires identical
+// counterexample bytes.
+func diffScheduledSerial(t *testing.T, prog *isle.Program, fresh bool, budget int64) {
+	t.Helper()
+	mk := func(par int) ([]unitVerdict, []string) {
+		v := core.New(prog, core.Options{
+			PropagationBudget: budget,
+			Parallelism:       par,
+			FreshSolvers:      fresh,
+		})
+		rs, err := v.VerifyAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return flattenResults(rs), renderedCexes(rs)
+	}
+	serial, serialCex := mk(1)
+	sched, schedCex := mk(4)
+	if len(serial) != len(sched) {
+		t.Fatalf("unit count differs: serial %d, scheduled %d", len(serial), len(sched))
+	}
+	for i := range serial {
+		if serial[i] != sched[i] {
+			t.Errorf("verdicts diverge on %s:\n  serial:    %+v\n  scheduled: %+v",
+				serial[i].name, serial[i], sched[i])
+		}
+		if fresh && serialCex[i] != schedCex[i] {
+			t.Errorf("fresh counterexample bytes diverge on %s:\n  serial:\n%s\n  scheduled:\n%s",
+				serial[i].name, serialCex[i], schedCex[i])
+		}
+	}
+}
+
+func TestScheduledMatchesSerialMidend(t *testing.T) {
+	prog, err := corpus.LoadMidend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fresh := range []bool{false, true} {
+		diffScheduledSerial(t, prog, fresh, diffBudget)
+	}
+}
+
+func TestScheduledMatchesSerialX64(t *testing.T) {
+	skipUnderRace(t)
+	prog, err := corpus.LoadX64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fresh := range []bool{false, true} {
+		diffScheduledSerial(t, prog, fresh, diffBudget)
+	}
+}

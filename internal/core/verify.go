@@ -10,6 +10,7 @@ import (
 
 	"crocus/internal/isle"
 	"crocus/internal/obs"
+	"crocus/internal/sched"
 	"crocus/internal/smt"
 	"crocus/internal/vcache"
 )
@@ -93,9 +94,13 @@ type Options struct {
 	Widths []int
 	// Custom maps rule names to custom verification conditions.
 	Custom map[string]*CustomVC
-	// Parallelism is the number of rules VerifyAll verifies concurrently
-	// (0 or 1 = sequential). Each query owns its solver, so this is safe
-	// and near-linear for sweep workloads.
+	// Parallelism is the number of workers VerifyAll schedules
+	// verification units onto (0 or 1 = sequential). The unit of
+	// scheduling is one (rule, type instantiation) solve, distributed
+	// through a work-stealing pool (internal/sched), so one timeout-tail
+	// rule no longer serializes a sweep; results keep source order
+	// regardless of execution order. The CLIs and the daemon normalize
+	// values <= 0 to runtime.NumCPU() before constructing Options.
 	Parallelism int
 	// CacheDir enables the incremental-verification result cache
 	// (internal/vcache): verification units whose content fingerprint is
@@ -111,6 +116,29 @@ type Options struct {
 	// tests assert this); the fresh path is the slower reference
 	// implementation, kept for A/B benchmarking and diagnosis.
 	FreshSolvers bool
+	// Scheduler injects a shared work-stealing pool to run verification
+	// units on instead of a per-sweep transient pool — long-running
+	// hosts (crocus-serve) size one pool at admission capacity and
+	// schedule every request's units onto it, so -max-inflight admission
+	// and unit scheduling share a single queue. With a Scheduler set,
+	// VerifyRuleContext also schedules (per-unit fault containment:
+	// failing units degrade to OutcomeError instead of returning an
+	// error). The pool's lifetime belongs to the caller.
+	Scheduler *sched.Pool
+	// ShardIndex/ShardCount enable sharded multi-process sweeps: when
+	// ShardCount > 1, a verification unit is solved only if its vcache
+	// content fingerprint maps to ShardIndex (units are partitioned by
+	// vcache.Shard, which is stable across processes because the
+	// fingerprint is location-independent). Foreign units are marked
+	// InstOutcome.Skipped and dropped from results; rules whose every
+	// unit is foreign are omitted from sweeps. Units that produce no
+	// fingerprint (zero type assignments) are solved by every shard —
+	// they cost only monomorphization. Run one process per shard with
+	// separate CacheDirs, union them with vcache.Merge (crocus
+	// -cache-merge), and replay the full corpus against the merged cache
+	// to get verdicts byte-identical to a single-process run.
+	ShardIndex int
+	ShardCount int
 }
 
 // Verifier verifies the rules of an ISLE program against their
@@ -198,6 +226,11 @@ type InstOutcome struct {
 	// Err carries the contained fault for OutcomeError outcomes —
 	// typically a *PanicError diagnostics bundle.
 	Err error
+	// Skipped marks a unit a sharded run (Options.ShardCount > 1) does
+	// not own: another shard solves it. Skipped outcomes are dropped
+	// from RuleResults; the field only surfaces through direct
+	// VerifyInstantiation calls.
+	Skipped bool
 }
 
 // RuleResult aggregates the per-instantiation outcomes of one rule.
@@ -307,6 +340,16 @@ func (v *Verifier) VerifyRuleContext(ctx context.Context, rule *isle.Rule) (*Rul
 		sp := obs.Start(ctx, obs.PhaseRule)
 		defer sp.End()
 	}
+	if v.Opts.Scheduler != nil {
+		// Scheduled path: the rule's units run on the shared pool with
+		// per-unit containment (a faulting unit degrades to OutcomeError
+		// instead of surfacing as an error), results in sig order.
+		rr := v.verifyRuleScheduled(ctx, v.Opts.Scheduler, rule)
+		if rr == nil {
+			return nil, ctx.Err()
+		}
+		return rr, nil
+	}
 	rr, err := v.verifyRuleAttempt(ctx, rule, v.Opts.FreshSolvers)
 	if err == nil {
 		return rr, nil
@@ -360,6 +403,9 @@ func (v *Verifier) verifyRuleAttempt(ctx context.Context, rule *isle.Rule, fresh
 		io, err := v.verifyInstantiation(ctx, rs, rule, sig)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", rule, err)
+		}
+		if io.Skipped {
+			continue // another shard owns this unit
 		}
 		rr.Insts = append(rr.Insts, *io)
 	}
@@ -418,10 +464,10 @@ func (v *Verifier) VerifyAll() ([]*RuleResult, error) {
 // the result cache, so an immediate re-run resumes from cache hits.
 func (v *Verifier) VerifyAllContext(ctx context.Context) ([]*RuleResult, error) {
 	rules := v.Prog.Rules
-	n := v.Opts.Parallelism
-	if n > len(rules) {
-		n = len(rules)
+	if pool := v.Opts.Scheduler; pool != nil {
+		return v.verifyAllScheduled(ctx, rules, pool)
 	}
+	n := v.Opts.Parallelism
 	if n <= 1 {
 		out := make([]*RuleResult, 0, len(rules))
 		for _, r := range rules {
@@ -432,48 +478,37 @@ func (v *Verifier) VerifyAllContext(ctx context.Context) ([]*RuleResult, error) 
 			if rr == nil {
 				return out, ctx.Err()
 			}
-			out = append(out, rr)
+			out = append(out, v.dropIfForeign(rr)...)
 		}
 		return out, nil
 	}
 
-	// Dispatch through a pre-filled buffered channel: the producer can
-	// never block on a dead worker (an unbuffered send loop used to
-	// deadlock if a worker died mid-sweep), and indices a dying worker
-	// leaves behind are drained by the survivors.
-	work := make(chan int, len(rules))
-	for i := range rules {
-		work <- i
+	// Parallel sweep: spin up a transient work-stealing pool sized to
+	// the work (never more workers than units) and schedule per-unit.
+	units := 0
+	for _, r := range rules {
+		units += len(v.Sigs(r))
 	}
-	close(work)
-	out := make([]*RuleResult, len(rules))
-	var wg sync.WaitGroup
-	for w := 0; w < n; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Each worker gets its own logical trace thread so its spans
-			// render as one lane instead of interleaving on tid 0.
-			wctx := obs.WithThread(ctx, fmt.Sprintf("worker-%d", w))
-			for i := range work {
-				if ctx.Err() != nil {
-					return
-				}
-				out[i] = v.verifyRuleContained(wctx, rules[i])
-			}
-		}(w)
+	if n > units {
+		n = units
 	}
-	wg.Wait()
-	results := make([]*RuleResult, 0, len(rules))
-	for _, rr := range out {
-		if rr != nil {
-			results = append(results, rr)
-		}
+	if n < 1 {
+		n = 1
 	}
-	if err := ctx.Err(); err != nil {
-		return results, err
+	pool := sched.NewPool(n, obs.Get(ctx).Registry())
+	defer pool.Close()
+	return v.verifyAllScheduled(ctx, rules, pool)
+}
+
+// dropIfForeign filters one sweep result under sharding: a rule whose
+// every unit belongs to other shards yields an empty result that would
+// read as "inapplicable", so it is omitted from the sweep instead.
+// Without sharding every result passes through.
+func (v *Verifier) dropIfForeign(rr *RuleResult) []*RuleResult {
+	if v.Opts.ShardCount > 1 && len(rr.Insts) == 0 {
+		return nil
 	}
-	return results, nil
+	return []*RuleResult{rr}
 }
 
 // solverConfig is the per-query configuration for standalone queries
@@ -580,9 +615,23 @@ func (v *Verifier) verifyInstantiation(ctx context.Context, rs *ruleSession, rul
 
 	cache := v.cacheStore()
 	var key string
+	if v.Opts.ShardCount > 1 {
+		// Sharded sweep: the unit's content fingerprint decides which
+		// process owns it. Foreign units are skipped before the cache is
+		// probed, so a shard's hit/miss statistics cover only its own
+		// work.
+		key = v.fingerprint(preps)
+		if vcache.Shard(key, v.Opts.ShardCount) != v.Opts.ShardIndex {
+			io.Outcome = OutcomeInapplicable
+			io.Skipped = true
+			return io, nil
+		}
+	}
 	if cache != nil {
 		spC := sc.Start(obs.PhaseCacheProbe)
-		key = v.fingerprint(preps)
+		if key == "" {
+			key = v.fingerprint(preps)
+		}
 		e, st := cache.LookupBudget(key, v.Opts.Timeout, v.ladderMaxBudget())
 		spC.SetAttr(obs.Str("status", st.String()))
 		spC.End()

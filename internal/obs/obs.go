@@ -48,6 +48,7 @@ const (
 	PhaseUnits        = "smt.units"    // flatten + contradiction check
 	PhaseBlast        = "smt.blast"    // Tseitin bit-blasting
 	PhaseSolve        = "sat.solve"    // one CDCL Solve call
+	PhaseUnit         = "sched.unit"   // one scheduled verification unit
 
 	// Request phases for the crocus-serve daemon (internal/serve).
 	PhaseServeRequest = "serve.request" // one HTTP request, admission to response
@@ -97,6 +98,7 @@ type Tracer struct {
 	mu       sync.Mutex
 	events   []Event
 	threads  map[int64]string
+	nameTID  map[string]int64
 	eventCap int // span retention bound; 0 disables span storage
 
 	nextTID atomic.Int64
@@ -109,6 +111,7 @@ func New() *Tracer {
 		epoch:    time.Now(),
 		reg:      NewRegistry(),
 		threads:  map[int64]string{0: "main"},
+		nameTID:  map[string]int64{},
 		eventCap: maxEvents,
 	}
 }
@@ -149,6 +152,25 @@ func (t *Tracer) newTID(name string) int64 {
 	t.mu.Lock()
 	t.threads[id] = name
 	t.mu.Unlock()
+	return id
+}
+
+// namedTID returns the stable thread id for name, allocating it on the
+// first call. Scheduled verification units reattach to the executing
+// worker's lane per unit; memoization keeps that one lane per worker
+// instead of one per unit.
+func (t *Tracer) namedTID(name string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.nameTID[name]; ok {
+		return id
+	}
+	id := t.nextTID.Add(1)
+	t.threads[id] = name
+	if t.nameTID == nil {
+		t.nameTID = map[string]int64{}
+	}
+	t.nameTID[name] = id
 	return id
 }
 
@@ -281,6 +303,21 @@ func WithThread(ctx context.Context, name string) context.Context {
 	}
 	return context.WithValue(ctx, ctxKey{}, &SpanContext{
 		tr: sc.tr, tid: sc.tr.newTID(name), scope: sc.scope,
+	})
+}
+
+// WithNamedThread is WithThread with a stable identity: every call with
+// the same name on the same tracer lands on the same logical thread.
+// The work-stealing scheduler uses it so a unit's spans appear on the
+// lane of the worker that actually executed it (including after a
+// steal), not the one that enqueued it. No-op without a tracer.
+func WithNamedThread(ctx context.Context, name string) context.Context {
+	sc := Get(ctx)
+	if sc == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &SpanContext{
+		tr: sc.tr, tid: sc.tr.namedTID(name), scope: sc.scope,
 	})
 }
 

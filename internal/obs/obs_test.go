@@ -304,3 +304,38 @@ func BenchmarkEnabledSpan(b *testing.B) {
 		sp.End()
 	}
 }
+
+func TestWithNamedThreadReusesTID(t *testing.T) {
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+
+	record := func(ctx context.Context, name string) {
+		Start(ctx, name).End()
+	}
+	record(WithNamedThread(ctx, "worker-1"), "a")
+	record(WithNamedThread(ctx, "worker-2"), "b")
+	record(WithNamedThread(ctx, "worker-1"), "c")
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	byName := map[string]Event{}
+	for _, ev := range evs {
+		byName[ev.Name] = ev
+	}
+	if byName["a"].TID != byName["c"].TID {
+		t.Errorf("worker-1 spans on different tids: %d vs %d", byName["a"].TID, byName["c"].TID)
+	}
+	if byName["a"].TID == byName["b"].TID {
+		t.Errorf("worker-1 and worker-2 share tid %d", byName["a"].TID)
+	}
+	names := tr.threadNames()
+	if names[byName["a"].TID] != "worker-1" || names[byName["b"].TID] != "worker-2" {
+		t.Errorf("thread names wrong: %v", names)
+	}
+	// WithNamedThread is nil-safe like the rest of the API.
+	if got := WithNamedThread(context.Background(), "x"); got == nil {
+		t.Error("nil context result")
+	}
+}

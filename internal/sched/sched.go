@@ -1,0 +1,335 @@
+// Package sched is the verification engine's work-stealing scheduler.
+//
+// The unit of scheduling is a verification unit — one (rule, type
+// instantiation) solve attempt — rather than a whole rule. Rule-level
+// partitioning lets one timeout-tail rule serialize a sweep while other
+// workers idle (the paper's §4.1 mul/div/popcnt tail); unit granularity
+// keeps every worker busy until the global tail, and work stealing
+// rebalances the tail itself.
+//
+// Design:
+//
+//   - Each worker owns a deque of tasks. The owner pops from the front
+//     (submission order, so cache-friendly rule runs stay contiguous);
+//     a worker whose deque is empty steals a contiguous block of up to
+//     half the richest victim's tasks from the back.
+//   - Tasks cost milliseconds to seconds (SMT solves); mutex operations
+//     cost nanoseconds. One pool-wide mutex therefore costs nothing
+//     measurable and makes the submit/steal/close races trivially
+//     airtight — per-deque CAS juggling would buy no wall time here.
+//   - An idle worker backs off in stages before parking: a few
+//     runtime.Gosched spins, then doubling microsecond sleeps, then a
+//     condition-variable wait. Submission broadcasts.
+//   - RunBatch on a closed pool degrades to inline execution on the
+//     caller (worker index 0), so shutdown races lose work never.
+//
+// The pool is deliberately ignorant of what a task is: core builds
+// closures that carry rule/sig/result-slot context and assembles results
+// in source order itself, so scheduling order never leaks into output
+// order.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crocus/internal/obs"
+)
+
+// Task is one unit of work. The worker index (0-based, stable for the
+// pool's lifetime) lets tasks use per-worker resources — session pools,
+// trace lanes — without locking: a worker executes its tasks serially.
+type Task func(worker int)
+
+// Pool is a work-stealing worker pool. All methods are safe for
+// concurrent use; a Pool is shared between concurrent RunBatch callers
+// (the daemon schedules every request's units onto one pool).
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	deques  [][]Task
+	closed  bool
+	queued  int64 // tasks currently enqueued across all deques
+	wg      sync.WaitGroup
+	workers int
+
+	// Stats (atomics: read without the pool lock).
+	steals   atomic.Int64 // steal operations
+	stolen   atomic.Int64 // tasks moved by steals
+	executed []atomic.Int64
+	inline   atomic.Int64 // tasks run inline after close
+	panics   atomic.Int64 // panics swallowed by the execute backstop
+
+	// Optional metrics registry; nil-safe (obs no-op handles).
+	cSteals *obs.Counter
+	cStolen *obs.Counter
+	cUnits  *obs.Counter
+}
+
+// backoff tuning: spin a little, sleep a little, then park. The sleep
+// ceiling keeps the worst-case wakeup latency well under any task's
+// runtime while avoiding thundering broadcasts on an idle pool.
+const (
+	spinPhase  = 2
+	sleepPhase = 6
+	sleepBase  = time.Microsecond
+	sleepCap   = 64 * time.Microsecond
+)
+
+// NewPool starts a pool of n workers (n < 1 is raised to 1). The
+// registry, when non-nil, receives sched.steals / sched.stolen_units /
+// sched.units counters; per-worker unit counts are in Stats.
+func NewPool(n int, reg *obs.Registry) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{
+		deques:   make([][]Task, n),
+		workers:  n,
+		executed: make([]atomic.Int64, n),
+		cSteals:  reg.Counter("sched.steals"),
+		cStolen:  reg.Counter("sched.stolen_units"),
+		cUnits:   reg.Counter("sched.units"),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go p.run(w)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Stats is a point-in-time reading of the pool's counters.
+type Stats struct {
+	Workers    int     `json:"workers"`
+	QueueDepth int64   `json:"queue_depth"`
+	Steals     int64   `json:"steals"`
+	Stolen     int64   `json:"stolen_units"`
+	Executed   int64   `json:"units"`
+	PerWorker  []int64 `json:"units_per_worker"`
+	Inline     int64   `json:"inline_units,omitempty"`
+	Panics     int64   `json:"contained_panics,omitempty"`
+}
+
+// Stats reads the pool's counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	depth := p.queued
+	p.mu.Unlock()
+	s := Stats{
+		Workers:    p.workers,
+		QueueDepth: depth,
+		Steals:     p.steals.Load(),
+		Stolen:     p.stolen.Load(),
+		Inline:     p.inline.Load(),
+		Panics:     p.panics.Load(),
+		PerWorker:  make([]int64, p.workers),
+	}
+	for w := range s.PerWorker {
+		n := p.executed[w].Load()
+		s.PerWorker[w] = n
+		s.Executed += n
+	}
+	s.Executed += s.Inline
+	return s
+}
+
+// QueueDepth returns how many submitted tasks have not yet started.
+func (p *Pool) QueueDepth() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queued
+}
+
+// RunBatch schedules the tasks and blocks until all of them have
+// finished. Tasks are distributed across worker deques as contiguous
+// blocks in slice order, so with no stealing each worker executes an
+// in-order span — and stealing moves back-of-deque blocks, preserving
+// locality at the front. On a closed pool the batch runs inline on the
+// calling goroutine (worker index 0) instead of being dropped.
+//
+// A task that panics is contained by the pool (counted in
+// Stats.Panics); the batch still completes. Callers that need fault
+// diagnostics should recover inside the task itself — core does.
+func (p *Pool) RunBatch(tasks []Task) {
+	if len(tasks) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	wrapped := make([]Task, len(tasks))
+	for i, t := range tasks {
+		t := t
+		wrapped[i] = func(w int) {
+			defer wg.Done()
+			t(w)
+		}
+	}
+	if !p.submit(wrapped) {
+		for _, t := range wrapped {
+			p.inline.Add(1)
+			p.cUnits.Inc()
+			p.protect(0, t)
+		}
+		return
+	}
+	wg.Wait()
+}
+
+// submit enqueues pre-wrapped tasks, returning false when the pool is
+// closed (the caller then runs them inline).
+func (p *Pool) submit(tasks []Task) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	n := p.workers
+	per := (len(tasks) + n - 1) / n
+	for w := 0; w < n; w++ {
+		lo := w * per
+		if lo >= len(tasks) {
+			break
+		}
+		hi := lo + per
+		if hi > len(tasks) {
+			hi = len(tasks)
+		}
+		p.deques[w] = append(p.deques[w], tasks[lo:hi]...)
+	}
+	p.queued += int64(len(tasks))
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return true
+}
+
+// Close stops the workers after the queue drains and waits for them to
+// exit. Concurrent and subsequent RunBatch calls fall back to inline
+// execution; closing twice is a no-op.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// run is one worker's loop: take (own front, else steal), execute,
+// repeat; exit when the pool is closed and every deque is empty.
+func (p *Pool) run(w int) {
+	defer p.wg.Done()
+	spins := 0
+	backoff := sleepBase
+	for {
+		p.mu.Lock()
+		t := p.takeLocked(w)
+		if t == nil && spins >= spinPhase+sleepPhase {
+			// Fully backed off: park until submit or Close broadcasts.
+			for t == nil && !p.closed {
+				p.cond.Wait()
+				t = p.takeLocked(w)
+			}
+		}
+		closed := p.closed
+		p.mu.Unlock()
+
+		if t != nil {
+			spins, backoff = 0, sleepBase
+			p.execute(w, t)
+			continue
+		}
+		if closed {
+			// takeLocked scans every deque, so an empty take under closed
+			// means the whole queue is drained.
+			return
+		}
+		// Bounded steal-backoff: brief spins catch work submitted
+		// microseconds from now without a sleep/wake cycle; the doubling
+		// sleeps cover bursty gaps; then the worker parks above.
+		spins++
+		if spins <= spinPhase {
+			runtime.Gosched()
+		} else {
+			time.Sleep(backoff)
+			if backoff < sleepCap {
+				backoff *= 2
+			}
+		}
+	}
+}
+
+// takeLocked removes and returns the next task for worker w: the front
+// of its own deque, else a steal. The caller holds p.mu; nil means every
+// deque is empty.
+func (p *Pool) takeLocked(w int) Task {
+	if d := p.deques[w]; len(d) > 0 {
+		t := d[0]
+		d[0] = nil
+		p.deques[w] = d[1:]
+		p.queued--
+		return t
+	}
+	// Steal from the richest victim (deterministic tie-break: lowest
+	// index), taking a contiguous block of up to half its tasks from the
+	// back. The victim keeps its front — the oldest work it is about to
+	// reach — and the thief gets a block, not a single task, so a long
+	// tail rebalances in O(log) steals instead of one lock op per unit.
+	victim, best := -1, 0
+	for i := range p.deques {
+		if i != w && len(p.deques[i]) > best {
+			victim, best = i, len(p.deques[i])
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	q := p.deques[victim]
+	k := (len(q) + 1) / 2
+	block := q[len(q)-k:]
+	p.deques[victim] = q[: len(q)-k : len(q)-k]
+	t := block[0]
+	p.deques[w] = append(p.deques[w], block[1:]...)
+	p.queued--
+	p.steals.Add(1)
+	p.stolen.Add(int64(k))
+	p.cSteals.Inc()
+	p.cStolen.Add(int64(k))
+	return t
+}
+
+// execute runs one task on worker w, counting it.
+func (p *Pool) execute(w int, t Task) {
+	p.executed[w].Add(1)
+	p.cUnits.Inc()
+	p.protect(w, t)
+}
+
+// protect runs one task with a panic backstop. Tasks carry their own
+// containment (core converts panics into OutcomeError diagnostics); the
+// backstop only guarantees a buggy task cannot kill its worker goroutine
+// or hang RunBatch — the wrapped waitgroup Done runs during unwind.
+func (p *Pool) protect(w int, t Task) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+	}()
+	t(w)
+}
+
+// String renders the stats in one line (debug logging).
+func (s Stats) String() string {
+	return fmt.Sprintf("workers=%d depth=%d steals=%d stolen=%d units=%d",
+		s.Workers, s.QueueDepth, s.Steals, s.Stolen, s.Executed)
+}

@@ -17,6 +17,7 @@ import (
 	"crocus/internal/corpus"
 	"crocus/internal/isle"
 	"crocus/internal/obs"
+	"crocus/internal/sched"
 	"crocus/internal/vcache"
 )
 
@@ -30,8 +31,10 @@ type Config struct {
 	// this directory; empty keeps results in memory only.
 	CacheDir string
 
-	// MaxInflight bounds concurrently solving requests; further requests
-	// queue. 0 means GOMAXPROCS.
+	// MaxInflight bounds concurrently solving requests and sizes the
+	// shared work-stealing pool their verification units run on —
+	// admission and unit scheduling share one queue. Further requests
+	// queue. 0 means runtime.NumCPU().
 	MaxInflight int
 
 	// QueueTimeout bounds how long a request waits for a worker slot
@@ -82,7 +85,8 @@ type Server struct {
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
-	slots chan struct{} // worker-pool semaphore
+	slots chan struct{} // admission semaphore (request-level)
+	pool  *sched.Pool   // work-stealing pool verification units run on
 
 	draining  atomic.Bool
 	drainOnce sync.Once
@@ -103,7 +107,7 @@ type Server struct {
 // returns a ready (but not yet listening) server.
 func New(cfg Config) (*Server, error) {
 	if cfg.MaxInflight <= 0 {
-		cfg.MaxInflight = runtime.GOMAXPROCS(0)
+		cfg.MaxInflight = runtime.NumCPU()
 	}
 	if cfg.QueueTimeout <= 0 {
 		cfg.QueueTimeout = 30 * time.Second
@@ -164,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
 		slots:      make(chan struct{}, cfg.MaxInflight),
+		pool:       sched.NewPool(cfg.MaxInflight, reg),
 		flights:    map[string]*flight{},
 		parsed:     map[string]*isle.Program{},
 	}
@@ -209,6 +214,11 @@ func (s *Server) Drain() error {
 			_ = s.httpSrv.Close()
 		}
 		s.cancelBase()
+		// All request handlers (and the flights they own) have returned or
+		// been canceled by now, so the pool's queue drains fast-skipping
+		// canceled units; any post-close straggler falls back to inline
+		// execution and still completes.
+		s.pool.Close()
 		if err := s.cache.Close(); err != nil {
 			derr = fmt.Errorf("cache flush: %w", err)
 		}
@@ -310,6 +320,9 @@ type StatusReport struct {
 	Histograms  map[string]HistogramSummary `json:"histograms"`
 	CacheLen    int                         `json:"cache_len"`
 	Cache       vcache.Stats                `json:"cache"`
+	// Sched is the shared unit scheduler's live state: real queue depth,
+	// steal counts, and per-worker unit totals.
+	Sched sched.Stats `json:"sched"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
@@ -322,6 +335,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		Histograms:  map[string]HistogramSummary{},
 		CacheLen:    s.cache.Len(),
 		Cache:       s.cache.Stats(),
+		Sched:       s.pool.Stats(),
 	}
 	for name := range s.programs {
 		rep.Corpora = append(rep.Corpora, name)
@@ -379,6 +393,7 @@ func (s *Server) verifyOne(ctx context.Context, req *VerifyRequest) (*VerifyResp
 		Custom:            custom,
 		Cache:             s.cache,
 		FreshSolvers:      req.Fresh,
+		Scheduler:         s.pool,
 	})
 	rr, coalesced, queueWait, status, err := s.verifyRuleCoalesced(ctx, v, rule)
 	if err != nil {

@@ -191,6 +191,20 @@ func TestVerifyEndpoint(t *testing.T) {
 	if status.Draining {
 		t.Fatal("statusz reports draining on a live server")
 	}
+	// Scheduler stats: the pool is sized at MaxInflight, every verified
+	// unit was executed on it, and the queue is empty on an idle server.
+	if status.Sched.Workers != 2 {
+		t.Fatalf("statusz sched.workers = %d, want MaxInflight (2)", status.Sched.Workers)
+	}
+	if len(status.Sched.PerWorker) != status.Sched.Workers {
+		t.Fatalf("statusz units_per_worker has %d entries, want %d", len(status.Sched.PerWorker), status.Sched.Workers)
+	}
+	if status.Sched.Executed == 0 {
+		t.Fatal("statusz sched.units = 0 after three verify requests")
+	}
+	if status.Sched.QueueDepth != 0 {
+		t.Fatalf("statusz sched.queue_depth = %d on an idle server", status.Sched.QueueDepth)
+	}
 }
 
 func TestVerifyRequestErrors(t *testing.T) {

@@ -1,0 +1,207 @@
+package vcache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Entries returns a copy of every cached entry, sorted by key. The
+// deterministic order makes merged stores and shard manifests diffable.
+func (c *Cache) Entries() []Entry {
+	c.mu.Lock()
+	out := make([]Entry, 0, len(c.mem))
+	for _, e := range c.mem {
+		out = append(out, e)
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Shard maps a unit fingerprint to a shard index in [0, n). The
+// fingerprint is location-independent by construction (content-addressed
+// over the unit's canonical verification conditions), so the partition
+// is stable across processes, machines, and source reorderings — the
+// property `crocus -shard i/n` relies on to split a corpus across
+// processes without coordination. Keys shorter than 16 hex digits (never
+// produced by Fingerprint) hash to shard 0; n < 2 maps everything to 0.
+func Shard(key string, n int) int {
+	if n < 2 {
+		return 0
+	}
+	if len(key) < 16 {
+		return 0
+	}
+	v, err := strconv.ParseUint(key[:16], 16, 64)
+	if err != nil {
+		return 0
+	}
+	return int(v % uint64(n))
+}
+
+// Conflict records two stores disagreeing on a decided verdict for the
+// same unit fingerprint — identical inputs produced different outcomes,
+// which means a nondeterministic or corrupted engine, never a benign
+// race. The merge keeps the destination's entry and surfaces the
+// conflict.
+type Conflict struct {
+	Key     string `json:"key"`
+	Rule    string `json:"rule,omitempty"`
+	Sig     string `json:"sig,omitempty"`
+	Dst     string `json:"dst_outcome"`
+	Src     string `json:"src_outcome"`
+	SrcPath string `json:"src_path,omitempty"`
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("%s (%s %s): dst=%s src=%s [%s]",
+		c.Key[:12], c.Rule, c.Sig, c.Dst, c.Src, c.SrcPath)
+}
+
+// MergeStats summarizes one Merge call.
+type MergeStats struct {
+	// Added counts keys absent from the destination.
+	Added int `json:"added"`
+	// Replaced counts destination entries superseded by a source entry
+	// (a decided verdict over a timeout, or a more generous timeout).
+	Replaced int `json:"replaced"`
+	// Kept counts keys present in both where the destination won.
+	Kept int `json:"kept"`
+	// Conflicts lists decided-verdict disagreements (destination kept).
+	Conflicts []Conflict `json:"conflicts,omitempty"`
+}
+
+// ErrConflicts is returned (wrapped) by Merge when the union detected
+// decided-verdict disagreements; the merge itself still completes with
+// the destination's entries winning.
+var ErrConflicts = errors.New("vcache: merge found conflicting decided verdicts")
+
+// moreGenerousTimeout reports whether timeout entry a was tried under
+// strictly more solver effort than b: a larger propagation budget
+// first (0 = unlimited beats any finite budget), then a longer wall
+// deadline at equal budgets.
+func moreGenerousTimeout(a, b Entry) bool {
+	switch {
+	case a.TriedBudget == b.TriedBudget:
+		// Fall through to the deadline.
+	case a.TriedBudget == 0:
+		return true
+	case b.TriedBudget == 0:
+		return false
+	default:
+		return a.TriedBudget > b.TriedBudget
+	}
+	if a.TriedTimeoutNS == b.TriedTimeoutNS {
+		return false
+	}
+	if a.TriedTimeoutNS == 0 {
+		return true
+	}
+	if b.TriedTimeoutNS == 0 {
+		return false
+	}
+	return a.TriedTimeoutNS > b.TriedTimeoutNS
+}
+
+// MergeFrom unions src's entries into c under the sharded-sweep policy:
+//
+//   - a key absent from c is added;
+//   - a decided verdict (success/inapplicable/failure) supersedes a
+//     timeout for the same key;
+//   - two timeouts keep whichever was tried under more solver effort;
+//   - two decided verdicts that agree keep c's entry (payload details
+//     such as counterexample models may differ benignly — a failing
+//     query has many models — and are not conflicts);
+//   - two decided verdicts that disagree are a Conflict: c's entry is
+//     kept and the disagreement recorded.
+//
+// srcPath labels conflicts with their origin (typically src.Path()).
+func (c *Cache) MergeFrom(src *Cache, srcPath string, stats *MergeStats) error {
+	for _, e := range src.Entries() {
+		c.mu.Lock()
+		cur, ok := c.mem[e.Key]
+		c.mu.Unlock()
+		if !ok {
+			if err := c.Put(e); err != nil {
+				return err
+			}
+			stats.Added++
+			continue
+		}
+		dstDecided := cur.Outcome != "timeout"
+		srcDecided := e.Outcome != "timeout"
+		switch {
+		case dstDecided && srcDecided:
+			if cur.Outcome != e.Outcome {
+				stats.Conflicts = append(stats.Conflicts, Conflict{
+					Key: e.Key, Rule: e.Rule, Sig: e.Sig,
+					Dst: cur.Outcome, Src: e.Outcome, SrcPath: srcPath,
+				})
+			} else {
+				stats.Kept++
+			}
+		case dstDecided:
+			stats.Kept++
+		case srcDecided:
+			if err := c.Put(e); err != nil {
+				return err
+			}
+			stats.Replaced++
+		default: // both timeouts
+			if moreGenerousTimeout(e, cur) {
+				if err := c.Put(e); err != nil {
+					return err
+				}
+				stats.Replaced++
+			} else {
+				stats.Kept++
+			}
+		}
+	}
+	return nil
+}
+
+// Merge unions the JSONL stores under srcDirs into the store under
+// dstDir (created if absent), applying MergeFrom's policy source by
+// source in argument order. The merged store is compacted — one line
+// per key, no append history — so two merges of the same inputs are
+// byte-comparable. When conflicts were detected the stats (and the
+// destination) are still valid and the returned error wraps
+// ErrConflicts.
+func Merge(dstDir string, srcDirs ...string) (*MergeStats, error) {
+	dst, err := Open(dstDir)
+	if err != nil {
+		return nil, err
+	}
+	defer dst.Close()
+	stats := &MergeStats{}
+	for _, dir := range srcDirs {
+		src, err := Open(dir)
+		if err != nil {
+			return stats, err
+		}
+		mergeErr := dst.MergeFrom(src, src.Path(), stats)
+		src.Close()
+		if mergeErr != nil {
+			return stats, mergeErr
+		}
+	}
+	if err := dst.compact(); err != nil {
+		return stats, err
+	}
+	if err := dst.Close(); err != nil {
+		return stats, err
+	}
+	if len(stats.Conflicts) > 0 {
+		return stats, fmt.Errorf("%w: %d conflicts", ErrConflicts, len(stats.Conflicts))
+	}
+	return stats, nil
+}
+
+// String renders the merge summary line.
+func (s *MergeStats) String() string {
+	return fmt.Sprintf("merged: %d added, %d replaced, %d kept, %d conflicts",
+		s.Added, s.Replaced, s.Kept, len(s.Conflicts))
+}

@@ -1,0 +1,217 @@
+package vcache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkKey(seed string) string {
+	return Fingerprint("merge-test", []string{seed})
+}
+
+func put(t *testing.T, c *Cache, e Entry) {
+	t.Helper()
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	// Every key lands in exactly one shard, stably, and a real spread of
+	// keys touches every shard of a small modulus.
+	seen := map[int]int{}
+	for i := 0; i < 256; i++ {
+		key := mkKey(strings.Repeat("k", i+1))
+		s := Shard(key, 3)
+		if s < 0 || s >= 3 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if s2 := Shard(key, 3); s2 != s {
+			t.Fatalf("shard not stable: %d then %d", s, s2)
+		}
+		seen[s]++
+	}
+	for i := 0; i < 3; i++ {
+		if seen[i] == 0 {
+			t.Fatalf("shard %d received no keys: %v", i, seen)
+		}
+	}
+	if Shard(mkKey("x"), 1) != 0 || Shard(mkKey("x"), 0) != 0 {
+		t.Fatal("n < 2 must map to shard 0")
+	}
+	if Shard("short", 4) != 0 {
+		t.Fatal("malformed key must map to shard 0")
+	}
+}
+
+func TestMergeUnion(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	c1, err := Open(dir1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kOnly1 := mkKey("only1")
+	kOnly2 := mkKey("only2")
+	kAgree := mkKey("agree")
+	kTimeoutBeaten := mkKey("timeout-beaten")
+	kTimeoutKept := mkKey("timeout-kept")
+	kTimeoutGenerous := mkKey("timeout-generous")
+
+	put(t, c1, Entry{Key: kOnly1, Rule: "r1", Outcome: "success"})
+	put(t, c1, Entry{Key: kAgree, Rule: "ra", Outcome: "failure", ElapsedNS: 10})
+	put(t, c1, Entry{Key: kTimeoutBeaten, Rule: "rb", Outcome: "timeout", TriedBudget: 100})
+	put(t, c1, Entry{Key: kTimeoutKept, Rule: "rk", Outcome: "success"})
+	put(t, c1, Entry{Key: kTimeoutGenerous, Rule: "rg", Outcome: "timeout", TriedBudget: 100})
+
+	put(t, c2, Entry{Key: kOnly2, Rule: "r2", Outcome: "inapplicable"})
+	put(t, c2, Entry{Key: kAgree, Rule: "ra", Outcome: "failure", ElapsedNS: 99})
+	put(t, c2, Entry{Key: kTimeoutBeaten, Rule: "rb", Outcome: "success"})
+	put(t, c2, Entry{Key: kTimeoutKept, Rule: "rk", Outcome: "timeout", TriedBudget: 500})
+	put(t, c2, Entry{Key: kTimeoutGenerous, Rule: "rg", Outcome: "timeout", TriedBudget: 0})
+
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := t.TempDir()
+	stats, err := Merge(dst, dir1, dir2)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	// dir1 into empty dst: 5 added. dir2: 1 added, 2 replaced (decided
+	// beats timeout, unlimited budget beats finite), 2 kept.
+	if stats.Added != 6 || stats.Replaced != 2 || stats.Kept != 2 || len(stats.Conflicts) != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	m, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 6 {
+		t.Fatalf("merged store has %d entries, want 6", m.Len())
+	}
+	want := map[string]struct {
+		outcome string
+		elapsed int64
+		budget  int64
+	}{
+		kOnly1:           {outcome: "success"},
+		kOnly2:           {outcome: "inapplicable"},
+		kAgree:           {outcome: "failure", elapsed: 10}, // dst wins on agreement
+		kTimeoutBeaten:   {outcome: "success"},
+		kTimeoutKept:     {outcome: "success"},
+		kTimeoutGenerous: {outcome: "timeout", budget: 0},
+	}
+	for key, w := range want {
+		e, st := m.Lookup(key, 0)
+		if st != Hit && !(w.outcome == "timeout") {
+			t.Fatalf("key %s: lookup status %v", key[:8], st)
+		}
+		if e.Outcome != w.outcome {
+			t.Errorf("key %s: outcome %s, want %s", key[:8], e.Outcome, w.outcome)
+		}
+		if w.outcome == "failure" && e.ElapsedNS != w.elapsed {
+			t.Errorf("key %s: elapsed %d, want dst's %d", key[:8], e.ElapsedNS, w.elapsed)
+		}
+	}
+}
+
+func TestMergeConflictDetection(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	c1, _ := Open(dir1)
+	c2, _ := Open(dir2)
+	k := mkKey("disagreement")
+	put(t, c1, Entry{Key: k, Rule: "r", Sig: "(s 64)", Outcome: "success"})
+	put(t, c2, Entry{Key: k, Rule: "r", Sig: "(s 64)", Outcome: "failure"})
+	c1.Close()
+	c2.Close()
+
+	dst := t.TempDir()
+	stats, err := Merge(dst, dir1, dir2)
+	if !errors.Is(err, ErrConflicts) {
+		t.Fatalf("err = %v, want ErrConflicts", err)
+	}
+	if len(stats.Conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", stats.Conflicts)
+	}
+	c := stats.Conflicts[0]
+	if c.Key != k || c.Dst != "success" || c.Src != "failure" || c.Rule != "r" {
+		t.Fatalf("conflict = %+v", c)
+	}
+	// Destination wins: the merged store holds the first store's verdict.
+	m, err := Open(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if e, st := m.Lookup(k, 0); st != Hit || e.Outcome != "success" {
+		t.Fatalf("merged entry = %+v (%v)", e, st)
+	}
+}
+
+// Merging the same inputs in the same order twice yields byte-identical
+// stores — the property the CI shard-smoke diff relies on.
+func TestMergeDeterministicBytes(t *testing.T) {
+	srcA, srcB := t.TempDir(), t.TempDir()
+	ca, _ := Open(srcA)
+	cb, _ := Open(srcB)
+	for i := 0; i < 40; i++ {
+		e := Entry{Key: mkKey(strings.Repeat("a", i+1)), Rule: "r", Outcome: "success"}
+		if i%2 == 0 {
+			put(t, ca, e)
+		} else {
+			put(t, cb, e)
+		}
+	}
+	ca.Close()
+	cb.Close()
+
+	read := func(dir string) string {
+		t.Helper()
+		b, err := os.ReadFile(filepath.Join(dir, FileName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	d1, d2 := t.TempDir(), t.TempDir()
+	if _, err := Merge(d1, srcA, srcB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(d2, srcA, srcB); err != nil {
+		t.Fatal(err)
+	}
+	if read(d1) != read(d2) {
+		t.Fatal("two merges of the same inputs differ byte-wise")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	c := NewMemory()
+	keys := []string{mkKey("z"), mkKey("a"), mkKey("m")}
+	for _, k := range keys {
+		put(t, c, Entry{Key: k, Outcome: "success"})
+	}
+	es := c.Entries()
+	if len(es) != 3 {
+		t.Fatalf("got %d entries", len(es))
+	}
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Key >= es[i].Key {
+			t.Fatalf("entries not sorted: %s >= %s", es[i-1].Key[:8], es[i].Key[:8])
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -267,7 +268,10 @@ func (c *Cache) load() (corrupt int, err error) {
 	return corrupt, nil
 }
 
-// compact atomically rewrites the store from memory (temp file + rename).
+// compact atomically rewrites the store from memory (temp file +
+// rename), one line per key in sorted key order — so two compacted
+// stores with the same entries are byte-identical (the property the
+// sharded-sweep merge diff relies on).
 func (c *Cache) compact() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -276,8 +280,14 @@ func (c *Cache) compact() error {
 		return fmt.Errorf("vcache: %w", err)
 	}
 	defer os.Remove(tmp.Name())
+	keys := make([]string, 0, len(c.mem))
+	for k := range c.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	w := bufio.NewWriter(tmp)
-	for _, e := range c.mem {
+	for _, k := range keys {
+		e := c.mem[k]
 		b, err := json.Marshal(e)
 		if err != nil {
 			tmp.Close()
