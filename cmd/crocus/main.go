@@ -119,6 +119,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist verification results under this directory and replay them on re-runs (incremental verification)")
 	fresh := flag.Bool("fresh", false, "use a fresh solver per query instead of one incremental session per rule (reference pipeline)")
 	budget := flag.Int64("propagation-budget", 0, "deterministic SAT propagation budget per unit (0 = unlimited)")
+	noInprocess := flag.Bool("no-inprocess", false, "disable CDCL inprocessing (variable elimination, subsumption, vivification); verdicts must not change")
+	noStructHash := flag.Bool("no-structhash", false, "disable structural hashing in the bit-blaster (gate-level node sharing); verdicts must not change")
 	retryBudgets := flag.String("retry-budgets", "", "timeout-escalation ladder: comma-separated propagation budgets to retry timed-out units at (ascending; 0 = unlimited final rung)")
 	injectPanic := flag.String("inject-panic", "", "fault-injection: install a custom VC that panics for the named rule (testing the containment path)")
 	benchJSON := flag.String("bench-json", "", "benchmark the corpus under fresh, incremental, and warm-cache pipelines and write the report to this file")
@@ -208,6 +210,8 @@ func main() {
 		FreshSolvers:      *fresh,
 		PropagationBudget: *budget,
 		RetryBudgets:      ladder,
+		NoInprocess:       *noInprocess,
+		NoStructHash:      *noStructHash,
 		ShardIndex:        shardIdx,
 		ShardCount:        shardCnt,
 	}

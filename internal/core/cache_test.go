@@ -183,16 +183,17 @@ func TestCacheSingleRuleInvalidation(t *testing.T) {
 // deadline is replayed for equal-or-shorter deadlines but stale — and
 // re-solved — once a longer deadline is requested.
 func TestCacheTimeoutRetriedUnderLongerDeadline(t *testing.T) {
-	// The hard_mul pattern from TestVerifyTimeout: a tiny propagation
-	// budget makes every solve end in a timeout quickly. The budget is
-	// part of the fingerprint (same across runs here); the deadline is
-	// not — it is tracked via staleness.
+	// The hard_mul pattern from TestVerifyTimeout (distributivity over a
+	// 64-bit multiplier): a tiny propagation budget makes every solve end
+	// in a timeout quickly. The budget is part of the fingerprint (same
+	// across runs here); the deadline is not — it is tracked via
+	// staleness.
 	rules := `
 		(decl imul (Value Value) Inst)
-		(spec (imul x y) (provide (= result (* x y))))
+		(spec (imul x y) (provide (= result (+ (* x y) x))))
 		(instantiate imul ((args (bv 64) (bv 64)) (ret (bv 64))))
 		(decl a64_madd_hard (Type Reg Reg) Reg)
-		(spec (a64_madd_hard ty x y) (provide (= result (* (+ x y) (+ y x)))))
+		(spec (a64_madd_hard ty x y) (provide (= result (* x (+ y #x0000000000000001)))))
 		(rule hard_mul
 			(lower (has_type ty (imul x y)))
 			(a64_madd_hard ty x y))`

@@ -299,14 +299,17 @@ func TestVerifyIfLetGuard(t *testing.T) {
 }
 
 // TestVerifyTimeout forces an Unknown outcome via a tiny propagation
-// budget on a multiplication rule.
+// budget on a multiplication rule. The spec pair encodes distributivity
+// (x*y + x vs x*(y+1)): a correct rule whose UNSAT proof requires
+// reasoning about a full 64-bit multiplier, far beyond any small budget
+// no matter how good the encoding gets.
 func TestVerifyTimeout(t *testing.T) {
 	extra := `
 		(decl imul (Value Value) Inst)
-		(spec (imul x y) (provide (= result (* x y))))
+		(spec (imul x y) (provide (= result (+ (* x y) x))))
 		(instantiate imul ((args (bv 64) (bv 64)) (ret (bv 64))))
 		(decl a64_madd_hard (Type Reg Reg) Reg)
-		(spec (a64_madd_hard ty x y) (provide (= result (* (+ x y) (+ y x)))))
+		(spec (a64_madd_hard ty x y) (provide (= result (* x (+ y #x0000000000000001)))))
 		(rule hard_mul
 			(lower (has_type ty (imul x y)))
 			(a64_madd_hard ty x y))`

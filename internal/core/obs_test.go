@@ -108,11 +108,14 @@ func TestCacheProbeMetrics(t *testing.T) {
 // spans and the escalation counter.
 func TestEscalationSpans(t *testing.T) {
 	tr := obs.New()
+	// Structural hashing collapses iadd_base's gate-identical sides to a
+	// constant circuit (zero search, so budget 1 is never exceeded);
+	// disable it so the first attempt genuinely times out and escalates.
 	v := buildVerifier(t, `
 		(rule iadd_base
 			(lower (has_type ty (iadd x y)))
 			(a64_add ty x y))`,
-		Options{PropagationBudget: 1, RetryBudgets: []int64{0}})
+		Options{PropagationBudget: 1, RetryBudgets: []int64{0}, NoStructHash: true})
 	if _, err := v.VerifyAllContext(obs.WithTracer(context.Background(), tr)); err != nil {
 		t.Fatal(err)
 	}

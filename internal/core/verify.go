@@ -125,6 +125,16 @@ type Options struct {
 	// failing units degrade to OutcomeError instead of returning an
 	// error). The pool's lifetime belongs to the caller.
 	Scheduler *sched.Pool
+	// NoInprocess disables CDCL inprocessing (bounded variable
+	// elimination, subsumption/self-subsuming resolution, vivification
+	// between restarts) in the SAT solver. Verdicts must be identical
+	// with it on or off; the knob exists for A/B diagnosis and the
+	// differential matrix.
+	NoInprocess bool
+	// NoStructHash disables structural hashing (gate-level node sharing)
+	// in the bit-blaster. Same contract: verdicts never change, clause
+	// and variable counts do.
+	NoStructHash bool
 	// ShardIndex/ShardCount enable sharded multi-process sweeps: when
 	// ShardCount > 1, a verification unit is solved only if its vcache
 	// content fingerprint maps to ShardIndex (units are partitioned by
@@ -178,6 +188,14 @@ type SolverStats struct {
 	Decisions    int64
 	// Queries is the number of SMT queries issued.
 	Queries int64
+	// Inprocessing / structural-hashing work across the unit's queries:
+	// variables removed by bounded variable elimination, clauses deleted
+	// by subsumption, clauses shortened by vivification, and gate
+	// allocations avoided by structural hashing.
+	ElimVars         int64
+	Subsumed         int64
+	Vivified         int64
+	StructHashMerged int64
 }
 
 // Add accumulates other into s.
@@ -186,6 +204,10 @@ func (s *SolverStats) Add(other SolverStats) {
 	s.Conflicts += other.Conflicts
 	s.Decisions += other.Decisions
 	s.Queries += other.Queries
+	s.ElimVars += other.ElimVars
+	s.Subsumed += other.Subsumed
+	s.Vivified += other.Vivified
+	s.StructHashMerged += other.StructHashMerged
 }
 
 func (s *SolverStats) addResult(r smt.Result) {
@@ -193,12 +215,24 @@ func (s *SolverStats) addResult(r smt.Result) {
 	s.Conflicts += r.Conflicts
 	s.Decisions += r.Decisions
 	s.Queries++
+	s.ElimVars += r.ElimVars
+	s.Subsumed += r.Subsumed
+	s.Vivified += r.Vivified
+	s.StructHashMerged += r.StructHashMerged
 }
 
 // String renders the stats in the -stats flag's layout.
 func (s SolverStats) String() string {
-	return fmt.Sprintf("props=%d conflicts=%d decisions=%d queries=%d",
+	out := fmt.Sprintf("props=%d conflicts=%d decisions=%d queries=%d",
 		s.Propagations, s.Conflicts, s.Decisions, s.Queries)
+	if s.ElimVars != 0 || s.Subsumed != 0 || s.Vivified != 0 {
+		out += fmt.Sprintf(" elim=%d subsumed=%d vivified=%d",
+			s.ElimVars, s.Subsumed, s.Vivified)
+	}
+	if s.StructHashMerged != 0 {
+		out += fmt.Sprintf(" merged=%d", s.StructHashMerged)
+	}
+	return out
 }
 
 // InstOutcome is the verification result for one (rule, type
@@ -515,7 +549,11 @@ func (v *Verifier) dropIfForeign(rr *RuleResult) []*RuleResult {
 // (interpreter and overlap analysis); verification units use
 // unitConfig, which pins one deadline for the whole unit.
 func (v *Verifier) solverConfig() smt.Config {
-	cfg := smt.Config{PropagationBudget: v.Opts.PropagationBudget}
+	cfg := smt.Config{
+		PropagationBudget: v.Opts.PropagationBudget,
+		NoInprocess:       v.Opts.NoInprocess,
+		NoStructHash:      v.Opts.NoStructHash,
+	}
 	if v.Opts.Timeout > 0 {
 		cfg.Deadline = time.Now().Add(v.Opts.Timeout)
 	}
@@ -528,7 +566,12 @@ func (v *Verifier) solverConfig() smt.Config {
 // queries), the attempt's propagation budget, and the cancellation
 // context.
 func (v *Verifier) unitConfig(ctx context.Context, budget int64) smt.Config {
-	cfg := smt.Config{Ctx: ctx, PropagationBudget: budget}
+	cfg := smt.Config{
+		Ctx:               ctx,
+		PropagationBudget: budget,
+		NoInprocess:       v.Opts.NoInprocess,
+		NoStructHash:      v.Opts.NoStructHash,
+	}
 	if v.Opts.Timeout > 0 {
 		cfg.Deadline = time.Now().Add(v.Opts.Timeout)
 	}

@@ -62,10 +62,11 @@ func runMatrix(t *testing.T, n int, seed int64, defHeavy bool) {
 }
 
 // TestDiffMatrix is the main differential driver: seeded random queries
-// in the verifier's QF_BV+Int fragment, each solved under all eight
+// in the verifier's QF_BV+Int fragment, each solved under all sixteen
 // pipeline configurations (fresh/session × simplify on/off × solveEqs
-// on/off), with model validation against the big-integer oracle and
-// brute-force ground truth at small widths. Run it alone with
+// on/off × inprocessing off/aggressive), with model validation against
+// the big-integer oracle and brute-force ground truth at small widths.
+// Run it alone with
 //
 //	go test ./internal/difftest -run Diff -count=1
 //

@@ -184,7 +184,7 @@ func TestFuzzConfigsHaveNoBudgets(t *testing.T) {
 	x := b.Var("x", smt.BV(8))
 	q := []smt.TermID{b.Eq(b.BVMul(x, x), b.BVConst(49, 8))}
 	for _, c := range Matrix() {
-		res, err := smt.Check(b, q, smt.Config{NoSimplify: c.NoSimplify, NoSolveEqs: c.NoSolveEqs})
+		res, err := smt.Check(b, q, c.smtConfig())
 		if err != nil {
 			t.Fatal(err)
 		}

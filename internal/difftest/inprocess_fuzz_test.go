@@ -1,0 +1,280 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"crocus/internal/sat"
+	"crocus/internal/smt"
+)
+
+// Differential and property tests for the two engine-level
+// transformations added for the sat.solve bottleneck: CDCL inprocessing
+// (variable elimination, subsumption, vivification) and structural
+// hashing in the bit-blaster. Both claim to be invisible — inprocessing
+// preserves satisfiability and model-extendability, hashing preserves
+// node semantics — so both get byte-driven fuzz targets mirroring the
+// seeded drivers, plus the seeded drivers themselves.
+
+// decodeClause draws one non-empty clause over nv variables. Tautologies
+// and duplicate literals are allowed — the solver must cope.
+func decodeClause(src Source, nv int) []sat.Lit {
+	n := 1 + src.Intn(4)
+	cl := make([]sat.Lit, n)
+	for i := range cl {
+		cl[i] = sat.MkLit(sat.Var(src.Intn(nv)), src.Intn(2) == 1)
+	}
+	return cl
+}
+
+// bruteCNF exhaustively decides the clauses under the assumptions
+// (nv <= 14, so at most 16384 assignments).
+func bruteCNF(nv int, clauses [][]sat.Lit, assumptions []sat.Lit) sat.Status {
+	satisfies := func(bits uint64, cl []sat.Lit) bool {
+		for _, l := range cl {
+			if (bits>>uint(l.Var())&1 == 1) != l.Neg() {
+				return true
+			}
+		}
+		return false
+	}
+	for bits := uint64(0); bits < uint64(1)<<uint(nv); bits++ {
+		ok := true
+		for _, a := range assumptions {
+			if (bits>>uint(a.Var())&1 == 1) == a.Neg() {
+				ok = false
+				break
+			}
+		}
+		for _, cl := range clauses {
+			if !ok {
+				break
+			}
+			ok = satisfies(bits, cl)
+		}
+		if ok {
+			return sat.Sat
+		}
+	}
+	return sat.Unsat
+}
+
+// checkSATModel validates a Sat answer against the clause list and the
+// assumptions using Value alone (the public model surface — after
+// variable elimination these are reconstructed, not searched, values).
+func checkSATModel(t *testing.T, s *sat.Solver, clauses [][]sat.Lit, assumptions []sat.Lit, who string) {
+	t.Helper()
+	holds := func(l sat.Lit) bool { return s.Value(l.Var()) != l.Neg() }
+	for _, a := range assumptions {
+		if !holds(a) {
+			t.Fatalf("%s: model violates assumption %v", who, a)
+		}
+	}
+	for ci, cl := range clauses {
+		ok := false
+		for _, l := range cl {
+			if holds(l) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("%s: model violates clause %d: %v", who, ci, cl)
+		}
+	}
+}
+
+// runInprocessDiff drives one byte-decoded incremental CNF history
+// through two solvers — aggressive inprocessing (a round at every Solve
+// entry and restart) versus none — and cross-checks every answer
+// against the other solver and against exhaustive enumeration.
+func runInprocessDiff(t *testing.T, src Source) {
+	t.Helper()
+	nv := 3 + src.Intn(10) // 3..12 variables: always enumerable
+	ip, ref := sat.New(), sat.New()
+	ip.SetInprocess(true, -1)
+	ref.SetInprocess(false, 0)
+	for i := 0; i < nv; i++ {
+		ip.NewVar()
+		ref.NewVar()
+	}
+
+	var clauses [][]sat.Lit
+	steps := 1 + src.Intn(4)
+	for step := 0; step < steps; step++ {
+		for n := 1 + src.Intn(8); n > 0; n-- {
+			cl := decodeClause(src, nv)
+			clauses = append(clauses, cl)
+			// AddClause returns false only once the solver is in a
+			// contradictory root state; both must agree on that too.
+			okIP := ip.AddClause(cl...)
+			okRef := ref.AddClause(cl...)
+			if okIP != okRef {
+				t.Fatalf("step %d: AddClause(%v) = %v with inprocessing, %v without", step, cl, okIP, okRef)
+			}
+		}
+		var assumptions []sat.Lit
+		for n := src.Intn(3); n > 0; n-- {
+			assumptions = append(assumptions, sat.MkLit(sat.Var(src.Intn(nv)), src.Intn(2) == 1))
+		}
+		got := ip.Solve(assumptions...)
+		want := ref.Solve(assumptions...)
+		if got != want {
+			t.Fatalf("step %d: Solve(%v) = %v with inprocessing, %v without\nclauses: %v",
+				step, assumptions, got, want, clauses)
+		}
+		if truth := bruteCNF(nv, clauses, assumptions); got != truth {
+			t.Fatalf("step %d: Solve(%v) = %v, enumeration says %v\nclauses: %v",
+				step, assumptions, got, truth, clauses)
+		}
+		if got == sat.Sat {
+			checkSATModel(t, ip, clauses, assumptions, "inprocessing")
+			checkSATModel(t, ref, clauses, assumptions, "reference")
+		}
+	}
+}
+
+// FuzzInprocess is the byte-driven form of the inprocessing differential:
+// coverage feedback steers the clause/assumption history shape.
+func FuzzInprocess(f *testing.F) {
+	f.Add([]byte{0x03, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77})
+	f.Add([]byte{0xf0, 0x0f, 0xf0, 0x0f, 0xf0, 0x0f, 0xf0, 0x0f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runInprocessDiff(t, NewByteSource(data))
+	})
+}
+
+// TestInprocessDiffSeeded is the seeded sweep over the same property, so
+// the invariant is exercised on every `go test` run, not only under
+// -fuzz.
+func TestInprocessDiffSeeded(t *testing.T) {
+	iters := 300
+	if testing.Short() {
+		iters = 60
+	}
+	for i := 0; i < iters; i++ {
+		runInprocessDiff(t, RandSource{R: rand.New(rand.NewSource(7700 + int64(i)))})
+	}
+}
+
+// structHashConfigs is the hashing on/off pair, with the word-level
+// passes disabled so every check below exercises the gate-level circuit
+// rather than the rewriter.
+func structHashConfigs() []smt.Config {
+	return []smt.Config{
+		{NoSimplify: true, NoSolveEqs: true},
+		{NoSimplify: true, NoSolveEqs: true, NoStructHash: true},
+	}
+}
+
+// runStructHashEval checks the blasted circuit computes exactly the
+// big-integer oracle's value: for a generated term t and a concrete
+// environment E, the query (vars = E) ∧ t ≠ oracle(t, E) must be Unsat
+// with hashing on and off. This pins the semantics of every gate the
+// hashing touches (the shared-adder multiplier, the direct majority and
+// 3-input-xor encodings, ITE canonicalization) node by node.
+func runStructHashEval(t *testing.T, src Source, seed int64) {
+	t.Helper()
+	b := smt.NewBuilder()
+	g := NewGen(b, src)
+	w := []int{1, 4, 8}[src.Intn(3)]
+	term := g.BV(w, 3)
+	for ei, env := range randEnvs(b, rand.New(rand.NewSource(seed)), 2, term) {
+		want, err := Eval(b, term, env)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		asserts := []smt.TermID{b.Not(b.Eq(term, b.BVConst(want.Uint64(), w)))}
+		for _, v := range FreeVars(b, []smt.TermID{term}) {
+			tm := b.Term(v)
+			val := env[tm.Name]
+			if tm.Sort.Kind == smt.KindBool {
+				asserts = append(asserts, b.Iff(v, b.BoolConst(val.True())))
+			} else {
+				asserts = append(asserts, b.Eq(v, b.BVConst(val.Uint64(), tm.Sort.Width)))
+			}
+		}
+		for _, cfg := range structHashConfigs() {
+			res, err := smt.Check(b, asserts, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != sat.Unsat {
+				t.Fatalf("env %d (hashing off=%v): circuit disagrees with oracle on\n%s\nunder env %v (oracle value %s)",
+					ei, cfg.NoStructHash, b.String(term), env, want.B)
+			}
+		}
+	}
+}
+
+// runStructHashVerdicts cross-checks full generated queries with hashing
+// on and off: identical verdicts, and every Sat model must satisfy the
+// assertions under the oracle.
+func runStructHashVerdicts(t *testing.T, src Source) {
+	t.Helper()
+	b := smt.NewBuilder()
+	g := NewGen(b, src)
+	q := g.Query()
+	var agreed sat.Status
+	for i, cfg := range structHashConfigs() {
+		res, err := smt.Check(b, q.Asserts, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == sat.Unknown {
+			t.Fatalf("hashing off=%v: Unknown with no budget", cfg.NoStructHash)
+		}
+		if i == 0 {
+			agreed = res.Status
+		} else if res.Status != agreed {
+			t.Fatalf("verdict flips with hashing off: %v vs %v\nreproducer:\n%s",
+				agreed, res.Status, Format(b, q.Asserts))
+		}
+		if res.Status == sat.Sat {
+			if reason := checkModel(b, q.Asserts, res.Model); reason != "" {
+				t.Fatalf("hashing off=%v: %s\nreproducer:\n%s", cfg.NoStructHash, reason, Format(b, q.Asserts))
+			}
+		}
+	}
+}
+
+// FuzzStructHash is the byte-driven form of both structural-hashing
+// properties (circuit-vs-oracle evaluation, then verdict agreement on a
+// full query from the same stream).
+func FuzzStructHash(f *testing.F) {
+	f.Add([]byte{0x07, 0x1c, 0x70, 0xc1, 0x07, 0x1c, 0x70, 0xc1})
+	f.Add([]byte{0x5a, 0xa5, 0x5a, 0xa5, 0x5a, 0xa5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var seed int64
+		for _, x := range data {
+			seed = seed*131 + int64(x)
+		}
+		runStructHashEval(t, NewByteSource(data), seed)
+		runStructHashVerdicts(t, NewByteSource(data))
+	})
+}
+
+// TestStructHashSemanticsSeeded runs the circuit-vs-oracle property on
+// seeded random terms.
+func TestStructHashSemanticsSeeded(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	for i := 0; i < iters; i++ {
+		seed := 8800 + int64(i)
+		runStructHashEval(t, RandSource{R: rand.New(rand.NewSource(seed))}, seed)
+	}
+}
+
+// TestStructHashVerdictsSeeded runs the verdict-agreement property on
+// seeded random queries.
+func TestStructHashVerdictsSeeded(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	for i := 0; i < iters; i++ {
+		runStructHashVerdicts(t, RandSource{R: rand.New(rand.NewSource(9900 + int64(i)))})
+	}
+}

@@ -53,6 +53,11 @@ type Config struct {
 	// FreshSolvers falls back to the per-query fresh-solver reference
 	// pipeline instead of incremental rule sessions (A/B benchmarking).
 	FreshSolvers bool
+	// NoInprocess disables CDCL inprocessing; NoStructHash disables
+	// structural hashing in the bit-blaster. Both are verdict-preserving
+	// A/B knobs (see core.Options).
+	NoInprocess  bool
+	NoStructHash bool
 }
 
 func (c Config) timeout() time.Duration {
@@ -170,6 +175,8 @@ func Table1Context(ctx context.Context, cfg Config) (_ *Table1Result, retErr err
 		RetryBudgets:      cfg.RetryBudgets,
 		Cache:             cache,
 		FreshSolvers:      cfg.FreshSolvers,
+		NoInprocess:       cfg.NoInprocess,
+		NoStructHash:      cfg.NoStructHash,
 	})
 	custom := core.New(prog, core.Options{
 		Timeout:           cfg.timeout(),
@@ -178,6 +185,8 @@ func Table1Context(ctx context.Context, cfg Config) (_ *Table1Result, retErr err
 		RetryBudgets:      cfg.RetryBudgets,
 		Cache:             cache,
 		FreshSolvers:      cfg.FreshSolvers,
+		NoInprocess:       cfg.NoInprocess,
+		NoStructHash:      cfg.NoStructHash,
 	})
 
 	res := &Table1Result{ProgramRules: len(prog.Rules)}
@@ -348,7 +357,12 @@ func Fig4Context(ctx context.Context, cfg Config) (*Fig4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := core.New(prog, core.Options{Timeout: cfg.timeout(), Custom: corpus.CustomVCs()})
+	v := core.New(prog, core.Options{
+		Timeout:      cfg.timeout(),
+		Custom:       corpus.CustomVCs(),
+		NoInprocess:  cfg.NoInprocess,
+		NoStructHash: cfg.NoStructHash,
+	})
 	res := &Fig4Result{ProgramRules: len(prog.Rules)}
 	for _, r := range prog.Rules {
 		if ctx.Err() != nil {
@@ -566,6 +580,8 @@ func BugsStatsContext(ctx context.Context, cfg Config) (_ []*BugResult, _ *vcach
 			RetryBudgets:      cfg.RetryBudgets,
 			Cache:             cache,
 			FreshSolvers:      cfg.FreshSolvers,
+			NoInprocess:       cfg.NoInprocess,
+			NoStructHash:      cfg.NoStructHash,
 		})
 		res := &BugResult{Bug: bug, Detected: true}
 		names := make([]string, 0, len(bug.Expect))

@@ -1,0 +1,384 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Inprocessing rewrites the clause database mid-search, so its tests are
+// equivalence tests: for random instances the inprocessing solver must
+// agree with exhaustive enumeration on satisfiability, and every Sat
+// model — including values reconstructed for eliminated variables — must
+// satisfy the ORIGINAL clauses, not just the rewritten ones. Each
+// transformation is also exercised in isolation so a regression
+// localizes to the pass that caused it.
+
+// bruteSat reports satisfiability of the clause set over variables
+// [0, nv) by exhaustive enumeration.
+func bruteSat(clauses [][]Lit, nv int) bool {
+	for m := 0; m < 1<<nv; m++ {
+		ok := true
+		for _, c := range clauses {
+			csat := false
+			for _, l := range c {
+				bit := m>>uint(l.Var())&1 == 1
+				if bit != l.Neg() {
+					csat = true
+					break
+				}
+			}
+			if !csat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// bruteSatUnder is bruteSat with assumption literals conjoined.
+func bruteSatUnder(clauses [][]Lit, nv int, assumps []Lit) bool {
+	all := clauses
+	for _, a := range assumps {
+		all = append(all[:len(all):len(all)], []Lit{a})
+	}
+	return bruteSat(all, nv)
+}
+
+// aggressive turns on test-mode inprocessing: a full round at every
+// Solve entry and every restart.
+func aggressive(s *Solver) { s.SetInprocess(true, -1) }
+
+// TestInprocessAgainstBruteForce: random 3-CNF instances solved with
+// aggressive inprocessing must match exhaustive enumeration, and Sat
+// models must satisfy the original clauses.
+func TestInprocessAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4401))
+	for iter := 0; iter < 400; iter++ {
+		s := New()
+		aggressive(s)
+		nv := 3 + r.Intn(10)
+		nc := 1 + r.Intn(4*nv)
+		clauses, _ := randCNF(s, r, nv, nc)
+		want := bruteSat(clauses, nv)
+		got := s.Solve()
+		if (got == Sat) != want || got == Unknown {
+			t.Fatalf("iter %d: Solve = %v, brute force sat = %v", iter, got, want)
+		}
+		if got == Sat && !satisfies(s, clauses) {
+			t.Fatalf("iter %d: model does not satisfy original clauses", iter)
+		}
+	}
+}
+
+// TestInprocessIncrementalAgainstBruteForce: interleaved AddClause/Solve
+// sequences — the shape the SMT session produces — stay correct while
+// rounds run between queries. Clauses added after an elimination may
+// reference eliminated variables, exercising restore-on-reuse.
+func TestInprocessIncrementalAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4402))
+	for iter := 0; iter < 150; iter++ {
+		s := New()
+		aggressive(s)
+		nv := 4 + r.Intn(8)
+		var all [][]Lit
+		cs, _ := randCNF(s, r, nv, 1+r.Intn(2*nv))
+		all = append(all, cs...)
+		rootUnsat := false
+		for step := 0; step < 4; step++ {
+			want := bruteSat(all, nv)
+			got := s.Solve()
+			if (got == Sat) != want || got == Unknown {
+				t.Fatalf("iter %d step %d: Solve = %v, brute = %v", iter, step, got, want)
+			}
+			if got == Sat && !satisfies(s, all) {
+				t.Fatalf("iter %d step %d: model violates original clauses", iter, step)
+			}
+			if !want {
+				rootUnsat = true
+				break
+			}
+			// Grow the instance over the SAME variables: fresh clauses
+			// routinely hit variables BVE removed in the previous round.
+			n := 1 + r.Intn(3)
+			lits := make([]Lit, 0, n)
+			for j := 0; j < n; j++ {
+				lits = append(lits, MkLit(Var(r.Intn(nv)), r.Intn(2) == 0))
+			}
+			all = append(all, lits)
+			s.AddClause(lits...)
+		}
+		_ = rootUnsat
+	}
+}
+
+// TestInprocessAssumptionsAgainstBruteForce: assumption solving with
+// aggressive inprocessing. Assumption variables must never be
+// eliminated mid-call, answers must match enumeration under the
+// assumptions, and FinalConflict must stay a subset of the assumptions.
+func TestInprocessAssumptionsAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(4403))
+	for iter := 0; iter < 150; iter++ {
+		s := New()
+		aggressive(s)
+		nv := 4 + r.Intn(8)
+		clauses, _ := randCNF(s, r, nv, 1+r.Intn(3*nv))
+		for q := 0; q < 3; q++ {
+			na := r.Intn(3)
+			assumps := make([]Lit, 0, na)
+			for j := 0; j < na; j++ {
+				assumps = append(assumps, MkLit(Var(r.Intn(nv)), r.Intn(2) == 0))
+			}
+			want := bruteSatUnder(clauses, nv, assumps)
+			got := s.Solve(assumps...)
+			if (got == Sat) != want || got == Unknown {
+				t.Fatalf("iter %d q %d assumps %v: Solve = %v, brute = %v",
+					iter, q, assumps, got, want)
+			}
+			if got == Sat {
+				if !satisfies(s, clauses) {
+					t.Fatalf("iter %d q %d: model violates original clauses", iter, q)
+				}
+				for _, a := range assumps {
+					if s.Value(a.Var()) == a.Neg() {
+						t.Fatalf("iter %d q %d: model violates assumption %v", iter, q, a)
+					}
+				}
+			}
+			if got == Unsat {
+				for _, c := range s.FinalConflict() {
+					found := false
+					for _, a := range assumps {
+						if c == a {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatalf("iter %d q %d: core literal %v not among assumptions %v",
+							iter, q, c, assumps)
+					}
+				}
+			}
+		}
+	}
+}
+
+// applyIsolated runs exactly one inprocessing transformation on the
+// solver (at the root, with the same pre/post plumbing a full round
+// uses) and returns it ready to solve with inprocessing disabled — so
+// each pass is validated on its own, not masked by the others.
+func applyIsolated(t *testing.T, s *Solver, pass string) {
+	t.Helper()
+	s.cancelUntil(0)
+	for _, l := range s.trail {
+		s.reason[l.Var()] = nilReason
+	}
+	if !s.sweepRoot() {
+		return
+	}
+	switch pass {
+	case "sweep":
+		// sweepRoot alone.
+	case "subsume":
+		s.subsume(s.buildOcc())
+	case "eliminate":
+		s.eliminate(s.buildOcc())
+	case "vivify":
+		if !s.rebuildWatches() {
+			return
+		}
+		s.vivify()
+		return
+	default:
+		t.Fatalf("unknown pass %q", pass)
+	}
+	if !s.ok {
+		return
+	}
+	s.rebuildWatches()
+}
+
+// TestIsolatedPassesPreserveEquivalence: each transformation alone
+// preserves satisfiability and model-extendability on random instances.
+func TestIsolatedPassesPreserveEquivalence(t *testing.T) {
+	for _, pass := range []string{"sweep", "subsume", "eliminate", "vivify"} {
+		pass := pass
+		t.Run(pass, func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(4500 + len(pass))))
+			for iter := 0; iter < 300; iter++ {
+				s := New()
+				nv := 3 + r.Intn(9)
+				nc := 1 + r.Intn(4*nv)
+				clauses, _ := randCNF(s, r, nv, nc)
+				if !s.ok {
+					continue // root conflict during construction
+				}
+				applyIsolated(t, s, pass)
+				want := bruteSat(clauses, nv)
+				got := s.Solve()
+				if (got == Sat) != want || got == Unknown {
+					t.Fatalf("iter %d: after %s, Solve = %v, brute = %v", iter, pass, got, want)
+				}
+				if got == Sat && !satisfies(s, clauses) {
+					t.Fatalf("iter %d: after %s, model violates original clauses", iter, pass)
+				}
+			}
+		})
+	}
+}
+
+// TestFreezeBlocksElimination: frozen variables survive every round.
+func TestFreezeBlocksElimination(t *testing.T) {
+	r := rand.New(rand.NewSource(4601))
+	for iter := 0; iter < 100; iter++ {
+		s := New()
+		aggressive(s)
+		nv := 4 + r.Intn(8)
+		_, first := randCNF(s, r, nv, 2*nv)
+		frozen := Var(int(first) + r.Intn(nv))
+		s.Freeze(frozen)
+		s.Solve()
+		if s.eliminated[frozen] {
+			t.Fatalf("iter %d: frozen var %d was eliminated", iter, frozen)
+		}
+	}
+}
+
+// TestRestoreOnReuse: a variable that BVE removed comes back intact when
+// a later clause or assumption references it, with the stored clauses
+// re-enforced — the exact lifecycle the blaster's persistent gate cache
+// produces.
+func TestRestoreOnReuse(t *testing.T) {
+	// x appears in exactly two clauses: (x ∨ a) and (¬x ∨ b); BVE
+	// resolves them to (a ∨ b) and drops x.
+	s := New()
+	aggressive(s)
+	x, a, b := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(x, false), MkLit(a, false))
+	s.AddClause(MkLit(x, true), MkLit(b, false))
+	if s.Solve() != Sat {
+		t.Fatal("expected sat")
+	}
+	if !s.eliminated[x] {
+		t.Skip("x not eliminated (bounds changed); nothing to restore")
+	}
+	// The model must still respect the original clauses through the
+	// reconstructed value of x.
+	xv, av, bv := s.Value(x), s.Value(a), s.Value(b)
+	if !(xv || av) || !(!xv || bv) {
+		t.Fatalf("reconstructed model x=%v a=%v b=%v violates originals", xv, av, bv)
+	}
+	// Reusing x in a new clause restores it: forcing ¬a and x must now
+	// force b through the restored (¬x ∨ b).
+	if !s.AddClause(MkLit(a, true), MkLit(a, true)) {
+		t.Fatal("¬a should be addable")
+	}
+	if s.Solve(MkLit(x, false)) != Sat {
+		t.Fatal("expected sat under assumption x")
+	}
+	if s.eliminated[x] {
+		t.Fatal("assumption on x should have restored it")
+	}
+	if !s.Value(b) {
+		t.Fatal("restored clause ¬x∨b must force b under x")
+	}
+	if s.Value(a) {
+		t.Fatal("a must be false")
+	}
+}
+
+// TestInprocessRootUnsatViaRounds: instances that are unsat at the root
+// stay unsat when rounds run first (the empty-clause paths inside the
+// passes must set ok=false, not panic).
+func TestInprocessRootUnsatViaRounds(t *testing.T) {
+	r := rand.New(rand.NewSource(4701))
+	seen := 0
+	for iter := 0; iter < 300; iter++ {
+		s := New()
+		aggressive(s)
+		nv := 3 + r.Intn(4)
+		clauses, _ := randCNF(s, r, nv, 6*nv) // dense: usually unsat
+		if bruteSat(clauses, nv) {
+			continue
+		}
+		seen++
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("iter %d: Solve = %v on unsat instance", iter, got)
+		}
+		// And it must stay Unsat on re-solve.
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("iter %d: re-Solve = %v", iter, got)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no unsat instances generated; tune the density")
+	}
+}
+
+// TestInprocessStatsAccumulate: aggressive rounds on a redundant
+// instance report work done, and the counters never go negative.
+func TestInprocessStatsAccumulate(t *testing.T) {
+	s := New()
+	aggressive(s)
+	r := rand.New(rand.NewSource(4801))
+	// Build an instance with obvious redundancy: duplicate and
+	// supersets of the same clauses.
+	nv := 12
+	vars := make([]Var, nv)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for i := 0; i < 60; i++ {
+		a := MkLit(vars[r.Intn(nv)], r.Intn(2) == 0)
+		b := MkLit(vars[r.Intn(nv)], r.Intn(2) == 0)
+		c := MkLit(vars[r.Intn(nv)], r.Intn(2) == 0)
+		s.AddClause(a, b)
+		s.AddClause(a, b, c) // subsumed by the pair above
+	}
+	s.Solve()
+	st := s.InprocessStats()
+	if st.Rounds < 1 {
+		t.Fatalf("expected at least one round, got %+v", st)
+	}
+	if st.Subsumed < 1 {
+		t.Fatalf("expected subsumptions on a redundant instance, got %+v", st)
+	}
+	if st.ElimVars < 0 || st.Subsumed < 0 || st.Strengthened < 0 || st.Vivified < 0 {
+		t.Fatalf("negative counters: %+v", st)
+	}
+}
+
+// TestInprocessDeterministic: two identical runs produce identical
+// stats, clause counts, and verdicts — rounds trigger on conflict
+// counts, never the wall clock.
+func TestInprocessDeterministic(t *testing.T) {
+	run := func() (Status, InprocessStats, int, int64, int64, int64) {
+		s := New()
+		s.SetInprocess(true, 8) // small interval: several mid-search rounds
+		r := rand.New(rand.NewSource(4901))
+		nv := 30
+		vars := make([]Var, nv)
+		for i := range vars {
+			vars[i] = s.NewVar()
+		}
+		for i := 0; i < 120; i++ {
+			s.AddClause(
+				MkLit(vars[r.Intn(nv)], r.Intn(2) == 0),
+				MkLit(vars[r.Intn(nv)], r.Intn(2) == 0),
+				MkLit(vars[r.Intn(nv)], r.Intn(2) == 0),
+			)
+		}
+		st := s.Solve()
+		p, c, d := s.Stats()
+		return st, s.InprocessStats(), s.NumClauses(), p, c, d
+	}
+	s1, i1, n1, p1, c1, d1 := run()
+	s2, i2, n2, p2, c2, d2 := run()
+	if s1 != s2 || i1 != i2 || n1 != n2 || p1 != p2 || c1 != c2 || d1 != d2 {
+		t.Fatalf("nondeterministic inprocessing:\n%v %+v %d %d %d %d\n%v %+v %d %d %d %d",
+			s1, i1, n1, p1, c1, d1, s2, i2, n2, p2, c2, d2)
+	}
+}

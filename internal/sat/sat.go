@@ -163,6 +163,18 @@ type Solver struct {
 	core []Lit // final conflict of the last assumption-failed Solve
 
 	ok bool // false once UNSAT at level 0
+
+	// Inprocessing state (inprocess.go).
+	inprocOn        bool
+	inprocInterval  int64
+	lastInprocConfl int64
+	inproc          InprocessStats
+	frozen          []bool // per variable: never eliminate
+	eliminated      []bool // per variable: removed by BVE, restorable
+	extStack        []extEntry
+	extIdx          map[Var][]int // eliminated var -> its extStack entries
+	model           []lbool       // reconstructed model; Value prefers it when set
+	vivCursor       int64         // persistent vivification scan position
 }
 
 // New returns an empty solver.
@@ -172,6 +184,7 @@ func New() *Solver {
 		claInc:   1,
 		maxLearn: 4000,
 		ok:       true,
+		extIdx:   map[Var][]int{},
 	}
 	s.order = newVarHeap(&s.activity)
 	return s
@@ -228,6 +241,8 @@ func (s *Solver) NewVar() Var {
 	s.polarity = append(s.polarity, true)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
+	s.frozen = append(s.frozen, false)
+	s.eliminated = append(s.eliminated, false)
 	s.order.insert(v)
 	return v
 }
@@ -279,10 +294,22 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		return false
 	}
 	s.cancelUntil(0) // drop any model left over from a previous Solve
+	s.model = s.model[:0]
 	for _, l := range lits {
 		if int(l.Var()) >= len(s.assign) {
 			panic(ErrNoVar)
 		}
+	}
+	// A clause referencing a BVE-eliminated variable brings it back:
+	// its stored original clauses are re-added before the new constraint
+	// lands, so incremental clients never see eliminations.
+	for _, l := range lits {
+		if s.eliminated[l.Var()] {
+			s.restore(l.Var())
+		}
+	}
+	if !s.ok {
+		return false
 	}
 	// Simplify: drop false/duplicate literals, detect tautologies.
 	out := lits[:0:0]
@@ -725,9 +752,27 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		return Unsat
 	}
 	s.cancelUntil(0)
+	s.model = s.model[:0]
+	// Assumptions over eliminated variables restore them first, exactly
+	// like AddClause: the stored clauses must be live before the search
+	// is allowed to constrain the variable.
+	for _, a := range assumptions {
+		if s.eliminated[a.Var()] {
+			s.restore(a.Var())
+		}
+	}
+	if !s.ok {
+		return Unsat
+	}
 	if s.pollInterrupt() {
 		// Canceled (or already past deadline) before any search work.
 		return Unknown
+	}
+	if s.shouldInprocess() {
+		s.inprocess(assumptions)
+		if !s.ok {
+			return Unsat
+		}
 	}
 
 	restartIdx := int64(1)
@@ -772,7 +817,17 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			s.restarts++
 			conflictBudget = luby(restartIdx) * 128
 			conflictsThisRestart = 0
-			s.cancelUntil(len(assumptions))
+			if s.shouldInprocess() {
+				// Inprocessing needs the root level; the assumption
+				// prefix is re-placed by the loop below afterwards.
+				s.cancelUntil(0)
+				s.inprocess(assumptions)
+				if !s.ok {
+					return Unsat
+				}
+			} else {
+				s.cancelUntil(len(assumptions))
+			}
 			// Levels up to assumptions retained; re-propagate.
 			continue
 		}
@@ -809,13 +864,18 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		var next Var = -1
 		for !s.order.empty() {
 			v := s.order.removeMax()
-			if s.assign[v] == lUndef {
+			if s.assign[v] == lUndef && !s.eliminated[v] {
 				next = v
 				break
 			}
 		}
 		if next == -1 {
-			return Sat // all variables assigned
+			// All live variables assigned. Eliminated variables get their
+			// values from witness reconstruction over the extension stack.
+			if len(s.extStack) > 0 {
+				s.reconstructModel()
+			}
+			return Sat
 		}
 		s.decisions++
 		s.trailLim = append(s.trailLim, int32(len(s.trail)))
@@ -825,7 +885,14 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 
 // Value returns the model value of v after a Sat result. Unassigned
 // variables (possible only for variables created after solving) read false.
-func (s *Solver) Value(v Var) bool { return s.assign[v] == lTrue }
+// When inprocessing has eliminated variables, the value comes from the
+// reconstructed model snapshot rather than the trail.
+func (s *Solver) Value(v Var) bool {
+	if int(v) < len(s.model) {
+		return s.model[v] == lTrue
+	}
+	return s.assign[v] == lTrue
+}
 
 // varHeap is an indexed max-heap ordered by activity.
 type varHeap struct {

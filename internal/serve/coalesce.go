@@ -34,8 +34,9 @@ type flight struct {
 func (s *Server) flightKey(v *core.Verifier, rule *isle.Rule) (string, bool) {
 	sigs := v.Sigs(rule)
 	sections := make([]string, 0, len(sigs)+1)
-	sections = append(sections, fmt.Sprintf("opts timeout=%d ladder=%v fresh=%v",
-		v.Opts.Timeout.Nanoseconds(), v.Opts.RetryBudgets, v.Opts.FreshSolvers))
+	sections = append(sections, fmt.Sprintf("opts timeout=%d ladder=%v fresh=%v noip=%v nosh=%v",
+		v.Opts.Timeout.Nanoseconds(), v.Opts.RetryBudgets, v.Opts.FreshSolvers,
+		v.Opts.NoInprocess, v.Opts.NoStructHash))
 	for _, sig := range sigs {
 		fp, ok, err := v.FingerprintInstantiation(rule, sig)
 		if err != nil || !ok {

@@ -393,6 +393,8 @@ func (s *Server) verifyOne(ctx context.Context, req *VerifyRequest) (*VerifyResp
 		Custom:            custom,
 		Cache:             s.cache,
 		FreshSolvers:      req.Fresh,
+		NoInprocess:       req.NoInprocess,
+		NoStructHash:      req.NoStructHash,
 		Scheduler:         s.pool,
 	})
 	rr, coalesced, queueWait, status, err := s.verifyRuleCoalesced(ctx, v, rule)

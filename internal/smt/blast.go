@@ -17,6 +17,10 @@ type blaster struct {
 	lf  sat.Lit // constant-false literal
 	bws map[TermID][]sat.Lit
 	bls map[TermID]sat.Lit
+
+	// Structural hashing (structhash.go): gate-level node sharing.
+	gc     *gateCache
+	noHash bool // per-query escape hatch; folding stays on either way
 }
 
 func newBlaster(b *Builder, s *sat.Solver) *blaster {
@@ -25,6 +29,7 @@ func newBlaster(b *Builder, s *sat.Solver) *blaster {
 		s:   s,
 		bws: make(map[TermID][]sat.Lit),
 		bls: make(map[TermID]sat.Lit),
+		gc:  newGateCache(),
 	}
 	t := s.NewVar()
 	bl.lt = sat.MkLit(t, false)
@@ -59,10 +64,20 @@ func (bl *blaster) gAnd(a, b sat.Lit) sat.Lit {
 	case a == b.Not():
 		return bl.lf
 	}
+	key := key2(a, b)
+	if !bl.noHash {
+		if g, ok := bl.gc.and[key]; ok {
+			bl.gc.hits++
+			return g
+		}
+	}
 	g := bl.fresh()
 	bl.s.AddClause(g.Not(), a)
 	bl.s.AddClause(g.Not(), b)
 	bl.s.AddClause(g, a.Not(), b.Not())
+	if !bl.noHash {
+		bl.gc.and[key] = g
+	}
 	return g
 }
 
@@ -85,11 +100,30 @@ func (bl *blaster) gXor(a, b sat.Lit) sat.Lit {
 	case a == b.Not():
 		return bl.lt
 	}
+	// XOR is sign-transparent: build the positive-operand gate once and
+	// fold operand signs into the result sign.
+	key, neg := stripSigns2(a, b)
+	if !bl.noHash {
+		if g, ok := bl.gc.xor[key]; ok {
+			bl.gc.hits++
+			if neg {
+				g = g.Not()
+			}
+			return g
+		}
+	}
+	a, b = key[0], key[1]
 	g := bl.fresh()
 	bl.s.AddClause(g.Not(), a, b)
 	bl.s.AddClause(g.Not(), a.Not(), b.Not())
 	bl.s.AddClause(g, a.Not(), b)
 	bl.s.AddClause(g, a, b.Not())
+	if !bl.noHash {
+		bl.gc.xor[key] = g
+	}
+	if neg {
+		g = g.Not()
+	}
 	return g
 }
 
@@ -107,18 +141,177 @@ func (bl *blaster) gIte(c, t, e sat.Lit) sat.Lit {
 		return c
 	case t == bl.lf && e == bl.lt:
 		return c.Not()
+	case t == bl.lt:
+		return bl.gOr(c, e)
+	case t == bl.lf:
+		return bl.gAnd(c.Not(), e)
+	case e == bl.lt:
+		return bl.gOr(c.Not(), t)
+	case e == bl.lf:
+		return bl.gAnd(c, t)
+	case t == c:
+		// ite(c, c, e) = c ∨ e.
+		return bl.gOr(c, e)
+	case t == c.Not():
+		// ite(c, ¬c, e) = ¬c ∧ e.
+		return bl.gAnd(c.Not(), e)
+	case e == c:
+		// ite(c, t, c) = c ∧ t.
+		return bl.gAnd(c, t)
+	case e == c.Not():
+		// ite(c, t, ¬c) = ¬c ∨ t.
+		return bl.gOr(c.Not(), t)
+	}
+	// Canonical form: positive condition (negating c swaps the
+	// branches), positive then-branch (branch signs fold into the
+	// result sign).
+	neg := false
+	if c.Neg() {
+		c = c.Not()
+		t, e = e, t
+	}
+	if t.Neg() {
+		t, e = t.Not(), e.Not()
+		neg = true
+	}
+	key := [3]sat.Lit{c, t, e}
+	if !bl.noHash {
+		if g, ok := bl.gc.ite[key]; ok {
+			bl.gc.hits++
+			if neg {
+				g = g.Not()
+			}
+			return g
+		}
 	}
 	g := bl.fresh()
 	bl.s.AddClause(g.Not(), c.Not(), t)
 	bl.s.AddClause(g.Not(), c, e)
 	bl.s.AddClause(g, c.Not(), t.Not())
 	bl.s.AddClause(g, c, e.Not())
+	if !bl.noHash {
+		bl.gc.ite[key] = g
+	}
+	if neg {
+		g = g.Not()
+	}
 	return g
 }
 
-// gMaj computes the majority of three literals (full-adder carry).
+// gMaj computes the majority of three literals (full-adder carry) with a
+// direct 6-clause encoding — one auxiliary variable instead of the three
+// an AND/OR decomposition costs.
 func (bl *blaster) gMaj(a, b, c sat.Lit) sat.Lit {
-	return bl.gOr(bl.gAnd(a, b), bl.gOr(bl.gAnd(a, c), bl.gAnd(b, c)))
+	switch {
+	case a == bl.lt:
+		return bl.gOr(b, c)
+	case a == bl.lf:
+		return bl.gAnd(b, c)
+	case b == bl.lt:
+		return bl.gOr(a, c)
+	case b == bl.lf:
+		return bl.gAnd(a, c)
+	case c == bl.lt:
+		return bl.gOr(a, b)
+	case c == bl.lf:
+		return bl.gAnd(a, b)
+	case a == b:
+		return a
+	case a == c:
+		return a
+	case b == c:
+		return b
+	case a == b.Not():
+		return c
+	case a == c.Not():
+		return b
+	case b == c.Not():
+		return a
+	}
+	key := key3(a, b, c)
+	if !bl.noHash {
+		if g, ok := bl.gc.maj[key]; ok {
+			bl.gc.hits++
+			return g
+		}
+	}
+	a, b, c = key[0], key[1], key[2]
+	g := bl.fresh()
+	bl.s.AddClause(g.Not(), a, b)
+	bl.s.AddClause(g.Not(), a, c)
+	bl.s.AddClause(g.Not(), b, c)
+	bl.s.AddClause(g, a.Not(), b.Not())
+	bl.s.AddClause(g, a.Not(), c.Not())
+	bl.s.AddClause(g, b.Not(), c.Not())
+	if !bl.noHash {
+		bl.gc.maj[key] = g
+	}
+	return g
+}
+
+// gXor3 computes a ⊕ b ⊕ c (full-adder sum) with a direct 8-clause
+// encoding — one auxiliary variable instead of the two a chained
+// two-input XOR costs, and a tighter propagation structure: any three
+// fixed inputs/output imply the fourth in one step.
+func (bl *blaster) gXor3(a, b, c sat.Lit) sat.Lit {
+	if a == bl.lt || a == bl.lf {
+		return bl.constXor(a, bl.gXor(b, c))
+	}
+	if b == bl.lt || b == bl.lf {
+		return bl.constXor(b, bl.gXor(a, c))
+	}
+	if c == bl.lt || c == bl.lf {
+		return bl.constXor(c, bl.gXor(a, b))
+	}
+	switch {
+	case a == b:
+		return c
+	case a == b.Not():
+		return c.Not()
+	case a == c:
+		return b
+	case a == c.Not():
+		return b.Not()
+	case b == c:
+		return a
+	case b == c.Not():
+		return a.Not()
+	}
+	key, neg := stripSigns3(a, b, c)
+	if !bl.noHash {
+		if g, ok := bl.gc.xor3[key]; ok {
+			bl.gc.hits++
+			if neg {
+				g = g.Not()
+			}
+			return g
+		}
+	}
+	a, b, c = key[0], key[1], key[2]
+	g := bl.fresh()
+	bl.s.AddClause(g.Not(), a, b, c)
+	bl.s.AddClause(g.Not(), a.Not(), b.Not(), c)
+	bl.s.AddClause(g.Not(), a.Not(), b, c.Not())
+	bl.s.AddClause(g.Not(), a, b.Not(), c.Not())
+	bl.s.AddClause(g, a.Not(), b, c)
+	bl.s.AddClause(g, a, b.Not(), c)
+	bl.s.AddClause(g, a, b, c.Not())
+	bl.s.AddClause(g, a.Not(), b.Not(), c.Not())
+	if !bl.noHash {
+		bl.gc.xor3[key] = g
+	}
+	if neg {
+		g = g.Not()
+	}
+	return g
+}
+
+// constXor folds a constant literal into x.
+func (bl *blaster) constXor(k, x sat.Lit) sat.Lit {
+	if k == bl.lt {
+		return x.Not()
+	}
+	return x
 }
 
 // --- word-level circuits ---
@@ -135,7 +328,7 @@ func (bl *blaster) addWord(a, b []sat.Lit, carryIn sat.Lit) []sat.Lit {
 	out := make([]sat.Lit, len(a))
 	c := carryIn
 	for i := range a {
-		s := bl.gXor(bl.gXor(a[i], b[i]), c)
+		s := bl.gXor3(a[i], b[i], c)
 		c = bl.gMaj(a[i], b[i], c)
 		out[i] = s
 	}
@@ -158,22 +351,68 @@ func (bl *blaster) subWord(a, b []sat.Lit) []sat.Lit {
 	return bl.addWord(a, bl.notWord(b), bl.lt)
 }
 
+// mulWord multiplies via a partial-product tree with shared carry-save
+// adders: partial products are bucketed by output column, each column is
+// 3:2-compressed with full-adder gates (carries feeding the next
+// column), and only the final two rows ride a ripple adder. Compared to
+// the naive shift-add ladder (w ripple adders, O(w²) XOR/MAJ chains in
+// series) this is both smaller and much shallower, which is what the
+// mul/div/popcnt timeout tail in the corpus measurements is sensitive
+// to. Structural hashing composes: the column compressors of aligned
+// sub-products dedupe across queries.
 func (bl *blaster) mulWord(a, b []sat.Lit) []sat.Lit {
 	w := len(a)
-	acc := bl.constWord(0, w)
+	cols := make([][]sat.Lit, w)
 	for i := 0; i < w; i++ {
-		// partial = (a << i) & replicate(b[i]) on the live bits.
-		part := make([]sat.Lit, w)
-		for j := 0; j < w; j++ {
-			if j < i {
-				part[j] = bl.lf
-			} else {
-				part[j] = bl.gAnd(a[j-i], b[i])
+		if b[i] == bl.lf {
+			continue
+		}
+		for j := i; j < w; j++ {
+			if p := bl.gAnd(a[j-i], b[i]); p != bl.lf {
+				cols[j] = append(cols[j], p)
 			}
 		}
-		acc = bl.addWord(acc, part, bl.lf)
 	}
-	return acc
+	return bl.compressColumns(cols)
+}
+
+// compressColumns reduces per-column literal buckets to a single word:
+// every group of three bits in a column becomes a full adder (sum stays,
+// carry moves one column up — carries past the top column are truncated,
+// matching modular arithmetic), and the surviving ≤2 rows are summed by
+// one ripple adder.
+func (bl *blaster) compressColumns(cols [][]sat.Lit) []sat.Lit {
+	w := len(cols)
+	for j := 0; j < w; j++ {
+		for len(cols[j]) > 2 {
+			x, y, z := cols[j][0], cols[j][1], cols[j][2]
+			rest := cols[j][3:]
+			sum := bl.gXor3(x, y, z)
+			next := make([]sat.Lit, 0, len(rest)+1)
+			next = append(next, rest...)
+			if sum != bl.lf {
+				next = append(next, sum)
+			}
+			cols[j] = next
+			if j+1 < w {
+				if carry := bl.gMaj(x, y, z); carry != bl.lf {
+					cols[j+1] = append(cols[j+1], carry)
+				}
+			}
+		}
+	}
+	lo := make([]sat.Lit, w)
+	hi := make([]sat.Lit, w)
+	for j := 0; j < w; j++ {
+		lo[j], hi[j] = bl.lf, bl.lf
+		if len(cols[j]) > 0 {
+			lo[j] = cols[j][0]
+		}
+		if len(cols[j]) > 1 {
+			hi[j] = cols[j][1]
+		}
+	}
+	return bl.addWord(lo, hi, bl.lf)
 }
 
 // ugeWord returns the literal a >= b (unsigned).
@@ -318,19 +557,19 @@ func (bl *blaster) rotateWord(a, amt []sat.Lit, left bool) []sat.Lit {
 	return cur
 }
 
-// popcntWord sums the bits of a into a w-bit result.
+// popcntWord sums the bits of a into a w-bit result via the same
+// carry-save column compressor the multiplier uses: all bits land in
+// column 0 and full-adder carries build the count bottom-up — a
+// logarithmic-depth counter instead of w ripple adders in series.
 func (bl *blaster) popcntWord(a []sat.Lit) []sat.Lit {
 	w := len(a)
-	acc := bl.constWord(0, w)
-	for i := 0; i < w; i++ {
-		inc := make([]sat.Lit, w)
-		inc[0] = a[i]
-		for j := 1; j < w; j++ {
-			inc[j] = bl.lf
+	cols := make([][]sat.Lit, w)
+	for _, l := range a {
+		if l != bl.lf {
+			cols[0] = append(cols[0], l)
 		}
-		acc = bl.addWord(acc, inc, bl.lf)
 	}
-	return acc
+	return bl.compressColumns(cols)
 }
 
 // clzWord counts leading zeros of a into a w-bit result.
