@@ -30,7 +30,9 @@ import (
 	"time"
 
 	"crocus/internal/eval"
+	"crocus/internal/faultinject"
 	"crocus/internal/obs"
+	"crocus/internal/vcache"
 )
 
 // parseBudgets parses the -retry-budgets value: a comma-separated list
@@ -64,7 +66,20 @@ func main() {
 	retryBudgets := flag.String("retry-budgets", "", "timeout-escalation ladder: comma-separated propagation budgets to retry timed-out units at (ascending; 0 = unlimited final rung)")
 	traceDir := flag.String("trace-dir", "", "write one Chrome trace-event JSON artifact per experiment (TRACE_<exp>.json) under this directory")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+	journal := flag.Bool("journal", false, "record completed table1 verification units in a sweep journal under -cache-dir so a killed run resumes where it died (requires -cache-dir)")
+	faults := flag.String("faults", "", "arm deterministic fault injection: 'site=kind:prob[:dur],...[,seed=N]' with kinds error|panic|delay|corrupt|kill; overrides $"+faultinject.EnvVar)
 	flag.Parse()
+
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "crocus-eval:", err)
+		os.Exit(1)
+	}
+	if *faults != "" {
+		if err := faultinject.Arm(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus-eval:", err)
+			os.Exit(1)
+		}
+	}
 
 	ladder, err := parseBudgets(*retryBudgets)
 	if err != nil {
@@ -90,6 +105,29 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "crocus-eval:", err)
 		os.Exit(1)
+	}
+
+	// The sweep journal scopes to the table1 sweep (the long-running
+	// experiment a kill most plausibly interrupts); its identity covers
+	// every outcome-affecting knob so a reconfigured run starts fresh.
+	var sweepJournal *vcache.Journal
+	if *journal {
+		if *cacheDir == "" {
+			fail(fmt.Errorf("-journal requires -cache-dir"))
+		}
+		sweepID := vcache.Fingerprint("crocus-eval-sweep-1", []string{
+			fmt.Sprintf("timeout=%s distinct=%t fresh=%t budget=%d ladder=%v noip=%t nosh=%t",
+				*timeout, *distinct, *fresh, *budget, ladder, *noInprocess, *noStructHash),
+		})
+		j, jerr := vcache.OpenJournal(*cacheDir, sweepID)
+		if jerr != nil {
+			fail(jerr)
+		}
+		sweepJournal = j
+		cfg.Journal = j
+		if n := j.Resumed(); n > 0 {
+			fmt.Printf("journal: resuming sweep, %d units already complete\n", n)
+		}
 	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -179,6 +217,19 @@ func main() {
 				fmt.Println(stats)
 			}
 		})
+	}
+	if sweepJournal != nil {
+		if !interrupted {
+			if err := sweepJournal.Complete(); err != nil {
+				fmt.Fprintln(os.Stderr, "crocus-eval: journal:", err)
+			}
+		}
+		if err := sweepJournal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus-eval: journal:", err)
+		}
+	}
+	if faultinject.Enabled() {
+		fmt.Fprintln(os.Stderr, "crocus-eval:", faultinject.Summary())
 	}
 	if interrupted {
 		fmt.Println("crocus-eval: interrupted — report above is partial; re-run with the same -cache-dir to resume from cached results")

@@ -7,12 +7,18 @@
 //	crocus-serve [-addr localhost:8742] [-corpora aarch64,x64,midend]
 //	             [-cache-dir DIR] [-max-inflight N] [-queue-timeout 30s]
 //	             [-drain-timeout 30s] [-timeout 5s] [-max-timeout 10m]
-//	             [-pprof-addr ADDR]
+//	             [-shed-latency D] [-faults SPEC] [-pprof-addr ADDR]
 //
-// Endpoints: POST /v1/verify, POST /v1/verify/batch, GET /v1/healthz,
-// GET /v1/statusz. On SIGTERM (or SIGINT) the daemon drains: it stops
-// accepting work, lets in-flight requests finish (or cancels them after
-// -drain-timeout), flushes the JSONL cache tier, and exits 0.
+// Endpoints: POST /v1/verify, POST /v1/verify/batch, GET /v1/healthz
+// (liveness), GET /v1/readyz (readiness: 503 while draining or load
+// shedding), GET /v1/statusz. On SIGTERM (or SIGINT) the daemon drains:
+// it stops accepting work, lets in-flight requests finish (or cancels
+// them after -drain-timeout), flushes the JSONL cache tier, and exits 0.
+//
+// With -shed-latency, a queue-latency circuit breaker sheds new requests
+// with 429 + Retry-After before the worker pool saturates. -faults (or
+// CROCUS_FAULTS) arms the deterministic fault-injection registry for
+// chaos testing; statusz reports the armed spec and per-site counters.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"crocus/internal/faultinject"
 	"crocus/internal/obs"
 	"crocus/internal/serve"
 )
@@ -41,11 +48,25 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-unit solver deadline")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "ceiling for request-supplied solver deadlines")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar metrics on this address")
+	shedLatency := flag.Duration("shed-latency", 0, "queue-latency circuit breaker: shed new requests with 429 + Retry-After when recent slot waits mostly exceed this (0 disables)")
+	faults := flag.String("faults", "", "arm deterministic fault injection: 'site=kind:prob[:dur],...[,seed=N]' with kinds error|panic|delay|corrupt|kill; overrides $"+faultinject.EnvVar)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "crocus-serve:", err)
 		os.Exit(1)
+	}
+
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fail(err)
+	}
+	if *faults != "" {
+		if err := faultinject.Arm(*faults); err != nil {
+			fail(err)
+		}
+	}
+	if faultinject.Enabled() {
+		fmt.Fprintf(os.Stderr, "crocus-serve: fault injection armed: %s\n", faultinject.Spec())
 	}
 
 	// The daemon traces for counters and request timing, but retains no
@@ -73,6 +94,7 @@ func main() {
 		DrainTimeout: *drainTimeout,
 		Timeout:      *timeout,
 		MaxTimeout:   *maxTimeout,
+		ShedLatency:  *shedLatency,
 		Tracer:       tracer,
 	})
 	if err != nil {

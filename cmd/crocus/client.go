@@ -6,16 +6,18 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"crocus"
+	"crocus/internal/resilient"
 	"crocus/internal/serve"
 )
 
@@ -171,12 +173,46 @@ type clientConfig struct {
 	stats      bool
 	budget     int64
 	ladder     []int64
+	reqTimeout time.Duration
+	retries    int
+	hedgeAfter time.Duration
 }
 
 // runClient submits the run to a crocus-serve daemon and renders the
 // verdicts. Returns the process exit code (same convention as local
-// verification: 2 on counterexample, 1 on error).
+// verification: 2 on counterexample, 1 on error). Requests go through
+// the resilient client: per-attempt timeouts, capped-backoff retries on
+// 429/5xx/connection errors (honoring the daemon's Retry-After when it
+// sheds load), and optional hedging — safe because the daemon coalesces
+// identical in-flight work.
 func runClient(cfg clientConfig) int {
+	rc := resilient.New(resilient.Config{
+		Timeout:    cfg.reqTimeout,
+		MaxRetries: cfg.retries,
+		HedgeAfter: cfg.hedgeAfter,
+	})
+	// SIGINT/SIGTERM cancel the in-flight request (and its retries)
+	// instead of abandoning the connection.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	postJSON := func(url string, req, resp any) error {
+		err := rc.PostJSON(ctx, url, req, resp)
+		var herr *resilient.HTTPError
+		if errors.As(err, &herr) {
+			// Surface the daemon's own message when the body carries one.
+			var e serve.ErrorResponse
+			if json.Unmarshal(herr.Body, &e) == nil && e.Error != "" {
+				return fmt.Errorf("server: %s (HTTP %d)", e.Error, herr.Status)
+			}
+		}
+		return err
+	}
+	defer func() {
+		if s := rc.Stats().Summary(); s != "" {
+			fmt.Fprintln(os.Stderr, "crocus:", s)
+		}
+	}()
+
 	base := serve.VerifyRequest{
 		TimeoutMS:         cfg.timeout.Milliseconds(),
 		Distinct:          cfg.distinct,
@@ -256,31 +292,4 @@ func runClient(cfg clientConfig) int {
 		fmt.Printf("summary: %d rules — %s\n", counts.total, counts.String())
 	}
 	return exit
-}
-
-// postJSON is the client's single wire primitive: POST the request as
-// JSON, decode the reply, surface non-2xx statuses as errors carrying
-// the server's message.
-func postJSON(url string, req, resp any) error {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return err
-	}
-	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer httpResp.Body.Close()
-	data, err := io.ReadAll(httpResp.Body)
-	if err != nil {
-		return err
-	}
-	if httpResp.StatusCode != http.StatusOK {
-		var e serve.ErrorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s (HTTP %d)", e.Error, httpResp.StatusCode)
-		}
-		return fmt.Errorf("server: HTTP %d: %s", httpResp.StatusCode, strings.TrimSpace(string(data)))
-	}
-	return json.Unmarshal(data, resp)
 }

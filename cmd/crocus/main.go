@@ -8,6 +8,8 @@
 //	crocus [-timeout 5s] [-rule name] [-distinct] [-parallel N] [-stats]
 //	       [-cache-dir DIR] [-fresh] [-bench-json FILE]
 //	       [-shard i/n] [-cache-merge DIR,DIR...]
+//	       [-journal] [-faults SPEC]
+//	       [-server URL] [-server-timeout D] [-server-retries N] [-hedge-after D]
 //	       [-trace FILE] [-trace-jsonl FILE] [-metrics] [-pprof-addr ADDR]
 //	       [-corpus aarch64|x64|midend|bug:<id>] [file.isle ...]
 //
@@ -39,6 +41,7 @@ import (
 	"time"
 
 	"crocus"
+	"crocus/internal/faultinject"
 	"crocus/internal/obs"
 	"crocus/internal/vcache"
 )
@@ -134,7 +137,25 @@ func main() {
 	server := flag.String("server", "", "submit the run to a crocus-serve daemon at this base URL (e.g. http://localhost:8742) instead of verifying locally")
 	shard := flag.String("shard", "", "verify only one shard of the corpus's verification units, as i/n (e.g. 0/2): units are partitioned by content fingerprint, so n processes with distinct i cover the corpus exactly once; combine with per-shard -cache-dir and -cache-merge")
 	cacheMerge := flag.String("cache-merge", "", "merge mode: union the comma-separated source cache directories into -cache-dir (conflict-checked) and exit without verifying")
+	journal := flag.Bool("journal", false, "record completed verification units in a sweep journal under -cache-dir so a killed sweep resumes where it died (requires -cache-dir)")
+	faults := flag.String("faults", "", "arm deterministic fault injection: 'site=kind:prob[:dur],...[,seed=N]' with kinds error|panic|delay|corrupt|kill; overrides $"+faultinject.EnvVar)
+	serverTimeout := flag.Duration("server-timeout", 2*time.Minute, "per-attempt HTTP timeout for -server requests")
+	serverRetries := flag.Int("server-retries", 3, "retries after the first -server attempt on 429/5xx/connection errors (capped exponential backoff with jitter, honoring Retry-After)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "launch a hedged duplicate -server request if no response after this long (0 disables; safe: the daemon coalesces identical in-flight work)")
 	flag.Parse()
+
+	// Fault-injection arming: the env var first (so wrappers and CI can arm
+	// any crocus invocation), then the flag as an explicit override.
+	if err := faultinject.ArmFromEnv(); err != nil {
+		fmt.Fprintln(os.Stderr, "crocus:", err)
+		os.Exit(1)
+	}
+	if *faults != "" {
+		if err := faultinject.Arm(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *parallel <= 0 {
 		// A zero/negative worker count means "use the machine", never
@@ -161,7 +182,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "crocus:", err)
 			os.Exit(1)
 		}
-		os.Exit(runClient(clientConfig{
+		code := runClient(clientConfig{
 			server:     strings.TrimRight(*server, "/"),
 			corpusName: *corpusName,
 			files:      flag.Args(),
@@ -173,7 +194,12 @@ func main() {
 			stats:      *stats,
 			budget:     *budget,
 			ladder:     ladder,
-		}))
+			reqTimeout: *serverTimeout,
+			retries:    *serverRetries,
+			hedgeAfter: *hedgeAfter,
+		})
+		printFaultSummary()
+		os.Exit(code)
 	}
 
 	// Any observability flag turns the tracer on; without one every span
@@ -232,6 +258,36 @@ func main() {
 
 	if *benchJSON != "" {
 		os.Exit(runBenchJSON(*benchJSON, prog, opts, *corpusName, *benchEvalBase, *benchEvalNew, *benchSchedBase))
+	}
+
+	// The sweep journal makes a killed run resumable: completed unit
+	// fingerprints are logged under the cache dir, and a rerun with the
+	// same sweep identity (corpus, files, rule filter, and every
+	// outcome-affecting option) skips them — including cached timeouts
+	// the staleness policy would otherwise re-escalate.
+	var sweepJournal *vcache.Journal
+	if *journal && !*overlap {
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "crocus: -journal requires -cache-dir")
+			os.Exit(1)
+		}
+		sweepID := vcache.Fingerprint("crocus-sweep-1", []string{
+			*corpusName,
+			strings.Join(flag.Args(), "\x00"),
+			*ruleName,
+			fmt.Sprintf("timeout=%s distinct=%t custom=%t fresh=%t budget=%d ladder=%v noip=%t nosh=%t shard=%d/%d",
+				*timeout, *distinct, *custom, *fresh, *budget, ladder, *noInprocess, *noStructHash, shardIdx, shardCnt),
+		})
+		j, err := vcache.OpenJournal(*cacheDir, sweepID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crocus:", err)
+			os.Exit(1)
+		}
+		sweepJournal = j
+		opts.Journal = j
+		if n := j.Resumed(); n > 0 {
+			fmt.Printf("journal: resuming sweep, %d units already complete\n", n)
+		}
 	}
 
 	v := crocus.NewVerifier(prog, opts)
@@ -317,11 +373,34 @@ func main() {
 			}
 		}
 	}
+	if sweepJournal != nil {
+		// An uninterrupted sweep is complete (failed verdicts are still
+		// verdicts): mark it so the next run starts fresh. An interrupted
+		// one leaves the journal open-ended for resume.
+		if !interrupted {
+			if err := sweepJournal.Complete(); err != nil {
+				fmt.Fprintln(os.Stderr, "crocus: journal:", err)
+			}
+		}
+		if err := sweepJournal.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "crocus: journal:", err)
+		}
+	}
 	if interrupted {
 		exit = 130
 	}
 	exportObs(tracer, *traceFile, *traceJSONL, *metrics)
+	printFaultSummary()
 	os.Exit(exit)
+}
+
+// printFaultSummary reports per-site fault-injection hit counts on stderr
+// when fault injection is armed; chaos runs use it to confirm the faults
+// actually fired.
+func printFaultSummary() {
+	if faultinject.Enabled() {
+		fmt.Fprintln(os.Stderr, "crocus:", faultinject.Summary())
+	}
 }
 
 // exportObs writes the requested trace artifacts and prints the metrics

@@ -174,20 +174,22 @@ func (v *Verifier) unitTask(ctx context.Context, pools []*sessionPool, rule *isl
 }
 
 // assembleRule builds one rule's result from its unit slots, in sig
-// order. ok is false when the rule is incomplete (a unit never ran
-// because the sweep was canceled) — the rule is then omitted from
-// results, matching the serial path's "completed rules only" contract.
-// A nil slot without cancellation cannot happen (verifyUnitContained
-// always fills the slot), but degrades to a contained error rather
-// than a silent gap if it ever did.
-func (v *Verifier) assembleRule(ctx context.Context, rule *isle.Rule, slots []unitSlot) (rr *RuleResult, ok bool) {
+// order (sigs[j] is slot j's instantiation). ok is false when the rule
+// is incomplete (a unit never ran because the sweep was canceled) — the
+// rule is then omitted from results, matching the serial path's
+// "completed rules only" contract. An empty slot without cancellation
+// (the unit's task died before it could write — e.g. an injected
+// sched.run panic unwound past the containment ladder) degrades to a
+// contained error carrying the unit's sig, rather than a silent gap.
+func (v *Verifier) assembleRule(ctx context.Context, rule *isle.Rule, sigs []*isle.Sig, slots []unitSlot) (rr *RuleResult, ok bool) {
 	rr = &RuleResult{Rule: rule}
-	for _, s := range slots {
+	for j, s := range slots {
 		if s.io == nil {
 			if ctx.Err() != nil {
 				return nil, false
 			}
 			rr.Insts = append(rr.Insts, InstOutcome{
+				Sig:     sigs[j],
 				Outcome: OutcomeError,
 				Err:     fmt.Errorf("%s: verification unit produced no result", rule),
 			})
@@ -230,7 +232,7 @@ func (v *Verifier) verifyAllScheduled(ctx context.Context, rules []*isle.Rule, p
 
 	results := make([]*RuleResult, 0, len(rules))
 	for i, r := range rules {
-		rr, ok := v.assembleRule(ctx, r, slots[i])
+		rr, ok := v.assembleRule(ctx, r, sigs[i], slots[i])
 		if !ok {
 			continue
 		}
@@ -257,7 +259,7 @@ func (v *Verifier) verifyRuleScheduled(ctx context.Context, pool *sched.Pool, ru
 		tasks[j] = v.unitTask(ctx, pools, rule, sig, &slots[j])
 	}
 	pool.RunBatch(tasks)
-	rr, ok := v.assembleRule(ctx, rule, slots)
+	rr, ok := v.assembleRule(ctx, rule, sigs, slots)
 	if !ok {
 		return nil
 	}

@@ -110,6 +110,15 @@ type Options struct {
 	// Cache injects an already-open result cache, e.g. to share one store
 	// between several verifiers in a run. Takes precedence over CacheDir.
 	Cache *vcache.Cache
+	// Journal, when set together with a cache, makes the sweep
+	// crash-resumable: every completed unit's fingerprint is recorded
+	// (after its outcome is durable in the cache), and a unit the journal
+	// already holds is replayed from the cache outright — including cached
+	// timeouts the staleness policy would otherwise re-escalate. A killed
+	// process reopened on the same journal resumes where it died. The
+	// journal's lifetime belongs to the caller (the CLIs open it from
+	// -journal and Complete/Close it at sweep end).
+	Journal *vcache.Journal
 	// FreshSolvers disables the incremental solve pipeline: every query
 	// gets its own builder, blaster, and SAT solver, as in the original
 	// per-query path. Verdicts are identical either way (the differential
@@ -670,6 +679,7 @@ func (v *Verifier) verifyInstantiation(ctx context.Context, rs *ruleSession, rul
 			return io, nil
 		}
 	}
+	journal := v.Opts.Journal
 	if cache != nil {
 		spC := sc.Start(obs.PhaseCacheProbe)
 		if key == "" {
@@ -679,8 +689,15 @@ func (v *Verifier) verifyInstantiation(ctx context.Context, rs *ruleSession, rul
 		spC.SetAttr(obs.Str("status", st.String()))
 		spC.End()
 		sc.Registry().Counter("vcache." + st.String()).Inc()
-		if st == vcache.Hit {
+		// A stale entry (a cached timeout the ladder would re-escalate) is
+		// still final for a resumed sweep when the journal says this sweep
+		// already completed the unit: it was solved under this very
+		// configuration by the killed attempt.
+		if st == vcache.Hit || (st == vcache.Stale && journal != nil && journal.Done(key)) {
 			if err := applyEntry(e, io); err == nil {
+				if journal != nil {
+					_ = journal.Record(key)
+				}
 				return io, nil
 			}
 			// An undecodable entry degrades to a miss: fall through and
@@ -735,6 +752,12 @@ func (v *Verifier) verifyInstantiation(ctx context.Context, rs *ruleSession, rul
 		return nil, cerr
 	}
 	v.recordOutcome(cache, key, rule, sig, io, budget, time.Since(start))
+	// Journal strictly after the cache write: a key in the journal always
+	// has a replayable verdict behind it, so a kill between the two just
+	// re-runs the unit (into a cache hit) on resume.
+	if journal != nil {
+		_ = journal.Record(key)
+	}
 	return io, nil
 }
 

@@ -58,6 +58,10 @@ type Config struct {
 	// A/B knobs (see core.Options).
 	NoInprocess  bool
 	NoStructHash bool
+	// Journal, when set, records each completed verification unit of the
+	// Table 1 sweep so a killed run resumes where it died (see
+	// core.Options.Journal). The caller owns open/complete/close.
+	Journal *vcache.Journal
 }
 
 func (c Config) timeout() time.Duration {
@@ -174,6 +178,7 @@ func Table1Context(ctx context.Context, cfg Config) (_ *Table1Result, retErr err
 		PropagationBudget: cfg.PropagationBudget,
 		RetryBudgets:      cfg.RetryBudgets,
 		Cache:             cache,
+		Journal:           cfg.Journal,
 		FreshSolvers:      cfg.FreshSolvers,
 		NoInprocess:       cfg.NoInprocess,
 		NoStructHash:      cfg.NoStructHash,
@@ -184,6 +189,7 @@ func Table1Context(ctx context.Context, cfg Config) (_ *Table1Result, retErr err
 		PropagationBudget: cfg.PropagationBudget,
 		RetryBudgets:      cfg.RetryBudgets,
 		Cache:             cache,
+		Journal:           cfg.Journal,
 		FreshSolvers:      cfg.FreshSolvers,
 		NoInprocess:       cfg.NoInprocess,
 		NoStructHash:      cfg.NoStructHash,

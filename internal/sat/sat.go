@@ -17,6 +17,8 @@ import (
 	"errors"
 	"math"
 	"time"
+
+	"crocus/internal/faultinject"
 )
 
 // Var is a propositional variable index, starting at 0.
@@ -744,6 +746,13 @@ func (s *Solver) outOfBudget() bool {
 // clashed. Learned clauses are retained between calls, so repeated Solve
 // calls over a growing clause set amortize earlier search effort.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	// Chaos failpoint at the solve entry. Solve has no error return, so
+	// an injected error surfaces as a panic and rides the containment
+	// ladder (fresh-solver retry, then OutcomeError) like any engine
+	// fault; delay-kind faults model a slow solver.
+	if err := faultinject.Hit("sat.solve"); err != nil {
+		panic(err)
+	}
 	s.core = nil
 	s.stop = StopNone
 	s.solveProps, s.solveConfl, s.solveDecs = s.propagations, s.conflicts, s.decisions

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"crocus/internal/faultinject"
 	"crocus/internal/obs"
 )
 
@@ -168,6 +169,14 @@ func (p *Pool) RunBatch(tasks []Task) {
 		t := t
 		wrapped[i] = func(w int) {
 			defer wg.Done()
+			// Chaos failpoint per scheduled unit. Placed after the Done defer
+			// so an injected panic unwinds through it (the batch still
+			// completes) and is recovered by the pool's protect backstop; the
+			// unit's result slot stays empty and core degrades it to
+			// OutcomeError.
+			if err := faultinject.Hit("sched.run"); err != nil {
+				panic(err)
+			}
 			t(w)
 		}
 	}

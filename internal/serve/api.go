@@ -6,8 +6,10 @@
 //
 //	POST /v1/verify        verify one rule (JSON in/out, per-request deadline)
 //	POST /v1/verify/batch  verify many rules concurrently in one call
-//	GET  /v1/healthz       liveness (503 while draining)
-//	GET  /v1/statusz       obs counters, histogram summaries, cache stats
+//	GET  /v1/healthz       liveness (200 while the process is up, even draining)
+//	GET  /v1/readyz        readiness (503 while draining or shedding load)
+//	GET  /v1/statusz       obs counters, histogram summaries, cache stats,
+//	                       breaker state, resource watermarks, fault counters
 //
 // Identical in-flight requests are coalesced: a request's verification
 // units are fingerprinted exactly as the vcache would key them, and

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the daemon's queue-latency circuit breaker. Queue wait is
+// the earliest overload signal the server has — it grows before the
+// pool saturates and before request latency degrades — so the breaker
+// watches a sliding window of slot-wait observations and opens when a
+// majority of the recent window waited longer than the shed threshold.
+// Open, it sheds new requests with 429 + Retry-After (the cooldown
+// remainder) instead of letting them pile onto the queue; after the
+// cooldown one probe request is admitted (half-open), and its wait
+// decides whether the breaker closes or re-opens.
+//
+// The clock is injectable so the state machine is testable without
+// sleeps; all methods are safe for concurrent use.
+type breaker struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	threshold time.Duration // queue wait considered overload
+	cooldown  time.Duration // open duration before the half-open probe
+	window    []bool        // ring of recent observations (true = over)
+	idx, n    int
+	over      int // count of true entries in the ring
+	state     breakerState
+	openedAt  time.Time
+	probing   bool // half-open probe admitted, result pending
+
+	trips, shed uint64
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerWindow is the sliding-window size; with the majority trip rule
+// the breaker needs ~half a window of consecutive overloaded waits to
+// open, so one slow request never trips it.
+const breakerWindow = 16
+
+// newBreaker returns a breaker that opens when queue waits exceed
+// threshold, shedding for cooldown between probes. A nil clock uses
+// time.Now. threshold <= 0 disables the breaker (allow always admits).
+func newBreaker(threshold, cooldown time.Duration, clock func() time.Time) *breaker {
+	if clock == nil {
+		clock = time.Now
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &breaker{
+		now:       clock,
+		threshold: threshold,
+		cooldown:  cooldown,
+		window:    make([]bool, breakerWindow),
+	}
+}
+
+func (b *breaker) enabled() bool { return b != nil && b.threshold > 0 }
+
+// allow reports whether a request may proceed to admission; when it may
+// not, retryAfter is how long the caller should tell the client to back
+// off. Open flips to half-open after the cooldown, admitting exactly one
+// probe whose observe decides the next state.
+func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+	if !b.enabled() {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if since := b.now().Sub(b.openedAt); since >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true, 0
+		} else {
+			b.shed++
+			return false, b.cooldown - since
+		}
+	default: // half-open: one probe at a time
+		if b.probing {
+			b.shed++
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// observe records one admitted request's queue wait and advances the
+// state machine: a half-open probe's wait decides close vs re-open; in
+// the closed state a majority-over window trips the breaker.
+func (b *breaker) observe(wait time.Duration) {
+	if !b.enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	over := wait > b.threshold
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if over {
+			b.trip()
+		} else {
+			b.state = breakerClosed
+			b.resetWindow()
+		}
+		return
+	}
+	if b.state == breakerOpen {
+		// A request admitted before the trip finished queueing; its wait
+		// carries no new signal.
+		return
+	}
+	if b.window[b.idx] {
+		b.over--
+	}
+	b.window[b.idx] = over
+	if over {
+		b.over++
+	}
+	b.idx = (b.idx + 1) % len(b.window)
+	if b.n < len(b.window) {
+		b.n++
+	}
+	if b.n == len(b.window) && b.over*2 > len(b.window) {
+		b.trip()
+	}
+}
+
+// trip opens the breaker (caller holds mu).
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.trips++
+	b.resetWindow()
+}
+
+func (b *breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.idx, b.n, b.over = 0, 0, 0
+}
+
+// open reports whether the breaker is currently shedding (readyz).
+func (b *breaker) isOpen() bool {
+	if !b.enabled() {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen
+}
+
+// BreakerStatus is the statusz digest of the breaker.
+type BreakerStatus struct {
+	Enabled     bool   `json:"enabled"`
+	State       string `json:"state"`
+	ThresholdNS int64  `json:"threshold_ns,omitempty"`
+	Trips       uint64 `json:"trips"`
+	Shed        uint64 `json:"shed"`
+}
+
+func (b *breaker) status() BreakerStatus {
+	if !b.enabled() {
+		return BreakerStatus{State: "disabled"}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStatus{
+		Enabled:     true,
+		State:       b.state.String(),
+		ThresholdNS: b.threshold.Nanoseconds(),
+		Trips:       b.trips,
+		Shed:        b.shed,
+	}
+}

@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"crocus/internal/faultinject"
+)
+
+// fakeClock is an injectable, manually advanced breaker clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerDisabled: threshold <= 0 (and a nil breaker) always admit.
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Second, nil)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("disabled breaker shed a request")
+	}
+	b.observe(time.Hour) // must not trip
+	if b.isOpen() {
+		t.Fatal("disabled breaker opened")
+	}
+	var nilB *breaker
+	if nilB.enabled() || nilB.isOpen() {
+		t.Fatal("nil breaker misbehaves")
+	}
+	if st := nilB.status(); st.Enabled || st.State != "disabled" {
+		t.Fatalf("nil breaker status %+v", st)
+	}
+}
+
+// TestBreakerTripsOnMajority: the breaker needs a full window with a
+// majority of over-threshold waits; scattered slow requests never trip
+// it.
+func TestBreakerTripsOnMajority(t *testing.T) {
+	clk := &fakeClock{}
+	b := newBreaker(10*time.Millisecond, time.Second, clk.now)
+
+	// A minority of slow observations across a full window: still closed.
+	for i := 0; i < breakerWindow; i++ {
+		wait := time.Millisecond
+		if i%4 == 0 { // 4 of 16 over
+			wait = 50 * time.Millisecond
+		}
+		b.observe(wait)
+	}
+	if b.isOpen() {
+		t.Fatal("breaker tripped on a minority of slow waits")
+	}
+
+	// Majority over: trips.
+	for i := 0; i < breakerWindow; i++ {
+		b.observe(50 * time.Millisecond)
+	}
+	if !b.isOpen() {
+		t.Fatal("breaker closed after a window of overloaded waits")
+	}
+	if st := b.status(); st.Trips != 1 || st.State != "open" {
+		t.Fatalf("status %+v, want 1 trip / open", st)
+	}
+}
+
+// TestBreakerShedsWithRetryAfter: open, allow sheds and advertises the
+// cooldown remainder.
+func TestBreakerShedsWithRetryAfter(t *testing.T) {
+	clk := &fakeClock{}
+	b := newBreaker(10*time.Millisecond, 10*time.Second, clk.now)
+	for i := 0; i < breakerWindow; i++ {
+		b.observe(time.Minute)
+	}
+	clk.advance(4 * time.Second)
+	ok, after := b.allow()
+	if ok {
+		t.Fatal("open breaker admitted a request mid-cooldown")
+	}
+	if after != 6*time.Second {
+		t.Fatalf("retryAfter = %s, want the 6s cooldown remainder", after)
+	}
+	if st := b.status(); st.Shed != 1 {
+		t.Fatalf("shed count = %d, want 1", st.Shed)
+	}
+}
+
+// TestBreakerHalfOpenRecovers: after the cooldown one probe is admitted;
+// a healthy probe closes the breaker, and concurrent arrivals during the
+// probe are still shed.
+func TestBreakerHalfOpenRecovers(t *testing.T) {
+	clk := &fakeClock{}
+	b := newBreaker(10*time.Millisecond, time.Second, clk.now)
+	for i := 0; i < breakerWindow; i++ {
+		b.observe(time.Minute)
+	}
+	clk.advance(time.Second)
+
+	ok, _ := b.allow()
+	if !ok {
+		t.Fatal("cooldown elapsed but probe not admitted")
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second request admitted during the half-open probe")
+	}
+	b.observe(time.Millisecond) // healthy probe
+	if b.isOpen() {
+		t.Fatal("breaker still open after a healthy probe")
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("closed breaker shed a request")
+	}
+	// Recovery resets the window: it takes a full fresh window to re-trip.
+	b.observe(time.Minute)
+	if b.isOpen() {
+		t.Fatal("breaker re-tripped on one observation after recovery")
+	}
+}
+
+// TestBreakerHalfOpenRetrips: an overloaded probe re-opens for another
+// full cooldown.
+func TestBreakerHalfOpenRetrips(t *testing.T) {
+	clk := &fakeClock{}
+	b := newBreaker(10*time.Millisecond, time.Second, clk.now)
+	for i := 0; i < breakerWindow; i++ {
+		b.observe(time.Minute)
+	}
+	clk.advance(time.Second)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("probe not admitted")
+	}
+	b.observe(time.Minute) // probe still overloaded
+	if !b.isOpen() {
+		t.Fatal("breaker closed after an overloaded probe")
+	}
+	if st := b.status(); st.Trips != 2 {
+		t.Fatalf("trips = %d, want 2", st.Trips)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("request admitted right after re-trip")
+	}
+}
+
+// TestServerShedsWhenBreakerOpen: end to end through verifyOne — a
+// tripped breaker sheds with 429 + Retry-After and counts the rejection;
+// readyz reports not-ready.
+func TestServerShedsWhenBreakerOpen(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 2, ShedLatency: 10 * time.Millisecond})
+	clk := &fakeClock{}
+	s.brk = newBreaker(10*time.Millisecond, 30*time.Second, clk.now)
+	for i := 0; i < breakerWindow; i++ {
+		s.brk.observe(time.Minute)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(&VerifyRequest{Files: testFiles(), Rule: "iadd_base"})
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "30" {
+		t.Fatalf("Retry-After = %q, want \"30\" (the cooldown)", ra)
+	}
+	if got := s.Registry().Counter("serve.rejected.breaker").Value(); got != 1 {
+		t.Fatalf("rejected.breaker = %d, want 1", got)
+	}
+
+	rr, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d while shedding, want 503", rr.StatusCode)
+	}
+	// Liveness is unaffected: shedding is load management, not sickness.
+	hr, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d while shedding, want 200", hr.StatusCode)
+	}
+}
+
+// TestQueueTimeoutCarriesRetryAfter: the saturated-pool 429 (queue
+// timeout) advertises the queue timeout as Retry-After over HTTP.
+func TestQueueTimeoutCarriesRetryAfter(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1, QueueTimeout: 50 * time.Millisecond})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.solveGate = func(ctx context.Context, rule string) {
+		once.Do(func() { close(entered) })
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer close(release)
+
+	go func() {
+		r := VerifyRequest{Files: testFiles(), Rule: "iadd_base"}
+		_, _, _ = s.verifyOne(context.Background(), &r)
+	}()
+	<-entered
+
+	body, _ := json.Marshal(&VerifyRequest{Files: testFiles(), Rule: "rotr_broken"})
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	// 50ms rounds up to the 1s minimum: clients must not hot-loop.
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+}
+
+// TestReadyzLifecycle: ready when idle, not ready once draining, healthz
+// live throughout.
+func TestReadyzLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rr, err := http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("idle readyz = %d, want 200", rr.StatusCode)
+	}
+
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rr, err = http.Get(ts.URL + "/v1/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz = %d, want 503", rr.StatusCode)
+	}
+	hr, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz = %d, want 200 (liveness outlives readiness)", hr.StatusCode)
+	}
+}
+
+// TestHandlerFaultContained: an injected serve.handler panic becomes a
+// contained 500 — and the daemon keeps serving afterwards. This is the
+// chaos invariant at the HTTP seam: a handler fault never kills the
+// process or corrupts a later verdict.
+func TestHandlerFaultContained(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if err := faultinject.Arm("serve.handler=panic:1"); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(&VerifyRequest{Files: testFiles(), Rule: "iadd_base"})
+	resp, err := http.Post(ts.URL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d under injected handler panic, want 500", resp.StatusCode)
+	}
+	if got := s.Registry().Counter("serve.panics").Value(); got == 0 {
+		t.Fatal("contained panic not counted")
+	}
+	faultinject.Reset()
+
+	// The daemon is intact: the same request now verifies normally.
+	resp2, body2 := postVerify(t, ts.URL, &VerifyRequest{Files: testFiles(), Rule: "iadd_base"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-fault status %d: %s", resp2.StatusCode, body2)
+	}
+	var vr VerifyResponse
+	if err := json.Unmarshal(body2, &vr); err != nil {
+		t.Fatal(err)
+	}
+	if vr.Verdict.Outcome != "success" {
+		t.Fatalf("post-fault verdict %s, want success", vr.Verdict.Outcome)
+	}
+}
+
+// TestStatuszFaultsAndWatermarks: statusz surfaces the armed fault spec
+// with per-site counters, and the watermark gauges move.
+func TestStatuszFaultsAndWatermarks(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if err := faultinject.Arm("smt.solve=error:0,seed=9"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+
+	resp, body := postVerify(t, ts.URL, &VerifyRequest{Files: testFiles(), Rule: "iadd_base"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	sr, err := http.Get(ts.URL + "/v1/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep StatusReport
+	if err := json.NewDecoder(sr.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	sr.Body.Close()
+	if rep.FaultSpec != "smt.solve=error:0,seed=9" {
+		t.Fatalf("fault_spec = %q", rep.FaultSpec)
+	}
+	st, ok := rep.Faults["smt.solve"]
+	if !ok {
+		t.Fatalf("faults section missing smt.solve: %v", rep.Faults)
+	}
+	if st.Kind != "error" || st.Hits == 0 || st.Triggered != 0 {
+		t.Fatalf("smt.solve stats %+v, want error kind, >0 hits, 0 triggered (prob 0)", st)
+	}
+	if rep.Watermarks.PeakGoroutines == 0 || rep.Watermarks.PeakHeapBytes == 0 {
+		t.Fatalf("watermarks not sampled: %+v", rep.Watermarks)
+	}
+	if rep.Watermarks.Goroutines == 0 || rep.Watermarks.HeapBytes == 0 {
+		t.Fatalf("live watermark gauges empty: %+v", rep.Watermarks)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"crocus/internal/core"
+	"crocus/internal/faultinject"
 	"crocus/internal/isle"
 	"crocus/internal/obs"
 	"crocus/internal/vcache"
@@ -119,6 +120,13 @@ func (s *Server) runFlight(reqCtx context.Context, v *core.Verifier, rule *isle.
 		s.mu.Unlock()
 		close(f.done)
 	}()
+	// Chaos failpoint for leader death: the panic unwinds through the
+	// defer above (flight unregistered, done closed with rr nil), so
+	// waiters take another lap and elect a new leader while the leader's
+	// own request degrades to a contained 500.
+	if err := faultinject.Hit("serve.flight.leader"); err != nil {
+		panic(err)
+	}
 	queueWait, status, err = s.acquire(reqCtx)
 	if err != nil {
 		return nil, false, 0, status, err

@@ -181,8 +181,8 @@ func TestDrainForceCancelsStragglers(t *testing.T) {
 	}
 }
 
-// TestDrainRejectsNewWork: once draining, healthz flips to 503 and
-// verify requests on existing connections are refused.
+// TestDrainRejectsNewWork: once draining, verify requests on existing
+// connections are refused (readyz reports the 503; healthz stays live).
 func TestDrainRejectsNewWork(t *testing.T) {
 	s := newTestServer(t, Config{MaxInflight: 1})
 	if err := s.Drain(); err != nil {

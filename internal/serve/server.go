@@ -8,13 +8,16 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/metrics"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"crocus/internal/core"
 	"crocus/internal/corpus"
+	"crocus/internal/faultinject"
 	"crocus/internal/isle"
 	"crocus/internal/obs"
 	"crocus/internal/sched"
@@ -52,6 +55,12 @@ type Config struct {
 	// MaxTimeout ceils request-supplied solver deadlines. 0 means 10m.
 	MaxTimeout time.Duration
 
+	// ShedLatency arms the queue-latency circuit breaker: when a majority
+	// of recent requests waited longer than this for a worker slot, the
+	// breaker opens and new requests are shed with 429 + Retry-After
+	// before the queue saturates. 0 disables shedding.
+	ShedLatency time.Duration
+
 	// Tracer carries request spans and, when set, its registry receives
 	// the serve counters. Nil still counts (into a private registry) but
 	// records no spans.
@@ -87,9 +96,15 @@ type Server struct {
 
 	slots chan struct{} // admission semaphore (request-level)
 	pool  *sched.Pool   // work-stealing pool verification units run on
+	brk   *breaker      // queue-latency load shedding (nil-safe when disabled)
 
 	draining  atomic.Bool
 	drainOnce sync.Once
+
+	// Per-request resource watermarks, surfaced in statusz: the highest
+	// goroutine count and heap size sampled at any request's admission.
+	peakGoroutines atomic.Int64
+	peakHeapBytes  atomic.Uint64
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -169,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 		cancelBase: cancel,
 		slots:      make(chan struct{}, cfg.MaxInflight),
 		pool:       sched.NewPool(cfg.MaxInflight, reg),
+		brk:        newBreaker(cfg.ShedLatency, 0, nil),
 		flights:    map[string]*flight{},
 		parsed:     map[string]*isle.Program{},
 	}
@@ -185,6 +201,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/verify/batch", s.handleBatch)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/statusz", s.handleStatusz)
 	return mux
 }
@@ -228,6 +245,12 @@ func (s *Server) Drain() error {
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	defer s.contain(w)
+	// Chaos failpoint inside the containment boundary: an injected fault
+	// here becomes a 500, never a dead daemon — the invariant the chaos
+	// suite asserts.
+	if err := faultinject.Hit("serve.handler"); err != nil {
+		panic(err)
+	}
 	s.reg.Counter("serve.requests.verify").Inc()
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
@@ -252,6 +275,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.contain(w)
+	if err := faultinject.Hit("serve.handler"); err != nil {
+		panic(err)
+	}
 	s.reg.Counter("serve.requests.batch").Inc()
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
@@ -292,13 +318,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &BatchResponse{Items: items})
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It stays 200 through a drain — a draining process is alive — so
+// orchestrators never kill a daemon for refusing new work. Readiness
+// (should traffic be routed here?) is readyz's job.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 503 while draining or while the breaker is
+// shedding, 200 when the daemon wants traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
-		return
+	case s.brk.isOpen():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "shedding")
+	default:
+		fmt.Fprintln(w, "ok")
 	}
-	fmt.Fprintln(w, "ok")
 }
 
 // HistogramSummary is the wire digest of one obs histogram.
@@ -308,6 +348,16 @@ type HistogramSummary struct {
 	P50   int64   `json:"p50"`
 	P95   int64   `json:"p95"`
 	P99   int64   `json:"p99"`
+}
+
+// Watermarks are per-request resource high-water marks: goroutine count
+// and heap size sampled at every request admission, plus the current
+// values at statusz time.
+type Watermarks struct {
+	Goroutines     int    `json:"goroutines"`
+	PeakGoroutines int64  `json:"peak_goroutines"`
+	HeapBytes      uint64 `json:"heap_bytes"`
+	PeakHeapBytes  uint64 `json:"peak_heap_bytes"`
 }
 
 // StatusReport is the /v1/statusz body.
@@ -323,6 +373,15 @@ type StatusReport struct {
 	// Sched is the shared unit scheduler's live state: real queue depth,
 	// steal counts, and per-worker unit totals.
 	Sched sched.Stats `json:"sched"`
+	// Breaker is the load-shedding circuit breaker's state.
+	Breaker BreakerStatus `json:"breaker"`
+	// Watermarks are the per-request resource high-water marks.
+	Watermarks Watermarks `json:"watermarks"`
+	// FaultSpec and Faults surface the fault-injection registry when armed
+	// (crocus-serve -faults / CROCUS_FAULTS): the active spec and per-site
+	// hit/trigger counts. Omitted when disarmed.
+	FaultSpec string                           `json:"fault_spec,omitempty"`
+	Faults    map[string]faultinject.SiteStats `json:"faults,omitempty"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
@@ -336,6 +395,15 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		CacheLen:    s.cache.Len(),
 		Cache:       s.cache.Stats(),
 		Sched:       s.pool.Stats(),
+		Breaker:     s.brk.status(),
+		Watermarks: Watermarks{
+			Goroutines:     runtime.NumGoroutine(),
+			PeakGoroutines: s.peakGoroutines.Load(),
+			HeapBytes:      readHeapBytes(),
+			PeakHeapBytes:  s.peakHeapBytes.Load(),
+		},
+		FaultSpec: faultinject.Spec(),
+		Faults:    faultinject.Snapshot(),
 	}
 	for name := range s.programs {
 		rep.Corpora = append(rep.Corpora, name)
@@ -358,9 +426,17 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 // returns the HTTP status the caller should write.
 func (s *Server) verifyOne(ctx context.Context, req *VerifyRequest) (*VerifyResponse, int, error) {
 	start := time.Now()
+	s.noteWatermarks()
 	if s.draining.Load() {
 		s.reg.Counter("serve.rejected.draining").Inc()
 		return nil, http.StatusServiceUnavailable, errDraining
+	}
+	if ok, after := s.brk.allow(); !ok {
+		s.reg.Counter("serve.rejected.breaker").Inc()
+		return nil, http.StatusTooManyRequests, retryAfterError{
+			err:   errors.New("shedding load (queue-latency breaker open)"),
+			after: after,
+		}
 	}
 	if req.Rule == "" {
 		return nil, http.StatusBadRequest, errors.New("missing rule name")
@@ -434,14 +510,50 @@ func (s *Server) acquire(ctx context.Context) (time.Duration, int, error) {
 	case s.slots <- struct{}{}:
 		wait := time.Since(start)
 		s.reg.Histogram("serve.queue_wait_ns").Observe(wait.Nanoseconds())
+		s.brk.observe(wait)
 		return wait, 0, nil
 	case <-timer.C:
 		s.reg.Counter("serve.rejected.queue_timeout").Inc()
-		return 0, http.StatusTooManyRequests,
-			fmt.Errorf("no worker slot within %s (server at -max-inflight)", s.cfg.QueueTimeout)
+		// A queue timeout is the strongest overload signal there is; feed
+		// it to the breaker as a maximal wait so saturation trips it.
+		s.brk.observe(s.cfg.QueueTimeout)
+		return 0, http.StatusTooManyRequests, retryAfterError{
+			err:   fmt.Errorf("no worker slot within %s (server at -max-inflight)", s.cfg.QueueTimeout),
+			after: s.cfg.QueueTimeout,
+		}
 	case <-ctx.Done():
 		return 0, http.StatusServiceUnavailable, ctx.Err()
 	}
+}
+
+// noteWatermarks samples goroutine count and heap size at request
+// admission, keeping the high-water marks for statusz.
+func (s *Server) noteWatermarks() {
+	g := int64(runtime.NumGoroutine())
+	for {
+		cur := s.peakGoroutines.Load()
+		if g <= cur || s.peakGoroutines.CompareAndSwap(cur, g) {
+			break
+		}
+	}
+	h := readHeapBytes()
+	for {
+		cur := s.peakHeapBytes.Load()
+		if h <= cur || s.peakHeapBytes.CompareAndSwap(cur, h) {
+			break
+		}
+	}
+}
+
+// readHeapBytes reads live heap size via runtime/metrics (no
+// stop-the-world, unlike ReadMemStats — cheap enough per request).
+func readHeapBytes() uint64 {
+	sample := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindUint64 {
+		return sample[0].Value.Uint64()
+	}
+	return 0
 }
 
 func (s *Server) release() { <-s.slots }
@@ -545,6 +657,25 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	_ = enc.Encode(body)
 }
 
+// retryAfterError decorates a shed/rejection error with the backoff the
+// server wants the client to take; writeError surfaces it as the
+// standard Retry-After header (whole seconds, minimum 1).
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e retryAfterError) Error() string { return e.err.Error() }
+func (e retryAfterError) Unwrap() error { return e.err }
+
 func writeError(w http.ResponseWriter, status int, err error) {
+	var ra retryAfterError
+	if errors.As(err, &ra) {
+		secs := int64((ra.after + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, status, &ErrorResponse{Error: err.Error()})
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"crocus/internal/faultinject"
 	"crocus/internal/obs"
 	"crocus/internal/sat"
 )
@@ -77,6 +78,13 @@ func countNodes(b *Builder, roots []TermID) int64 {
 // feeds the metrics registry; with tracing off the instrumentation is a
 // handful of nil checks.
 func (ss *Session) Check(assertions []TermID, cfg Config) (Result, error) {
+	// Chaos failpoint at the SMT solve entry (covers the one-shot Check
+	// too, which funnels here). An injected error propagates as a query
+	// error and degrades the unit to OutcomeError via the containment
+	// ladder — never a wrong verdict.
+	if err := faultinject.Hit("smt.solve"); err != nil {
+		return Result{}, err
+	}
 	start := time.Now()
 	b, s := ss.b, ss.s
 	s.SetDeadline(cfg.Deadline)

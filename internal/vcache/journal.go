@@ -1,0 +1,237 @@
+package vcache
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"crocus/internal/faultinject"
+)
+
+// JournalFileName is the sweep journal's file name inside its directory
+// (typically the cache dir, so cache and journal live and die together).
+const JournalFileName = "sweep.journal.jsonl"
+
+// Journal is the crash-resume log of one sweep: an append-only JSONL
+// record of every verification-unit fingerprint the sweep has completed,
+// layered on top of the result cache. The cache alone makes a re-run
+// cheap (hits replay); the journal makes it *resumable*: a unit recorded
+// here was finished by this sweep under this sweep's own configuration,
+// so a resumed process skips it outright — including cached timeouts the
+// staleness policy would otherwise re-escalate, which is what "resume
+// where it died" means for the long-tail units a kill most likely
+// interrupted.
+//
+// Durability mirrors the cache's contract: each Record is one line in a
+// single write call on a persistent O_APPEND handle, so a process killed
+// mid-sweep loses at most the line being written — a torn tail the next
+// Open skips. Core calls Record only after the unit's outcome is in the
+// cache, so a journaled key always has a replayable entry behind it:
+// never a lost journal entry, never a journal entry without a verdict.
+//
+// The first line is a header naming the sweep (an ID derived from the
+// corpus and outcome-affecting options). Opening with a different sweep
+// ID — or reopening a journal whose Complete marker was written — starts
+// fresh instead of resuming, so a finished or reconfigured sweep never
+// skips work it should redo.
+type Journal struct {
+	mu       sync.Mutex
+	path     string
+	sweepID  string
+	f        *os.File
+	done     map[string]bool
+	resumed  int // keys loaded from a prior attempt of this sweep
+	closed   bool
+	complete bool
+}
+
+// journalLine is one JSONL record: a header (Sweep), a completed unit
+// (Key), or the completion marker (Complete).
+type journalLine struct {
+	Sweep    string `json:"sweep,omitempty"`
+	Key      string `json:"key,omitempty"`
+	Complete bool   `json:"complete,omitempty"`
+}
+
+// OpenJournal opens (or creates) the sweep journal under dir for the
+// given sweep ID. An existing journal with the same ID and no completion
+// marker resumes: its recorded keys are loaded and Done reports them.
+// A different ID, a completed journal, or a corrupt header starts fresh.
+func OpenJournal(dir, sweepID string) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("vcache: journal needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("vcache: %w", err)
+	}
+	j := &Journal{
+		path:    filepath.Join(dir, JournalFileName),
+		sweepID: sweepID,
+		done:    map[string]bool{},
+	}
+	resume := j.load()
+	flags := os.O_WRONLY | os.O_CREATE | os.O_APPEND
+	if !resume {
+		j.done = map[string]bool{}
+		j.resumed = 0
+		flags = os.O_WRONLY | os.O_CREATE | os.O_TRUNC
+	}
+	f, err := os.OpenFile(j.path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vcache: %w", err)
+	}
+	j.f = f
+	if !resume {
+		if err := j.append(journalLine{Sweep: sweepID}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// load reads an existing journal, returning whether it is resumable
+// (same sweep ID, not complete). Corrupt lines — including the torn tail
+// a kill leaves — are skipped, like the cache's loader.
+func (j *Journal) load() bool {
+	f, err := os.Open(j.path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	header := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalLine
+		if json.Unmarshal(line, &rec) != nil {
+			continue
+		}
+		switch {
+		case rec.Sweep != "":
+			if header || rec.Sweep != j.sweepID {
+				return false // second header or foreign sweep: start fresh
+			}
+			header = true
+		case rec.Complete:
+			return false // prior attempt finished: nothing to resume
+		case rec.Key != "":
+			if !j.done[rec.Key] {
+				j.done[rec.Key] = true
+				j.resumed++
+			}
+		}
+	}
+	return header
+}
+
+// append marshals and writes one record in a single write call.
+func (j *Journal) append(rec journalLine) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	// Chaos failpoints on the journal seam, mirroring vcache.append:
+	// error/kill faults act before the write, corrupt faults tear the
+	// line.
+	if err := faultinject.Hit("journal.append"); err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	line := faultinject.Bytes("journal.append", append(b, '\n'))
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	return nil
+}
+
+// Done reports whether this sweep already completed the unit.
+func (j *Journal) Done(key string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done[key]
+}
+
+// Record marks a unit completed. Callers must have already made the
+// unit's outcome durable (cache Put) — the journal promises a verdict
+// exists for every key it holds. Recording an already-done key is a
+// no-op; recording on a closed journal fails.
+func (j *Journal) Record(key string) error {
+	if key == "" {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.done[key] {
+		return nil
+	}
+	if j.closed {
+		return fmt.Errorf("vcache: journal is closed")
+	}
+	if err := j.append(journalLine{Key: key}); err != nil {
+		return err
+	}
+	j.done[key] = true
+	return nil
+}
+
+// Complete writes the completion marker and syncs: the sweep finished,
+// so the next OpenJournal starts fresh instead of resuming.
+func (j *Journal) Complete() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("vcache: journal is closed")
+	}
+	if j.complete {
+		return nil
+	}
+	if err := j.append(journalLine{Complete: true}); err != nil {
+		return err
+	}
+	j.complete = true
+	return j.f.Sync()
+}
+
+// Close syncs and releases the append handle. Closing twice is a no-op.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	return nil
+}
+
+// Resumed returns how many completed units were loaded from a prior
+// attempt (0 for a fresh sweep) — the CLIs' "resuming: N units done"
+// line.
+func (j *Journal) Resumed() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resumed
+}
+
+// Len returns how many units are recorded completed.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }

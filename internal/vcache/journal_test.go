@@ -1,0 +1,289 @@
+package vcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crocus/internal/faultinject"
+)
+
+// TestJournalFreshAndResume is the core resume contract: keys recorded by
+// one (crashed) attempt are Done for the next attempt with the same sweep
+// ID, and Resumed counts them.
+func TestJournalFreshAndResume(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Resumed() != 0 {
+		t.Fatalf("fresh journal Resumed = %d, want 0", j.Resumed())
+	}
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := j.Record(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A crash never calls Complete or Close; simulate by just reopening.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Resumed() != 3 {
+		t.Fatalf("Resumed = %d, want 3", j2.Resumed())
+	}
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if !j2.Done(k) {
+			t.Fatalf("key %s not Done after resume", k)
+		}
+	}
+	if j2.Done("k4") {
+		t.Fatal("unrecorded key reported Done")
+	}
+	// Resumed appends extend the same file, not restart it.
+	if err := j2.Record("k4"); err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j2.Len())
+	}
+}
+
+// TestJournalForeignSweepStartsFresh: a journal written by a different
+// sweep configuration must never satisfy this sweep's Done checks.
+func TestJournalForeignSweepStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("k1")
+	j.Close()
+
+	j2, err := OpenJournal(dir, "sweep-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Resumed() != 0 || j2.Done("k1") {
+		t.Fatalf("foreign sweep resumed: Resumed=%d Done(k1)=%t", j2.Resumed(), j2.Done("k1"))
+	}
+}
+
+// TestJournalCompleteStartsFresh: a finished sweep's journal must not
+// resume — the next run redoes (replays from cache) everything.
+func TestJournalCompleteStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("k1")
+	if err := j.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Resumed() != 0 || j2.Done("k1") {
+		t.Fatalf("completed sweep resumed: Resumed=%d Done(k1)=%t", j2.Resumed(), j2.Done("k1"))
+	}
+}
+
+// TestJournalTornTailSkipped: a kill mid-append leaves a torn final line;
+// the reopen must keep every whole line and skip the tear.
+func TestJournalTornTailSkipped(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("k1")
+	j.Record("k2")
+	j.Close()
+
+	path := filepath.Join(dir, JournalFileName)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half (strip the trailing newline first so
+	// the tear is the file's true tail, as a kill mid-write leaves it).
+	b = b[:len(b)-1]
+	torn := b[:len(b)-4]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Done("k1") {
+		t.Fatal("whole line k1 lost to the torn tail")
+	}
+	if j2.Done("k2") {
+		t.Fatal("torn line k2 reported Done")
+	}
+	if j2.Resumed() != 1 {
+		t.Fatalf("Resumed = %d, want 1", j2.Resumed())
+	}
+}
+
+// TestJournalInjectedTornAppend drives the same torn-tail path through
+// the journal.append failpoint instead of hand-editing bytes: a corrupt
+// fault tears the Record's own write, and the next open still resumes
+// every previously whole line.
+func TestJournalInjectedTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("key-healthy"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faultinject.Arm("journal.append=corrupt:1,seed=7"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	// The corrupt write "succeeds" from the process's point of view —
+	// exactly like a kill that lands mid-write.
+	if err := j.Record("key-torn-by-fault"); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Reset()
+	j.Close()
+
+	j2, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Done("key-healthy") {
+		t.Fatal("healthy line lost after injected torn append")
+	}
+	if j2.Done("key-torn-by-fault") {
+		t.Fatal("torn line survived as Done; tear did not corrupt")
+	}
+}
+
+// TestJournalInjectedAppendError: an error-kind fault on journal.append
+// must surface from Record (fail closed), not vanish.
+func TestJournalInjectedAppendError(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	if err := faultinject.Arm("journal.append=error:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Reset()
+	if err := j.Record("k1"); err == nil {
+		t.Fatal("Record succeeded under injected append error")
+	}
+	faultinject.Reset()
+	// The failed key is not marked done; a later healthy Record works.
+	if j.Done("k1") {
+		t.Fatal("failed Record left key marked done")
+	}
+	if err := j.Record("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Done("k1") {
+		t.Fatal("healthy Record after failure did not stick")
+	}
+}
+
+// TestJournalDuplicateAndEmptyKeys: dedupe and the empty-key no-op.
+func TestJournalDuplicateAndEmptyKeys(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.Record("k1")
+	j.Record("k1")
+	j.Record("")
+	if j.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (dedupe + empty no-op)", j.Len())
+	}
+	b, err := os.ReadFile(j.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(b), "\n"); n != 2 { // header + one record
+		t.Fatalf("journal has %d lines, want 2", n)
+	}
+}
+
+// TestJournalClosedRefusesWrites: Record and Complete fail closed after
+// Close; Close is idempotent.
+func TestJournalClosedRefusesWrites(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := j.Record("k1"); err == nil {
+		t.Fatal("Record on closed journal succeeded")
+	}
+	if err := j.Complete(); err == nil {
+		t.Fatal("Complete on closed journal succeeded")
+	}
+}
+
+// TestJournalHeaderShape pins the on-disk format: first line is the sweep
+// header, records carry only the key.
+func TestJournalHeaderShape(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "sweep-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("k1")
+	j.Complete()
+	j.Close()
+
+	b, err := os.ReadFile(filepath.Join(dir, JournalFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d lines, want 3 (header, record, complete)", len(lines))
+	}
+	var hdr, rec, fin journalLine
+	for i, dst := range []*journalLine{&hdr, &rec, &fin} {
+		if err := json.Unmarshal([]byte(lines[i]), dst); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+	}
+	if hdr.Sweep != "sweep-A" || rec.Key != "k1" || !fin.Complete {
+		t.Fatalf("unexpected shape: %+v %+v %+v", hdr, rec, fin)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+
+	"crocus/internal/faultinject"
 )
 
 // Entries returns a copy of every cached entry, sorted by key. The
@@ -119,6 +121,11 @@ func moreGenerousTimeout(a, b Entry) bool {
 //
 // srcPath labels conflicts with their origin (typically src.Path()).
 func (c *Cache) MergeFrom(src *Cache, srcPath string, stats *MergeStats) error {
+	// Chaos failpoint at the merge seam: a failed merge surfaces to the
+	// caller with the destination in a valid (partially merged) state.
+	if err := faultinject.Hit("vcache.merge"); err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
 	for _, e := range src.Entries() {
 		c.mu.Lock()
 		cur, ok := c.mem[e.Key]

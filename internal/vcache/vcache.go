@@ -38,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"crocus/internal/faultinject"
 )
 
 // Fingerprint hashes an engine-version salt plus canonical content
@@ -203,6 +205,11 @@ func Open(dir string) (*Cache, error) {
 	if dir == "" {
 		return c, nil
 	}
+	// Chaos failpoint: a failed open surfaces to the caller exactly like a
+	// permission or disk error would.
+	if err := faultinject.Hit("vcache.open"); err != nil {
+		return nil, fmt.Errorf("vcache: %w", err)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("vcache: %w", err)
 	}
@@ -275,6 +282,11 @@ func (c *Cache) load() (corrupt int, err error) {
 func (c *Cache) compact() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Chaos failpoint: a failed compaction aborts the rewrite before the
+	// temp file exists, leaving the original store untouched.
+	if err := faultinject.Hit("vcache.compact"); err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(c.path), FileName+".tmp*")
 	if err != nil {
 		return fmt.Errorf("vcache: %w", err)
@@ -379,7 +391,15 @@ func (c *Cache) Put(e Entry) error {
 	if err != nil {
 		return fmt.Errorf("vcache: %w", err)
 	}
-	if _, err := c.f.Write(append(b, '\n')); err != nil {
+	// Chaos failpoints on the append seam: error/delay/kill-kind faults act
+	// before the write (a kill here models death between appends — every
+	// completed Put stays durable); corrupt-kind faults mangle the line
+	// into the torn or scrambled write that load must tolerate.
+	if err := faultinject.Hit("vcache.append"); err != nil {
+		return fmt.Errorf("vcache: %w", err)
+	}
+	line := faultinject.Bytes("vcache.append", append(b, '\n'))
+	if _, err := c.f.Write(line); err != nil {
 		return fmt.Errorf("vcache: %w", err)
 	}
 	return nil
@@ -393,6 +413,9 @@ func (c *Cache) Flush() error {
 	defer c.mu.Unlock()
 	if c.f == nil {
 		return nil
+	}
+	if err := faultinject.Hit("vcache.flush"); err != nil {
+		return fmt.Errorf("vcache: %w", err)
 	}
 	if err := c.f.Sync(); err != nil {
 		return fmt.Errorf("vcache: %w", err)
@@ -413,6 +436,10 @@ func (c *Cache) Close() error {
 	c.closed = true
 	if c.f == nil {
 		return nil
+	}
+	// Same seam as Flush: Close is the flush-at-exit path.
+	if err := faultinject.Hit("vcache.flush"); err != nil {
+		return fmt.Errorf("vcache: %w", err)
 	}
 	err := c.f.Sync()
 	if cerr := c.f.Close(); err == nil {
