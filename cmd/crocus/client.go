@@ -186,9 +186,16 @@ type clientConfig struct {
 // sheds load), and optional hedging — safe because the daemon coalesces
 // identical in-flight work.
 func runClient(cfg clientConfig) int {
+	// Flag semantics: -server-retries 0 means no retries; the library's
+	// zero value means the default, so translate 0 to the explicit
+	// disable.
+	retries := cfg.retries
+	if retries == 0 {
+		retries = -1
+	}
 	rc := resilient.New(resilient.Config{
 		Timeout:    cfg.reqTimeout,
-		MaxRetries: cfg.retries,
+		MaxRetries: retries,
 		HedgeAfter: cfg.hedgeAfter,
 	})
 	// SIGINT/SIGTERM cancel the in-flight request (and its retries)

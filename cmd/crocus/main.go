@@ -140,7 +140,7 @@ func main() {
 	journal := flag.Bool("journal", false, "record completed verification units in a sweep journal under -cache-dir so a killed sweep resumes where it died (requires -cache-dir)")
 	faults := flag.String("faults", "", "arm deterministic fault injection: 'site=kind:prob[:dur],...[,seed=N]' with kinds error|panic|delay|corrupt|kill; overrides $"+faultinject.EnvVar)
 	serverTimeout := flag.Duration("server-timeout", 2*time.Minute, "per-attempt HTTP timeout for -server requests")
-	serverRetries := flag.Int("server-retries", 3, "retries after the first -server attempt on 429/5xx/connection errors (capped exponential backoff with jitter, honoring Retry-After)")
+	serverRetries := flag.Int("server-retries", 3, "retries after the first -server attempt on 429/5xx/connection errors (capped exponential backoff with jitter, honoring Retry-After; 0 disables)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "launch a hedged duplicate -server request if no response after this long (0 disables; safe: the daemon coalesces identical in-flight work)")
 	flag.Parse()
 
@@ -175,6 +175,10 @@ func main() {
 	if *server != "" {
 		if shardCnt > 1 {
 			fmt.Fprintln(os.Stderr, "crocus: -shard applies to local sweeps, not -server runs")
+			os.Exit(1)
+		}
+		if *journal {
+			fmt.Fprintln(os.Stderr, "crocus: -journal applies to local sweeps, not -server runs (the daemon's vcache already persists results)")
 			os.Exit(1)
 		}
 		ladder, err := parseBudgets(*retryBudgets)

@@ -37,7 +37,8 @@ type Config struct {
 	// A hung daemon costs one Timeout per attempt, never a hang.
 	Timeout time.Duration
 	// MaxRetries is how many times a failed request is retried after the
-	// first attempt. Negative disables retries entirely.
+	// first attempt. Zero means the default (3); negative disables
+	// retries entirely.
 	MaxRetries int
 	// BaseBackoff and MaxBackoff shape the exponential backoff between
 	// retries: base·2^attempt, capped, with half-range jitter.
@@ -59,6 +60,16 @@ func (c Config) timeout() time.Duration {
 		return 2 * time.Minute
 	}
 	return c.Timeout
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 3
+	}
+	return c.MaxRetries
 }
 
 func (c Config) baseBackoff() time.Duration {
@@ -168,7 +179,7 @@ func (c *Client) PostJSON(ctx context.Context, url string, req, resp any) error 
 		}
 		// The caller canceling (or an overall deadline) always ends the
 		// loop; there is no one left to retry for.
-		if ctx.Err() != nil || attempt >= c.cfg.MaxRetries {
+		if ctx.Err() != nil || attempt >= c.cfg.maxRetries() {
 			return err
 		}
 		wait := c.backoff(attempt)

@@ -309,7 +309,7 @@ func TestPerAttemptTimeout(t *testing.T) {
 	defer srv.Close()
 	defer close(stall) // LIFO: unblock the handler before srv.Close waits on it
 
-	c := New(Config{Timeout: 50 * time.Millisecond, MaxRetries: 0})
+	c := New(Config{Timeout: 50 * time.Millisecond, MaxRetries: -1})
 	start := time.Now()
 	err := c.PostJSON(context.Background(), srv.URL, map[string]int{}, &echo{})
 	if err == nil {
@@ -317,6 +317,47 @@ func TestPerAttemptTimeout(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("attempt took %s despite 50ms timeout", elapsed)
+	}
+}
+
+// TestMaxRetriesDefaults pins the documented Config semantics: the zero
+// value retries 3 times, negative disables retries entirely.
+func TestMaxRetriesDefaults(t *testing.T) {
+	for _, tc := range []struct {
+		in, want int
+	}{
+		{0, 3}, {-1, 0}, {1, 1}, {7, 7},
+	} {
+		if got := (Config{MaxRetries: tc.in}).maxRetries(); got != tc.want {
+			t.Errorf("Config{MaxRetries: %d}.maxRetries() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+
+	// End to end: a zero-value Config really retries — 4 attempts total.
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	var slept []time.Duration
+	c := testClient(Config{}, &slept)
+	if err := c.PostJSON(context.Background(), srv.URL, map[string]int{}, &echo{}); err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("zero-value config made %d attempts, want 4 (1 + 3 default retries)", calls.Load())
+	}
+
+	// Negative: exactly one attempt, no sleeps.
+	calls.Store(0)
+	slept = nil
+	c = testClient(Config{MaxRetries: -1}, &slept)
+	if err := c.PostJSON(context.Background(), srv.URL, map[string]int{}, &echo{}); err == nil {
+		t.Fatal("want error with retries disabled")
+	}
+	if calls.Load() != 1 || len(slept) != 0 {
+		t.Fatalf("MaxRetries=-1 made %d attempts with %d sleeps, want 1 and 0", calls.Load(), len(slept))
 	}
 }
 

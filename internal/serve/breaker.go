@@ -27,7 +27,8 @@ type breaker struct {
 	over      int // count of true entries in the ring
 	state     breakerState
 	openedAt  time.Time
-	probing   bool // half-open probe admitted, result pending
+	probing   bool   // half-open probe admitted, result pending
+	probeGen  uint64 // identifies the pending probe so a stale release is a no-op
 
 	trips, shed uint64
 }
@@ -79,33 +80,68 @@ func (b *breaker) enabled() bool { return b != nil && b.threshold > 0 }
 // allow reports whether a request may proceed to admission; when it may
 // not, retryAfter is how long the caller should tell the client to back
 // off. Open flips to half-open after the cooldown, admitting exactly one
-// probe whose observe decides the next state.
-func (b *breaker) allow() (ok bool, retryAfter time.Duration) {
+// probe whose observe decides the next state. done is never nil and must
+// be called (defer it) once the admitted request finishes: if the request
+// was the half-open probe and it exited without ever reaching observe,
+// done releases the probe slot so the breaker doesn't shed forever.
+func (b *breaker) allow() (ok bool, retryAfter time.Duration, done func()) {
 	if !b.enabled() {
-		return true, 0
+		return true, 0, func() {}
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true, 0
+		return true, 0, func() {}
 	case breakerOpen:
 		if since := b.now().Sub(b.openedAt); since >= b.cooldown {
 			b.state = breakerHalfOpen
-			b.probing = true
-			return true, 0
+			return true, 0, b.startProbe()
 		} else {
 			b.shed++
-			return false, b.cooldown - since
+			return false, b.cooldown - since, func() {}
 		}
 	default: // half-open: one probe at a time
 		if b.probing {
 			b.shed++
-			return false, b.cooldown
+			return false, b.halfOpenRetry(), func() {}
 		}
-		b.probing = true
-		return true, 0
+		return true, 0, b.startProbe()
 	}
+}
+
+// startProbe marks the half-open probe pending and returns its release
+// (caller holds mu). The release is the leak guard: an admitted probe can
+// exit without ever reaching observe — request validation fails, the
+// request coalesces onto another flight's result, or its context is
+// canceled while queueing — and without the release `probing` would stay
+// true forever, shedding every future request until restart. The release
+// clears the slot so the next arrival becomes the probe; when observe
+// resolved the probe first (state advanced or a newer probe started), the
+// generation check makes a late release a no-op.
+func (b *breaker) startProbe() func() {
+	b.probing = true
+	b.probeGen++
+	gen := b.probeGen
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.state == breakerHalfOpen && b.probing && b.probeGen == gen {
+			b.probing = false
+		}
+	}
+}
+
+// halfOpenRetry is the back-off hint for requests shed while a probe is
+// pending: the probe may close the breaker almost immediately, so
+// advertising the full cooldown over-penalizes clients that honor
+// Retry-After. One second (the HTTP header floor) is enough, capped by
+// the cooldown for sub-second configurations.
+func (b *breaker) halfOpenRetry() time.Duration {
+	if b.cooldown < time.Second {
+		return b.cooldown
+	}
+	return time.Second
 }
 
 // observe records one admitted request's queue wait and advances the

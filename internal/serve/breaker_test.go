@@ -34,7 +34,7 @@ func (c *fakeClock) advance(d time.Duration) {
 // TestBreakerDisabled: threshold <= 0 (and a nil breaker) always admit.
 func TestBreakerDisabled(t *testing.T) {
 	b := newBreaker(0, time.Second, nil)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("disabled breaker shed a request")
 	}
 	b.observe(time.Hour) // must not trip
@@ -90,7 +90,7 @@ func TestBreakerShedsWithRetryAfter(t *testing.T) {
 		b.observe(time.Minute)
 	}
 	clk.advance(4 * time.Second)
-	ok, after := b.allow()
+	ok, after, _ := b.allow()
 	if ok {
 		t.Fatal("open breaker admitted a request mid-cooldown")
 	}
@@ -113,18 +113,18 @@ func TestBreakerHalfOpenRecovers(t *testing.T) {
 	}
 	clk.advance(time.Second)
 
-	ok, _ := b.allow()
+	ok, _, _ := b.allow()
 	if !ok {
 		t.Fatal("cooldown elapsed but probe not admitted")
 	}
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("second request admitted during the half-open probe")
 	}
 	b.observe(time.Millisecond) // healthy probe
 	if b.isOpen() {
 		t.Fatal("breaker still open after a healthy probe")
 	}
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("closed breaker shed a request")
 	}
 	// Recovery resets the window: it takes a full fresh window to re-trip.
@@ -143,7 +143,7 @@ func TestBreakerHalfOpenRetrips(t *testing.T) {
 		b.observe(time.Minute)
 	}
 	clk.advance(time.Second)
-	if ok, _ := b.allow(); !ok {
+	if ok, _, _ := b.allow(); !ok {
 		t.Fatal("probe not admitted")
 	}
 	b.observe(time.Minute) // probe still overloaded
@@ -153,8 +153,83 @@ func TestBreakerHalfOpenRetrips(t *testing.T) {
 	if st := b.status(); st.Trips != 2 {
 		t.Fatalf("trips = %d, want 2", st.Trips)
 	}
-	if ok, _ := b.allow(); ok {
+	if ok, _, _ := b.allow(); ok {
 		t.Fatal("request admitted right after re-trip")
+	}
+}
+
+// TestBreakerProbeReleased: a half-open probe that exits without ever
+// reaching observe (validation error, coalesced waiter, canceled while
+// queueing) must release the probe slot via the allow() done func —
+// otherwise the breaker sheds every request until restart.
+func TestBreakerProbeReleased(t *testing.T) {
+	clk := &fakeClock{}
+	b := newBreaker(10*time.Millisecond, time.Second, clk.now)
+	for i := 0; i < breakerWindow; i++ {
+		b.observe(time.Minute)
+	}
+	clk.advance(time.Second)
+
+	ok, _, done := b.allow()
+	if !ok {
+		t.Fatal("cooldown elapsed but probe not admitted")
+	}
+	if ok, _, _ := b.allow(); ok {
+		t.Fatal("second request admitted during the pending probe")
+	}
+	done() // probe exits with no observe: slot must free
+	ok, _, done2 := b.allow()
+	if !ok {
+		t.Fatal("probe slot leaked: next request not admitted as the new probe")
+	}
+	// A stale release must not free the new probe's slot.
+	done()
+	if ok, _, _ := b.allow(); ok {
+		t.Fatal("stale release freed the live probe's slot")
+	}
+	// The new probe resolves normally; its own late release is a no-op.
+	b.observe(time.Millisecond)
+	done2()
+	if b.isOpen() {
+		t.Fatal("breaker open after a healthy probe")
+	}
+	if ok, _, _ := b.allow(); !ok {
+		t.Fatal("closed breaker shed a request")
+	}
+}
+
+// TestBreakerHalfOpenShedHint: requests shed while a probe is pending get
+// a short retry hint, not the full cooldown — the probe may close the
+// breaker long before the cooldown would elapse.
+func TestBreakerHalfOpenShedHint(t *testing.T) {
+	clk := &fakeClock{}
+	b := newBreaker(10*time.Millisecond, 30*time.Second, clk.now)
+	for i := 0; i < breakerWindow; i++ {
+		b.observe(time.Minute)
+	}
+	clk.advance(30 * time.Second)
+	if ok, _, _ := b.allow(); !ok {
+		t.Fatal("probe not admitted")
+	}
+	ok, after, _ := b.allow()
+	if ok {
+		t.Fatal("second request admitted during the pending probe")
+	}
+	if after != time.Second {
+		t.Fatalf("half-open shed retry hint = %s, want 1s (not the 30s cooldown)", after)
+	}
+
+	// Sub-second cooldowns cap the hint at the cooldown itself.
+	b2 := newBreaker(10*time.Millisecond, 500*time.Millisecond, clk.now)
+	for i := 0; i < breakerWindow; i++ {
+		b2.observe(time.Minute)
+	}
+	clk.advance(time.Second)
+	if ok, _, _ := b2.allow(); !ok {
+		t.Fatal("probe not admitted")
+	}
+	if _, after, _ := b2.allow(); after != 500*time.Millisecond {
+		t.Fatalf("sub-second hint = %s, want the 500ms cooldown", after)
 	}
 }
 
@@ -204,6 +279,37 @@ func TestServerShedsWhenBreakerOpen(t *testing.T) {
 	hr.Body.Close()
 	if hr.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d while shedding, want 200", hr.StatusCode)
+	}
+}
+
+// TestServerProbeNotLeakedOnValidationError: end to end through
+// verifyOne — a half-open probe that dies on request validation (rule
+// not found, so it never reaches acquire's observe) must release the
+// probe slot; the next request becomes the probe and closes the breaker
+// instead of every request shedding 429 until restart.
+func TestServerProbeNotLeakedOnValidationError(t *testing.T) {
+	s := newTestServer(t, Config{MaxInflight: 2})
+	clk := &fakeClock{}
+	s.brk = newBreaker(10*time.Millisecond, time.Second, clk.now)
+	for i := 0; i < breakerWindow; i++ {
+		s.brk.observe(time.Minute)
+	}
+	clk.advance(time.Second)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := postVerify(t, ts.URL, &VerifyRequest{Files: testFiles(), Rule: "no_such_rule"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("probe request status %d, want 404", resp.StatusCode)
+	}
+	resp2, body2 := postVerify(t, ts.URL, &VerifyRequest{Files: testFiles(), Rule: "iadd_base"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-dead-probe status %d (probe slot leaked, breaker stuck shedding?): %s",
+			resp2.StatusCode, body2)
+	}
+	if s.brk.isOpen() {
+		t.Fatal("breaker still open after a healthy replacement probe")
 	}
 }
 

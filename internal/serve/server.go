@@ -431,13 +431,20 @@ func (s *Server) verifyOne(ctx context.Context, req *VerifyRequest) (*VerifyResp
 		s.reg.Counter("serve.rejected.draining").Inc()
 		return nil, http.StatusServiceUnavailable, errDraining
 	}
-	if ok, after := s.brk.allow(); !ok {
+	ok, after, probeDone := s.brk.allow()
+	if !ok {
 		s.reg.Counter("serve.rejected.breaker").Inc()
 		return nil, http.StatusTooManyRequests, retryAfterError{
 			err:   errors.New("shedding load (queue-latency breaker open)"),
 			after: after,
 		}
 	}
+	// If this request was admitted as the half-open probe but exits on a
+	// path that never reaches acquire's observe (validation error, rule
+	// not found, coalesced onto another flight, canceled while queueing),
+	// the deferred release frees the probe slot; after a normal observe
+	// it is a no-op.
+	defer probeDone()
 	if req.Rule == "" {
 		return nil, http.StatusBadRequest, errors.New("missing rule name")
 	}
