@@ -1,0 +1,24 @@
+package main
+
+import (
+	"os"
+
+	"crocus/internal/obs"
+	"crocus/internal/obs/promtext"
+)
+
+// writeMetricsSnapshot dumps the traced sweep's metric registry in the
+// same OpenMetrics text format the daemon serves at /metricsz, so CI
+// can archive a scrape-shaped artifact next to the Chrome trace.
+func writeMetricsSnapshot(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := promtext.WriteTo(f, tr.Registry())
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

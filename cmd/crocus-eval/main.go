@@ -21,6 +21,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -29,9 +30,11 @@ import (
 	"syscall"
 	"time"
 
+	"crocus/internal/core"
 	"crocus/internal/eval"
 	"crocus/internal/faultinject"
 	"crocus/internal/obs"
+	"crocus/internal/obs/promtext"
 	"crocus/internal/vcache"
 )
 
@@ -68,7 +71,13 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	journal := flag.Bool("journal", false, "record completed table1 verification units in a sweep journal under -cache-dir so a killed run resumes where it died (requires -cache-dir)")
 	faults := flag.String("faults", "", "arm deterministic fault injection: 'site=kind:prob[:dur],...[,seed=N]' with kinds error|panic|delay|corrupt|kill; overrides $"+faultinject.EnvVar)
+	profileRules := flag.String("profile-rules", "", "write a rule-hardness profile of the table1 sweep (per-rule wall time, SAT statistics, escalations, ranked by cost) as JSON to this file and print the top rules")
+	profileTop := flag.Int("profile-top", 15, "rows in the printed rule-hardness table (-profile-rules)")
+	logFormat := flag.String("log-format", "text", "diagnostic log format on stderr: text or json")
+	logLevel := flag.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 
 	if err := faultinject.ArmFromEnv(); err != nil {
 		fmt.Fprintln(os.Stderr, "crocus-eval:", err)
@@ -136,7 +145,8 @@ func main() {
 
 	var debugReg = obs.NewRegistry()
 	if *pprofAddr != "" {
-		if _, err := obs.ServeDebugAnnounce("crocus-eval", *pprofAddr, debugReg); err != nil {
+		if _, err := obs.ServeDebugAnnounce(logger, "crocus-eval", *pprofAddr, debugReg,
+			promtext.Route(debugReg)); err != nil {
 			fail(err)
 		}
 	}
@@ -152,7 +162,7 @@ func main() {
 		run(obs.WithTracer(ctx, tr))
 		path := fmt.Sprintf("%s/TRACE_%s.json", strings.TrimRight(*traceDir, "/"), name)
 		if err := tr.ExportChromeFile(path); err != nil {
-			fmt.Fprintln(os.Stderr, "crocus-eval: warning: trace export:", err)
+			logger.Warn("trace export failed", slog.String("file", path), slog.Any("err", err))
 		}
 	}
 
@@ -174,6 +184,23 @@ func main() {
 			fmt.Println(res.Render())
 			if res.Cache != nil {
 				fmt.Println(res.Cache)
+			}
+			if *profileRules != "" {
+				prof := &core.HardnessProfile{
+					Corpus:    "aarch64",
+					TimeoutNS: timeout.Nanoseconds(),
+					Budget:    *budget,
+				}
+				for _, ro := range res.Rules {
+					prof.AddRule(ro.Name, ro.Insts)
+				}
+				prof.Finalize()
+				// Advisory diagnostics go to stderr; stdout keeps the
+				// byte-stable evaluation tables.
+				fmt.Fprint(os.Stderr, prof.Render(*profileTop))
+				if err := prof.WriteJSONFile(*profileRules); err != nil {
+					logger.Warn("hardness profile write failed", slog.String("file", *profileRules), slog.Any("err", err))
+				}
 			}
 			interrupted = interrupted || res.Interrupted
 		})
@@ -229,10 +256,10 @@ func main() {
 		}
 	}
 	if faultinject.Enabled() {
-		fmt.Fprintln(os.Stderr, "crocus-eval:", faultinject.Summary())
+		logger.Info(faultinject.Summary())
 	}
 	if interrupted {
-		fmt.Println("crocus-eval: interrupted — report above is partial; re-run with the same -cache-dir to resume from cached results")
+		logger.Warn("crocus-eval: interrupted — report above is partial; re-run with the same -cache-dir to resume from cached results")
 		os.Exit(130)
 	}
 }

@@ -8,12 +8,18 @@
 //	             [-cache-dir DIR] [-max-inflight N] [-queue-timeout 30s]
 //	             [-drain-timeout 30s] [-timeout 5s] [-max-timeout 10m]
 //	             [-shed-latency D] [-faults SPEC] [-pprof-addr ADDR]
+//	             [-log-format text|json] [-log-level LEVEL]
+//	             [-flight-latency D] [-flight-exemplars N] [-flight-dump PATH]
 //
 // Endpoints: POST /v1/verify, POST /v1/verify/batch, GET /v1/healthz
 // (liveness), GET /v1/readyz (readiness: 503 while draining or load
-// shedding), GET /v1/statusz. On SIGTERM (or SIGINT) the daemon drains:
+// shedding), GET /v1/statusz, GET /metricsz (OpenMetrics text
+// exposition for Prometheus scraping), GET /v1/debug/flightz (retained
+// flight-recorder exemplars). On SIGTERM (or SIGINT) the daemon drains:
 // it stops accepting work, lets in-flight requests finish (or cancels
 // them after -drain-timeout), flushes the JSONL cache tier, and exits 0.
+// On SIGQUIT it stays up and dumps a Chrome-trace snapshot of the
+// flight-recorder ring to -flight-dump.
 //
 // With -shed-latency, a queue-latency circuit breaker sheds new requests
 // with 429 + Retry-After before the worker pool saturates. -faults (or
@@ -25,6 +31,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -35,8 +42,14 @@ import (
 
 	"crocus/internal/faultinject"
 	"crocus/internal/obs"
+	"crocus/internal/obs/promtext"
 	"crocus/internal/serve"
 )
+
+// flightRingSpans sizes the tracer's span ring: large enough to hold
+// the span trees of many concurrent requests, small and fixed so the
+// daemon's memory stays bounded over an unbounded lifetime.
+const flightRingSpans = 4096
 
 func main() {
 	addr := flag.String("addr", "localhost:8742", "listen address")
@@ -47,11 +60,17 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max graceful drain before in-flight requests are canceled")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-unit solver deadline")
 	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "ceiling for request-supplied solver deadlines")
-	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof and expvar metrics on this address")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof, expvar metrics, and /metricsz on this address")
 	shedLatency := flag.Duration("shed-latency", 0, "queue-latency circuit breaker: shed new requests with 429 + Retry-After when recent slot waits mostly exceed this (0 disables)")
 	faults := flag.String("faults", "", "arm deterministic fault injection: 'site=kind:prob[:dur],...[,seed=N]' with kinds error|panic|delay|corrupt|kill; overrides $"+faultinject.EnvVar)
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	flightLatency := flag.Duration("flight-latency", 0, "flight-recorder slow-request promotion threshold (0 = -timeout; negative disables slowness promotion)")
+	flightExemplars := flag.Int("flight-exemplars", 32, "retained flight-recorder exemplars (ring, newest wins)")
+	flightDump := flag.String("flight-dump", "crocus-serve-flight.trace.json", "Chrome-trace dump path for SIGQUIT and contained-panic snapshots (empty disables)")
 	flag.Parse()
 
+	logger := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "crocus-serve:", err)
 		os.Exit(1)
@@ -66,16 +85,17 @@ func main() {
 		}
 	}
 	if faultinject.Enabled() {
-		fmt.Fprintf(os.Stderr, "crocus-serve: fault injection armed: %s\n", faultinject.Spec())
+		logger.Info("fault injection armed", slog.String("spec", faultinject.Spec()))
 	}
 
-	// The daemon traces for counters and request timing, but retains no
-	// span events: its lifetime is unbounded, a batch exporter's event
-	// buffer is not.
+	// The daemon traces into a fixed-size span ring (the flight
+	// recorder's raw feed): always on, bounded memory over an unbounded
+	// lifetime, dumpable as a Chrome trace on SIGQUIT or panic.
 	tracer := obs.New()
-	tracer.SetEventCap(0)
+	tracer.SetRing(flightRingSpans)
 	if *pprofAddr != "" {
-		if _, err := obs.ServeDebugAnnounce("crocus-serve", *pprofAddr, tracer.Registry()); err != nil {
+		if _, err := obs.ServeDebugAnnounce(logger, "crocus-serve", *pprofAddr, tracer.Registry(),
+			promtext.Route(tracer.Registry())); err != nil {
 			fail(err)
 		}
 	}
@@ -87,15 +107,19 @@ func main() {
 		}
 	}
 	s, err := serve.New(serve.Config{
-		Corpora:      names,
-		CacheDir:     *cacheDir,
-		MaxInflight:  *maxInflight,
-		QueueTimeout: *queueTimeout,
-		DrainTimeout: *drainTimeout,
-		Timeout:      *timeout,
-		MaxTimeout:   *maxTimeout,
-		ShedLatency:  *shedLatency,
-		Tracer:       tracer,
+		Corpora:         names,
+		CacheDir:        *cacheDir,
+		MaxInflight:     *maxInflight,
+		QueueTimeout:    *queueTimeout,
+		DrainTimeout:    *drainTimeout,
+		Timeout:         *timeout,
+		MaxTimeout:      *maxTimeout,
+		ShedLatency:     *shedLatency,
+		Tracer:          tracer,
+		Logger:          logger,
+		FlightLatency:   *flightLatency,
+		FlightExemplars: *flightExemplars,
+		FlightDump:      *flightDump,
 	})
 	if err != nil {
 		fail(err)
@@ -105,15 +129,32 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "crocus-serve: listening on http://%s (corpora: %s)\n",
-		ln.Addr(), strings.Join(names, ", "))
+	logger.Info("crocus-serve: listening",
+		slog.String("url", fmt.Sprintf("http://%s", ln.Addr())),
+		slog.String("corpora", strings.Join(names, ", ")))
+
+	// SIGQUIT is the live-diagnosis signal: dump the span ring as a
+	// Chrome trace and keep serving.
+	if *flightDump != "" {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				if err := s.DumpFlight(*flightDump); err != nil {
+					logger.Warn("flight dump failed", slog.String("path", *flightDump), slog.Any("error", err))
+				} else {
+					logger.Info("flight dumped", slog.String("path", *flightDump))
+				}
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	drained := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		fmt.Fprintln(os.Stderr, "crocus-serve: draining")
+		logger.Info("crocus-serve: draining")
 		drained <- s.Drain()
 	}()
 
@@ -123,5 +164,5 @@ func main() {
 	if err := <-drained; err != nil {
 		fail(err)
 	}
-	fmt.Fprintln(os.Stderr, "crocus-serve: drained cleanly")
+	logger.Info("crocus-serve: drained cleanly")
 }

@@ -1,242 +1,41 @@
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"fmt"
 	"os"
-	"strings"
-	"time"
 
 	"crocus"
-	"crocus/internal/obs"
+	"crocus/internal/bench"
 )
 
-// benchPhase summarizes one full-corpus verification sweep.
-type benchPhase struct {
-	WallNS      int64          `json:"wall_ns"`
-	WallSeconds float64        `json:"wall_seconds"`
-	Rules       int            `json:"rules"`
-	Insts       int            `json:"instantiations"`
-	Outcomes    map[string]int `json:"outcomes"`
-	Cached      int            `json:"cached"`
-	// Aggregate SAT statistics across every unit of the sweep.
-	Propagations int64 `json:"propagations"`
-	Conflicts    int64 `json:"conflicts"`
-	Decisions    int64 `json:"decisions"`
-	Queries      int64 `json:"queries"`
-}
-
-// benchObs is the report's observability section, collected by tracing
-// the incremental cold sweep: where the pipeline's time goes by phase,
-// and which simplify rules carry the load.
-type benchObs struct {
-	// PhaseTotalsNS sums span wall time per phase name across the sweep.
-	PhaseTotalsNS map[string]int64 `json:"phase_totals_ns"`
-	// SimplifyRuleHits counts rewrite-rule firings ("simplify.rule.*"
-	// counters, trimmed of the prefix).
-	SimplifyRuleHits map[string]int64 `json:"simplify_rule_hits"`
-	// Counters is the rest of the metrics registry (cache probes, blast
-	// sizes, SAT search totals).
-	Counters map[string]int64 `json:"counters"`
-}
-
-// benchReport is the schema of the -bench-json artifact (BENCH_pr5.json):
-// the same corpus swept three ways — per-query fresh solvers (the
-// reference pipeline), the incremental session pipeline cold, and a warm
-// vcache replay over the cold run's store — plus the cold sweep's
-// observability breakdown.
-type benchReport struct {
-	Corpus             string     `json:"corpus"`
-	TimeoutNS          int64      `json:"timeout_ns"`
-	Parallel           int        `json:"parallel"`
-	Fresh              benchPhase `json:"fresh"`
-	IncrementalCold    benchPhase `json:"incremental_cold"`
-	IncrementalWarm    benchPhase `json:"incremental_warm_cache"`
-	SpeedupColdVsFresh float64    `json:"speedup_cold_vs_fresh"`
-	SpeedupWarmVsFresh float64    `json:"speedup_warm_vs_fresh"`
-	// VerdictsMatch reports that no instantiation was decided
-	// contradictorily across the three sweeps. Timeouts are resource
-	// artifacts, not verdicts: a query near the wall-clock deadline can
-	// finish in one pipeline and not the other, so success/timeout flips
-	// are compatible, while success vs failure is a real disagreement.
-	VerdictsMatch bool `json:"verdicts_match"`
-	// The eval_* fields record the cross-build acceptance measurement:
-	// cold full-corpus `crocus-eval -exp table1` wall time under the
-	// pre-PR build vs this build, measured back-to-back on the same idle
-	// machine and injected via -bench-eval-base-ns / -bench-eval-new-ns
-	// (two binaries cannot share one process, so the report carries the
-	// externally timed numbers alongside its own in-process sweeps).
-	EvalBaselineWallNS int64   `json:"eval_pre_pr_wall_ns,omitempty"`
-	EvalNewWallNS      int64   `json:"eval_this_pr_wall_ns,omitempty"`
-	EvalImprovement    float64 `json:"eval_improvement,omitempty"`
-	// The sched_* fields record the unit-scheduler acceptance measurement:
-	// cold full-corpus wall time at the same -parallel under the pre-PR
-	// rule-partitioned scheduler, externally timed with the pre-PR binary
-	// and injected via -bench-sched-base-ns. The comparison point is this
-	// report's own incremental_cold sweep (the unit-level work-stealing
-	// scheduler), so only the baseline needs external timing.
-	SchedBaselineColdNS int64   `json:"sched_pre_pr_cold_wall_ns,omitempty"`
-	SchedImprovement    float64 `json:"sched_improvement,omitempty"`
-	// Obs is the incremental cold sweep's phase/rule breakdown (the same
-	// data `crocus -metrics` prints, in machine-readable form).
-	Obs benchObs `json:"obs"`
-}
-
-// runBenchJSON sweeps the corpus under the three pipelines and writes the
-// JSON report to path. Exit status 1 signals an error, 2 a verdict
-// mismatch between pipelines.
+// runBenchJSON sweeps the corpus under the three pipelines (see
+// internal/bench) and writes the JSON report to path. Exit status 1
+// signals an error, 2 a verdict mismatch between pipelines.
 func runBenchJSON(path string, prog *crocus.Program, base crocus.Options, corpusName string, evalBaseNS, evalNewNS, schedBaseNS int64) int {
-	cacheDir, err := os.MkdirTemp("", "crocus-bench-cache-")
+	report, _, err := bench.Run(prog, base, corpusName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crocus:", err)
 		return 1
 	}
-	defer os.RemoveAll(cacheDir)
-
-	sweep := func(opts crocus.Options, tr *obs.Tracer) (benchPhase, []string, error) {
-		v := crocus.NewVerifier(prog, opts)
-		ctx := obs.WithTracer(context.Background(), tr)
-		start := time.Now()
-		rs, err := v.VerifyAllContext(ctx)
-		wall := time.Since(start)
-		if cerr := v.CloseCache(); cerr != nil && err == nil {
-			err = fmt.Errorf("cache flush: %w", cerr)
-		}
-		if err != nil {
-			return benchPhase{}, nil, err
-		}
-		ph := benchPhase{
-			WallNS:      wall.Nanoseconds(),
-			WallSeconds: wall.Seconds(),
-			Rules:       len(rs),
-			Outcomes:    map[string]int{},
-		}
-		var verdicts []string
-		for _, rr := range rs {
-			for _, io := range rr.Insts {
-				ph.Insts++
-				ph.Outcomes[io.Outcome.String()]++
-				if io.Cached {
-					ph.Cached++
-				}
-				ph.Propagations += io.Stats.Propagations
-				ph.Conflicts += io.Stats.Conflicts
-				ph.Decisions += io.Stats.Decisions
-				ph.Queries += io.Stats.Queries
-				verdicts = append(verdicts, io.Outcome.String())
-			}
-		}
-		return ph, verdicts, nil
-	}
-
-	report := benchReport{Corpus: corpusName, TimeoutNS: base.Timeout.Nanoseconds(), Parallel: base.Parallelism}
-
-	fresh := base
-	fresh.FreshSolvers = true
-	fresh.CacheDir = ""
-	freshPh, freshV, err := sweep(fresh, nil)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "crocus: fresh sweep:", err)
-		return 1
-	}
-	report.Fresh = freshPh
-
-	// The cold incremental sweep — the pipeline the repo actually ships —
-	// runs traced, feeding the report's obs section. The overhead is part
-	// of its measured wall time, which is fair: the artifact documents
-	// what a traced run costs.
-	cold := base
-	cold.FreshSolvers = false
-	cold.CacheDir = cacheDir
-	tr := obs.New()
-	coldPh, coldV, err := sweep(cold, tr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "crocus: incremental sweep:", err)
-		return 1
-	}
-	report.IncrementalCold = coldPh
-	report.Obs = collectObs(tr)
-
-	warmPh, warmV, err := sweep(cold, nil)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "crocus: warm sweep:", err)
-		return 1
-	}
-	report.IncrementalWarm = warmPh
-
-	report.VerdictsMatch = compatibleVerdicts(freshV, coldV) && compatibleVerdicts(coldV, warmV)
 	if evalBaseNS > 0 && evalNewNS > 0 {
 		report.EvalBaselineWallNS = evalBaseNS
 		report.EvalNewWallNS = evalNewNS
 		report.EvalImprovement = 1 - float64(evalNewNS)/float64(evalBaseNS)
 	}
-	if schedBaseNS > 0 && coldPh.WallNS > 0 {
+	if schedBaseNS > 0 && report.IncrementalCold.WallNS > 0 {
 		report.SchedBaselineColdNS = schedBaseNS
-		report.SchedImprovement = 1 - float64(coldPh.WallNS)/float64(schedBaseNS)
+		report.SchedImprovement = 1 - float64(report.IncrementalCold.WallNS)/float64(schedBaseNS)
 	}
-	if coldPh.WallNS > 0 {
-		report.SpeedupColdVsFresh = float64(freshPh.WallNS) / float64(coldPh.WallNS)
-	}
-	if warmPh.WallNS > 0 {
-		report.SpeedupWarmVsFresh = float64(freshPh.WallNS) / float64(warmPh.WallNS)
-	}
-
-	out, err := json.MarshalIndent(&report, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "crocus:", err)
-		return 1
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	if err := report.WriteFile(path); err != nil {
 		fmt.Fprintln(os.Stderr, "crocus:", err)
 		return 1
 	}
 	fmt.Printf("bench: fresh %.2fs, incremental cold %.2fs (%.2fx), warm cache %.2fs (%.2fx), verdicts match: %v -> %s\n",
-		freshPh.WallSeconds, coldPh.WallSeconds, report.SpeedupColdVsFresh,
-		warmPh.WallSeconds, report.SpeedupWarmVsFresh, report.VerdictsMatch, path)
+		report.Fresh.WallSeconds, report.IncrementalCold.WallSeconds, report.SpeedupColdVsFresh,
+		report.IncrementalWarm.WallSeconds, report.SpeedupWarmVsFresh, report.VerdictsMatch, path)
 	if !report.VerdictsMatch {
 		fmt.Fprintln(os.Stderr, "crocus: pipelines disagree on verdicts")
 		return 2
 	}
 	return 0
-}
-
-// collectObs flattens a traced sweep's tracer into the report's obs
-// section: per-phase wall-time totals, simplify-rule hit counts, and the
-// remaining counters.
-func collectObs(tr *obs.Tracer) benchObs {
-	out := benchObs{
-		PhaseTotalsNS:    map[string]int64{},
-		SimplifyRuleHits: map[string]int64{},
-		Counters:         map[string]int64{},
-	}
-	for phase, d := range tr.PhaseBreakdown().PhaseTotals() {
-		out.PhaseTotalsNS[phase] = d.Nanoseconds()
-	}
-	const rulePrefix = "simplify.rule."
-	for name, v := range tr.Registry().Counters() {
-		if rule, ok := strings.CutPrefix(name, rulePrefix); ok {
-			out.SimplifyRuleHits[rule] = v
-		} else {
-			out.Counters[name] = v
-		}
-	}
-	return out
-}
-
-// compatibleVerdicts compares per-instantiation outcome sequences.
-// Decided outcomes must match exactly; "timeout" is compatible with
-// anything (the sweeps run against a wall clock, so queries near the
-// deadline legitimately decide in one pipeline and not another).
-func compatibleVerdicts(a, b []string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] && a[i] != "timeout" && b[i] != "timeout" {
-			return false
-		}
-	}
-	return true
 }

@@ -98,6 +98,7 @@ func displayFromWire(v *serve.RuleVerdict) ruleDisplay {
 				Conflicts:    iv.Stats.Conflicts,
 				Decisions:    iv.Stats.Decisions,
 				Queries:      iv.Stats.Queries,
+				Restarts:     iv.Stats.Restarts,
 			},
 		}
 		if id.SigStr == "" {

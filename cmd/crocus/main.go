@@ -32,6 +32,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,6 +44,7 @@ import (
 	"crocus"
 	"crocus/internal/faultinject"
 	"crocus/internal/obs"
+	"crocus/internal/obs/promtext"
 	"crocus/internal/vcache"
 )
 
@@ -142,7 +144,13 @@ func main() {
 	serverTimeout := flag.Duration("server-timeout", 2*time.Minute, "per-attempt HTTP timeout for -server requests")
 	serverRetries := flag.Int("server-retries", 3, "retries after the first -server attempt on 429/5xx/connection errors (capped exponential backoff with jitter, honoring Retry-After; 0 disables)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "launch a hedged duplicate -server request if no response after this long (0 disables; safe: the daemon coalesces identical in-flight work)")
+	profileRules := flag.String("profile-rules", "", "write a rule-hardness profile (per-rule wall time, SAT statistics, escalations, cache state, ranked by cost) as JSON to this file and print the top rules")
+	profileTop := flag.Int("profile-top", 15, "rows in the printed rule-hardness table (-profile-rules)")
+	logFormat := flag.String("log-format", "text", "diagnostic log format on stderr: text or json")
+	logLevel := flag.String("log-level", "info", "diagnostic log level: debug, info, warn, or error")
 	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
 
 	// Fault-injection arming: the env var first (so wrappers and CI can arm
 	// any crocus invocation), then the flag as an explicit override.
@@ -202,7 +210,7 @@ func main() {
 			retries:    *serverRetries,
 			hedgeAfter: *hedgeAfter,
 		})
-		printFaultSummary()
+		printFaultSummary(logger)
 		os.Exit(code)
 	}
 
@@ -213,7 +221,8 @@ func main() {
 		tracer = obs.New()
 	}
 	if *pprofAddr != "" {
-		if _, err := obs.ServeDebugAnnounce("crocus", *pprofAddr, tracer.Registry()); err != nil {
+		if _, err := obs.ServeDebugAnnounce(logger, "crocus", *pprofAddr, tracer.Registry(),
+			promtext.Route(tracer.Registry())); err != nil {
 			fmt.Fprintln(os.Stderr, "crocus:", err)
 			os.Exit(1)
 		}
@@ -314,7 +323,7 @@ func main() {
 			}
 		}
 		fmt.Printf("%d overlapping pairs\n", len(out))
-		exportObs(tracer, *traceFile, *traceJSONL, *metrics)
+		exportObs(logger, tracer, *traceFile, *traceJSONL, *metrics)
 		os.Exit(code)
 	}
 
@@ -327,6 +336,7 @@ func main() {
 
 	exit := 0
 	var counts outcomeCounts
+	var profiled []*crocus.RuleResult
 	interrupted := false
 	if *ruleName == "" {
 		// Sweep through the façade: one VerifyAllContext call, results in
@@ -342,6 +352,7 @@ func main() {
 			printRule(rr, *stats, &exit)
 			counts.add(rr)
 		}
+		profiled = rs
 		if interrupted {
 			fmt.Printf("*** PARTIAL REPORT: interrupted after %d/%d rules ***\n", len(rs), len(prog.Rules))
 		}
@@ -362,6 +373,19 @@ func main() {
 				continue
 			}
 			printRule(rr, *stats, &exit)
+			profiled = append(profiled, rr)
+		}
+	}
+	if *profileRules != "" {
+		prof := crocus.ProfileRules(profiled)
+		prof.Corpus = *corpusName
+		prof.TimeoutNS = timeout.Nanoseconds()
+		prof.Budget = *budget
+		// The table is advisory diagnostics: stderr, so the stdout verdict
+		// stream stays byte-stable for the differential CI checks.
+		fmt.Fprint(os.Stderr, prof.Render(*profileTop))
+		if err := prof.WriteJSONFile(*profileRules); err != nil {
+			logger.Warn("hardness profile write failed", slog.String("file", *profileRules), slog.Any("err", err))
 		}
 	}
 	if *cacheDir != "" {
@@ -393,35 +417,37 @@ func main() {
 	if interrupted {
 		exit = 130
 	}
-	exportObs(tracer, *traceFile, *traceJSONL, *metrics)
-	printFaultSummary()
+	exportObs(logger, tracer, *traceFile, *traceJSONL, *metrics)
+	printFaultSummary(logger)
 	os.Exit(exit)
 }
 
-// printFaultSummary reports per-site fault-injection hit counts on stderr
-// when fault injection is armed; chaos runs use it to confirm the faults
-// actually fired.
-func printFaultSummary() {
+// printFaultSummary reports per-site fault-injection hit counts via the
+// structured logger when fault injection is armed; chaos runs grep for
+// the "faults: " marker in the message to confirm the faults actually
+// fired.
+func printFaultSummary(log *slog.Logger) {
 	if faultinject.Enabled() {
-		fmt.Fprintln(os.Stderr, "crocus:", faultinject.Summary())
+		obs.Or(log).Info(faultinject.Summary())
 	}
 }
 
 // exportObs writes the requested trace artifacts and prints the metrics
-// report. Export failures are warnings: observability output must never
-// change the process's verdicts or exit code.
-func exportObs(tracer *obs.Tracer, traceFile, traceJSONL string, metrics bool) {
+// report. Export failures are structured-log warnings: observability
+// output must never change the process's verdicts or exit code.
+func exportObs(log *slog.Logger, tracer *obs.Tracer, traceFile, traceJSONL string, metrics bool) {
 	if tracer == nil {
 		return
 	}
+	log = obs.Or(log)
 	if traceFile != "" {
 		if err := tracer.ExportChromeFile(traceFile); err != nil {
-			fmt.Fprintln(os.Stderr, "crocus: warning: trace export:", err)
+			log.Warn("trace export failed", slog.String("file", traceFile), slog.Any("err", err))
 		}
 	}
 	if traceJSONL != "" {
 		if err := tracer.ExportJSONLFile(traceJSONL); err != nil {
-			fmt.Fprintln(os.Stderr, "crocus: warning: trace export:", err)
+			log.Warn("trace export failed", slog.String("file", traceJSONL), slog.Any("err", err))
 		}
 	}
 	if metrics {
@@ -433,7 +459,7 @@ func exportObs(tracer *obs.Tracer, traceFile, traceJSONL string, metrics bool) {
 		fmt.Print(tracer.PhaseBreakdown().Render(40))
 	}
 	if d := tracer.Dropped(); d > 0 {
-		fmt.Fprintf(os.Stderr, "crocus: warning: %d trace spans dropped (event cap)\n", d)
+		log.Warn("trace spans dropped (event cap)", slog.Int64("dropped", d))
 	}
 }
 

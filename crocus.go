@@ -61,6 +61,10 @@ type (
 	Case = interp.Case
 	// SolverStats are cumulative SAT statistics for a verification unit.
 	SolverStats = core.SolverStats
+	// HardnessProfile ranks a sweep's rules by verification cost
+	// (-profile-rules); RuleHardness is one rule's aggregate row.
+	HardnessProfile = core.HardnessProfile
+	RuleHardness    = core.RuleHardness
 	// PanicError is the diagnostics bundle carried by OutcomeError results
 	// when a panic in the solve pipeline was contained.
 	PanicError = core.PanicError
@@ -123,6 +127,11 @@ func ParseFiles(names []string, srcs []string) (*Program, error) {
 
 // NewVerifier builds a verifier over a typechecked program.
 func NewVerifier(prog *Program, opts Options) *Verifier { return core.New(prog, opts) }
+
+// ProfileRules folds a sweep's rule results into a ranked hardness
+// profile (timeout rules first, then by wall time) naming the rules
+// that buy the timeout tail.
+func ProfileRules(results []*RuleResult) *HardnessProfile { return core.ProfileRules(results) }
 
 // NewRunner builds a concrete-execution runner (interpreter mode).
 func NewRunner(prog *Program) *Runner { return interp.New(prog) }

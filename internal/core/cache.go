@@ -221,6 +221,7 @@ func (v *Verifier) recordOutcome(c *vcache.Cache, key string, rule *isle.Rule, s
 			Conflicts:    io.Stats.Conflicts,
 			Decisions:    io.Stats.Decisions,
 			Queries:      io.Stats.Queries,
+			Restarts:     io.Stats.Restarts,
 		},
 	}
 	if io.Outcome == OutcomeTimeout {
@@ -260,6 +261,7 @@ func applyEntry(e vcache.Entry, io *InstOutcome) error {
 		Conflicts:    e.Stats.Conflicts,
 		Decisions:    e.Stats.Decisions,
 		Queries:      e.Stats.Queries,
+		Restarts:     e.Stats.Restarts,
 	}
 	if e.DistinctInputs != nil {
 		d := *e.DistinctInputs

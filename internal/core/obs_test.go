@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"crocus/internal/obs"
 	"crocus/internal/smt"
@@ -76,6 +77,73 @@ func TestTracedVerdictsUnchanged(t *testing.T) {
 	}
 	if !scopes["iadd_base"] || !scopes["broken_rotr"] {
 		t.Errorf("rule scopes missing: %v", scopes)
+	}
+}
+
+// TestFlightAndProfilerVerdictsUnchanged extends the safety contract to
+// the telemetry seams: the same sweep run through a ring-mode tracer
+// with a flight collecting every span (the daemon's always-on
+// configuration), then folded into a rule-hardness profile, must leave
+// verdicts byte-identical to the plain run.
+func TestFlightAndProfilerVerdictsUnchanged(t *testing.T) {
+	collect := func(ctx context.Context) ([]*RuleResult, [][]Outcome) {
+		v := buildVerifier(t, obsTestRules, Options{})
+		rs, err := v.VerifyAllContext(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]Outcome, len(rs))
+		for i, rr := range rs {
+			out[i] = outcomes(rr)
+		}
+		return rs, out
+	}
+
+	_, plain := collect(context.Background())
+
+	tr := obs.New()
+	tr.SetRing(256)
+	fr := obs.NewFlightRecorder(4, 0)
+	fl := fr.StartFlight("sweep-1")
+	ctx := obs.WithFlight(obs.WithTracer(context.Background(), tr), fl)
+	rs, flighted := collect(ctx)
+
+	if len(plain) != len(flighted) {
+		t.Fatalf("rule counts differ: %d vs %d", len(plain), len(flighted))
+	}
+	for i := range plain {
+		for j := range plain[i] {
+			if plain[i][j] != flighted[i][j] {
+				t.Errorf("rule %d inst %d: verdict %v with flight, %v without",
+					i, j, flighted[i][j], plain[i][j])
+			}
+		}
+	}
+
+	// The flight must actually have collected the sweep's spans (this is
+	// not a disabled-path run), and promoting + profiling must not touch
+	// the results either.
+	fl.Promote(obs.FlightTimeout)
+	if !fr.Finish(fl, time.Millisecond, 200) {
+		t.Fatal("explicitly promoted flight was not retained")
+	}
+	exs := fr.Exemplars()
+	if len(exs) != 1 || len(exs[0].Spans) == 0 {
+		t.Fatalf("exemplar missing spans: %+v", exs)
+	}
+
+	prof := ProfileRules(rs)
+	if prof.TotalInsts == 0 || len(prof.Rules) != len(rs) {
+		t.Fatalf("profile did not aggregate the sweep: %+v", prof)
+	}
+	for i, rr := range rs {
+		got := outcomes(rr)
+		for j := range got {
+			if got[j] != flighted[i][j] {
+				t.Errorf("rule %d inst %d: verdict mutated by profiler: %v vs %v",
+					i, j, got[j], flighted[i][j])
+			}
+		}
 	}
 }
 

@@ -195,6 +195,10 @@ type SolverStats struct {
 	Propagations int64
 	Conflicts    int64
 	Decisions    int64
+	// Restarts counts CDCL restarts across the unit's queries; the
+	// rule-hardness profiler uses it to separate "search thrashing"
+	// timeouts from steady propagation grinds.
+	Restarts int64
 	// Queries is the number of SMT queries issued.
 	Queries int64
 	// Inprocessing / structural-hashing work across the unit's queries:
@@ -212,6 +216,7 @@ func (s *SolverStats) Add(other SolverStats) {
 	s.Propagations += other.Propagations
 	s.Conflicts += other.Conflicts
 	s.Decisions += other.Decisions
+	s.Restarts += other.Restarts
 	s.Queries += other.Queries
 	s.ElimVars += other.ElimVars
 	s.Subsumed += other.Subsumed
@@ -223,6 +228,7 @@ func (s *SolverStats) addResult(r smt.Result) {
 	s.Propagations += r.Propagations
 	s.Conflicts += r.Conflicts
 	s.Decisions += r.Decisions
+	s.Restarts += r.Restarts
 	s.Queries++
 	s.ElimVars += r.ElimVars
 	s.Subsumed += r.Subsumed

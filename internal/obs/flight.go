@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tail-sampled flight recording. A Flight rides one request's context
+// and collects the spans ended under it; when the request finishes, the
+// FlightRecorder promotes the flight to a retained exemplar only if
+// something made it interesting — it was slow (over the latency
+// threshold), timed out, errored, escalated, or panicked. Everything
+// else is discarded, so a healthy daemon retains ~nothing while the
+// tail that operators actually debug keeps its full span tree,
+// addressable by request ID at /v1/debug/flightz.
+
+// Promotion causes marked by the serving layer.
+const (
+	FlightSlow      = "slow"      // duration over the latency threshold
+	FlightTimeout   = "timeout"   // a verification unit timed out
+	FlightError     = "error"     // request failed (5xx or verdict error)
+	FlightEscalated = "escalated" // the solve ladder escalated budgets
+	FlightPanic     = "panic"     // handler panic was contained
+	FlightShed      = "shed"      // admission shed the request (429)
+)
+
+// flightSpanCap bounds one flight's span collection; a pathological
+// request cannot grow an exemplar without bound. Typical verification
+// requests record tens of spans.
+const flightSpanCap = 4096
+
+// Flight collects one request's spans until Finish. A nil *Flight is a
+// valid no-op, so span recording never branches on whether a flight is
+// attached.
+type Flight struct {
+	ID    string
+	Start time.Time
+
+	mu      sync.Mutex
+	spans   []Event
+	dropped int
+	causes  []string
+}
+
+// add collects a completed span. Nil-safe no-op.
+func (f *Flight) add(ev Event) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if len(f.spans) >= flightSpanCap {
+		f.dropped++
+	} else {
+		f.spans = append(f.spans, ev)
+	}
+	f.mu.Unlock()
+}
+
+// Promote marks a cause that forces this flight to be retained at
+// Finish. Idempotent per cause; nil-safe.
+func (f *Flight) Promote(cause string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	for _, c := range f.causes {
+		if c == cause {
+			f.mu.Unlock()
+			return
+		}
+	}
+	f.causes = append(f.causes, cause)
+	f.mu.Unlock()
+}
+
+// Exemplar is a retained flight: one interesting request's identity,
+// shape, and full span tree.
+type Exemplar struct {
+	RequestID string        `json:"request_id"`
+	Start     time.Time     `json:"start"`
+	Duration  time.Duration `json:"duration_ns"`
+	Status    int           `json:"status"`
+	Causes    []string      `json:"causes"`
+	Spans     []Event       `json:"spans"`
+	Dropped   int           `json:"dropped_spans,omitempty"`
+}
+
+// FlightRecorder retains promoted exemplars in a fixed-size ring
+// (newest evicts oldest). All methods on a nil *FlightRecorder are
+// no-ops, keeping the disabled path free.
+type FlightRecorder struct {
+	latency time.Duration
+
+	mu        sync.Mutex
+	exemplars []Exemplar
+	cap       int
+	total     int64
+	promoted  int64
+	finished  int64
+}
+
+// NewFlightRecorder builds a recorder retaining up to capN exemplars.
+// latency is the slow-request promotion threshold; 0 disables
+// slowness-based promotion (explicit causes still promote).
+func NewFlightRecorder(capN int, latency time.Duration) *FlightRecorder {
+	if capN <= 0 {
+		capN = 32
+	}
+	return &FlightRecorder{latency: latency, exemplars: make([]Exemplar, capN), cap: capN}
+}
+
+// StartFlight opens a flight for one request. Nil-safe: a nil recorder
+// returns a nil flight, and the whole pipeline no-ops.
+func (fr *FlightRecorder) StartFlight(id string) *Flight {
+	if fr == nil {
+		return nil
+	}
+	return &Flight{ID: id, Start: time.Now()}
+}
+
+// Finish closes a flight: the flight is promoted to a retained
+// exemplar when a cause was marked, the HTTP status is a server error,
+// or the duration exceeds the latency threshold. Reports whether the
+// flight was retained.
+func (fr *FlightRecorder) Finish(f *Flight, dur time.Duration, status int) bool {
+	if fr == nil || f == nil {
+		return false
+	}
+	f.mu.Lock()
+	causes := append([]string(nil), f.causes...)
+	if status >= 500 {
+		causes = appendCause(causes, FlightError)
+	}
+	if fr.latency > 0 && dur > fr.latency {
+		causes = appendCause(causes, FlightSlow)
+	}
+	keep := len(causes) > 0
+	var ex Exemplar
+	if keep {
+		ex = Exemplar{
+			RequestID: f.ID,
+			Start:     f.Start,
+			Duration:  dur,
+			Status:    status,
+			Causes:    causes,
+			Spans:     append([]Event(nil), f.spans...),
+			Dropped:   f.dropped,
+		}
+		sortEvents(ex.Spans)
+	}
+	f.mu.Unlock()
+
+	fr.mu.Lock()
+	fr.finished++
+	if keep {
+		fr.exemplars[fr.total%int64(fr.cap)] = ex
+		fr.total++
+		fr.promoted++
+	}
+	fr.mu.Unlock()
+	return keep
+}
+
+func appendCause(causes []string, c string) []string {
+	for _, have := range causes {
+		if have == c {
+			return causes
+		}
+	}
+	return append(causes, c)
+}
+
+// Exemplars returns the retained exemplars, most recent first.
+func (fr *FlightRecorder) Exemplars() []Exemplar {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	n := fr.total
+	if n > int64(fr.cap) {
+		n = int64(fr.cap)
+	}
+	out := make([]Exemplar, 0, n)
+	for i := int64(1); i <= n; i++ {
+		out = append(out, fr.exemplars[(fr.total-i)%int64(fr.cap)])
+	}
+	return out
+}
+
+// Stats reports how many flights finished and how many were promoted.
+func (fr *FlightRecorder) Stats() (finished, promoted int64) {
+	if fr == nil {
+		return 0, 0
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.finished, fr.promoted
+}
+
+// Latency returns the slow-promotion threshold.
+func (fr *FlightRecorder) Latency() time.Duration {
+	if fr == nil {
+		return 0
+	}
+	return fr.latency
+}
+
+// SortExemplars orders exemplars by start time (oldest first); used by
+// deterministic tests.
+func SortExemplars(exs []Exemplar) {
+	sort.Slice(exs, func(i, j int) bool { return exs[i].Start.Before(exs[j].Start) })
+}

@@ -1,0 +1,358 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRingKeepsNewestWindow(t *testing.T) {
+	tr := New()
+	tr.SetRing(4)
+	if !tr.RingEnabled() {
+		t.Fatal("ring should be enabled")
+	}
+	for i := 0; i < 10; i++ {
+		sp := tr.StartSpan(fmt.Sprintf("span-%d", i))
+		sp.End()
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring window = %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		want := fmt.Sprintf("span-%d", 6+i)
+		if ev.Name != want {
+			t.Errorf("evs[%d] = %q, want %q (oldest-first window)", i, ev.Name, want)
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("ring mode should never drop, got %d", tr.Dropped())
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	tr := New()
+	tr.SetRing(8)
+	for i := 0; i < 3; i++ {
+		tr.StartSpan(fmt.Sprintf("s%d", i)).End()
+	}
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	// SetRing(0) turns the ring off and reverts to append semantics.
+	tr.SetRing(0)
+	if tr.RingEnabled() {
+		t.Fatal("ring should be off")
+	}
+	tr.StartSpan("after").End()
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Name != "after" {
+		t.Fatalf("after SetRing(0): events = %+v", evs)
+	}
+}
+
+func TestRingChromeExport(t *testing.T) {
+	tr := New()
+	tr.SetRing(16)
+	ctx := WithScope(WithTracer(context.Background(), tr), "iadd_rule")
+	for i := 0; i < 20; i++ {
+		sp := Start(ctx, PhaseSolve, Int("i", int64(i)))
+		sp.End()
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateChromeTrace(buf.Bytes(), []string{PhaseSolve}); err != nil {
+		t.Fatalf("ring-mode export should validate: %v", err)
+	}
+}
+
+func TestFlightCollectsSpansAndPromotes(t *testing.T) {
+	tr := New()
+	tr.SetRing(64)
+	fr := NewFlightRecorder(8, 50*time.Millisecond)
+	fl := fr.StartFlight("req-123")
+
+	ctx := WithTracer(context.Background(), tr)
+	ctx = WithFlight(ctx, fl)
+	Start(ctx, PhaseServeRequest, Str("endpoint", "verify")).End()
+	Start(WithScope(ctx, "rule"), PhaseServeVerify).End()
+
+	// Fast and healthy: not retained.
+	if fr.Finish(fl, 10*time.Millisecond, 200) {
+		t.Fatal("healthy fast flight should not be promoted")
+	}
+	if got := len(fr.Exemplars()); got != 0 {
+		t.Fatalf("exemplars = %d, want 0", got)
+	}
+
+	// Slow: promoted with its span tree.
+	fl2 := fr.StartFlight("req-456")
+	ctx2 := WithFlight(WithTracer(context.Background(), tr), fl2)
+	Start(ctx2, PhaseServeRequest).End()
+	if !fr.Finish(fl2, 90*time.Millisecond, 200) {
+		t.Fatal("slow flight should be promoted")
+	}
+	exs := fr.Exemplars()
+	if len(exs) != 1 {
+		t.Fatalf("exemplars = %d, want 1", len(exs))
+	}
+	ex := exs[0]
+	if ex.RequestID != "req-456" {
+		t.Errorf("RequestID = %q", ex.RequestID)
+	}
+	if len(ex.Causes) != 1 || ex.Causes[0] != FlightSlow {
+		t.Errorf("causes = %v, want [slow]", ex.Causes)
+	}
+	if len(ex.Spans) != 1 || ex.Spans[0].Name != PhaseServeRequest {
+		t.Errorf("spans = %+v", ex.Spans)
+	}
+
+	finished, promoted := fr.Stats()
+	if finished != 2 || promoted != 1 {
+		t.Errorf("stats = (%d, %d), want (2, 1)", finished, promoted)
+	}
+}
+
+func TestFlightPromotionCauses(t *testing.T) {
+	fr := NewFlightRecorder(8, 0) // latency 0: no slowness promotion
+
+	// Explicit cause promotes; duplicate causes collapse.
+	fl := fr.StartFlight("a")
+	fl.Promote(FlightTimeout)
+	fl.Promote(FlightTimeout)
+	fl.Promote(FlightEscalated)
+	if !fr.Finish(fl, time.Hour, 200) {
+		t.Fatal("explicit cause should promote")
+	}
+	ex := fr.Exemplars()[0]
+	if len(ex.Causes) != 2 || ex.Causes[0] != FlightTimeout || ex.Causes[1] != FlightEscalated {
+		t.Errorf("causes = %v", ex.Causes)
+	}
+
+	// 5xx status promotes with the error cause.
+	fl = fr.StartFlight("b")
+	if !fr.Finish(fl, time.Millisecond, 500) {
+		t.Fatal("5xx should promote")
+	}
+	if c := fr.Exemplars()[0].Causes; len(c) != 1 || c[0] != FlightError {
+		t.Errorf("causes = %v, want [error]", c)
+	}
+
+	// Healthy request with latency disabled: never promoted, even slow.
+	fl = fr.StartFlight("c")
+	if fr.Finish(fl, time.Hour, 200) {
+		t.Fatal("latency 0 must not promote on slowness")
+	}
+}
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	fr := NewFlightRecorder(2, 0)
+	for i := 0; i < 3; i++ {
+		fl := fr.StartFlight(fmt.Sprintf("req-%d", i))
+		fl.Promote(FlightError)
+		fr.Finish(fl, 0, 200)
+	}
+	exs := fr.Exemplars()
+	if len(exs) != 2 {
+		t.Fatalf("exemplars = %d, want 2 (ring cap)", len(exs))
+	}
+	// Newest first; oldest (req-0) evicted.
+	if exs[0].RequestID != "req-2" || exs[1].RequestID != "req-1" {
+		t.Errorf("order = [%s, %s], want [req-2, req-1]", exs[0].RequestID, exs[1].RequestID)
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	fl := fr.StartFlight("x")
+	if fl != nil {
+		t.Fatal("nil recorder should hand out nil flights")
+	}
+	fl.add(Event{Name: "e"}) // must not panic
+	fl.Promote(FlightPanic)  // must not panic
+	if fr.Finish(fl, 0, 500) {
+		t.Fatal("nil recorder Finish should report false")
+	}
+	if fr.Exemplars() != nil || fr.Latency() != 0 {
+		t.Fatal("nil recorder accessors should be zero")
+	}
+	// A context without a flight yields nil, and spans still record.
+	tr := New()
+	ctx := WithTracer(context.Background(), tr)
+	if FlightFromContext(ctx) != nil {
+		t.Fatal("no flight expected")
+	}
+	Start(ctx, "span").End()
+	if len(tr.Events()) != 1 {
+		t.Fatal("span should record without a flight")
+	}
+}
+
+func TestWithFlightFrom(t *testing.T) {
+	tr := New()
+	fr := NewFlightRecorder(4, 0)
+	fl := fr.StartFlight("leader")
+
+	reqCtx := WithFlight(WithTracer(context.Background(), tr), fl)
+	reqCtx = WithRequestID(reqCtx, "leader")
+	baseCtx := WithTracer(context.Background(), tr)
+
+	ctx := WithFlightFrom(baseCtx, reqCtx)
+	if FlightFromContext(ctx) != fl {
+		t.Fatal("flight should be re-homed onto the base context")
+	}
+	// Spans under the re-homed context land in the leader's flight.
+	Start(ctx, PhaseServeVerify).End()
+	fl.Promote(FlightTimeout)
+	fr.Finish(fl, 0, 200)
+	ex := fr.Exemplars()[0]
+	if len(ex.Spans) != 1 || ex.Spans[0].Name != PhaseServeVerify {
+		t.Errorf("re-homed spans = %+v", ex.Spans)
+	}
+
+	// Source without a flight leaves dst untouched.
+	if got := WithFlightFrom(baseCtx, context.Background()); FlightFromContext(got) != nil {
+		t.Fatal("no flight to copy: dst should stay flightless")
+	}
+}
+
+// TestQuantileEstPinned pins the bucket interpolation against small
+// distributions whose exact quantiles are known. Where every sample in
+// the quantile's bucket is spread uniformly across the bucket's value
+// range, the estimate equals the exact order-statistic quantile.
+func TestQuantileEstPinned(t *testing.T) {
+	reg := NewRegistry()
+
+	// Uniform within one bucket: values [2,2,2,2,3,3,3,3] (bucket 2 =
+	// [2,3]). Exact p50 over the sorted samples = 2.5.
+	h := reg.Histogram("uniform")
+	for i := 0; i < 4; i++ {
+		h.Observe(2)
+		h.Observe(3)
+	}
+	s := h.Snapshot()
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.0, 2.0}, {0.5, 2.5}, {1.0, 3.0},
+	} {
+		if got := s.QuantileEst(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("uniform QuantileEst(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+
+	// Multi-bucket: one 0, one 1, eight samples in bucket 4 ([8,15]).
+	// Ranks 0..9; p50 rank = 4.5 falls in bucket 4 at frac (4.5-2)/7.
+	h2 := reg.Histogram("multi")
+	h2.Observe(0)
+	h2.Observe(1)
+	for i := 0; i < 8; i++ {
+		h2.Observe(10)
+	}
+	s2 := h2.Snapshot()
+	if got, want := s2.QuantileEst(0.5), 8.0+(4.5-2.0)/7.0*7.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("multi QuantileEst(0.5) = %v, want %v", got, want)
+	}
+	if got := s2.QuantileEst(0.0); got != 0 {
+		t.Errorf("QuantileEst(0) = %v, want 0 (the observed zero)", got)
+	}
+
+	// Single sample: the estimate is the bucket's lower bound regardless
+	// of q.
+	h3 := reg.Histogram("single")
+	h3.Observe(5) // bucket 3 = [4,7]
+	s3 := h3.Snapshot()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s3.QuantileEst(q); got != 4 {
+			t.Errorf("single QuantileEst(%v) = %v, want 4", q, got)
+		}
+	}
+
+	// Degenerate cases: empty snapshot is 0; q clamps.
+	var empty HistSnapshot
+	if got := empty.QuantileEst(0.5); got != 0 {
+		t.Errorf("empty QuantileEst = %v", got)
+	}
+	if got := s.QuantileEst(-1); got != s.QuantileEst(0) {
+		t.Errorf("q<0 should clamp to 0")
+	}
+	if got := s.QuantileEst(2); got != s.QuantileEst(1) {
+		t.Errorf("q>1 should clamp to 1")
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		i      int
+		lo, hi int64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 4, 7},
+		{10, 512, 1023},
+		{63, 1 << 62, math.MaxInt64},
+		{64, 1 << 62, math.MaxInt64},
+		{-1, 0, 0},
+	}
+	for _, tc := range cases {
+		lo, hi := BucketBounds(tc.i)
+		if lo != tc.lo || hi != tc.hi {
+			t.Errorf("BucketBounds(%d) = [%d, %d], want [%d, %d]", tc.i, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+// The disabled-path seams introduced for telemetry must stay free: a
+// nop logger, a span without a flight, and ring-mode recording are all
+// on the daemon's per-request path.
+
+func BenchmarkNopLogger(b *testing.B) {
+	log := Or(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		log.Info("request")
+	}
+}
+
+func BenchmarkSpanNoFlight(b *testing.B) {
+	tr := New()
+	tr.SetRing(1024)
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Start(ctx, PhaseSolve).End()
+	}
+}
+
+func BenchmarkSpanWithFlight(b *testing.B) {
+	tr := New()
+	tr.SetRing(1024)
+	fr := NewFlightRecorder(8, 0)
+	fl := fr.StartFlight("bench")
+	ctx := WithFlight(WithTracer(context.Background(), tr), fl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Start(ctx, PhaseSolve).End()
+	}
+}
+
+func BenchmarkFlightAddNil(b *testing.B) {
+	var fl *Flight
+	ev := Event{Name: PhaseSolve}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fl.add(ev)
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured logging setup shared by the CLIs and the daemon. The
+// contract mirrors the tracer's: a nil or nop logger must cost nothing
+// on the hot path (no allocation, no formatting), and logging must
+// never influence verdicts — stdout keeps the byte-stable verdict
+// tables, diagnostics move to the logger on stderr.
+
+// nopHandler discards every record. The go.mod floor predates
+// slog.DiscardHandler, so we carry our own.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NopLogger returns a logger that discards everything. Its Enabled
+// check fails before any attribute is evaluated, so passing it is as
+// cheap as not logging.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// NewLogger builds the process logger. format is "text" or "json"
+// (anything else falls back to text); level is "debug", "info", "warn",
+// or "error" (default info). Timestamps are emitted by the handler, so
+// log output is inherently non-deterministic — which is why nothing
+// that must stay byte-stable (verdict tables, bench JSON) goes through
+// it.
+func NewLogger(w io.Writer, format, level string) *slog.Logger {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if strings.ToLower(format) == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// Or returns l, or the nop logger when l is nil — callers thread
+// loggers through without nil checks at every call site.
+func Or(l *slog.Logger) *slog.Logger {
+	if l == nil {
+		return NopLogger()
+	}
+	return l
+}
+
+// reqIDKey carries a request ID through a context, independently of the
+// tracer so request-scoped log lines work even when tracing is off.
+type reqIDKey struct{}
+
+// WithRequestID tags ctx with a request identifier.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestID returns the request ID tagged on ctx, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

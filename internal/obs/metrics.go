@@ -118,6 +118,61 @@ func (s HistSnapshot) Quantile(q float64) int64 {
 	return math.MaxInt64
 }
 
+// BucketBounds returns the inclusive [lo, hi] value range of power-of-two
+// bucket i: bucket 0 holds exactly 0, bucket i >= 1 holds 2^(i-1) <= v <
+// 2^i. The promtext exposition and the quantile interpolation share this
+// one definition so /metricsz and /v1/statusz can never disagree on what
+// a bucket means.
+func BucketBounds(i int) (lo, hi int64) {
+	switch {
+	case i <= 0:
+		return 0, 0
+	case i >= 63:
+		return 1 << 62, math.MaxInt64
+	default:
+		return 1 << uint(i-1), 1<<uint(i) - 1
+	}
+}
+
+// QuantileEst returns a linearly interpolated estimate of the q-quantile
+// (q in [0,1]): it locates the bucket the quantile rank falls in and
+// interpolates between the bucket's bounds by the rank's position within
+// the bucket. Exact for single-bucket distributions at the bounds, and a
+// much tighter read than Quantile's bucket-top upper bound for wide
+// buckets (a p99 in the [2^20, 2^21) bucket reads ~where it lands, not
+// always 2^21-1).
+func (s HistSnapshot) QuantileEst(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count-1)
+	var seen int64
+	for i, b := range s.Buckets {
+		if b == 0 {
+			continue
+		}
+		// Bucket i covers ranks [seen, seen+b).
+		if rank < float64(seen+b) {
+			lo, hi := BucketBounds(i)
+			if b == 1 || lo == hi {
+				return float64(lo)
+			}
+			// Position of the rank within this bucket, in [0, 1].
+			frac := (rank - float64(seen)) / float64(b-1)
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		seen += b
+	}
+	_, hi := BucketBounds(64)
+	return float64(hi)
+}
+
 // Snapshot reads the histogram.
 func (h *Histogram) Snapshot() HistSnapshot {
 	if h == nil {

@@ -101,6 +101,14 @@ type Tracer struct {
 	nameTID  map[string]int64
 	eventCap int // span retention bound; 0 disables span storage
 
+	// Flight-recorder ring: when ringCap > 0 completed spans land in a
+	// fixed-size circular buffer instead of the unbounded events slice,
+	// so a long-lived daemon always holds the most recent window of
+	// activity (dumpable on SIGQUIT or panic) at constant memory.
+	ring      []Event
+	ringCap   int
+	ringTotal int64
+
 	nextTID atomic.Int64
 	dropped atomic.Int64
 }
@@ -128,6 +136,36 @@ func (t *Tracer) SetEventCap(n int) {
 	t.mu.Lock()
 	t.eventCap = n
 	t.mu.Unlock()
+}
+
+// SetRing switches the tracer into flight-recorder mode: completed
+// spans are kept in a circular buffer of the n most recent instead of
+// the append-only events slice, so a daemon traces forever at constant
+// memory and can always dump the latest window. n <= 0 turns the ring
+// off (back to SetEventCap semantics).
+func (t *Tracer) SetRing(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if n <= 0 {
+		t.ring, t.ringCap, t.ringTotal = nil, 0, 0
+	} else {
+		t.ring = make([]Event, n)
+		t.ringCap = n
+		t.ringTotal = 0
+	}
+	t.mu.Unlock()
+}
+
+// RingEnabled reports whether the tracer is in flight-recorder mode.
+func (t *Tracer) RingEnabled() bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ringCap > 0
 }
 
 // Registry returns the tracer's metrics registry (nil for a nil tracer).
@@ -174,9 +212,16 @@ func (t *Tracer) namedTID(name string) int64 {
 	return id
 }
 
-// record appends a completed span.
+// record appends a completed span (to the ring when flight-recorder
+// mode is on, else to the bounded events slice).
 func (t *Tracer) record(ev Event) {
 	t.mu.Lock()
+	if t.ringCap > 0 {
+		t.ring[t.ringTotal%int64(t.ringCap)] = ev
+		t.ringTotal++
+		t.mu.Unlock()
+		return
+	}
 	if len(t.events) >= t.eventCap {
 		t.mu.Unlock()
 		t.dropped.Add(1)
@@ -186,14 +231,35 @@ func (t *Tracer) record(ev Event) {
 	t.mu.Unlock()
 }
 
-// Events returns a copy of the recorded spans sorted by start time.
+// Events returns a copy of the recorded spans sorted by start time. In
+// flight-recorder mode this is the ring's current window, so the
+// existing exporters (Chrome trace, JSONL, phase table) work unchanged
+// against a daemon dump.
 func (t *Tracer) Events() []Event {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
-	out := make([]Event, len(t.events))
-	copy(out, t.events)
+	var out []Event
+	if t.ringCap > 0 {
+		n := t.ringTotal
+		if n > int64(t.ringCap) {
+			n = int64(t.ringCap)
+		}
+		out = make([]Event, 0, n)
+		// Oldest-first: when the ring has wrapped, the oldest live entry
+		// sits at the next write position.
+		start := int64(0)
+		if t.ringTotal > int64(t.ringCap) {
+			start = t.ringTotal % int64(t.ringCap)
+		}
+		for i := int64(0); i < n; i++ {
+			out = append(out, t.ring[(start+i)%int64(t.ringCap)])
+		}
+	} else {
+		out = make([]Event, len(t.events))
+		copy(out, t.events)
+	}
 	t.mu.Unlock()
 	sortEvents(out)
 	return out
@@ -219,6 +285,7 @@ type Span struct {
 	tid   int64
 	start time.Duration
 	attrs []Attr
+	fl    *Flight // request flight collecting this span, or nil
 }
 
 // StartSpan opens a span on the tracer's main thread (tid 0), outside
@@ -244,14 +311,16 @@ func (s *Span) End() {
 		return
 	}
 	now := time.Since(s.tr.epoch)
-	s.tr.record(Event{
+	ev := Event{
 		Name:  s.name,
 		Scope: s.scope,
 		TID:   s.tid,
 		Start: s.start,
 		Dur:   now - s.start,
 		Attrs: s.attrs,
-	})
+	}
+	s.tr.record(ev)
+	s.fl.add(ev)
 }
 
 // SpanContext is the per-goroutine tracing state carried in a
@@ -262,6 +331,7 @@ type SpanContext struct {
 	tr    *Tracer
 	tid   int64
 	scope string
+	fl    *Flight // request flight, inherited by every derived context
 }
 
 type ctxKey struct{}
@@ -302,7 +372,7 @@ func WithThread(ctx context.Context, name string) context.Context {
 		return ctx
 	}
 	return context.WithValue(ctx, ctxKey{}, &SpanContext{
-		tr: sc.tr, tid: sc.tr.newTID(name), scope: sc.scope,
+		tr: sc.tr, tid: sc.tr.newTID(name), scope: sc.scope, fl: sc.fl,
 	})
 }
 
@@ -317,7 +387,7 @@ func WithNamedThread(ctx context.Context, name string) context.Context {
 		return ctx
 	}
 	return context.WithValue(ctx, ctxKey{}, &SpanContext{
-		tr: sc.tr, tid: sc.tr.namedTID(name), scope: sc.scope,
+		tr: sc.tr, tid: sc.tr.namedTID(name), scope: sc.scope, fl: sc.fl,
 	})
 }
 
@@ -329,8 +399,43 @@ func WithScope(ctx context.Context, scope string) context.Context {
 		return ctx
 	}
 	return context.WithValue(ctx, ctxKey{}, &SpanContext{
-		tr: sc.tr, tid: sc.tid, scope: scope,
+		tr: sc.tr, tid: sc.tid, scope: scope, fl: sc.fl,
 	})
+}
+
+// WithFlight attaches a request flight to the tracing context: every
+// span ended under the returned context is also collected into fl (in
+// addition to the tracer's ring), so a promoted exemplar holds the
+// request's full span tree. No-op without a tracer or with a nil
+// flight.
+func WithFlight(ctx context.Context, fl *Flight) context.Context {
+	sc := Get(ctx)
+	if sc == nil || fl == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &SpanContext{
+		tr: sc.tr, tid: sc.tid, scope: sc.scope, fl: fl,
+	})
+}
+
+// WithFlightFrom copies src's flight (if any) onto dst's tracing
+// context. The daemon's coalescing leader solves under the server's
+// base context rather than the triggering request's, so the leader
+// re-homes the request's flight here before verification starts.
+func WithFlightFrom(dst, src context.Context) context.Context {
+	fsc := Get(src)
+	if fsc == nil || fsc.fl == nil {
+		return dst
+	}
+	return WithFlight(dst, fsc.fl)
+}
+
+// FlightFromContext returns the flight riding ctx, or nil.
+func FlightFromContext(ctx context.Context) *Flight {
+	if sc := Get(ctx); sc != nil {
+		return sc.fl
+	}
+	return nil
 }
 
 // Start opens a span from the context's tracing state; nil (a no-op
@@ -351,6 +456,7 @@ func (sc *SpanContext) Start(name string, attrs ...Attr) *Span {
 		tid:   sc.tid,
 		start: time.Since(sc.tr.epoch),
 		attrs: attrs,
+		fl:    sc.fl,
 	}
 }
 

@@ -3,10 +3,10 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
-	"os"
 	"sync"
 	"sync/atomic"
 )
@@ -19,13 +19,22 @@ var (
 	debugReg    atomic.Pointer[Registry]
 )
 
+// DebugRoute is one extra handler mounted on the debug server's mux —
+// how the CLIs expose /metricsz without this package importing the
+// promtext renderer (promtext imports obs, not the other way around).
+type DebugRoute struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // ServeDebug starts an HTTP server on addr exposing net/http/pprof
 // (/debug/pprof/) and expvar (/debug/vars, including the given metrics
-// registry under "crocus_metrics") for live profiling of long sweeps.
+// registry under "crocus_metrics") for live profiling of long sweeps,
+// plus any extra routes (e.g. promtext.Route for /metricsz).
 // It returns the bound address (useful with ":0") and never blocks;
 // the server lives until the process exits. Best-effort observability:
 // callers should warn on error, not abort.
-func ServeDebug(addr string, reg *Registry) (string, error) {
+func ServeDebug(addr string, reg *Registry, routes ...DebugRoute) (string, error) {
 	debugReg.Store(reg)
 	publishOnce.Do(func() {
 		expvar.Publish("crocus_metrics", expvar.Func(func() any {
@@ -40,24 +49,35 @@ func ServeDebug(addr string, reg *Registry) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// The pprof and expvar handlers register on the default mux at init;
+	// routing /debug/ there keeps them while leaving the rest of the
+	// pattern space to the extra routes.
+	mux := http.NewServeMux()
+	mux.Handle("/debug/", http.DefaultServeMux)
+	for _, rt := range routes {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	go func() {
 		// Errors after listen succeed only at shutdown; nothing to do.
-		_ = http.Serve(ln, nil)
+		_ = http.Serve(ln, mux)
 	}()
 	return ln.Addr().String(), nil
 }
 
-// ServeDebugAnnounce is ServeDebug plus the standard stderr announcement
-// every binary used to hand-roll: on success it prints the bound
-// address under the program's name and returns it; on failure it
-// returns the bind error for the caller to decide on (the CLIs exit
-// non-zero — a requested debug listener that cannot bind should not be
-// silently absent).
-func ServeDebugAnnounce(prog, addr string, reg *Registry) (string, error) {
-	bound, err := ServeDebug(addr, reg)
+// ServeDebugAnnounce is ServeDebug plus the standard announcement every
+// binary used to hand-roll: on success it logs the bound address under
+// the program's name and returns it; on failure it returns the bind
+// error for the caller to decide on (the CLIs exit non-zero — a
+// requested debug listener that cannot bind should not be silently
+// absent).
+func ServeDebugAnnounce(log *slog.Logger, prog, addr string, reg *Registry, routes ...DebugRoute) (string, error) {
+	bound, err := ServeDebug(addr, reg, routes...)
 	if err != nil {
 		return "", fmt.Errorf("pprof server: %w", err)
 	}
-	fmt.Fprintf(os.Stderr, "%s: pprof/expvar on http://%s/debug/pprof/\n", prog, bound)
+	Or(log).Info("debug server listening",
+		slog.String("prog", prog),
+		slog.String("pprof", "http://"+bound+"/debug/pprof/"),
+		slog.String("metrics", "http://"+bound+"/metricsz"))
 	return bound, nil
 }

@@ -1,0 +1,175 @@
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Minimal OpenMetrics text parser — just enough structure validation to
+// test the renderer for real (name charset, family typing, cumulative
+// monotone buckets, the # EOF terminator) without importing a
+// Prometheus client library. It parses the subset the renderer emits:
+// counter and histogram families with at most an le label.
+
+// Family is one parsed metric family.
+type Family struct {
+	Name string
+	Type string // "counter" | "histogram"
+
+	// Counter value (Type == "counter").
+	Value float64
+
+	// Histogram fields (Type == "histogram"). Buckets are cumulative in
+	// ascending le order; the final bucket is le=+Inf.
+	Buckets []Bucket
+	Count   float64
+	Sum     float64
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	LE  float64 // +Inf for the last bucket
+	Cum float64
+}
+
+// Parse validates and decodes an OpenMetrics text exposition.
+func Parse(data string) (map[string]*Family, error) {
+	fams := map[string]*Family{}
+	var cur *Family
+	sawEOF := false
+	for ln, line := range strings.Split(data, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if sawEOF {
+			return nil, fmt.Errorf("line %d: content after # EOF", lineNo)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := parts[2], parts[3]
+			if err := checkName(name); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if typ != "counter" && typ != "histogram" {
+				return nil, fmt.Errorf("line %d: unsupported type %q", lineNo, typ)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate family %q", lineNo, name)
+			}
+			cur = &Family{Name: name, Type: typ}
+			fams[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments (HELP etc.) are legal
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("line %d: sample before any TYPE line", lineNo)
+		}
+		if err := parseSample(cur, line); err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("missing # EOF terminator")
+	}
+	for _, f := range fams {
+		if err := checkFamily(f); err != nil {
+			return nil, fmt.Errorf("family %s: %v", f.Name, err)
+		}
+	}
+	return fams, nil
+}
+
+func parseSample(f *Family, line string) error {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return fmt.Errorf("malformed sample %q", line)
+	}
+	series, valStr := line[:sp], line[sp+1:]
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	name, labels := series, ""
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return fmt.Errorf("unterminated labels in %q", series)
+		}
+		name, labels = series[:i], series[i+1:len(series)-1]
+	}
+	switch {
+	case f.Type == "counter" && name == f.Name+"_total" && labels == "":
+		f.Value = val
+	case f.Type == "histogram" && name == f.Name+"_bucket":
+		const p = `le="`
+		if !strings.HasPrefix(labels, p) || !strings.HasSuffix(labels, `"`) {
+			return fmt.Errorf("histogram bucket %q needs an le label", series)
+		}
+		leStr := labels[len(p) : len(labels)-1]
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			if le, err = strconv.ParseFloat(leStr, 64); err != nil {
+				return fmt.Errorf("bad le %q: %v", leStr, err)
+			}
+		}
+		f.Buckets = append(f.Buckets, Bucket{LE: le, Cum: val})
+	case f.Type == "histogram" && name == f.Name+"_count" && labels == "":
+		f.Count = val
+	case f.Type == "histogram" && name == f.Name+"_sum" && labels == "":
+		f.Sum = val
+	default:
+		return fmt.Errorf("sample %q does not belong to %s family %s", series, f.Type, f.Name)
+	}
+	return nil
+}
+
+func checkFamily(f *Family) error {
+	if f.Type != "histogram" {
+		return nil
+	}
+	if len(f.Buckets) == 0 {
+		return fmt.Errorf("no buckets")
+	}
+	last := f.Buckets[len(f.Buckets)-1]
+	if !math.IsInf(last.LE, 1) {
+		return fmt.Errorf("last bucket le must be +Inf, got %v", last.LE)
+	}
+	for i := 1; i < len(f.Buckets); i++ {
+		if f.Buckets[i].LE <= f.Buckets[i-1].LE {
+			return fmt.Errorf("bucket le not strictly increasing at %d", i)
+		}
+		if f.Buckets[i].Cum < f.Buckets[i-1].Cum {
+			return fmt.Errorf("bucket counts not cumulative at %d", i)
+		}
+	}
+	if last.Cum != f.Count {
+		return fmt.Errorf("+Inf bucket %v != count %v", last.Cum, f.Count)
+	}
+	return nil
+}
+
+func checkName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+// Package promtext renders an obs.Registry as OpenMetrics /
+// Prometheus text exposition, so the daemon's /metricsz (and the CLIs'
+// debug servers) can be scraped by a stock Prometheus without any new
+// dependency.
+//
+// The mapping is fixed and shared with /v1/statusz:
+//
+//   - Every metric name is prefixed "crocus_" and sanitized to the
+//     exposition charset ([a-zA-Z0-9_:]; everything else becomes "_"),
+//     so "serve.queue_wait_ns" exposes as "crocus_serve_queue_wait_ns".
+//   - Counters expose as OpenMetrics counters: one "<name>_total" sample.
+//   - Histograms keep their power-of-two buckets: internal bucket i
+//     (holding v with bits.Len64(v) == i) becomes the cumulative bucket
+//     le="2^i - 1" (le="0" for bucket 0), then le="+Inf", then the exact
+//     _count and _sum. obs.BucketBounds is the single definition of the
+//     bucket bounds, shared with the statusz quantile estimates.
+//
+// Output is deterministic (sorted metric names) and terminated by the
+// OpenMetrics "# EOF" marker.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"crocus/internal/obs"
+)
+
+// Prefix is prepended to every exposed metric name.
+const Prefix = "crocus_"
+
+// MetricName sanitizes a registry metric name into the exposition
+// charset and applies the crocus_ prefix.
+func MetricName(name string) string {
+	var sb strings.Builder
+	sb.WriteString(Prefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WriteTo renders the registry's current snapshot to w.
+func WriteTo(w io.Writer, reg *obs.Registry) error {
+	cs := reg.Counters()
+	hs := reg.Histograms()
+
+	// A sanitized-name collision (two registry names mapping to one
+	// exposition name) would silently emit a duplicate family; keep the
+	// later name deterministic by iterating sorted raw names.
+	cnames := sortedKeys(cs)
+	hnames := sortedKeys(hs)
+
+	for _, raw := range cnames {
+		name := MetricName(raw)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", name, name, cs[raw]); err != nil {
+			return err
+		}
+	}
+	for _, raw := range hnames {
+		name := MetricName(raw)
+		s := hs[raw]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum int64
+		for i, b := range s.Buckets {
+			if b == 0 {
+				continue
+			}
+			cum += b
+			_, hi := obs.BucketBounds(i)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, hi, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n%s_sum %d\n",
+			name, s.Count, name, s.Count, name, s.Sum); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// Render renders the registry snapshot to a string.
+func Render(reg *obs.Registry) string {
+	var sb strings.Builder
+	// strings.Builder writes cannot fail.
+	_ = WriteTo(&sb, reg)
+	return sb.String()
+}
+
+// ContentType is the OpenMetrics content type served by Handler.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Handler serves the registry as an OpenMetrics scrape endpoint.
+func Handler(reg *obs.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = WriteTo(w, reg)
+	})
+}
+
+// Route packages Handler as the /metricsz debug route for
+// obs.ServeDebug, so every CLI's -pprof-addr server scrapes the same
+// way as the daemon.
+func Route(reg *obs.Registry) obs.DebugRoute {
+	return obs.DebugRoute{Pattern: "/metricsz", Handler: Handler(reg)}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,149 @@
+package promtext
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"crocus/internal/obs"
+)
+
+func TestMetricName(t *testing.T) {
+	cases := map[string]string{
+		"serve.queue_wait_ns": "crocus_serve_queue_wait_ns",
+		"sat.restarts":        "crocus_sat_restarts",
+		"weird-name 1":        "crocus_weird_name_1",
+		"already_fine":        "crocus_already_fine",
+	}
+	for in, want := range cases {
+		if got := MetricName(in); got != want {
+			t.Errorf("MetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("serve.requests").Add(42)
+	reg.Counter("cache.hits").Add(7)
+	h := reg.Histogram("serve.queue_wait_ns")
+	for _, v := range []int64{0, 1, 1, 5, 100, 1000, 1 << 20} {
+		h.Observe(v)
+	}
+
+	text := Render(reg)
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("missing EOF terminator:\n%s", text)
+	}
+	fams, err := Parse(text)
+	if err != nil {
+		t.Fatalf("rendered output does not parse: %v\n%s", err, text)
+	}
+
+	c := fams["crocus_serve_requests"]
+	if c == nil || c.Type != "counter" || c.Value != 42 {
+		t.Fatalf("counter family wrong: %+v", c)
+	}
+	if fams["crocus_cache_hits"].Value != 7 {
+		t.Fatalf("cache.hits = %v", fams["crocus_cache_hits"].Value)
+	}
+
+	hist := fams["crocus_serve_queue_wait_ns"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hist)
+	}
+	if hist.Count != 7 {
+		t.Errorf("count = %v, want 7", hist.Count)
+	}
+	wantSum := float64(0 + 1 + 1 + 5 + 100 + 1000 + 1<<20)
+	if hist.Sum != wantSum {
+		t.Errorf("sum = %v, want %v", hist.Sum, wantSum)
+	}
+	// Cumulative bucket reads must agree with the snapshot's own buckets.
+	snap := h.Snapshot()
+	var cum int64
+	bi := 0
+	for i, b := range snap.Buckets {
+		if b == 0 {
+			continue
+		}
+		cum += b
+		_, hi := obs.BucketBounds(i)
+		got := hist.Buckets[bi]
+		if got.LE != float64(hi) || got.Cum != float64(cum) {
+			t.Errorf("bucket %d: got le=%v cum=%v, want le=%d cum=%d", bi, got.LE, got.Cum, hi, cum)
+		}
+		bi++
+	}
+	last := hist.Buckets[len(hist.Buckets)-1]
+	if !math.IsInf(last.LE, 1) || last.Cum != 7 {
+		t.Errorf("+Inf bucket = %+v", last)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("b").Inc()
+	reg.Counter("a").Inc()
+	reg.Histogram("z").Observe(3)
+	if Render(reg) != Render(reg) {
+		t.Fatal("render not deterministic")
+	}
+	// Sorted: a before b.
+	text := Render(reg)
+	if strings.Index(text, "crocus_a_total") > strings.Index(text, "crocus_b_total") {
+		t.Fatalf("names not sorted:\n%s", text)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x").Add(3)
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	fams, err := Parse(string(buf[:n]))
+	if err != nil {
+		t.Fatalf("handler output does not parse: %v", err)
+	}
+	if fams["crocus_x"].Value != 3 {
+		t.Errorf("x = %v", fams["crocus_x"].Value)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := map[string]string{
+		"missing EOF":    "# TYPE crocus_x counter\ncrocus_x_total 1\n",
+		"bad name":       "# TYPE 9bad counter\n9bad_total 1\n# EOF\n",
+		"orphan sample":  "crocus_x_total 1\n# EOF\n",
+		"wrong family":   "# TYPE crocus_x counter\ncrocus_y_total 1\n# EOF\n",
+		"non-cumulative": "# TYPE crocus_h histogram\ncrocus_h_bucket{le=\"1\"} 5\ncrocus_h_bucket{le=\"3\"} 2\ncrocus_h_bucket{le=\"+Inf\"} 5\ncrocus_h_count 5\ncrocus_h_sum 9\n# EOF\n",
+		"no inf bucket":  "# TYPE crocus_h histogram\ncrocus_h_bucket{le=\"1\"} 5\ncrocus_h_count 5\ncrocus_h_sum 9\n# EOF\n",
+		"count mismatch": "# TYPE crocus_h histogram\ncrocus_h_bucket{le=\"+Inf\"} 4\ncrocus_h_count 5\ncrocus_h_sum 9\n# EOF\n",
+	}
+	for name, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("%s: Parse accepted invalid input", name)
+		}
+	}
+}
+
+func TestEmptyRegistry(t *testing.T) {
+	fams, err := Parse(Render(obs.NewRegistry()))
+	if err != nil {
+		t.Fatalf("empty registry render does not parse: %v", err)
+	}
+	if len(fams) != 0 {
+		t.Errorf("expected no families, got %d", len(fams))
+	}
+}

@@ -10,6 +10,10 @@
 //	GET  /v1/readyz        readiness (503 while draining or shedding load)
 //	GET  /v1/statusz       obs counters, histogram summaries, cache stats,
 //	                       breaker state, resource watermarks, fault counters
+//	GET  /metricsz         the same registry in OpenMetrics text exposition
+//	                       (Prometheus-scrapable)
+//	GET  /v1/debug/flightz retained flight-recorder exemplars: full span
+//	                       trees of recent slow/timed-out/errored requests
 //
 // Identical in-flight requests are coalesced: a request's verification
 // units are fingerprinted exactly as the vcache would key them, and
@@ -26,6 +30,7 @@ import (
 	"time"
 
 	"crocus/internal/core"
+	"crocus/internal/obs"
 )
 
 // SourceFile is one ISLE source shipped inline with a request.
@@ -69,6 +74,7 @@ type SolverStats struct {
 	Conflicts    int64 `json:"conflicts"`
 	Decisions    int64 `json:"decisions"`
 	Queries      int64 `json:"queries"`
+	Restarts     int64 `json:"restarts,omitempty"`
 }
 
 // Counterexample is the wire form of a verification counterexample.
@@ -141,6 +147,15 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// FlightzResponse is the /v1/debug/flightz reply: the flight recorder's
+// counters plus its retained exemplars, newest first.
+type FlightzResponse struct {
+	Finished  int64          `json:"finished"`
+	Promoted  int64          `json:"promoted"`
+	LatencyNS int64          `json:"latency_ns"`
+	Exemplars []obs.Exemplar `json:"exemplars"`
+}
+
 // NewRuleVerdict converts a core result to its wire form.
 func NewRuleVerdict(rr *core.RuleResult) RuleVerdict {
 	v := RuleVerdict{
@@ -167,6 +182,7 @@ func newInstVerdict(io *core.InstOutcome) InstVerdict {
 			Conflicts:    io.Stats.Conflicts,
 			Decisions:    io.Stats.Decisions,
 			Queries:      io.Stats.Queries,
+			Restarts:     io.Stats.Restarts,
 		},
 	}
 	if io.Sig != nil {

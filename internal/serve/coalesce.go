@@ -132,7 +132,12 @@ func (s *Server) runFlight(reqCtx context.Context, v *core.Verifier, rule *isle.
 		return nil, false, 0, status, err
 	}
 	defer s.release()
-	ctx := s.baseCtx
+	// The solve runs under baseCtx (waiters outlive the leader's
+	// disconnect), but the leader's telemetry identity — its flight and
+	// request ID — rides along so the shared solve's spans land in the
+	// leader's exemplar.
+	ctx := obs.WithFlightFrom(s.baseCtx, reqCtx)
+	ctx = obs.WithRequestID(ctx, obs.RequestID(reqCtx))
 	if dl, ok := reqCtx.Deadline(); ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, dl)

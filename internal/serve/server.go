@@ -2,9 +2,12 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -20,6 +23,7 @@ import (
 	"crocus/internal/faultinject"
 	"crocus/internal/isle"
 	"crocus/internal/obs"
+	"crocus/internal/obs/promtext"
 	"crocus/internal/sched"
 	"crocus/internal/vcache"
 )
@@ -65,6 +69,26 @@ type Config struct {
 	// the serve counters. Nil still counts (into a private registry) but
 	// records no spans.
 	Tracer *obs.Tracer
+
+	// Logger receives per-request access logs and server diagnostics.
+	// Nil discards them (the nop path is allocation-free).
+	Logger *slog.Logger
+
+	// FlightLatency is the tail-sampling threshold: a request slower than
+	// this is promoted to a retained flight-recorder exemplar even if
+	// nothing else went wrong. 0 defaults to Timeout (one solver deadline
+	// spent on a single request is worth keeping); negative disables
+	// slowness-based promotion (explicit causes still promote).
+	FlightLatency time.Duration
+
+	// FlightExemplars caps retained flight-recorder exemplars (ring,
+	// newest wins). 0 means 32.
+	FlightExemplars int
+
+	// FlightDump, when set, is the path the daemon dumps a Chrome-trace
+	// JSON snapshot of the tracer's span window to on handler panic (and
+	// via DumpFlight on SIGQUIT).
+	FlightDump string
 }
 
 // maxRequestBytes bounds a request body; inline ISLE sources are at most
@@ -86,6 +110,8 @@ type Server struct {
 	programs map[string]*isle.Program
 	cache    *vcache.Cache
 	reg      *obs.Registry
+	log      *slog.Logger
+	fr       *obs.FlightRecorder
 
 	// baseCtx is the lifetime of shared (coalesced) work: flights solve
 	// under it, not under any single request's context, so a client
@@ -174,12 +200,22 @@ func New(cfg Config) (*Server, error) {
 		reg = obs.NewRegistry()
 	}
 
+	flightLatency := cfg.FlightLatency
+	if flightLatency == 0 {
+		flightLatency = cfg.Timeout
+	}
+	if flightLatency < 0 {
+		flightLatency = 0
+	}
+
 	baseCtx, cancel := context.WithCancel(obs.WithTracer(context.Background(), cfg.Tracer))
 	s := &Server{
 		cfg:        cfg,
 		programs:   programs,
 		cache:      cache,
 		reg:        reg,
+		log:        obs.Or(cfg.Logger),
+		fr:         obs.NewFlightRecorder(cfg.FlightExemplars, flightLatency),
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
 		slots:      make(chan struct{}, cfg.MaxInflight),
@@ -195,15 +231,104 @@ func New(cfg Config) (*Server, error) {
 // Registry returns the registry the serve counters land in.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
+// FlightRecorder returns the daemon's tail-sampling flight recorder.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.fr }
+
 // Handler returns the daemon's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/verify", s.handleVerify)
-	mux.HandleFunc("/v1/verify/batch", s.handleBatch)
+	mux.Handle("/v1/verify", s.withRequest("verify", s.handleVerify))
+	mux.Handle("/v1/verify/batch", s.withRequest("batch", s.handleBatch))
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/statusz", s.handleStatusz)
+	mux.Handle("/metricsz", promtext.Handler(s.reg))
+	mux.HandleFunc("/v1/debug/flightz", s.handleFlightz)
 	return mux
+}
+
+// newRequestID mints a 16-hex-char request identifier.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively impossible; degrade to a
+		// constant rather than failing a request over telemetry.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status for the access log and the
+// flight recorder's promotion decision.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withRequest is the per-request telemetry middleware: it accepts (or
+// mints) the X-Request-ID, echoes it on the response, opens the
+// request's flight and serve.request span, and emits one access-log
+// line when the handler returns. The request ID and flight ride the
+// context into every span and error path below.
+func (s *Server) withRequest(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+
+		fl := s.fr.StartFlight(id)
+		ctx := obs.WithRequestID(r.Context(), id)
+		ctx = obs.WithTracer(ctx, s.cfg.Tracer)
+		ctx = obs.WithFlight(ctx, fl)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+
+		sp := obs.Start(ctx, obs.PhaseServeRequest,
+			obs.Str("endpoint", endpoint), obs.Str("request_id", id))
+		h(sw, r.WithContext(ctx))
+		sp.End()
+
+		dur := time.Since(start)
+		promoted := s.fr.Finish(fl, dur, sw.status)
+		s.log.Info("request",
+			slog.String("request_id", id),
+			slog.String("endpoint", endpoint),
+			slog.String("method", r.Method),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", dur),
+			slog.Bool("flight_promoted", promoted))
+	})
+}
+
+// handleFlightz serves the flight recorder's retained exemplars: the
+// span trees of recent slow / timed-out / errored / escalated requests,
+// newest first, addressable by request ID.
+func (s *Server) handleFlightz(w http.ResponseWriter, _ *http.Request) {
+	defer s.contain(w, nil)
+	finished, promoted := s.fr.Stats()
+	writeJSON(w, http.StatusOK, &FlightzResponse{
+		Finished:  finished,
+		Promoted:  promoted,
+		LatencyNS: s.fr.Latency().Nanoseconds(),
+		Exemplars: s.fr.Exemplars(),
+	})
+}
+
+// DumpFlight writes a Chrome-trace JSON snapshot of the tracer's
+// current span window (the flight-recorder ring) to path — the SIGQUIT
+// and panic diagnostic artifact.
+func (s *Server) DumpFlight(path string) error {
+	if s.cfg.Tracer == nil {
+		return errors.New("no tracer configured")
+	}
+	return s.cfg.Tracer.ExportChromeFile(path)
 }
 
 // Serve accepts connections on ln until Drain (or a fatal listener
@@ -244,7 +369,8 @@ func (s *Server) Drain() error {
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
-	defer s.contain(w)
+	ctx := r.Context()
+	defer s.contain(w, ctx)
 	// Chaos failpoint inside the containment boundary: an injected fault
 	// here becomes a 500, never a dead daemon — the invariant the chaos
 	// suite asserts.
@@ -256,9 +382,6 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
-	ctx := obs.WithTracer(r.Context(), s.cfg.Tracer)
-	sp := obs.Start(ctx, obs.PhaseServeRequest, obs.Str("endpoint", "verify"))
-	defer sp.End()
 
 	var req VerifyRequest
 	if err := decodeJSON(w, r, &req); err != nil {
@@ -274,7 +397,8 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	defer s.contain(w)
+	ctx := r.Context()
+	defer s.contain(w, ctx)
 	if err := faultinject.Hit("serve.handler"); err != nil {
 		panic(err)
 	}
@@ -283,9 +407,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
-	ctx := obs.WithTracer(r.Context(), s.cfg.Tracer)
-	sp := obs.Start(ctx, obs.PhaseServeRequest, obs.Str("endpoint", "batch"))
-	defer sp.End()
 
 	var breq BatchRequest
 	if err := decodeJSON(w, r, &breq); err != nil {
@@ -341,13 +462,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// HistogramSummary is the wire digest of one obs histogram.
+// HistogramSummary is the wire digest of one obs histogram. P50/P95/P99
+// are conservative bucket upper bounds; the *Est fields are the
+// bucket-interpolated estimates sharing their derivation (the same
+// power-of-two bucket bounds) with the /metricsz exposition.
 type HistogramSummary struct {
-	Count int64   `json:"count"`
-	Mean  float64 `json:"mean"`
-	P50   int64   `json:"p50"`
-	P95   int64   `json:"p95"`
-	P99   int64   `json:"p99"`
+	Count  int64   `json:"count"`
+	Mean   float64 `json:"mean"`
+	P50    int64   `json:"p50"`
+	P95    int64   `json:"p95"`
+	P99    int64   `json:"p99"`
+	P50Est float64 `json:"p50_est"`
+	P90Est float64 `json:"p90_est"`
+	P99Est float64 `json:"p99_est"`
 }
 
 // Watermarks are per-request resource high-water marks: goroutine count
@@ -385,7 +512,7 @@ type StatusReport struct {
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
-	defer s.contain(w)
+	defer s.contain(w, nil)
 	rep := StatusReport{
 		Draining:    s.draining.Load(),
 		Inflight:    len(s.slots),
@@ -411,11 +538,14 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	sort.Strings(rep.Corpora)
 	for name, snap := range s.reg.Histograms() {
 		rep.Histograms[name] = HistogramSummary{
-			Count: snap.Count,
-			Mean:  snap.Mean(),
-			P50:   snap.Quantile(0.50),
-			P95:   snap.Quantile(0.95),
-			P99:   snap.Quantile(0.99),
+			Count:  snap.Count,
+			Mean:   snap.Mean(),
+			P50:    snap.Quantile(0.50),
+			P95:    snap.Quantile(0.95),
+			P99:    snap.Quantile(0.99),
+			P50Est: snap.QuantileEst(0.50),
+			P90Est: snap.QuantileEst(0.90),
+			P99Est: snap.QuantileEst(0.99),
 		}
 	}
 	writeJSON(w, http.StatusOK, &rep)
@@ -434,6 +564,7 @@ func (s *Server) verifyOne(ctx context.Context, req *VerifyRequest) (*VerifyResp
 	ok, after, probeDone := s.brk.allow()
 	if !ok {
 		s.reg.Counter("serve.rejected.breaker").Inc()
+		obs.FlightFromContext(ctx).Promote(obs.FlightShed)
 		return nil, http.StatusTooManyRequests, retryAfterError{
 			err:   errors.New("shedding load (queue-latency breaker open)"),
 			after: after,
@@ -483,17 +614,22 @@ func (s *Server) verifyOne(ctx context.Context, req *VerifyRequest) (*VerifyResp
 	rr, coalesced, queueWait, status, err := s.verifyRuleCoalesced(ctx, v, rule)
 	if err != nil {
 		switch {
+		case status == http.StatusTooManyRequests:
+			obs.FlightFromContext(ctx).Promote(obs.FlightShed)
+			return nil, status, err
 		case status != 0:
 			return nil, status, err
 		case errors.Is(err, errDraining):
 			s.reg.Counter("serve.rejected.draining").Inc()
 			return nil, http.StatusServiceUnavailable, err
 		case errors.Is(err, context.DeadlineExceeded):
+			obs.FlightFromContext(ctx).Promote(obs.FlightTimeout)
 			return nil, http.StatusGatewayTimeout, fmt.Errorf("request deadline exceeded")
 		default:
 			return nil, http.StatusServiceUnavailable, err
 		}
 	}
+	s.promoteForResult(ctx, rr)
 
 	verdict := NewRuleVerdict(rr)
 	verdict.Coalesced = coalesced
@@ -504,6 +640,27 @@ func (s *Server) verifyOne(ctx context.Context, req *VerifyRequest) (*VerifyResp
 			TotalNS:     time.Since(start).Nanoseconds(),
 		},
 	}, 0, nil
+}
+
+// promoteForResult flags the request's flight for retention when the
+// verdict itself says something interesting happened: a timed-out or
+// errored instantiation, or a timeout-ladder escalation.
+func (s *Server) promoteForResult(ctx context.Context, rr *core.RuleResult) {
+	fl := obs.FlightFromContext(ctx)
+	if fl == nil || rr == nil {
+		return
+	}
+	for i := range rr.Insts {
+		switch rr.Insts[i].Outcome {
+		case core.OutcomeTimeout:
+			fl.Promote(obs.FlightTimeout)
+		case core.OutcomeError:
+			fl.Promote(obs.FlightError)
+		}
+		if rr.Insts[i].Escalations > 0 {
+			fl.Promote(obs.FlightEscalated)
+		}
+	}
 }
 
 // acquire claims a worker-pool slot, waiting at most QueueTimeout.
@@ -637,10 +794,23 @@ func (s *Server) parseFiles(files []SourceFile) (*isle.Program, error) {
 
 // contain is the handler-level backstop of PR 4's panic containment:
 // anything that slips past VerifyRuleContained becomes a 500, never a
-// dead process.
-func (s *Server) contain(w http.ResponseWriter) {
+// dead process. A contained panic also promotes the request's flight
+// (the exemplar carries the span tree leading up to it) and, when
+// FlightDump is configured, snapshots the tracer's span window to disk
+// while the evidence is still in the ring.
+func (s *Server) contain(w http.ResponseWriter, ctx context.Context) {
 	if p := recover(); p != nil {
 		s.reg.Counter("serve.panics").Inc()
+		if ctx != nil {
+			obs.FlightFromContext(ctx).Promote(obs.FlightPanic)
+		}
+		if s.cfg.FlightDump != "" {
+			if err := s.DumpFlight(s.cfg.FlightDump); err != nil {
+				s.log.Warn("flight dump failed", slog.String("path", s.cfg.FlightDump), slog.Any("error", err))
+			} else {
+				s.log.Info("flight dumped on panic", slog.String("path", s.cfg.FlightDump))
+			}
+		}
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("contained panic: %v", p))
 	}
 }

@@ -78,6 +78,10 @@ type SolverStats struct {
 	// Queries counts the SMT queries the unit issued (applicability,
 	// distinctness, equivalence, per assignment).
 	Queries int64 `json:"q,omitempty"`
+	// Restarts counts CDCL restarts. Entries written before this field
+	// existed replay with 0 (omitempty both ways): stats are advisory
+	// metadata, never part of the fingerprint, so no engine-version bump.
+	Restarts int64 `json:"r,omitempty"`
 }
 
 // Entry is one cached verification-unit result.
